@@ -1,0 +1,43 @@
+//! Criterion benchmark for experiment E5: LTAP gateway vs. library reads,
+//! and the raw DIT as the no-LTAP baseline.
+
+use bench::workload::{populate, Workload};
+use bench::rig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldap::{Directory, Filter, Scope};
+
+fn bench_gateway(c: &mut Criterion) {
+    let r = rig(1, false);
+    let mut w = Workload::new(23);
+    let people = w.people(200, 1);
+    populate(&r, &people);
+    let filter = Filter::parse("(&(objectClass=person)(definityExtension=1*))").unwrap();
+    let suffix = r.system.suffix().clone();
+
+    let mut group = c.benchmark_group("ltap/read_path");
+    // Baseline: straight to the DIT (no LTAP at all).
+    let dit = r.system.dit();
+    group.bench_function("direct_dit", |b| {
+        b.iter(|| ldap::Dit::search(&dit, &suffix, Scope::Sub, &filter, &[], 0).unwrap())
+    });
+    // Library deployment: via the in-process gateway.
+    let gw = r.system.directory();
+    group.bench_function("library_gateway", |b| {
+        b.iter(|| gw.search(&suffix, Scope::Sub, &filter, &[], 0).unwrap())
+    });
+    // Network deployment: over TCP.
+    let server = r.system.serve("127.0.0.1:0").unwrap();
+    let client = ldap::client::TcpDirectory::connect(&server.addr().to_string()).unwrap();
+    group.bench_function("network_gateway", |b| {
+        b.iter(|| client.search(&suffix, Scope::Sub, &filter, &[], 0).unwrap())
+    });
+    group.finish();
+    r.system.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gateway
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks for the LDAP substrate (experiment E10's
+//! companions): DN parsing, filter parse/eval, DIT search, BER round trip.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldap::dn::Dn;
+use ldap::entry::Entry;
+use ldap::proto::{LdapMessage, ProtocolOp};
+use ldap::{Dit, Filter, Scope};
+
+fn populated(n: usize) -> std::sync::Arc<Dit> {
+    let dit = Dit::new();
+    let mut org = Entry::new(Dn::parse("o=Lucent").unwrap());
+    org.add_value("objectClass", "organization");
+    org.add_value("o", "Lucent");
+    ldap::Dit::add(&dit, org).unwrap();
+    for i in 0..n {
+        let e = Entry::with_attrs(
+            Dn::parse(&format!("cn=Person {i:05},o=Lucent")).unwrap(),
+            [
+                ("objectClass", "person"),
+                ("cn", format!("Person {i:05}").as_str()),
+                ("sn", "Person"),
+                ("telephoneNumber", format!("+1 908 582 {:04}", i % 10000).as_str()),
+            ],
+        );
+        ldap::Dit::add(&dit, e).unwrap();
+    }
+    dit
+}
+
+fn bench_dn(c: &mut Criterion) {
+    c.bench_function("dn/parse", |b| {
+        b.iter(|| Dn::parse(black_box("cn=John Doe, ou=Research, o=Lucent")).unwrap())
+    });
+    let dn = Dn::parse("cn=John Doe,ou=Research,o=Lucent").unwrap();
+    c.bench_function("dn/norm_key", |b| b.iter(|| black_box(&dn).norm_key()));
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let src = "(&(objectClass=person)(|(cn=J*)(telephoneNumber=*9123)))";
+    c.bench_function("filter/parse", |b| {
+        b.iter(|| Filter::parse(black_box(src)).unwrap())
+    });
+    let f = Filter::parse(src).unwrap();
+    let e = Entry::with_attrs(
+        Dn::parse("cn=X,o=L").unwrap(),
+        [
+            ("objectClass", "person"),
+            ("cn", "John Doe"),
+            ("telephoneNumber", "+1 908 582 9123"),
+        ],
+    );
+    c.bench_function("filter/eval", |b| b.iter(|| black_box(&f).matches(&e)));
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dit/search_sub");
+    for n in [1000usize, 5000] {
+        let dit = populated(n);
+        let base = Dn::parse("o=Lucent").unwrap();
+        let f = Filter::parse("(cn=Person 00042)").unwrap();
+        group.bench_with_input(BenchmarkId::new("point", n), &n, |b, _| {
+            b.iter(|| ldap::Dit::search(&dit, &base, Scope::Sub, &f, &[], 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ber(c: &mut Criterion) {
+    let msg = LdapMessage {
+        id: 7,
+        op: ProtocolOp::SearchResultEntry {
+            dn: "cn=Person 00042,o=Lucent".into(),
+            attrs: vec![
+                ("objectClass".into(), vec!["top".into(), "person".into()]),
+                ("cn".into(), vec!["Person 00042".into()]),
+                ("telephoneNumber".into(), vec!["+1 908 582 0042".into()]),
+            ],
+        },
+    };
+    c.bench_function("ber/encode", |b| b.iter(|| black_box(&msg).encode()));
+    let bytes = msg.encode();
+    c.bench_function("ber/decode", |b| {
+        b.iter(|| LdapMessage::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dn, bench_filter, bench_search, bench_ber
+}
+criterion_main!(benches);

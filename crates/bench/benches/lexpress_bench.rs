@@ -1,0 +1,66 @@
+//! Criterion benchmarks for lexpress (experiment E6's companions):
+//! compile, translate, transitive closure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lexpress::{library, Closure, Engine, Image, UpdateDescriptor};
+
+fn bench_compile(c: &mut Criterion) {
+    let src = library::pbx_mappings("pbx-west", "9???", "o=Lucent");
+    c.bench_function("lexpress/compile_pbx_pair", |b| {
+        b.iter(|| Engine::from_source(black_box(&src)).unwrap())
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let src = library::pbx_mappings("pbx-west", "9???", "o=Lucent");
+    let engine = Engine::from_source(&src).unwrap();
+    let d = UpdateDescriptor::add(
+        "9123",
+        Image::from_pairs([
+            ("Extension", "9123"),
+            ("Name", "Doe, John"),
+            ("Room", "2B-401"),
+            ("CoveragePath", "1"),
+        ]),
+        "pbx-west",
+    );
+    c.bench_function("lexpress/translate_to_ldap", |b| {
+        b.iter(|| engine.translate("pbx-west_to_ldap", black_box(&d)).unwrap())
+    });
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lexpress/closure_chain");
+    for len in [2usize, 8] {
+        let mut rules = String::new();
+        for i in 0..len {
+            rules.push_str(&format!("map a{i} -> a{} : concat(a{i}, \"\");\n", i + 1));
+        }
+        let src = format!(
+            "mapping chain {{ source l; target l; key source d; key target d;\n{rules}}}"
+        );
+        let closure = Closure::from_source(&src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                let mut img = Image::new();
+                for i in 0..=len {
+                    img.set(format!("a{i}"), vec!["seed".into()]);
+                }
+                let old = img.clone();
+                let mut new = img;
+                new.set("a0", vec!["changed".into()]);
+                let mut d = UpdateDescriptor::modify("k", old, new, "wba");
+                closure.augment(&mut d).unwrap();
+                black_box(d)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_compile, bench_translate, bench_closure
+}
+criterion_main!(benches);

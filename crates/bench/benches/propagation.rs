@@ -1,0 +1,39 @@
+//! Criterion benchmark for experiment E1: the end-to-end update path
+//! (WBA → LTAP → UM → closure → device filters → directory apply).
+
+use bench::rig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metacomm/update_fanout");
+    for (label, n_pbx, with_mp) in [("1pbx", 1, false), ("2pbx+mp", 2, true)] {
+        let r = rig(n_pbx, with_mp);
+        let wba = r.system.wba();
+        let counter = AtomicUsize::new(0);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                let ext = format!("1{:03}", i % 1000);
+                let cn = format!("Bench Person {i:06}");
+                if i < 1000 {
+                    wba.add_person_with_extension(&cn, "Person", &ext, "2B")
+                        .expect("add");
+                } else {
+                    // Reuse entries once the extension space is exhausted.
+                    wba.assign_room(&format!("Bench Person {:06}", i % 1000), &format!("R{i}"))
+                        .expect("modify");
+                }
+            })
+        });
+        r.system.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_propagation
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark for experiment E4: synchronization (initial load and
+//! no-op resync) under LTAP quiesce.
+
+use bench::workload::{preload_devices, Workload};
+use bench::rig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metacomm/sync");
+    group.sample_size(10);
+    for n in [200usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("initial_load", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let r = rig(1, false);
+                    let mut w = Workload::new(5);
+                    let people = w.people(n, 1);
+                    preload_devices(&r, &people);
+                    r
+                },
+                |r| {
+                    let report = r.system.synchronize_all().unwrap();
+                    assert_eq!(report.added, n);
+                    r.system.shutdown();
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        // No-op resync of an already-consistent system.
+        let r = rig(1, false);
+        let mut w = Workload::new(5);
+        let people = w.people(n, 1);
+        preload_devices(&r, &people);
+        r.system.synchronize_all().unwrap();
+        group.bench_with_input(BenchmarkId::new("noop_resync", n), &n, |b, _| {
+            b.iter(|| {
+                let report = r.system.synchronize_all().unwrap();
+                assert_eq!(report.added, 0);
+            })
+        });
+        r.system.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sync
+}
+criterion_main!(benches);

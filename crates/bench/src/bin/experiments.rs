@@ -1,0 +1,53 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments            # all, full scale
+//! cargo run --release -p bench --bin experiments -- --quick # CI sizes
+//! cargo run --release -p bench --bin experiments -- --exp e5
+//! ```
+
+use bench::experiments::{run_all, run_one, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut exp: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned();
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick|--full] [--exp e1..e11]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    println!(
+        "MetaComm experiment harness — scale: {:?}\n(see EXPERIMENTS.md for the recorded results and DESIGN.md §3 for the\nclaim-to-experiment mapping)\n",
+        scale
+    );
+    match exp {
+        Some(id) => match run_one(&id, scale) {
+            Some(r) => r.print(),
+            None => {
+                eprintln!("no experiment `{id}` (e1..e11)");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            for r in run_all(scale) {
+                r.print();
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The experiment harness: one module per experiment in EXPERIMENTS.md.
+//!
+//! The paper is an industrial experience paper with no numeric tables, so
+//! each experiment operationalizes one *testable claim* (see DESIGN.md §3)
+//! as a workload + sweep + printed table.
+
+pub mod e1_propagation;
+pub mod e2_convergence;
+pub mod e3_reapply;
+pub mod e4_sync;
+pub mod e5_gateway;
+pub mod e6_lexpress;
+pub mod e7_partition;
+pub mod e8_failure;
+pub mod e9_schema;
+pub mod e10_ldap;
+pub mod e11_ablations;
+
+/// How big to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly sizes (seconds).
+    Quick,
+    /// The sizes recorded in EXPERIMENTS.md.
+    Full,
+}
+
+/// One experiment's output.
+pub struct Report {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub claim: &'static str,
+    /// Pre-formatted table rows.
+    pub table: String,
+    /// One-line takeaways (recorded in EXPERIMENTS.md).
+    pub observations: Vec<String>,
+}
+
+impl Report {
+    pub fn print(&self) {
+        println!("================================================================");
+        println!("{} — {}", self.id, self.title);
+        println!("claim under test: {}", self.claim);
+        println!("----------------------------------------------------------------");
+        println!("{}", self.table.trim_end());
+        for o in &self.observations {
+            println!("  » {o}");
+        }
+        println!();
+    }
+}
+
+/// Run every experiment.
+pub fn run_all(scale: Scale) -> Vec<Report> {
+    vec![
+        e1_propagation::run(scale),
+        e2_convergence::run(scale),
+        e3_reapply::run(scale),
+        e4_sync::run(scale),
+        e5_gateway::run(scale),
+        e6_lexpress::run(scale),
+        e7_partition::run(scale),
+        e8_failure::run(scale),
+        e9_schema::run(scale),
+        e10_ldap::run(scale),
+        e11_ablations::run(scale),
+    ]
+}
+
+/// Run one experiment by id (`e1` … `e11`).
+pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
+    Some(match id {
+        "e1" => e1_propagation::run(scale),
+        "e2" => e2_convergence::run(scale),
+        "e3" => e3_reapply::run(scale),
+        "e4" => e4_sync::run(scale),
+        "e5" => e5_gateway::run(scale),
+        "e6" => e6_lexpress::run(scale),
+        "e7" => e7_partition::run(scale),
+        "e8" => e8_failure::run(scale),
+        "e9" => e9_schema::run(scale),
+        "e10" => e10_ldap::run(scale),
+        "e11" => e11_ablations::run(scale),
+        _ => return None,
+    })
+}
+
+/// Mean of a duration sample in microseconds.
+pub(crate) fn mean_us(samples: &[std::time::Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|d| d.as_secs_f64() * 1e6).sum::<f64>() / samples.len() as f64
+}
+
+/// p95 of a duration sample in microseconds.
+pub(crate) fn p95_us(samples: &[std::time::Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    us[(us.len() - 1) * 95 / 100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keep the harness from bit-rotting: the fast experiments run in CI.
+    #[test]
+    fn quick_e7_partitioning() {
+        let r = e7_partition::run(Scale::Quick);
+        assert_eq!(r.id, "E7");
+        assert!(r.table.contains("del@1+add@2"));
+    }
+
+    #[test]
+    fn quick_e9_schema_ablation() {
+        let r = e9_schema::run(Scale::Quick);
+        assert!(r.table.contains("auxiliary classes (paper)"));
+        // The paper's design has zero torn states.
+        let aux_line = r
+            .table
+            .lines()
+            .find(|l| l.contains("auxiliary classes"))
+            .expect("aux row");
+        assert!(aux_line.trim_end().ends_with('0'), "{aux_line}");
+    }
+
+    #[test]
+    fn quick_e11_ablations() {
+        let r = e11_ablations::run(Scale::Quick);
+        assert!(r.table.contains("hub closure ON (paper)"));
+        assert!(r.observations.iter().any(|o| o.contains("migrated=false")));
+    }
+
+    #[test]
+    fn run_one_dispatches_every_id() {
+        for id in ["e7", "e9"] {
+            assert!(run_one(id, Scale::Quick).is_some());
+        }
+        assert!(run_one("e99", Scale::Quick).is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Benchmark support: synthetic workload generation and system rigs shared
+//! by the Criterion benches and the `experiments` harness.
+//!
+//! The paper's corporate user population is proprietary; this generator
+//! produces the synthetic equivalent (DESIGN.md §1): realistic name/org
+//! distributions, extensions drawn from dial-plan ranges, and update mixes
+//! with a configurable direct-device-update (DDU) share — the workload
+//! *shape* (few DDUs per entry per day, read-heavy LDAP traffic) is what
+//! the paper's consistency argument depends on, so those are the knobs.
+
+pub mod experiments;
+pub mod workload;
+
+use metacomm::{MetaComm, MetaCommBuilder};
+use msgplat::Store as MpStore;
+use pbx::{DialPlan, Store as PbxStore};
+use std::sync::Arc;
+
+/// A deployed test system with handles to every device store.
+pub struct Rig {
+    pub system: MetaComm,
+    pub pbxes: Vec<Arc<PbxStore>>,
+    pub mp: Option<Arc<MpStore>>,
+}
+
+/// Build a rig with `n_pbx` switches (partitioned `1xxx`, `2xxx`, …) and
+/// optionally a messaging platform.
+pub fn rig(n_pbx: usize, with_mp: bool) -> Rig {
+    assert!(
+        (1..=8).contains(&n_pbx),
+        "extension prefixes support 1..=8 switches"
+    );
+    let mut builder = MetaCommBuilder::new("o=Lucent");
+    let mut pbxes = Vec::new();
+    for i in 0..n_pbx {
+        let prefix = (i + 1).to_string();
+        let store = Arc::new(PbxStore::new(
+            format!("pbx-{}", i + 1),
+            DialPlan::with_prefix(&prefix, 4),
+        ));
+        builder = builder.add_pbx(store.clone(), &format!("{prefix}???"));
+        pbxes.push(store);
+    }
+    let mp = if with_mp {
+        let store = Arc::new(MpStore::new("mp"));
+        builder = builder.add_msgplat(store.clone(), "*");
+        Some(store)
+    } else {
+        None
+    };
+    let system = builder.build().expect("assemble rig");
+    Rig { system, pbxes, mp }
+}
+
+impl Rig {
+    /// Which switch owns `ext` (by first digit).
+    pub fn switch_for(&self, ext: &str) -> &Arc<PbxStore> {
+        let idx = ext
+            .chars()
+            .next()
+            .and_then(|c| c.to_digit(10))
+            .map(|d| (d as usize).saturating_sub(1))
+            .unwrap_or(0);
+        &self.pbxes[idx.min(self.pbxes.len() - 1)]
+    }
+}
+
+/// Wall-clock helper returning (result, elapsed).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Format a duration as adaptive human units.
+pub fn fmt_dur(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1} µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2} ms", us / 1000.0)
+    } else {
+        format!("{:.2} s", us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_builds_and_routes() {
+        let r = rig(3, true);
+        assert_eq!(r.pbxes.len(), 3);
+        assert!(r.mp.is_some());
+        assert_eq!(r.switch_for("2345").name(), "pbx-2");
+        assert_eq!(r.switch_for("1000").name(), "pbx-1");
+        r.system.shutdown();
+    }
+}

@@ -1,0 +1,256 @@
+//! Direct-device-update relay (paper §4.4): "the device filter creates a
+//! lexpress update descriptor for the update that it forwards to the LDAP
+//! filter; the LDAP filter translates the descriptor into an update against
+//! the LDAP schema and forwards it to LTAP; the update is eventually sent
+//! back to the UM after proper LTAP locks are obtained."
+//!
+//! One relay thread runs per device filter. Each DDU becomes one or two
+//! LTAP operations — a name change that also touches other fields becomes
+//! the non-atomic ModifyRDN + Modify pair of §5.1 (the window the paper's
+//! resynchronization story covers; crash injection for experiment E8 sits
+//! exactly between the two).
+
+use crate::errorlog::ErrorLog;
+use crate::filter::DeviceFilter;
+use crate::image::{diff_mods, image_to_entry};
+use crate::um::aux_class_mods;
+use crossbeam::channel::{Receiver, Select};
+use lexpress::{Engine, OpKind, TargetOp, UpdateDescriptor};
+use ldap::dn::Dn;
+use ldap::entry::Modification;
+use ldap::Directory;
+use ltap::{Gateway, LtapOp};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Relay statistics.
+#[derive(Debug, Default)]
+pub struct RelayStats {
+    /// DDUs received from device filters.
+    pub ddus: AtomicUsize,
+    /// LTAP operations emitted.
+    pub ops_sent: AtomicUsize,
+    /// ModifyRDN+Modify pairs (the §5.1 complex-DDU case).
+    pub rename_pairs: AtomicUsize,
+    /// Relay errors logged.
+    pub errors: AtomicUsize,
+    /// Simulated crashes injected between the pair (experiment E8).
+    pub injected_crashes: AtomicUsize,
+}
+
+pub(crate) struct RelayHandles {
+    pub threads: Vec<JoinHandle<()>>,
+    pub shutdown: crossbeam::channel::Sender<()>,
+}
+
+/// Spawn one relay thread per filter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_relays(
+    gateway: Arc<Gateway>,
+    engine: Arc<Engine>,
+    filters: &[Arc<dyn DeviceFilter>],
+    errorlog: Arc<ErrorLog>,
+    stats: Arc<RelayStats>,
+    crash_between_pair: Arc<AtomicBool>,
+) -> RelayHandles {
+    let (shutdown_tx, shutdown_rx) = crossbeam::channel::unbounded::<()>();
+    let mut threads = Vec::new();
+    for f in filters {
+        let rx = f.subscribe();
+        let gw = gateway.clone();
+        let eng = engine.clone();
+        let log = errorlog.clone();
+        let st = stats.clone();
+        let crash = crash_between_pair.clone();
+        let name = f.name().to_string();
+        let mapping = f.mapping_to_ldap();
+        let sd = shutdown_rx.clone();
+        let owned_attrs = f.ldap_owned_attrs();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ddu-relay-{name}"))
+                .spawn(move || {
+                    relay_loop(
+                        rx, sd, gw, eng, log, st, crash, &name, &mapping, &owned_attrs,
+                    )
+                })
+                .expect("spawn relay"),
+        );
+    }
+    RelayHandles {
+        threads,
+        shutdown: shutdown_tx,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn relay_loop(
+    rx: Receiver<UpdateDescriptor>,
+    shutdown: Receiver<()>,
+    gateway: Arc<Gateway>,
+    engine: Arc<Engine>,
+    errorlog: Arc<ErrorLog>,
+    stats: Arc<RelayStats>,
+    crash: Arc<AtomicBool>,
+    origin: &str,
+    mapping: &str,
+    owned_attrs: &[String],
+) {
+    loop {
+        let mut sel = Select::new();
+        let op_idx = sel.recv(&rx);
+        let sd_idx = sel.recv(&shutdown);
+        let oper = sel.select();
+        match oper.index() {
+            i if i == op_idx => match oper.recv(&rx) {
+                Ok(d) => {
+                    stats.ddus.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = relay_one(
+                        &gateway,
+                        &engine,
+                        &stats,
+                        &crash,
+                        origin,
+                        mapping,
+                        owned_attrs,
+                        &d,
+                    ) {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                        errorlog.log(
+                            gateway.inner().as_ref(),
+                            0,
+                            &format!("DDU relay from {origin} failed: {e}"),
+                            &format!("{d:?}"),
+                        );
+                    }
+                }
+                Err(_) => return,
+            },
+            i if i == sd_idx => {
+                let _ = oper.recv(&shutdown);
+                return;
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn relay_one(
+    gateway: &Arc<Gateway>,
+    engine: &Arc<Engine>,
+    stats: &RelayStats,
+    crash: &AtomicBool,
+    origin: &str,
+    mapping: &str,
+    owned_attrs: &[String],
+    d: &UpdateDescriptor,
+) -> crate::error::Result<()> {
+    let top: TargetOp = engine.translate(mapping, d)?;
+    match top.kind {
+        OpKind::Skip => Ok(()),
+        OpKind::Add => {
+            let dn = Dn::parse(top.new_key.as_deref().expect("validated"))?;
+            match gateway.get(&dn)? {
+                Some(existing) => {
+                    // The person already exists (e.g. created via another
+                    // device): merge the device data in.
+                    let mut mods = aux_class_mods(&existing, &top.attrs);
+                    mods.extend(diff_mods(&existing, &top.attrs));
+                    if !mods.is_empty() {
+                        stats.ops_sent.fetch_add(1, Ordering::Relaxed);
+                        gateway.apply_tagged(LtapOp::Modify(dn, mods), origin)?;
+                    }
+                    Ok(())
+                }
+                None => {
+                    let entry = image_to_entry(dn, &top.attrs);
+                    stats.ops_sent.fetch_add(1, Ordering::Relaxed);
+                    gateway.apply_tagged(LtapOp::Add(entry), origin)?;
+                    Ok(())
+                }
+            }
+        }
+        OpKind::Modify => {
+            let old_dn = Dn::parse(top.old_key.as_deref().expect("validated"))?;
+            let new_dn = Dn::parse(top.new_key.as_deref().expect("validated"))?;
+            if old_dn != new_dn {
+                // §5.1: "a direct PBX update might change a person's name
+                // (which is used in their RDN) and extension (which is
+                // not)" — a non-atomic ModifyRDN + Modify pair.
+                stats.rename_pairs.fetch_add(1, Ordering::Relaxed);
+                let new_rdn = new_dn
+                    .rdn()
+                    .ok_or_else(|| ldap::LdapError::invalid_dn("empty new DN"))?
+                    .clone();
+                stats.ops_sent.fetch_add(1, Ordering::Relaxed);
+                gateway.apply_tagged(
+                    LtapOp::ModifyRdn {
+                        dn: old_dn,
+                        new_rdn,
+                        delete_old: true,
+                        new_superior: None,
+                    },
+                    origin,
+                )?;
+                if crash.swap(false, Ordering::SeqCst) {
+                    // Experiment E8: the UM "crashes" between the pair,
+                    // leaving the directory inconsistent for readers until
+                    // resynchronization.
+                    stats.injected_crashes.fetch_add(1, Ordering::SeqCst);
+                    return Err(crate::error::MetaError::Unavailable(
+                        "injected crash between ModifyRDN and Modify".into(),
+                    ));
+                }
+                if let Some(existing) = gateway.get(&new_dn)? {
+                    let mut mods = aux_class_mods(&existing, &top.attrs);
+                    mods.extend(diff_mods(&existing, &top.attrs));
+                    if !mods.is_empty() {
+                        stats.ops_sent.fetch_add(1, Ordering::Relaxed);
+                        gateway.apply_tagged(LtapOp::Modify(new_dn, mods), origin)?;
+                    }
+                }
+                Ok(())
+            } else {
+                match gateway.get(&new_dn)? {
+                    Some(existing) => {
+                        let mut mods = aux_class_mods(&existing, &top.attrs);
+                        mods.extend(diff_mods(&existing, &top.attrs));
+                        if !mods.is_empty() {
+                            stats.ops_sent.fetch_add(1, Ordering::Relaxed);
+                            gateway.apply_tagged(LtapOp::Modify(new_dn, mods), origin)?;
+                        }
+                        Ok(())
+                    }
+                    None => {
+                        // Entry vanished (e.g. deleted through the
+                        // directory while the DDU was in flight): recreate.
+                        let entry = image_to_entry(new_dn, &top.attrs);
+                        stats.ops_sent.fetch_add(1, Ordering::Relaxed);
+                        gateway.apply_tagged(LtapOp::Add(entry), origin)?;
+                        Ok(())
+                    }
+                }
+            }
+        }
+        OpKind::Delete => {
+            // A device-side remove clears that device's attributes from the
+            // person; the person entry itself survives (they may still have
+            // mailboxes, etc.).
+            let dn = Dn::parse(top.old_key.as_deref().expect("validated"))?;
+            if let Some(existing) = gateway.get(&dn)? {
+                let mods: Vec<Modification> = owned_attrs
+                    .iter()
+                    .filter(|a| existing.has_attr(a))
+                    .map(|a| Modification::delete_attr(a.clone()))
+                    .collect();
+                if !mods.is_empty() {
+                    stats.ops_sent.fetch_add(1, Ordering::Relaxed);
+                    gateway.apply_tagged(LtapOp::Modify(dn, mods), origin)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! MetaComm error type.
+
+use std::fmt;
+
+/// Errors surfaced by the Update Manager and filters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaError {
+    /// An LDAP operation failed.
+    Ldap(ldap::LdapError),
+    /// lexpress translation failed (missing key, fixpoint not reached, …).
+    Translate(lexpress::RuntimeError),
+    /// A mapping description failed to compile.
+    Compile(lexpress::CompileError),
+    /// A device rejected an operation.
+    Device { repository: String, detail: String },
+    /// The Update Manager is shut down (or crashed, in failure-injection
+    /// experiments).
+    Unavailable(String),
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::Ldap(e) => write!(f, "ldap: {e}"),
+            MetaError::Translate(e) => write!(f, "translate: {e}"),
+            MetaError::Compile(e) => write!(f, "compile: {e}"),
+            MetaError::Device { repository, detail } => {
+                write!(f, "device {repository}: {detail}")
+            }
+            MetaError::Unavailable(m) => write!(f, "update manager unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+impl From<ldap::LdapError> for MetaError {
+    fn from(e: ldap::LdapError) -> Self {
+        MetaError::Ldap(e)
+    }
+}
+
+impl From<lexpress::RuntimeError> for MetaError {
+    fn from(e: lexpress::RuntimeError) -> Self {
+        MetaError::Translate(e)
+    }
+}
+
+impl From<lexpress::CompileError> for MetaError {
+    fn from(e: lexpress::CompileError) -> Self {
+        MetaError::Compile(e)
+    }
+}
+
+impl MetaError {
+    /// Convert into the LdapError returned to the client whose update was
+    /// aborted (paper §4.4: invalid updates abort with an error).
+    pub fn into_ldap(self) -> ldap::LdapError {
+        match self {
+            MetaError::Ldap(e) => e,
+            other => ldap::LdapError::new(
+                ldap::ResultCode::UnwillingToPerform,
+                format!("metacomm: {other}"),
+            ),
+        }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, MetaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MetaError = ldap::LdapError::no_such_object("cn=x").into();
+        assert!(e.to_string().contains("cn=x"));
+        let e = MetaError::Device {
+            repository: "pbx-west".into(),
+            detail: "station exists".into(),
+        };
+        assert!(e.to_string().contains("pbx-west"));
+        let l = e.into_ldap();
+        assert_eq!(l.code, ldap::ResultCode::UnwillingToPerform);
+    }
+}

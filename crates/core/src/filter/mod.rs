@@ -1,0 +1,92 @@
+//! Repository filters (paper §4.1): each integrated repository gets a
+//! filter made of a *protocol converter* (the uniform device API: fetch by
+//! key, add/modify/delete, full dump, change notifications) and a *mapper*
+//! (the lexpress mapping pair naming how its schema relates to the
+//! integrated LDAP schema).
+
+pub mod mp;
+pub mod pbx;
+
+use crate::error::Result;
+use crossbeam::channel::Receiver;
+use lexpress::{Image, TargetOp, UpdateDescriptor};
+
+/// The device-side *patch* for a modify: only the fields whose value
+/// changed between the old and new target images, plus empty-string
+/// markers for fields that disappeared (device stores blank-to-clear).
+///
+/// lexpress translates *update commands*, not full states (paper §4.1), so
+/// reapplied operations must not clobber device fields that a concurrent
+/// craft update just changed — only the fields this update actually touched
+/// are written.
+pub fn changed_fields(old: &Image, new: &Image) -> Image {
+    if old.is_empty() {
+        return new.clone();
+    }
+    let mut patch = Image::new();
+    for (name, values) in new.iter() {
+        if old.values(name) != values {
+            patch.set(name.to_string(), values.to_vec());
+        }
+    }
+    for (name, _) in old.iter() {
+        if !new.has(name) {
+            patch.set(name.to_string(), vec![String::new()]); // blank-to-clear
+        }
+    }
+    patch
+}
+
+/// Result of applying a translated operation at a device.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyOutcome {
+    /// `false` when the op was a Skip (object not under this device).
+    pub applied: bool,
+    /// The conditional-update recovery path ran (modify→add fallback or a
+    /// tolerated not-found) — paper §5.4.
+    pub reapplied: bool,
+    /// Device-generated information in *integrated-schema* terms (e.g. the
+    /// messaging platform's mailbox id), to be folded into the directory
+    /// image (paper §5.5).
+    pub generated: Option<Image>,
+}
+
+/// One integrated repository.
+pub trait DeviceFilter: Send + Sync {
+    /// Repository id (matches the lexpress mapping source/target names).
+    fn name(&self) -> &str;
+
+    /// Mapping name translating device descriptors → LDAP images.
+    fn mapping_to_ldap(&self) -> String {
+        format!("{}_to_ldap", self.name())
+    }
+
+    /// Mapping name translating LDAP descriptors → device operations.
+    fn mapping_from_ldap(&self) -> String {
+        format!("ldap_to_{}", self.name())
+    }
+
+    /// Protocol converter: apply a translated operation to the device.
+    fn apply(&self, op: &TargetOp) -> Result<ApplyOutcome>;
+
+    /// Fetch one record (device-schema image) by key.
+    fn fetch(&self, key: &str) -> Option<Image>;
+
+    /// Full dump for synchronization (device-schema images).
+    fn dump(&self) -> Vec<Image>;
+
+    /// Stream of direct-device-update descriptors (craft/console updates
+    /// only — the filter suppresses echoes of MetaComm's own session).
+    fn subscribe(&self) -> Receiver<UpdateDescriptor>;
+
+    /// Number of records currently on the device (diagnostics).
+    fn record_count(&self) -> usize;
+
+    /// Integrated-schema attributes this device owns — cleared from a
+    /// person's entry when the device-side record is removed by a DDU.
+    fn ldap_owned_attrs(&self) -> Vec<String>;
+
+    /// The integrated-schema attribute whose presence marks "this entry has
+    /// data on this device" (used by synchronization to find stale entries).
+    fn ldap_presence_attr(&self) -> String;
+}

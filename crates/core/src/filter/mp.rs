@@ -1,0 +1,345 @@
+//! The messaging-platform filter. Differs from the PBX filter in one
+//! crucial way: adds *generate* information at the device (the mailbox id),
+//! which the filter reports back so the Update Manager can fold it into
+//! the directory image (paper §5.5).
+
+use crate::error::{MetaError, Result};
+use crate::filter::{changed_fields, ApplyOutcome, DeviceFilter};
+use crossbeam::channel::{unbounded, Receiver};
+use lexpress::{Image, OpKind, TargetOp, UpdateDescriptor};
+use msgplat::{fields, Channel, EventKind, MpError, MpEvent, Record, Store};
+use std::sync::Arc;
+
+pub struct MpFilter {
+    store: Arc<Store>,
+}
+
+impl MpFilter {
+    pub fn new(store: Arc<Store>) -> Arc<MpFilter> {
+        Arc::new(MpFilter { store })
+    }
+
+    fn dev_err(&self, e: MpError) -> MetaError {
+        MetaError::Device {
+            repository: self.store.name().to_string(),
+            detail: e.to_string(),
+        }
+    }
+
+    fn record_to_image(rec: &Record) -> Image {
+        let mut img = Image::new();
+        for (k, v) in rec {
+            img.set(k.clone(), vec![v.clone()]);
+        }
+        img
+    }
+
+    fn image_to_record(img: &Image) -> Record {
+        let mut rec = Record::new();
+        for (k, vs) in img.iter() {
+            if let Some(v) = vs.first() {
+                rec.insert(k.to_string(), v.clone());
+            }
+        }
+        rec
+    }
+
+    /// Generated info in integrated-schema terms: the platform's mailbox id
+    /// surfaces in the directory as `mpMailboxId` (this is the mapper
+    /// knowledge the filter owns).
+    fn generated_image(post: &Record) -> Option<Image> {
+        post.get(fields::MBID).map(|id| {
+            let mut img = Image::new();
+            img.set("mpMailboxId", vec![id.clone()]);
+            img
+        })
+    }
+
+    fn event_to_descriptor(name: &str, ev: &MpEvent) -> UpdateDescriptor {
+        let old = ev.old.as_ref().map(Self::record_to_image).unwrap_or_default();
+        let new = ev.new.as_ref().map(Self::record_to_image).unwrap_or_default();
+        match ev.kind {
+            EventKind::Add => UpdateDescriptor::add(ev.key.clone(), new, name),
+            EventKind::Change => UpdateDescriptor::modify(ev.key.clone(), old, new, name),
+            EventKind::Remove => UpdateDescriptor::delete(ev.key.clone(), old, name),
+        }
+    }
+}
+
+impl DeviceFilter for MpFilter {
+    fn name(&self) -> &str {
+        self.store.name()
+    }
+
+    fn apply(&self, op: &TargetOp) -> Result<ApplyOutcome> {
+        match op.kind {
+            OpKind::Skip => Ok(ApplyOutcome::default()),
+            OpKind::Add => {
+                let key = op.new_key.as_deref().expect("engine validated");
+                let mut rec = Self::image_to_record(&op.attrs);
+                rec.insert(fields::MAILBOX.into(), key.to_string());
+                if op.conditional {
+                    match self.store.change(key, rec.clone(), Channel::Metacomm) {
+                        Ok(post) => {
+                            return Ok(ApplyOutcome {
+                                applied: true,
+                                reapplied: true,
+                                generated: Self::generated_image(&post),
+                            })
+                        }
+                        Err(MpError::NoSuchMailbox(_)) => {
+                            let post = self
+                                .store
+                                .add(rec, Channel::Metacomm)
+                                .map_err(|e| self.dev_err(e))?;
+                            return Ok(ApplyOutcome {
+                                applied: true,
+                                reapplied: true,
+                                generated: Self::generated_image(&post),
+                            });
+                        }
+                        Err(e) => return Err(self.dev_err(e)),
+                    }
+                }
+                let post = self
+                    .store
+                    .add(rec, Channel::Metacomm)
+                    .map_err(|e| self.dev_err(e))?;
+                Ok(ApplyOutcome {
+                    applied: true,
+                    reapplied: false,
+                    generated: Self::generated_image(&post),
+                })
+            }
+            OpKind::Modify => {
+                let old_key = op.old_key.as_deref().expect("engine validated");
+                let new_key = op.new_key.as_deref().expect("engine validated");
+                if old_key != new_key {
+                    match self.store.remove(old_key, Channel::Metacomm) {
+                        Ok(()) => {}
+                        Err(MpError::NoSuchMailbox(_)) if op.conditional => {}
+                        Err(e) => return Err(self.dev_err(e)),
+                    }
+                    let mut rec = Self::image_to_record(&op.attrs);
+                    rec.insert(fields::MAILBOX.into(), new_key.to_string());
+                    rec.remove(fields::MBID); // platform regenerates
+                    let post = self
+                        .store
+                        .add(rec, Channel::Metacomm)
+                        .map_err(|e| self.dev_err(e))?;
+                    return Ok(ApplyOutcome {
+                        applied: true,
+                        reapplied: op.conditional,
+                        generated: Self::generated_image(&post),
+                    });
+                }
+                let mut rec = Self::image_to_record(&changed_fields(&op.old_attrs, &op.attrs));
+                rec.remove(fields::MAILBOX);
+                if rec.is_empty() {
+                    // Nothing device-visible changed; treat a conditional
+                    // reapply of a missing record as already-consistent.
+                    return Ok(ApplyOutcome {
+                        applied: false,
+                        reapplied: op.conditional,
+                        generated: self.fetch(new_key).and_then(|r| {
+                            r.first("MbId").map(|id| {
+                                let mut img = Image::new();
+                                img.set("mpMailboxId", vec![id.to_string()]);
+                                img
+                            })
+                        }),
+                    });
+                }
+                // Echoing the same MbId back is allowed; changing it is not.
+                match self.store.change(new_key, rec.clone(), Channel::Metacomm) {
+                    Ok(post) => Ok(ApplyOutcome {
+                        applied: true,
+                        reapplied: op.conditional,
+                        generated: Self::generated_image(&post),
+                    }),
+                    Err(MpError::NoSuchMailbox(_)) if op.conditional => {
+                        let mut rec = Self::image_to_record(&op.attrs);
+                        rec.insert(fields::MAILBOX.into(), new_key.to_string());
+                        rec.remove(fields::MBID);
+                        let post = self
+                            .store
+                            .add(rec, Channel::Metacomm)
+                            .map_err(|e| self.dev_err(e))?;
+                        Ok(ApplyOutcome {
+                            applied: true,
+                            reapplied: true,
+                            generated: Self::generated_image(&post),
+                        })
+                    }
+                    Err(e) => Err(self.dev_err(e)),
+                }
+            }
+            OpKind::Delete => {
+                let key = op.old_key.as_deref().expect("engine validated");
+                match self.store.remove(key, Channel::Metacomm) {
+                    Ok(()) => Ok(ApplyOutcome {
+                        applied: true,
+                        reapplied: op.conditional,
+                        generated: None,
+                    }),
+                    Err(MpError::NoSuchMailbox(_)) if op.conditional => Ok(ApplyOutcome {
+                        applied: false,
+                        reapplied: true,
+                        generated: None,
+                    }),
+                    Err(e) => Err(self.dev_err(e)),
+                }
+            }
+        }
+    }
+
+    fn fetch(&self, key: &str) -> Option<Image> {
+        self.store.get(key).map(|r| Self::record_to_image(&r))
+    }
+
+    fn dump(&self) -> Vec<Image> {
+        self.store
+            .dump()
+            .iter()
+            .map(Self::record_to_image)
+            .collect()
+    }
+
+    fn subscribe(&self) -> Receiver<UpdateDescriptor> {
+        let raw = self.store.subscribe();
+        let (tx, rx) = unbounded();
+        let name = self.store.name().to_string();
+        std::thread::Builder::new()
+            .name(format!("mp-filter-{name}"))
+            .spawn(move || {
+                for ev in raw {
+                    if ev.channel != Channel::Console {
+                        continue;
+                    }
+                    let d = MpFilter::event_to_descriptor(&name, &ev);
+                    if tx.send(d).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn filter thread");
+        rx
+    }
+
+    fn record_count(&self) -> usize {
+        self.store.len()
+    }
+
+    fn ldap_owned_attrs(&self) -> Vec<String> {
+        vec![
+            "mpMailbox".into(),
+            "mpMailboxId".into(),
+            "mpClassOfService".into(),
+        ]
+    }
+
+    fn ldap_presence_attr(&self) -> String {
+        "mpMailbox".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter() -> Arc<MpFilter> {
+        MpFilter::new(Arc::new(Store::new("mp")))
+    }
+
+    fn add_op(key: &str, subscriber: &str, conditional: bool) -> TargetOp {
+        TargetOp {
+            kind: OpKind::Add,
+            conditional,
+            old_key: None,
+            new_key: Some(key.to_string()),
+            attrs: Image::from_pairs([("Subscriber", subscriber), ("Cos", "standard")]),
+            old_attrs: Image::new(),
+        }
+    }
+
+    #[test]
+    fn add_reports_generated_mailbox_id() {
+        let f = filter();
+        let out = f.apply(&add_op("9123", "Doe, John", false)).unwrap();
+        assert!(out.applied);
+        let gen = out.generated.expect("generated image");
+        let id = gen.first("mpMailboxId").expect("mailbox id");
+        assert!(id.starts_with("MB-"), "{id}");
+        // The id also comes back on fetch.
+        assert_eq!(f.fetch("9123").unwrap().first("MbId"), Some(id));
+    }
+
+    #[test]
+    fn conditional_add_preserves_existing_id() {
+        let f = filter();
+        let first = f.apply(&add_op("9123", "Doe, John", false)).unwrap();
+        let id1 = first.generated.unwrap().first("mpMailboxId").unwrap().to_string();
+        // Reapplied add → conditional modify → same id survives.
+        let again = f.apply(&add_op("9123", "Doe, John", true)).unwrap();
+        assert!(again.reapplied);
+        let id2 = again.generated.unwrap().first("mpMailboxId").unwrap().to_string();
+        assert_eq!(id1, id2, "reapplication must not regenerate the id");
+    }
+
+    #[test]
+    fn mailbox_renumber_regenerates_id() {
+        let f = filter();
+        let first = f.apply(&add_op("9123", "Doe, John", false)).unwrap();
+        let id1 = first.generated.unwrap().first("mpMailboxId").unwrap().to_string();
+        let renumber = TargetOp {
+            kind: OpKind::Modify,
+            conditional: false,
+            old_key: Some("9123".into()),
+            new_key: Some("9200".into()),
+            attrs: Image::from_pairs([("Subscriber", "Doe, John"), ("MbId", id1.as_str())]),
+            old_attrs: Image::new(),
+        };
+        let out = f.apply(&renumber).unwrap();
+        let id2 = out.generated.unwrap().first("mpMailboxId").unwrap().to_string();
+        assert_ne!(id1, id2, "a new mailbox gets a new platform id");
+        assert!(f.fetch("9123").is_none());
+        assert!(f.fetch("9200").is_some());
+    }
+
+    #[test]
+    fn deletes_and_conditional_deletes() {
+        let f = filter();
+        f.apply(&add_op("9123", "X", false)).unwrap();
+        let delete = TargetOp {
+            kind: OpKind::Delete,
+            conditional: false,
+            old_key: Some("9123".into()),
+            new_key: None,
+            attrs: Image::new(),
+            old_attrs: Image::new(),
+        };
+        f.apply(&delete).unwrap();
+        assert!(f.apply(&delete).is_err(), "unconditional re-delete fails");
+        let cond = TargetOp {
+            conditional: true,
+            ..delete
+        };
+        let out = f.apply(&cond).unwrap();
+        assert!(out.reapplied && !out.applied);
+    }
+
+    #[test]
+    fn console_events_surface_with_generated_id() {
+        let f = filter();
+        let rx = f.subscribe();
+        f.store
+            .add(
+                msgplat::record([(fields::MAILBOX, "9123"), (fields::SUBSCRIBER, "Doe, John")]),
+                Channel::Console,
+            )
+            .unwrap();
+        let d = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        assert_eq!(d.origin, "mp");
+        assert!(d.new.first("MbId").unwrap().starts_with("MB-"));
+    }
+}

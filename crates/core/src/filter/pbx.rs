@@ -1,0 +1,375 @@
+//! The PBX filter: protocol converter for the Definity-style switch.
+
+use crate::error::{MetaError, Result};
+use crate::filter::{changed_fields, ApplyOutcome, DeviceFilter};
+use crossbeam::channel::{unbounded, Receiver};
+use lexpress::{Image, OpKind, TargetOp, UpdateDescriptor};
+use pbx::{fields, Channel, DeviceEvent, EventKind, PbxError, Record, Store};
+use std::sync::Arc;
+
+/// Filter for one switch.
+pub struct PbxFilter {
+    store: Arc<Store>,
+}
+
+impl PbxFilter {
+    pub fn new(store: Arc<Store>) -> Arc<PbxFilter> {
+        Arc::new(PbxFilter { store })
+    }
+
+    fn dev_err(&self, e: PbxError) -> MetaError {
+        MetaError::Device {
+            repository: self.store.name().to_string(),
+            detail: e.to_string(),
+        }
+    }
+
+    fn record_to_image(rec: &Record) -> Image {
+        let mut img = Image::new();
+        for (k, v) in rec.fields() {
+            img.set(k.to_string(), vec![v.to_string()]);
+        }
+        img
+    }
+
+    fn image_to_record(img: &Image) -> Record {
+        let mut rec = Record::new();
+        for (k, vs) in img.iter() {
+            if let Some(v) = vs.first() {
+                rec.set(k.to_string(), v.clone());
+            }
+        }
+        rec
+    }
+
+    fn event_to_descriptor(name: &str, ev: &DeviceEvent) -> UpdateDescriptor {
+        let old = ev.old.as_ref().map(Self::record_to_image).unwrap_or_default();
+        let new = ev.new.as_ref().map(Self::record_to_image).unwrap_or_default();
+        match ev.kind {
+            EventKind::Add => UpdateDescriptor::add(ev.key.clone(), new, name),
+            EventKind::Change => UpdateDescriptor::modify(ev.key.clone(), old, new, name),
+            EventKind::Remove => UpdateDescriptor::delete(ev.key.clone(), old, name),
+        }
+    }
+}
+
+impl DeviceFilter for PbxFilter {
+    fn name(&self) -> &str {
+        self.store.name()
+    }
+
+    fn apply(&self, op: &TargetOp) -> Result<ApplyOutcome> {
+        match op.kind {
+            OpKind::Skip => Ok(ApplyOutcome::default()),
+            OpKind::Add => {
+                let key = op.new_key.as_deref().expect("engine validated");
+                let mut rec = Self::image_to_record(&op.attrs);
+                rec.set(fields::EXTENSION, key.to_string());
+                if op.conditional {
+                    // §5.4: reapply adds as conditional modifies; fall back
+                    // to a real add only when the record is missing.
+                    match self.store.change(key, rec.clone(), Channel::Metacomm) {
+                        Ok(()) => {
+                            return Ok(ApplyOutcome {
+                                applied: true,
+                                reapplied: true,
+                                generated: None,
+                            })
+                        }
+                        Err(PbxError::NoSuchStation(_)) => {
+                            self.store
+                                .add(rec, Channel::Metacomm)
+                                .map_err(|e| self.dev_err(e))?;
+                            return Ok(ApplyOutcome {
+                                applied: true,
+                                reapplied: true,
+                                generated: None,
+                            });
+                        }
+                        Err(e) => return Err(self.dev_err(e)),
+                    }
+                }
+                self.store
+                    .add(rec, Channel::Metacomm)
+                    .map_err(|e| self.dev_err(e))?;
+                Ok(ApplyOutcome {
+                    applied: true,
+                    ..Default::default()
+                })
+            }
+            OpKind::Modify => {
+                let old_key = op.old_key.as_deref().expect("engine validated");
+                let new_key = op.new_key.as_deref().expect("engine validated");
+                if old_key != new_key {
+                    // Renumbering within this switch: the form cannot change
+                    // an extension, so migrate via remove + add (§4.2).
+                    match self.store.remove(old_key, Channel::Metacomm) {
+                        Ok(()) => {}
+                        Err(PbxError::NoSuchStation(_)) if op.conditional => {}
+                        Err(e) => return Err(self.dev_err(e)),
+                    }
+                    let mut rec = Self::image_to_record(&op.attrs);
+                    rec.set(fields::EXTENSION, new_key.to_string());
+                    self.store
+                        .add(rec, Channel::Metacomm)
+                        .map_err(|e| self.dev_err(e))?;
+                    return Ok(ApplyOutcome {
+                        applied: true,
+                        reapplied: op.conditional,
+                        generated: None,
+                    });
+                }
+                let mut rec = Self::image_to_record(&changed_fields(&op.old_attrs, &op.attrs));
+                rec.unset(fields::EXTENSION);
+                if rec.is_empty() {
+                    return Ok(ApplyOutcome {
+                        applied: false,
+                        reapplied: op.conditional,
+                        generated: None,
+                    });
+                }
+                match self.store.change(new_key, rec.clone(), Channel::Metacomm) {
+                    Ok(()) => Ok(ApplyOutcome {
+                        applied: true,
+                        reapplied: op.conditional,
+                        generated: None,
+                    }),
+                    Err(PbxError::NoSuchStation(_)) if op.conditional => {
+                        // Conditional modify of a missing record → add the
+                        // full image back.
+                        let mut rec = Self::image_to_record(&op.attrs);
+                        rec.set(fields::EXTENSION, new_key.to_string());
+                        self.store
+                            .add(rec, Channel::Metacomm)
+                            .map_err(|e| self.dev_err(e))?;
+                        Ok(ApplyOutcome {
+                            applied: true,
+                            reapplied: true,
+                            generated: None,
+                        })
+                    }
+                    Err(e) => Err(self.dev_err(e)),
+                }
+            }
+            OpKind::Delete => {
+                let key = op.old_key.as_deref().expect("engine validated");
+                match self.store.remove(key, Channel::Metacomm) {
+                    Ok(()) => Ok(ApplyOutcome {
+                        applied: true,
+                        reapplied: op.conditional,
+                        generated: None,
+                    }),
+                    Err(PbxError::NoSuchStation(_)) if op.conditional => {
+                        // Reapplied delete: already gone — fine.
+                        Ok(ApplyOutcome {
+                            applied: false,
+                            reapplied: true,
+                            generated: None,
+                        })
+                    }
+                    Err(e) => Err(self.dev_err(e)),
+                }
+            }
+        }
+    }
+
+    fn fetch(&self, key: &str) -> Option<Image> {
+        self.store.get(key).map(|r| Self::record_to_image(&r))
+    }
+
+    fn dump(&self) -> Vec<Image> {
+        self.store
+            .dump()
+            .iter()
+            .map(Self::record_to_image)
+            .collect()
+    }
+
+    fn subscribe(&self) -> Receiver<UpdateDescriptor> {
+        let raw = self.store.subscribe();
+        let (tx, rx) = unbounded();
+        let name = self.store.name().to_string();
+        std::thread::Builder::new()
+            .name(format!("pbx-filter-{name}"))
+            .spawn(move || {
+                for ev in raw {
+                    if ev.channel != Channel::Craft {
+                        continue; // suppress echoes of MetaComm's own session
+                    }
+                    let d = PbxFilter::event_to_descriptor(&name, &ev);
+                    if tx.send(d).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn filter thread");
+        rx
+    }
+
+    fn record_count(&self) -> usize {
+        self.store.len()
+    }
+
+    fn ldap_owned_attrs(&self) -> Vec<String> {
+        vec![
+            "definityExtension".into(),
+            "definityCoveragePath".into(),
+            "definityCor".into(),
+            "definityPort".into(),
+            "definitySetType".into(),
+        ]
+    }
+
+    fn ldap_presence_attr(&self) -> String {
+        "definityExtension".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbx::DialPlan;
+
+    fn filter() -> Arc<PbxFilter> {
+        PbxFilter::new(Arc::new(Store::new("pbx-west", DialPlan::with_prefix("9", 4))))
+    }
+
+    fn add_op(key: &str, name: &str, conditional: bool) -> TargetOp {
+        TargetOp {
+            kind: OpKind::Add,
+            conditional,
+            old_key: None,
+            new_key: Some(key.to_string()),
+            attrs: Image::from_pairs([("Name", name), ("CoveragePath", "1")]),
+            old_attrs: Image::new(),
+        }
+    }
+
+    #[test]
+    fn plain_add_modify_delete() {
+        let f = filter();
+        f.apply(&add_op("9123", "Doe, John", false)).unwrap();
+        assert_eq!(f.record_count(), 1);
+        assert_eq!(f.fetch("9123").unwrap().first("Name"), Some("Doe, John"));
+
+        let modify = TargetOp {
+            kind: OpKind::Modify,
+            conditional: false,
+            old_key: Some("9123".into()),
+            new_key: Some("9123".into()),
+            attrs: Image::from_pairs([("Name", "Doe, John"), ("Room", "2B-401")]),
+            old_attrs: Image::new(),
+        };
+        f.apply(&modify).unwrap();
+        assert_eq!(f.fetch("9123").unwrap().first("Room"), Some("2B-401"));
+
+        let delete = TargetOp {
+            kind: OpKind::Delete,
+            conditional: false,
+            old_key: Some("9123".into()),
+            new_key: None,
+            attrs: Image::new(),
+            old_attrs: Image::new(),
+        };
+        f.apply(&delete).unwrap();
+        assert_eq!(f.record_count(), 0);
+        // Unconditional delete of a missing record is a device error.
+        assert!(f.apply(&delete).is_err());
+    }
+
+    #[test]
+    fn conditional_add_reapplies_as_modify() {
+        let f = filter();
+        f.apply(&add_op("9123", "Doe, John", false)).unwrap();
+        // Reapplied add: must not fail on the duplicate; becomes a modify.
+        let out = f.apply(&add_op("9123", "Doe, John", true)).unwrap();
+        assert!(out.applied);
+        assert!(out.reapplied);
+        assert_eq!(f.record_count(), 1);
+        // Conditional add of a MISSING record falls back to a real add.
+        let out = f.apply(&add_op("9200", "Smith, Pat", true)).unwrap();
+        assert!(out.applied && out.reapplied);
+        assert_eq!(f.record_count(), 2);
+    }
+
+    #[test]
+    fn conditional_delete_tolerates_missing() {
+        let f = filter();
+        let delete = TargetOp {
+            kind: OpKind::Delete,
+            conditional: true,
+            old_key: Some("9123".into()),
+            new_key: None,
+            attrs: Image::new(),
+            old_attrs: Image::new(),
+        };
+        let out = f.apply(&delete).unwrap();
+        assert!(!out.applied);
+        assert!(out.reapplied);
+    }
+
+    #[test]
+    fn key_change_migrates_remove_add() {
+        let f = filter();
+        f.apply(&add_op("9123", "Doe, John", false)).unwrap();
+        let renumber = TargetOp {
+            kind: OpKind::Modify,
+            conditional: false,
+            old_key: Some("9123".into()),
+            new_key: Some("9200".into()),
+            attrs: Image::from_pairs([("Name", "Doe, John")]),
+            old_attrs: Image::new(),
+        };
+        f.apply(&renumber).unwrap();
+        assert!(f.fetch("9123").is_none());
+        assert_eq!(f.fetch("9200").unwrap().first("Name"), Some("Doe, John"));
+    }
+
+    #[test]
+    fn skip_is_a_noop() {
+        let f = filter();
+        let out = f
+            .apply(&TargetOp {
+                kind: OpKind::Skip,
+                conditional: false,
+                old_key: None,
+                new_key: None,
+                attrs: Image::new(),
+                old_attrs: Image::new(),
+            })
+            .unwrap();
+        assert!(!out.applied);
+    }
+
+    #[test]
+    fn subscribe_surfaces_craft_only() {
+        let f = filter();
+        let rx = f.subscribe();
+        // MetaComm's own update: suppressed.
+        f.apply(&add_op("9123", "Doe, John", false)).unwrap();
+        // Craft update: surfaced as a descriptor.
+        f.store
+            .change(
+                "9123",
+                Record::from_pairs([(fields::ROOM, "2B-401")]),
+                Channel::Craft,
+            )
+            .unwrap();
+        let d = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        assert_eq!(d.origin, "pbx-west");
+        assert_eq!(d.key, "9123");
+        assert_eq!(d.new.first("Room"), Some("2B-401"));
+        assert!(d.is_explicit("room"));
+        assert!(rx.try_recv().is_err(), "only the craft event surfaces");
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        let f = filter();
+        f.apply(&add_op("9123", "A", false)).unwrap();
+        f.apply(&add_op("9200", "B", false)).unwrap();
+        let images = f.dump();
+        assert_eq!(images.len(), 2);
+        assert!(images.iter().all(|i| i.has("Extension")));
+    }
+}

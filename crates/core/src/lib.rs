@@ -1,0 +1,473 @@
+//! # metacomm — a meta-directory for telecommunications
+//!
+//! The primary contribution of Freire et al., "MetaComm: A Meta-Directory
+//! for Telecommunications" (ICDE 2000), reconstructed in Rust: a data
+//! integration system that materializes user data from legacy telecom
+//! devices into an LDAP directory and keeps every repository convergent
+//! under updates arriving at *any* of them — with no triggers, weak typing,
+//! and single-object atomicity in the underlying systems.
+//!
+//! ```
+//! use metacomm::MetaCommBuilder;
+//! use pbx::{DialPlan, Store as PbxStore, Channel};
+//! use std::sync::Arc;
+//!
+//! // One switch owning extensions 9xxx, integrated under o=Lucent.
+//! let switch = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("9", 4)));
+//! let system = MetaCommBuilder::new("o=Lucent")
+//!     .add_pbx(switch.clone(), "9???")
+//!     .build()
+//!     .unwrap();
+//!
+//! // Administer through the directory (any LDAP tool would do):
+//! let wba = system.wba();
+//! wba.add_person_with_extension("John Doe", "Doe", "9123", "2B-401").unwrap();
+//!
+//! // The station appeared on the switch:
+//! assert!(switch.get("9123").is_some());
+//! system.shutdown();
+//! ```
+//!
+//! The architecture mirrors the paper's Figure 1: LDAP clients reach the
+//! directory through the LTAP trigger gateway; the Update Manager traps
+//! every update, runs the lexpress transitive closure, fans translated
+//! operations out to the device [`filter`]s (conditionally, when the
+//! target originated the update), folds device-generated information back
+//! in, and finally applies the augmented update to the LDAP server.
+//! Direct device updates flow the other way through the [`ddu`] relay.
+
+pub mod ddu;
+pub mod error;
+pub mod errorlog;
+pub mod filter;
+pub mod image;
+pub mod schema;
+pub mod sync;
+pub mod um;
+pub mod wba;
+
+pub use error::{MetaError, Result};
+pub use errorlog::{AdminAlert, ErrorLog};
+pub use filter::{ApplyOutcome, DeviceFilter};
+pub use sync::SyncReport;
+pub use um::{UmStats, UpdateTrace};
+pub use wba::Wba;
+
+use crate::ddu::{RelayHandles, RelayStats};
+use crate::filter::{mp::MpFilter, pbx::PbxFilter};
+use crate::um::{Shared, UpdateManager};
+use lexpress::{library, Closure, Engine};
+use ldap::dn::Dn;
+use ldap::entry::Entry;
+use ldap::{Directory, Filter as LdapFilter};
+use ltap::{Gateway, SecurityPolicy, TriggerSpec};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Configures and assembles a MetaComm deployment.
+pub struct MetaCommBuilder {
+    suffix: String,
+    pbxes: Vec<(Arc<pbx::Store>, String)>,
+    msgplats: Vec<(Arc<msgplat::Store>, String)>,
+    extra_mappings: Vec<String>,
+    hub_rules: bool,
+    saga: bool,
+    persist_dir: Option<std::path::PathBuf>,
+    security: Option<SecurityPolicy>,
+    file_errors: Vec<String>,
+}
+
+impl MetaCommBuilder {
+    /// A deployment rooted at `suffix` (e.g. `o=Lucent`).
+    pub fn new(suffix: &str) -> MetaCommBuilder {
+        MetaCommBuilder {
+            suffix: suffix.to_string(),
+            pbxes: Vec::new(),
+            msgplats: Vec::new(),
+            extra_mappings: Vec::new(),
+            hub_rules: true,
+            saga: false,
+            persist_dir: None,
+            security: None,
+            file_errors: Vec::new(),
+        }
+    }
+
+    /// Integrate a PBX owning the extensions matched by `ext_glob`
+    /// (e.g. `"9???"`).
+    pub fn add_pbx(mut self, store: Arc<pbx::Store>, ext_glob: &str) -> Self {
+        self.pbxes.push((store, ext_glob.to_string()));
+        self
+    }
+
+    /// Integrate a messaging platform owning mailboxes matched by `mbx_glob`.
+    pub fn add_msgplat(mut self, store: Arc<msgplat::Store>, mbx_glob: &str) -> Self {
+        self.msgplats.push((store, mbx_glob.to_string()));
+        self
+    }
+
+    /// Load additional lexpress description text into the engine.
+    pub fn with_mappings(mut self, src: &str) -> Self {
+        self.extra_mappings.push(src.to_string());
+        self
+    }
+
+    /// Load an additional lexpress description *file* into the engine
+    /// (read/compile errors surface at [`MetaCommBuilder::build`]).
+    pub fn with_mapping_file(mut self, path: impl AsRef<std::path::Path>) -> Self {
+        match std::fs::read_to_string(path.as_ref()) {
+            Ok(src) => self.extra_mappings.push(src),
+            Err(e) => self.file_errors.push(format!(
+                "cannot read mapping file {}: {e}",
+                path.as_ref().display()
+            )),
+        }
+        self
+    }
+
+    /// Disable the intra-directory dependency (transitive-closure hub)
+    /// rules — used by ablation benchmarks.
+    pub fn without_hub_rules(mut self) -> Self {
+        self.hub_rules = false;
+        self
+    }
+
+    /// Attempt saga-style compensation of already-applied device operations
+    /// when a later one fails (the paper's planned "later version").
+    pub fn with_saga_undo(mut self) -> Self {
+        self.saga = true;
+        self
+    }
+
+    /// Install the simple LTAP-based security model (paper §7): a
+    /// declarative policy compiled into a vetoing before-trigger that runs
+    /// ahead of the Update Manager. MetaComm's own device relays (tagged
+    /// persistent connections) are exempt.
+    pub fn with_security(mut self, policy: SecurityPolicy) -> Self {
+        self.security = Some(policy);
+        self
+    }
+
+    /// Make the directory durable: recover state from `dir` at build time
+    /// (LDIF snapshot + change journal), checkpoint, and journal every
+    /// commit from then on — the "backups" half of the paper's §2
+    /// availability story.
+    pub fn with_persistence(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Assemble and start the system.
+    pub fn build(self) -> Result<MetaComm> {
+        if let Some(err) = self.file_errors.first() {
+            return Err(MetaError::Unavailable(err.clone()));
+        }
+        let suffix = Dn::parse(&self.suffix)?;
+        // The directory server, schema-checked.
+        let dit = ldap::Dit::with_schema(Arc::new(schema::integrated_schema()));
+        // Durable deployments recover the previous state before anything
+        // else touches the tree, then checkpoint and re-attach the journal.
+        let journal = match &self.persist_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| MetaError::Unavailable(e.to_string()))?;
+                let snap = dir.join("directory.ldif");
+                let jpath = dir.join("changes.ldif");
+                ldap::backup::recover(&dit, &snap, &jpath)?;
+                ldap::backup::snapshot(&dit, &snap)?;
+                std::fs::write(&jpath, "")
+                    .map_err(|e| MetaError::Unavailable(e.to_string()))?;
+                Some(ldap::backup::Journal::attach(&dit, &jpath)?)
+            }
+            None => None,
+        };
+        if !ldap::Dit::exists(&dit, &suffix) {
+            let suffix_name = suffix
+                .rdn()
+                .map(|r| r.first().value().to_string())
+                .unwrap_or_else(|| "root".into());
+            let mut org = Entry::new(suffix.clone());
+            org.add_value("objectClass", "top");
+            org.add_value("objectClass", "organization");
+            org.add_value("o", suffix_name);
+            ldap::Dit::add(&dit, org)?;
+        }
+
+        // Mapping engine (one compile unit per description file, absorbed
+        // into one engine — the runtime-loading path of §4.2).
+        let mut engine = Engine::default();
+        for (store, glob) in &self.pbxes {
+            engine.load(&library::pbx_mappings(store.name(), glob, &self.suffix))?;
+        }
+        for (store, glob) in &self.msgplats {
+            engine.load(&library::msgplat_mappings(store.name(), glob, &self.suffix))?;
+        }
+        for src in &self.extra_mappings {
+            engine.load(src)?;
+        }
+        let engine = Arc::new(engine);
+        let closure = Arc::new(if self.hub_rules {
+            Closure::from_source(&library::hub_rules())?
+        } else {
+            Closure::from_source("")?
+        });
+
+        // Error log lives in the directory itself.
+        let errorlog = Arc::new(ErrorLog::install(dit.as_ref(), &suffix)?);
+
+        // Filters: protocol converter + mapper per repository.
+        let mut filters: Vec<Arc<dyn DeviceFilter>> = Vec::new();
+        for (store, _) in &self.pbxes {
+            filters.push(PbxFilter::new(store.clone()));
+        }
+        for (store, _) in &self.msgplats {
+            filters.push(MpFilter::new(store.clone()));
+        }
+
+        // LTAP gateway in front of the directory.
+        let gateway = Gateway::new(dit.clone());
+
+        // The security policy vetoes ahead of the Update Manager.
+        if let Some(policy) = self.security {
+            gateway.register(
+                TriggerSpec::all_updates("metacomm-security", suffix.clone()),
+                policy.into_handler(),
+            );
+        }
+
+        // The Update Manager: trap every person update under the suffix.
+        let um_stats = Arc::new(UmStats::default());
+        let um = UpdateManager::start(Shared {
+            inner: dit.clone() as Arc<dyn Directory>,
+            engine: engine.clone(),
+            closure: closure.clone(),
+            filters: filters.clone(),
+            errorlog: errorlog.clone(),
+            stats: um_stats.clone(),
+            saga: self.saga,
+            traces: Arc::new(Mutex::new(std::collections::VecDeque::new())),
+        });
+        gateway.register(
+            TriggerSpec::all_updates("metacomm-um", suffix.clone())
+                .with_filter(LdapFilter::eq("objectClass", "person")),
+            um.handler(),
+        );
+
+        // DDU relays.
+        let relay_stats = Arc::new(RelayStats::default());
+        let crash_between_pair = Arc::new(AtomicBool::new(false));
+        let relays = ddu::spawn_relays(
+            gateway.clone(),
+            engine.clone(),
+            &filters,
+            errorlog.clone(),
+            relay_stats.clone(),
+            crash_between_pair.clone(),
+        );
+
+        Ok(MetaComm {
+            dit,
+            gateway,
+            engine,
+            filters,
+            errorlog,
+            um: Mutex::new(Some(um)),
+            um_stats,
+            relays: Mutex::new(Some(relays)),
+            relay_stats,
+            suffix,
+            crash_between_pair,
+            persist_dir: self.persist_dir,
+            _journal: journal,
+        })
+    }
+}
+
+/// A running MetaComm deployment.
+pub struct MetaComm {
+    dit: Arc<ldap::Dit>,
+    gateway: Arc<Gateway>,
+    engine: Arc<Engine>,
+    filters: Vec<Arc<dyn DeviceFilter>>,
+    errorlog: Arc<ErrorLog>,
+    um: Mutex<Option<UpdateManager>>,
+    um_stats: Arc<UmStats>,
+    relays: Mutex<Option<RelayHandles>>,
+    relay_stats: Arc<RelayStats>,
+    suffix: Dn,
+    crash_between_pair: Arc<AtomicBool>,
+    persist_dir: Option<std::path::PathBuf>,
+    _journal: Option<Arc<ldap::backup::Journal>>,
+}
+
+impl MetaComm {
+    /// The client-facing directory: the LTAP gateway (library mode).
+    /// Everything written here flows through the Update Manager.
+    pub fn directory(&self) -> Arc<Gateway> {
+        self.gateway.clone()
+    }
+
+    /// The raw directory server behind the gateway (inspection only —
+    /// writing here bypasses MetaComm).
+    pub fn dit(&self) -> Arc<ldap::Dit> {
+        self.dit.clone()
+    }
+
+    /// The suffix the deployment is rooted at.
+    pub fn suffix(&self) -> &Dn {
+        &self.suffix
+    }
+
+    /// A Web-Based-Administration front-end over the gateway.
+    pub fn wba(&self) -> Wba<Arc<Gateway>> {
+        Wba::new(self.gateway.clone(), self.suffix.clone())
+    }
+
+    /// Serve the gateway over TCP (the §5.5 network-gateway deployment);
+    /// any LDAP client can now administer the telecom devices.
+    pub fn serve(&self, addr: &str) -> ldap::Result<ldap::server::Server> {
+        ldap::server::Server::start(self.gateway.clone(), addr)
+    }
+
+    /// Filters, in registration order.
+    pub fn filters(&self) -> &[Arc<dyn DeviceFilter>] {
+        &self.filters
+    }
+
+    /// The mapping engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    pub fn um_stats(&self) -> &Arc<UmStats> {
+        &self.um_stats
+    }
+
+    /// Recent per-update traces from the coordinator (oldest first) —
+    /// "why did my update (not) reach the switch?".
+    pub fn recent_traces(&self) -> Vec<um::UpdateTrace> {
+        self.um
+            .lock()
+            .as_ref()
+            .map(|um| um.recent_traces())
+            .unwrap_or_default()
+    }
+
+    pub fn relay_stats(&self) -> &Arc<RelayStats> {
+        &self.relay_stats
+    }
+
+    pub fn gateway_stats(&self) -> &ltap::Stats {
+        self.gateway.stats()
+    }
+
+    /// Subscribe to administrator alerts (§4.4 failure notifications).
+    pub fn alerts(&self) -> crossbeam::channel::Receiver<AdminAlert> {
+        self.errorlog.subscribe()
+    }
+
+    /// Browse errors logged into the directory.
+    pub fn browse_errors(&self) -> ldap::Result<Vec<Entry>> {
+        self.errorlog.browse(self.dit.as_ref())
+    }
+
+    /// Synchronize the directory with one device (recovery after
+    /// disconnection; §4.4). Runs in isolation under LTAP quiesce.
+    pub fn synchronize_device(&self, name: &str) -> Result<SyncReport> {
+        let filter = self
+            .filters
+            .iter()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| MetaError::Unavailable(format!("no device `{name}`")))?;
+        sync::synchronize_device(
+            &self.gateway,
+            &self.engine,
+            filter,
+            &self.suffix,
+            Some(&self.errorlog),
+        )
+    }
+
+    /// Initial load / full resynchronization.
+    pub fn synchronize_all(&self) -> Result<SyncReport> {
+        sync::synchronize_all(
+            &self.gateway,
+            &self.engine,
+            &self.filters,
+            &self.suffix,
+            Some(&self.errorlog),
+        )
+    }
+
+    /// Arm the E8 fault injection: the next DDU that produces a
+    /// ModifyRDN+Modify pair "crashes" between the two operations.
+    pub fn inject_crash_between_pair(&self) {
+        self.crash_between_pair.store(true, Ordering::SeqCst);
+    }
+
+    /// Checkpoint a durable deployment: write a fresh snapshot and truncate
+    /// the change journal (bounding recovery time). No-op without
+    /// persistence.
+    pub fn checkpoint(&self) -> Result<()> {
+        if let Some(dir) = &self.persist_dir {
+            ldap::backup::snapshot(&self.dit, &dir.join("directory.ldif"))?;
+            std::fs::write(dir.join("changes.ldif"), "")
+                .map_err(|e| MetaError::Unavailable(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Wait until the pipeline is quiescent (no DDUs in flight, the UM
+    /// queue drained). Used by tests and the experiment harness; detects
+    /// stability rather than relying on fixed sleeps.
+    pub fn settle(&self) {
+        let snapshot = |mc: &MetaComm| {
+            (
+                ldap::Dit::seq(&mc.dit),
+                mc.um_stats.updates.load(Ordering::SeqCst),
+                mc.relay_stats.ddus.load(Ordering::SeqCst),
+                mc.relay_stats.ops_sent.load(Ordering::SeqCst),
+                mc.relay_stats.errors.load(Ordering::SeqCst),
+                mc.relay_stats.injected_crashes.load(Ordering::SeqCst),
+            )
+        };
+        let mut last = snapshot(self);
+        let mut stable = 0;
+        for _ in 0..500 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let now = snapshot(self);
+            if now == last {
+                stable += 1;
+                if stable >= 4 {
+                    return;
+                }
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+    }
+
+    /// Stop the relays and the Update Manager.
+    pub fn shutdown(&self) {
+        if let Some(relays) = self.relays.lock().take() {
+            let _ = relays.shutdown.send(());
+            for _ in 1..self.filters.len() {
+                let _ = relays.shutdown.send(());
+            }
+            for t in relays.threads {
+                let _ = t.join();
+            }
+        }
+        if let Some(mut um) = self.um.lock().take() {
+            um.shutdown();
+        }
+    }
+}
+
+impl Drop for MetaComm {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

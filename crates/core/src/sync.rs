@@ -1,0 +1,198 @@
+//! Synchronization (paper §4.4): "the UM also supports the synchronization
+//! of preexisting directories. This is necessary to populate the directory
+//! initially and to recover from disconnected operations of devices
+//! without logging facilities."
+//!
+//! A synchronization runs in isolation: it opens an LTAP [`ltap::SyncSession`]
+//! (which quiesces all ordinary updates — §5.1's persistent connection +
+//! quiesce) and reconciles the directory against the device's full dump.
+
+use crate::errorlog::ErrorLog;
+use crate::filter::DeviceFilter;
+use crate::image::{diff_mods, image_to_entry};
+use crate::schema::LAST_UPDATER;
+use crate::um::aux_class_mods;
+use lexpress::{Engine, OpKind, UpdateDescriptor};
+use ldap::dn::Dn;
+use ldap::entry::Modification;
+use ldap::{Filter, Scope};
+use ltap::Gateway;
+use std::sync::Arc;
+
+/// What a synchronization did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Person entries created from device records.
+    pub added: usize,
+    /// Entries whose device attributes were corrected.
+    pub repaired: usize,
+    /// Entries already consistent.
+    pub unchanged: usize,
+    /// Entries whose device attributes were cleared because the device no
+    /// longer has the record.
+    pub cleared: usize,
+    /// Device records that could not be reconciled (logged).
+    pub failed: usize,
+}
+
+impl SyncReport {
+    pub fn merge(&mut self, other: &SyncReport) {
+        self.added += other.added;
+        self.repaired += other.repaired;
+        self.unchanged += other.unchanged;
+        self.cleared += other.cleared;
+        self.failed += other.failed;
+    }
+}
+
+/// Synchronize the directory with one device. The device is authoritative
+/// for its own attributes (its records were the ones that kept working
+/// while the link was down).
+pub fn synchronize_device(
+    gateway: &Arc<Gateway>,
+    engine: &Engine,
+    filter: &Arc<dyn DeviceFilter>,
+    suffix: &Dn,
+    errorlog: Option<&ErrorLog>,
+) -> crate::error::Result<SyncReport> {
+    let mut session = gateway.begin_sync();
+    let mut report = SyncReport::default();
+    let mapping = filter.mapping_to_ldap();
+    let mut device_keys: Vec<String> = Vec::new();
+    // key → normalized DN of the entry that canonically owns the record.
+    let mut canonical: std::collections::HashMap<String, String> =
+        std::collections::HashMap::new();
+    for record in filter.dump() {
+        // Translate the device record exactly as a DDU add would be.
+        let key = record
+            .first("Extension")
+            .or_else(|| record.first("Mailbox"))
+            .unwrap_or_default()
+            .to_string();
+        device_keys.push(key.clone());
+        let d = UpdateDescriptor::add(key.clone(), record.clone(), filter.name());
+        let top = match engine.translate(&mapping, &d) {
+            Ok(t) => t,
+            Err(_) => {
+                report.failed += 1;
+                continue;
+            }
+        };
+        if top.kind == OpKind::Skip {
+            continue;
+        }
+        let dn = match Dn::parse(top.new_key.as_deref().unwrap_or_default()) {
+            Ok(dn) if !dn.is_root() => dn,
+            _ => {
+                report.failed += 1;
+                continue;
+            }
+        };
+        // Two device records mapping to the same person DN cannot both be
+        // represented (the integrated schema keys people by name). This
+        // happens after half-crashed renames leave duplicate names on the
+        // device — the paper's "extreme case": log it for the
+        // administrator instead of silently merging (§4.4).
+        if let Some((other_key, _)) = canonical
+            .iter()
+            .find(|(k, v)| **v == dn.norm_key() && **k != key)
+            .map(|(k, v)| (k.clone(), v.clone()))
+        {
+            report.failed += 1;
+            if let Some(log) = errorlog {
+                log.log(
+                    gateway.inner().as_ref(),
+                    0,
+                    &format!(
+                        "sync conflict at {}: device records {other_key} and {key} \
+                         both map to {dn}; fix the duplicate name on the device",
+                        filter.name()
+                    ),
+                    &format!("{record}"),
+                );
+            }
+            continue;
+        }
+        canonical.insert(key.clone(), dn.norm_key());
+        match session.get(&dn)? {
+            Some(existing) => {
+                let mut attrs = top.attrs.clone();
+                attrs.remove(LAST_UPDATER); // reconciliation, not an update
+                let mut mods = aux_class_mods(&existing, &attrs);
+                mods.extend(diff_mods(&existing, &attrs));
+                if mods.is_empty() {
+                    report.unchanged += 1;
+                } else {
+                    session.modify(&dn, &mods)?;
+                    report.repaired += 1;
+                }
+            }
+            None => {
+                let entry = image_to_entry(dn, &top.attrs);
+                session.add(entry)?;
+                report.added += 1;
+            }
+        }
+    }
+    // Stale directory data: entries claiming device data whose key the
+    // device no longer has.
+    let presence = filter.ldap_presence_attr();
+    let holders = session.search(
+        suffix,
+        Scope::Sub,
+        &Filter::parse(&format!("({presence}=*)")).expect("valid filter"),
+        &[],
+        0,
+    )?;
+    for entry in holders {
+        let key = entry.first(&presence).unwrap_or_default().to_string();
+        if device_keys.contains(&key) {
+            // The device still has this record — but only ONE entry may
+            // claim it. A crashed rename can leave a stale entry under the
+            // old name claiming the same key as the canonical entry.
+            if canonical.get(&key) == Some(&entry.dn().norm_key()) {
+                continue;
+            }
+        }
+        // Respect partitioning: only clear entries THIS device's constraint
+        // claims (another switch may own the extension).
+        let probe = UpdateDescriptor::delete(
+            entry.dn().to_string(),
+            crate::image::entry_to_image(&entry),
+            filter.name(),
+        );
+        match engine.translate(&filter.mapping_from_ldap(), &probe) {
+            Ok(top) if top.kind == OpKind::Delete => {}
+            _ => continue,
+        }
+        let mods: Vec<Modification> = filter
+            .ldap_owned_attrs()
+            .iter()
+            .filter(|a| entry.has_attr(a))
+            .map(|a| Modification::delete_attr(a.clone()))
+            .chain(std::iter::once(Modification::set(
+                LAST_UPDATER,
+                filter.name(),
+            )))
+            .collect();
+        session.modify(entry.dn(), &mods)?;
+        report.cleared += 1;
+    }
+    Ok(report)
+}
+
+/// Initial load / full resynchronization across every device.
+pub fn synchronize_all(
+    gateway: &Arc<Gateway>,
+    engine: &Engine,
+    filters: &[Arc<dyn DeviceFilter>],
+    suffix: &Dn,
+    errorlog: Option<&ErrorLog>,
+) -> crate::error::Result<SyncReport> {
+    let mut total = SyncReport::default();
+    for f in filters {
+        let r = synchronize_device(gateway, engine, f, suffix, errorlog)?;
+        total.merge(&r);
+    }
+    Ok(total)
+}

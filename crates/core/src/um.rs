@@ -1,0 +1,693 @@
+//! The Update Manager (paper §4.4): "the central component of the system —
+//! it ensures that the data in the devices and in the LDAP server are
+//! consistent."
+//!
+//! The UM's main thread, the **coordinator**, serializes every update
+//! through a global queue. Updates enter through LTAP: the UM registers a
+//! before-trigger with the gateway; the trigger enqueues the trapped
+//! operation and waits; the coordinator translates it to every relevant
+//! device filter (conditional ops for the originating device), folds
+//! device-generated information back in, applies the augmented update to
+//! the LDAP server, and replies. The trigger then reports
+//! `Disposition::Handled`, so the gateway does not re-apply the original.
+
+use crate::errorlog::ErrorLog;
+use crate::filter::DeviceFilter;
+use crate::image::{diff_mods_full, entry_to_image, image_to_entry};
+use crate::schema::LAST_UPDATER;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use lexpress::{Closure, Engine, Image, OpKind, TargetOp, UpdateDescriptor};
+use ldap::entry::{Entry, Modification};
+use ldap::{Directory, LdapError, ResultCode};
+use ltap::{Disposition, LtapOp, TriggerContext, TriggerHandler};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A per-update trace record: what the coordinator did with one trapped
+/// operation (kept in a bounded ring; see [`UpdateManager`]). This is the
+/// observability surface a deployment needs to answer "why did my update
+/// (not) reach the switch?".
+#[derive(Debug, Clone)]
+pub struct UpdateTrace {
+    /// Coordinator sequence number.
+    pub seq: u64,
+    /// Resolved origin (`ldap`, `wba`, a device name, …).
+    pub origin: String,
+    /// Operation kind and target DN.
+    pub op: String,
+    /// Attributes the transitive closure derived (beyond the explicit set).
+    pub derived_attrs: Vec<String>,
+    /// Per-device outcomes: `(repository, op kind, conditional, applied)`.
+    pub device_ops: Vec<(String, String, bool, bool)>,
+    /// `Ok` or the error message the client received.
+    pub outcome: String,
+}
+
+/// Update Manager statistics (fed into the experiment harness).
+#[derive(Debug, Default)]
+pub struct UmStats {
+    /// Updates that entered through LTAP (clients + relayed DDUs).
+    pub updates: AtomicUsize,
+    /// Operations applied to devices.
+    pub device_ops: AtomicUsize,
+    /// Conditional (reapplied) device operations (paper §5.4).
+    pub reapplied: AtomicUsize,
+    /// Operations skipped by partitioning constraints.
+    pub skipped: AtomicUsize,
+    /// Device-generated images folded back into the directory (§5.5).
+    pub generated_merges: AtomicUsize,
+    /// Updates aborted with an error logged.
+    pub errors: AtomicUsize,
+    /// Saga-style compensating operations applied (our extension of §4.4's
+    /// "later version" plan).
+    pub undone: AtomicUsize,
+}
+
+enum Request {
+    Process {
+        op: LtapOp,
+        pre: Option<Entry>,
+        origin: Option<String>,
+        reply: Sender<ldap::Result<()>>,
+    },
+    Shutdown,
+}
+
+pub(crate) struct Shared {
+    pub inner: Arc<dyn Directory>,
+    pub engine: Arc<Engine>,
+    pub closure: Arc<Closure>,
+    pub filters: Vec<Arc<dyn DeviceFilter>>,
+    pub errorlog: Arc<ErrorLog>,
+    pub stats: Arc<UmStats>,
+    /// Attempt compensating (saga-style) undo of already-applied device
+    /// operations when a later one fails.
+    pub saga: bool,
+    /// Bounded ring of recent update traces.
+    pub traces: Arc<parking_lot::Mutex<std::collections::VecDeque<UpdateTrace>>>,
+}
+
+/// Capacity of the trace ring.
+const TRACE_CAPACITY: usize = 256;
+
+/// The running Update Manager.
+pub struct UpdateManager {
+    tx: Sender<Request>,
+    stats: Arc<UmStats>,
+    traces: Arc<parking_lot::Mutex<std::collections::VecDeque<UpdateTrace>>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl UpdateManager {
+    /// Start the coordinator thread.
+    pub(crate) fn start(shared: Shared) -> UpdateManager {
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+        let stats = shared.stats.clone();
+        let traces = shared.traces.clone();
+        let worker = std::thread::Builder::new()
+            .name("um-coordinator".into())
+            .spawn(move || coordinator_loop(rx, shared))
+            .expect("spawn coordinator");
+        UpdateManager {
+            tx,
+            stats,
+            traces,
+            worker: Some(worker),
+        }
+    }
+
+    /// Most recent update traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<UpdateTrace> {
+        self.traces.lock().iter().cloned().collect()
+    }
+
+    pub fn stats(&self) -> &Arc<UmStats> {
+        &self.stats
+    }
+
+    /// The LTAP trigger handler funneling trapped operations into the
+    /// global queue.
+    pub(crate) fn handler(&self) -> Arc<dyn TriggerHandler> {
+        let tx = self.tx.clone();
+        Arc::new(move |ctx: &TriggerContext<'_>| {
+            let (rtx, rrx) = bounded(1);
+            let req = Request::Process {
+                op: ctx.op.clone(),
+                pre: ctx.pre_image.cloned(),
+                origin: ctx.origin.map(str::to_string),
+                reply: rtx,
+            };
+            if tx.send(req).is_err() {
+                return Err(LdapError::new(
+                    ResultCode::Unavailable,
+                    "update manager is down",
+                ));
+            }
+            match rrx.recv() {
+                Ok(Ok(())) => Ok(Disposition::Handled),
+                Ok(Err(e)) => Err(e),
+                Err(_) => Err(LdapError::new(
+                    ResultCode::Unavailable,
+                    "update manager crashed while processing",
+                )),
+            }
+        })
+    }
+
+    pub fn shutdown(&mut self) {
+        if let Some(w) = self.worker.take() {
+            let _ = self.tx.send(Request::Shutdown);
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for UpdateManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn coordinator_loop(rx: Receiver<Request>, shared: Shared) {
+    let seq = AtomicU64::new(1);
+    for req in rx {
+        match req {
+            Request::Shutdown => break,
+            Request::Process {
+                op,
+                pre,
+                origin,
+                reply,
+            } => {
+                let result = process(&shared, &seq, op, pre, origin);
+                let _ = reply.send(result.map_err(crate::error::MetaError::into_ldap));
+            }
+
+        }
+    }
+}
+
+/// Resolve the origin of an update: the LTAP persistent-connection tag wins;
+/// otherwise a `lastUpdater` value the client wrote explicitly; otherwise
+/// the update is an ordinary LDAP-client write ("ldap").
+fn resolve_origin(op: &LtapOp, tagged: Option<String>) -> String {
+    if let Some(o) = tagged {
+        return o;
+    }
+    match op {
+        LtapOp::Add(e) => e.first(LAST_UPDATER).map(str::to_string),
+        LtapOp::Modify(_, mods) => mods
+            .iter()
+            .rev()
+            .find(|m| m.attr.norm() == LAST_UPDATER.to_ascii_lowercase())
+            .and_then(|m| m.values.first().cloned()),
+        _ => None,
+    }
+    .unwrap_or_else(|| "ldap".to_string())
+}
+
+/// Build the update descriptor for a trapped operation.
+fn descriptor_for(
+    op: &LtapOp,
+    pre: Option<&Entry>,
+    origin: &str,
+) -> crate::error::Result<UpdateDescriptor> {
+    let d = match op {
+        LtapOp::Add(e) => {
+            UpdateDescriptor::add(e.dn().to_string(), entry_to_image(e), origin)
+        }
+        LtapOp::Modify(dn, mods) => {
+            let pre = pre.ok_or_else(|| {
+                crate::error::MetaError::Ldap(LdapError::no_such_object(dn))
+            })?;
+            let mut post = pre.clone();
+            post.apply_modifications(mods)
+                .map_err(crate::error::MetaError::Ldap)?;
+            UpdateDescriptor::modify(
+                dn.to_string(),
+                entry_to_image(pre),
+                entry_to_image(&post),
+                origin,
+            )
+        }
+        LtapOp::Delete(dn) => {
+            let pre = pre.ok_or_else(|| {
+                crate::error::MetaError::Ldap(LdapError::no_such_object(dn))
+            })?;
+            UpdateDescriptor::delete(dn.to_string(), entry_to_image(pre), origin)
+        }
+        LtapOp::ModifyRdn {
+            dn,
+            new_rdn,
+            delete_old,
+            new_superior,
+        } => {
+            let pre = pre.ok_or_else(|| {
+                crate::error::MetaError::Ldap(LdapError::no_such_object(dn))
+            })?;
+            let mut post = pre.clone();
+            if *delete_old {
+                if let Some(old_rdn) = dn.rdn() {
+                    for ava in old_rdn.avas() {
+                        post.remove_value(ava.attr(), ava.value());
+                    }
+                }
+            }
+            for ava in new_rdn.avas() {
+                if !post.has_value(ava.attr(), ava.value()) {
+                    post.add_value(ava.attr().to_string(), ava.value().to_string());
+                }
+            }
+            let new_dn = match new_superior {
+                Some(sup) => sup.child(new_rdn.clone()),
+                None => dn.with_rdn(new_rdn.clone()).map_err(crate::error::MetaError::Ldap)?,
+            };
+            post.set_dn(new_dn);
+            UpdateDescriptor::modify(
+                dn.to_string(),
+                entry_to_image(pre),
+                entry_to_image(&post),
+                origin,
+            )
+        }
+    };
+    Ok(d)
+}
+
+/// The compensating (inverse) operation for an applied device op.
+fn inverse_of(op: &TargetOp) -> TargetOp {
+    match op.kind {
+        OpKind::Skip => op.clone(),
+        OpKind::Add => TargetOp {
+            kind: OpKind::Delete,
+            conditional: true,
+            old_key: op.new_key.clone(),
+            new_key: None,
+            attrs: Image::new(),
+            old_attrs: op.attrs.clone(),
+        },
+        OpKind::Modify => TargetOp {
+            kind: OpKind::Modify,
+            conditional: true,
+            old_key: op.new_key.clone(),
+            new_key: op.old_key.clone().or_else(|| op.new_key.clone()),
+            attrs: op.old_attrs.clone(),
+            old_attrs: op.attrs.clone(),
+        },
+        OpKind::Delete => TargetOp {
+            kind: OpKind::Add,
+            conditional: true,
+            old_key: None,
+            new_key: op.old_key.clone(),
+            attrs: op.old_attrs.clone(),
+            old_attrs: Image::new(),
+        },
+    }
+}
+
+/// Object-class additions needed so `img`'s attributes validate on `pre`.
+pub(crate) fn aux_class_mods(pre: &Entry, img: &Image) -> Vec<Modification> {
+    let mut needed = Vec::new();
+    let mut has_definity = false;
+    let mut has_mp = false;
+    for (name, _) in img.iter() {
+        let l = name.to_ascii_lowercase();
+        if l.starts_with("definity") {
+            has_definity = true;
+        }
+        if l.starts_with("mp") {
+            has_mp = true;
+        }
+    }
+    if has_definity && !pre.has_object_class(crate::schema::DEFINITY_USER) {
+        needed.push(crate::schema::DEFINITY_USER.to_string());
+    }
+    if has_mp && !pre.has_object_class(crate::schema::MESSAGING_USER) {
+        needed.push(crate::schema::MESSAGING_USER.to_string());
+    }
+    needed
+        .into_iter()
+        .map(|c| Modification::add("objectClass", vec![c]))
+        .collect()
+}
+
+fn process(
+    shared: &Shared,
+    seq: &AtomicU64,
+    op: LtapOp,
+    pre: Option<Entry>,
+    tagged_origin: Option<String>,
+) -> crate::error::Result<()> {
+    let my_seq = seq.fetch_add(1, Ordering::SeqCst);
+    shared.stats.updates.fetch_add(1, Ordering::Relaxed);
+    let origin = resolve_origin(&op, tagged_origin);
+    let mut trace = UpdateTrace {
+        seq: my_seq,
+        origin: origin.clone(),
+        op: format!("{:?} {}", op.kind(), op.dn()),
+        derived_attrs: Vec::new(),
+        device_ops: Vec::new(),
+        outcome: String::new(),
+    };
+    let result = process_inner(shared, my_seq, &op, pre, &origin, &mut trace);
+    trace.outcome = match &result {
+        Ok(()) => "ok".to_string(),
+        Err(e) => e.to_string(),
+    };
+    let mut ring = shared.traces.lock();
+    if ring.len() >= TRACE_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(trace);
+    result
+}
+
+fn process_inner(
+    shared: &Shared,
+    my_seq: u64,
+    op: &LtapOp,
+    pre: Option<Entry>,
+    origin: &str,
+    trace: &mut UpdateTrace,
+) -> crate::error::Result<()> {
+    let origin = origin.to_string();
+    let mut d = descriptor_for(op, pre.as_ref(), &origin)?;
+    // Stamp the originator on the persistent image (the lexpress
+    // LastUpdater mechanism, §5.4).
+    if !d.new.is_empty() {
+        d.new.set(LAST_UPDATER, vec![origin.clone()]);
+    }
+    // Transitive closure over the integrated schema (§4.2).
+    let before_closure = d.new.clone();
+    if let Err(e) = shared.closure.augment(&mut d) {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.errorlog.log(
+            shared.inner.as_ref(),
+            my_seq,
+            &format!("transitive closure failed: {e}"),
+            &format!("{op:?}"),
+        );
+        return Err(e.into());
+    }
+    trace.derived_attrs = before_closure.changed_attrs(&d.new);
+    // Fan out to every device filter; fold generated info back in.
+    let mut undo: Vec<(Arc<dyn DeviceFilter>, TargetOp)> = Vec::new();
+    let mut failure: Option<crate::error::MetaError> = None;
+    for f in &shared.filters {
+        let top = match shared.engine.translate(&f.mapping_from_ldap(), &d) {
+            Ok(t) => t,
+            Err(e) => {
+                failure = Some(e.into());
+                break;
+            }
+        };
+        if top.kind == OpKind::Skip {
+            shared.stats.skipped.fetch_add(1, Ordering::Relaxed);
+            trace
+                .device_ops
+                .push((f.name().to_string(), "Skip".into(), top.conditional, false));
+            continue;
+        }
+        match f.apply(&top) {
+            Ok(outcome) => {
+                shared.stats.device_ops.fetch_add(1, Ordering::Relaxed);
+                trace.device_ops.push((
+                    f.name().to_string(),
+                    format!("{:?}", top.kind),
+                    top.conditional,
+                    outcome.applied,
+                ));
+                if outcome.reapplied {
+                    shared.stats.reapplied.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(gen) = outcome.generated {
+                    let mut merged = false;
+                    for (name, values) in gen.iter() {
+                        if d.new.values(name) != values {
+                            d.new.set(name.to_string(), values.to_vec());
+                            merged = true;
+                        }
+                    }
+                    if merged {
+                        shared
+                            .stats
+                            .generated_merges
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if outcome.applied {
+                    undo.push((f.clone(), inverse_of(&top)));
+                }
+            }
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+    if let Some(e) = failure {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.errorlog.log(
+            shared.inner.as_ref(),
+            my_seq,
+            &e.to_string(),
+            &format!("{op:?}"),
+        );
+        if shared.saga {
+            // Compensate already-applied device ops in reverse order.
+            for (f, inv) in undo.into_iter().rev() {
+                if f.apply(&inv).is_ok() {
+                    shared.stats.undone.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        return Err(e);
+    }
+    // Finally, apply the augmented update to the LDAP server itself
+    // ("update the LDAP Server after all other devices are updated", §5.5).
+    let ldap_result: ldap::Result<()> = match op {
+        LtapOp::Add(e) => {
+            let entry = image_to_entry(e.dn().clone(), &d.new);
+            shared.inner.add(entry)
+        }
+        LtapOp::Modify(dn, _) => {
+            let pre = pre.as_ref().expect("checked above");
+            let mut mods = aux_class_mods(pre, &d.new);
+            mods.extend(diff_mods_full(pre, &d.new));
+            if mods.is_empty() {
+                Ok(())
+            } else {
+                shared.inner.modify(dn, &mods)
+            }
+        }
+        LtapOp::Delete(dn) => shared.inner.delete(dn),
+        LtapOp::ModifyRdn {
+            dn,
+            new_rdn,
+            delete_old,
+            new_superior,
+        } => shared
+            .inner
+            .modify_rdn(dn, new_rdn, *delete_old, new_superior.as_ref())
+            .and_then(|()| {
+                // Apply any closure-derived attribute changes post-rename.
+                let new_dn = match new_superior {
+                    Some(sup) => sup.child(new_rdn.clone()),
+                    None => dn.with_rdn(new_rdn.clone())?,
+                };
+                if let Some(renamed) = shared.inner.get(&new_dn)? {
+                    let mut mods = aux_class_mods(&renamed, &d.new);
+                    mods.extend(diff_mods_full(&renamed, &d.new));
+                    if !mods.is_empty() {
+                        shared.inner.modify(&new_dn, &mods)?;
+                    }
+                }
+                Ok(())
+            }),
+    };
+    if let Err(e) = ldap_result {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.errorlog.log(
+            shared.inner.as_ref(),
+            my_seq,
+            &format!("directory apply failed: {e}"),
+            &format!("{op:?}"),
+        );
+        if shared.saga {
+            for (f, inv) in undo.into_iter().rev() {
+                if f.apply(&inv).is_ok() {
+                    shared.stats.undone.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::entry_to_image;
+    use crate::schema::integrated_schema;
+    use ldap::dn::{Dn, Rdn};
+    use lexpress::UpdateKind;
+
+    fn person() -> Entry {
+        Entry::with_attrs(
+            Dn::parse("cn=John Doe,o=Lucent").unwrap(),
+            [
+                ("objectClass", "top"),
+                ("objectClass", "person"),
+                ("cn", "John Doe"),
+                ("sn", "Doe"),
+                ("roomNumber", "2B-401"),
+            ],
+        )
+    }
+
+    #[test]
+    fn resolve_origin_priority() {
+        let dn = Dn::parse("cn=X,o=L").unwrap();
+        // 1. The persistent-connection tag wins.
+        let op = LtapOp::Delete(dn.clone());
+        assert_eq!(resolve_origin(&op, Some("pbx-west".into())), "pbx-west");
+        // 2. Then an explicit lastUpdater value in the op.
+        let mut e = person();
+        e.add_value(LAST_UPDATER, "wba");
+        assert_eq!(resolve_origin(&LtapOp::Add(e), None), "wba");
+        let mods = vec![
+            Modification::set("roomNumber", "1"),
+            Modification::set(LAST_UPDATER, "hoteling"),
+        ];
+        assert_eq!(
+            resolve_origin(&LtapOp::Modify(dn.clone(), mods), None),
+            "hoteling"
+        );
+        // 3. Otherwise the plain-LDAP-client default.
+        assert_eq!(resolve_origin(&LtapOp::Delete(dn), None), "ldap");
+    }
+
+    #[test]
+    fn descriptor_for_modify_builds_old_and_new_images() {
+        let pre = person();
+        let mods = vec![Modification::set("roomNumber", "9Z-999")];
+        let d = descriptor_for(
+            &LtapOp::Modify(pre.dn().clone(), mods),
+            Some(&pre),
+            "wba",
+        )
+        .unwrap();
+        assert_eq!(d.kind, UpdateKind::Modify);
+        assert_eq!(d.old.first("roomNumber"), Some("2B-401"));
+        assert_eq!(d.new.first("roomNumber"), Some("9Z-999"));
+        assert!(d.is_explicit("roomnumber"));
+        assert!(!d.is_explicit("sn"));
+    }
+
+    #[test]
+    fn descriptor_for_modify_requires_pre_image() {
+        let dn = Dn::parse("cn=ghost,o=L").unwrap();
+        let err = descriptor_for(&LtapOp::Modify(dn, vec![]), None, "wba").unwrap_err();
+        assert!(matches!(err, crate::error::MetaError::Ldap(_)));
+    }
+
+    #[test]
+    fn descriptor_for_modifyrdn_renames_in_the_new_image() {
+        let pre = person();
+        let d = descriptor_for(
+            &LtapOp::ModifyRdn {
+                dn: pre.dn().clone(),
+                new_rdn: Rdn::new("cn", "Jack Doe"),
+                delete_old: true,
+                new_superior: None,
+            },
+            Some(&pre),
+            "pbx-west",
+        )
+        .unwrap();
+        assert_eq!(d.kind, UpdateKind::Modify);
+        assert_eq!(d.old.first("cn"), Some("John Doe"));
+        assert_eq!(d.new.first("cn"), Some("Jack Doe"));
+        // Other attributes carried over untouched.
+        assert_eq!(d.new.first("roomNumber"), Some("2B-401"));
+    }
+
+    #[test]
+    fn inverse_of_round_trips_each_kind() {
+        let add = TargetOp {
+            kind: OpKind::Add,
+            conditional: false,
+            old_key: None,
+            new_key: Some("9123".into()),
+            attrs: Image::from_pairs([("Name", "X")]),
+            old_attrs: Image::new(),
+        };
+        let inv = inverse_of(&add);
+        assert_eq!(inv.kind, OpKind::Delete);
+        assert!(inv.conditional, "compensations must tolerate absence");
+        assert_eq!(inv.old_key.as_deref(), Some("9123"));
+
+        let modify = TargetOp {
+            kind: OpKind::Modify,
+            conditional: false,
+            old_key: Some("9123".into()),
+            new_key: Some("9200".into()),
+            attrs: Image::from_pairs([("Room", "NEW")]),
+            old_attrs: Image::from_pairs([("Room", "OLD")]),
+        };
+        let inv = inverse_of(&modify);
+        assert_eq!(inv.kind, OpKind::Modify);
+        assert_eq!(inv.old_key.as_deref(), Some("9200"));
+        assert_eq!(inv.new_key.as_deref(), Some("9123"));
+        assert_eq!(inv.attrs.first("Room"), Some("OLD"));
+
+        let delete = TargetOp {
+            kind: OpKind::Delete,
+            conditional: false,
+            old_key: Some("9123".into()),
+            new_key: None,
+            attrs: Image::new(),
+            old_attrs: Image::from_pairs([("Name", "X")]),
+        };
+        let inv = inverse_of(&delete);
+        assert_eq!(inv.kind, OpKind::Add);
+        assert_eq!(inv.new_key.as_deref(), Some("9123"));
+        assert_eq!(inv.attrs.first("Name"), Some("X"));
+
+        let skip = TargetOp {
+            kind: OpKind::Skip,
+            conditional: false,
+            old_key: None,
+            new_key: None,
+            attrs: Image::new(),
+            old_attrs: Image::new(),
+        };
+        assert_eq!(inverse_of(&skip).kind, OpKind::Skip);
+    }
+
+    #[test]
+    fn aux_class_mods_adds_only_missing_classes() {
+        let schema = integrated_schema();
+        let pre = person();
+        let img = entry_to_image(&Entry::with_attrs(
+            pre.dn().clone(),
+            [
+                ("definityExtension", "9123"),
+                ("mpMailbox", "9123"),
+            ],
+        ));
+        let mods = aux_class_mods(&pre, &img);
+        assert_eq!(mods.len(), 2);
+        // Applying them yields a schema-valid entry.
+        let mut e = pre.clone();
+        e.add_value("objectClass", "organizationalPerson");
+        e.apply_modifications(&mods).unwrap();
+        e.add_value("definityExtension", "9123");
+        e.add_value("mpMailbox", "9123");
+        schema.validate_entry(&e).unwrap();
+        // Idempotent: nothing to add the second time.
+        assert!(aux_class_mods(&e, &img).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! A miniature ldapsearch/ldapmodify: the "any LDAP tool" of the paper,
+//! speaking BER/LDAPv3 over TCP.
+//!
+//! ```text
+//! ldaptool <addr> search <filter> [base] [attr...]   # print entries as LDIF
+//! ldaptool <addr> modify                              # read change records
+//!                                                     # (LDIF) from stdin
+//! ldaptool <addr> delete <dn>
+//! ldaptool <addr> compare <dn> <attr> <value>
+//! ```
+
+use ldap::client::TcpDirectory;
+use ldap::ldif::{parse, to_ldif, Record};
+use ldap::{Directory, Dn, Filter, Scope};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let dir = TcpDirectory::connect(&args[0]).expect("connect");
+    match args[1].as_str() {
+        "search" if args.len() >= 3 => {
+            let filter = Filter::parse(&args[2]).expect("filter");
+            let base = Dn::parse(args.get(3).map(String::as_str).unwrap_or(""))
+                .expect("base DN");
+            let attrs: Vec<String> = args.iter().skip(4).cloned().collect();
+            let hits = dir
+                .search(&base, Scope::Sub, &filter, &attrs, 0)
+                .expect("search");
+            print!("{}", to_ldif(&hits));
+            eprintln!("# {} entries", hits.len());
+        }
+        "modify" => {
+            let mut text = String::new();
+            std::io::stdin().read_to_string(&mut text).expect("stdin");
+            let mut applied = 0;
+            for record in parse(&text).expect("parse LDIF") {
+                match record {
+                    Record::Content(e) | Record::Add(e) => dir.add(e).expect("add"),
+                    Record::Delete(dn) => dir.delete(&dn).expect("delete"),
+                    Record::Modify(dn, mods) => dir.modify(&dn, &mods).expect("modify"),
+                    Record::ModRdn {
+                        dn,
+                        new_rdn,
+                        delete_old,
+                        new_superior,
+                    } => dir
+                        .modify_rdn(&dn, &new_rdn, delete_old, new_superior.as_ref())
+                        .expect("modrdn"),
+                }
+                applied += 1;
+            }
+            eprintln!("# applied {applied} change records");
+        }
+        "delete" if args.len() == 3 => {
+            dir.delete(&Dn::parse(&args[2]).expect("dn")).expect("delete");
+            eprintln!("# deleted {}", args[2]);
+        }
+        "compare" if args.len() == 5 => {
+            let hit = dir
+                .compare(&Dn::parse(&args[2]).expect("dn"), &args[3], &args[4])
+                .expect("compare");
+            println!("{}", if hit { "TRUE" } else { "FALSE" });
+        }
+        _ => usage(),
+    }
+    dir.unbind();
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ldaptool <addr> search <filter> [base] [attr...]\n       \
+         ldaptool <addr> modify   (LDIF change records on stdin)\n       \
+         ldaptool <addr> delete <dn>\n       \
+         ldaptool <addr> compare <dn> <attr> <value>"
+    );
+    std::process::exit(2);
+}

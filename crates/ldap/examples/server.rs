@@ -1,0 +1,43 @@
+//! A standalone LDAP server: serve an LDIF file (or the paper's Figure 2
+//! sample tree) over TCP.
+//!
+//! ```text
+//! cargo run -p ldap --example server -- 127.0.0.1:3890
+//! cargo run -p ldap --example server -- 127.0.0.1:3890 data.ldif
+//! ```
+
+use ldap::dit::{figure2_tree, Dit};
+use ldap::ldif::{parse, Record};
+use ldap::server::Server;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:3890".into());
+    let dit = Dit::new();
+    match args.next() {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).expect("read LDIF file");
+            let mut n = 0;
+            for record in parse(&text).expect("parse LDIF") {
+                match record {
+                    Record::Content(e) | Record::Add(e) => {
+                        ldap::Dit::add(&dit, e).expect("load entry");
+                        n += 1;
+                    }
+                    other => panic!("only content records supported at load: {other:?}"),
+                }
+            }
+            eprintln!("loaded {n} entries from {path}");
+        }
+        None => {
+            figure2_tree(&dit).expect("sample tree");
+            eprintln!("no LDIF given; serving the paper's Figure 2 sample tree");
+        }
+    }
+    let server = Server::start(dit, &addr).expect("bind");
+    eprintln!("ldap server listening on {}", server.addr());
+    eprintln!("try: cargo run -p ldap --example ldaptool -- {} search '(objectClass=person)'", server.addr());
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,219 @@
+//! Attribute names and multi-valued attribute bags.
+//!
+//! LDAP attribute names are case-insensitive; values here are directory
+//! strings (the only syntax MetaComm's schema uses) compared with
+//! `caseIgnoreMatch` unless the schema says otherwise.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+/// Case-insensitive attribute name. Keeps the display form as written and a
+/// lowercased form for hashing/equality.
+#[derive(Debug, Clone)]
+pub struct AttrName {
+    display: String,
+    norm: String,
+}
+
+impl AttrName {
+    pub fn new(name: impl Into<String>) -> AttrName {
+        let display = name.into();
+        let norm = display.to_ascii_lowercase();
+        AttrName { display, norm }
+    }
+
+    /// The name as originally written.
+    pub fn as_str(&self) -> &str {
+        &self.display
+    }
+
+    /// Lowercased form used for matching.
+    pub fn norm(&self) -> &str {
+        &self.norm
+    }
+}
+
+impl PartialEq for AttrName {
+    fn eq(&self, other: &Self) -> bool {
+        self.norm == other.norm
+    }
+}
+impl Eq for AttrName {}
+
+impl PartialOrd for AttrName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for AttrName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.norm.cmp(&other.norm)
+    }
+}
+
+impl std::hash::Hash for AttrName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.norm.hash(state);
+    }
+}
+
+/// Lets `BTreeMap<AttrName, _>` be looked up by `&str` (must be lowercase).
+impl Borrow<str> for AttrName {
+    fn borrow(&self) -> &str {
+        &self.norm
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> AttrName {
+        AttrName::new(s)
+    }
+}
+impl From<String> for AttrName {
+    fn from(s: String) -> AttrName {
+        AttrName::new(s)
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display)
+    }
+}
+
+/// Case-insensitive value equality (`caseIgnoreMatch`): ignores case and
+/// squeezes whitespace runs.
+pub fn value_eq_ci(a: &str, b: &str) -> bool {
+    norm_value(a) == norm_value(b)
+}
+
+/// Normalized form of a directory-string value.
+pub fn norm_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut last_space = true;
+    for ch in v.chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.extend(ch.to_lowercase());
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// An attribute with its (possibly multiple) values. Values keep insertion
+/// order; duplicates under `caseIgnoreMatch` are rejected on insert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: AttrName,
+    pub values: Vec<String>,
+}
+
+impl Attribute {
+    pub fn new(name: impl Into<AttrName>, values: Vec<String>) -> Attribute {
+        Attribute {
+            name: name.into(),
+            values,
+        }
+    }
+
+    pub fn single(name: impl Into<AttrName>, value: impl Into<String>) -> Attribute {
+        Attribute {
+            name: name.into(),
+            values: vec![value.into()],
+        }
+    }
+
+    /// `true` if `value` is present under case-insensitive matching.
+    pub fn contains_ci(&self, value: &str) -> bool {
+        self.values.iter().any(|v| value_eq_ci(v, value))
+    }
+
+    /// Add a value; returns `false` (and leaves the bag unchanged) when an
+    /// equal value is already present.
+    pub fn add_value(&mut self, value: impl Into<String>) -> bool {
+        let value = value.into();
+        if self.contains_ci(&value) {
+            return false;
+        }
+        self.values.push(value);
+        true
+    }
+
+    /// Remove a value under case-insensitive matching; returns `true` when a
+    /// value was removed.
+    pub fn remove_value(&mut self, value: &str) -> bool {
+        let before = self.values.len();
+        self.values.retain(|v| !value_eq_ci(v, value));
+        self.values.len() != before
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{}: {}", self.name, v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_case_insensitive() {
+        assert_eq!(AttrName::new("telephoneNumber"), AttrName::new("TELEPHONENUMBER"));
+        assert_eq!(AttrName::new("cn").norm(), "cn");
+        assert_eq!(AttrName::new("CN").as_str(), "CN");
+    }
+
+    #[test]
+    fn name_ordering_is_normalized() {
+        let mut names = [AttrName::new("SN"), AttrName::new("cn"), AttrName::new("OU")];
+        names.sort();
+        let order: Vec<&str> = names.iter().map(|n| n.norm()).collect();
+        assert_eq!(order, vec!["cn", "ou", "sn"]);
+    }
+
+    #[test]
+    fn value_ci_matching() {
+        assert!(value_eq_ci("John  Doe", "john doe"));
+        assert!(value_eq_ci(" John Doe ", "JOHN DOE"));
+        assert!(!value_eq_ci("John", "Johnny"));
+    }
+
+    #[test]
+    fn attribute_add_remove() {
+        let mut a = Attribute::single("cn", "John Doe");
+        assert!(!a.add_value("JOHN DOE")); // duplicate under CI match
+        assert!(a.add_value("Johnny"));
+        assert_eq!(a.values.len(), 2);
+        assert!(a.remove_value("john doe"));
+        assert_eq!(a.values, vec!["Johnny".to_string()]);
+        assert!(!a.remove_value("nobody"));
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<AttrName, u32> = BTreeMap::new();
+        m.insert(AttrName::new("TelephoneNumber"), 7);
+        assert_eq!(m.get("telephonenumber"), Some(&7));
+    }
+}

@@ -1,0 +1,290 @@
+//! Durable snapshots and a change journal for the DIT.
+//!
+//! Paper §2: "replication and backups are used to handle system and media
+//! failure". This module provides the backup half: an LDIF snapshot of the
+//! whole DIT plus an append-only journal of LDIF change records written at
+//! commit time (via the DIT's observer hook). Recovery loads the snapshot
+//! and replays the journal; a torn final record (crash mid-write) is
+//! detected and discarded.
+
+use crate::dit::{ChangeOp, ChangeRecord, Dit};
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::error::{LdapError, Result, ResultCode};
+use crate::ldif;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Marker line terminating each journal record; a record without it was
+/// torn by a crash and is ignored at recovery.
+const COMMIT_MARK: &str = "# commit";
+
+/// Write a full LDIF snapshot of the DIT.
+pub fn snapshot(dit: &Dit, path: &Path) -> Result<()> {
+    let text = ldif::to_ldif(&dit.export());
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a snapshot into an empty DIT.
+pub fn restore_snapshot(dit: &Dit, path: &Path) -> Result<usize> {
+    let text = std::fs::read_to_string(path)?;
+    let records = ldif::parse(&text)?;
+    let mut n = 0;
+    for r in records {
+        match r {
+            ldif::Record::Content(e) => {
+                dit.add(e)?;
+                n += 1;
+            }
+            other => {
+                return Err(LdapError::new(
+                    ResultCode::Other,
+                    format!("snapshot contains a change record: {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// An append-only change journal attached to a DIT.
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Open (or create) the journal and attach it to the DIT: every commit
+    /// is appended and flushed before the commit returns to the caller.
+    pub fn attach(dit: &Arc<Dit>, path: &Path) -> Result<Arc<Journal>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let journal = Arc::new(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        });
+        let j = journal.clone();
+        dit.observe(move |rec| j.append(rec));
+        Ok(journal)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&self, rec: &ChangeRecord) {
+        let ldif_rec = match &rec.op {
+            ChangeOp::Add(e) => ldif::Record::Add(e.clone()),
+            ChangeOp::Delete => ldif::Record::Delete(rec.dn.clone()),
+            ChangeOp::Modify(mods) => ldif::Record::Modify(rec.dn.clone(), mods.clone()),
+            ChangeOp::ModifyRdn {
+                new_rdn,
+                delete_old,
+                new_superior,
+            } => ldif::Record::ModRdn {
+                dn: rec.dn.clone(),
+                new_rdn: new_rdn.clone(),
+                delete_old: *delete_old,
+                new_superior: new_superior.clone(),
+            },
+        };
+        let mut text = ldif::change_to_ldif(&ldif_rec);
+        text.push_str(COMMIT_MARK);
+        text.push('\n');
+        let mut f = self.file.lock();
+        // Best effort: a failed journal write must not poison the commit
+        // (the paper's systems kept running when logging degraded).
+        let _ = f.write_all(text.as_bytes());
+        let _ = f.flush();
+    }
+
+    /// Replay a journal file into a DIT. Returns the number of applied
+    /// change records; a torn final record (crash mid-append) is discarded.
+    pub fn replay(dit: &Dit, path: &Path) -> Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let sep = format!("{COMMIT_MARK}\n");
+        // The file is a sequence of `<record><mark>` blocks; only the text
+        // AFTER the last mark can be a torn record.
+        let ends_clean = text.is_empty() || text.ends_with(&sep);
+        let chunks: Vec<&str> = text.split(&sep).collect();
+        let last = chunks.len().saturating_sub(1);
+        let mut applied = 0;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let chunk = chunk.trim();
+            if chunk.is_empty() {
+                continue;
+            }
+            if i == last && !ends_clean {
+                break; // torn tail: never followed by a commit mark
+            }
+            let records = ldif::parse(chunk)?;
+            for r in records {
+                apply(dit, r)?;
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+}
+
+fn apply(dit: &Dit, r: ldif::Record) -> Result<()> {
+    match r {
+        ldif::Record::Content(e) | ldif::Record::Add(e) => dit.add(e),
+        ldif::Record::Delete(dn) => dit.delete(&dn),
+        ldif::Record::Modify(dn, mods) => dit.modify(&dn, &mods),
+        ldif::Record::ModRdn {
+            dn,
+            new_rdn,
+            delete_old,
+            new_superior,
+        } => dit.modify_rdn(&dn, &new_rdn, delete_old, new_superior.as_ref()),
+    }
+}
+
+/// Full recovery: snapshot (if present) + journal replay (if present).
+pub fn recover(dit: &Dit, snapshot_path: &Path, journal_path: &Path) -> Result<(usize, usize)> {
+    let from_snapshot = if snapshot_path.exists() {
+        restore_snapshot(dit, snapshot_path)?
+    } else {
+        0
+    };
+    let from_journal = if journal_path.exists() {
+        Journal::replay(dit, journal_path)?
+    } else {
+        0
+    };
+    Ok((from_snapshot, from_journal))
+}
+
+/// Convenience used by recovery flows: does this DN exist after recovery?
+pub fn verify_entry(dit: &Dit, dn: &str) -> Result<Entry> {
+    let dn = Dn::parse(dn)?;
+    dit.get(&dn).ok_or_else(|| LdapError::no_such_object(&dn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dit::figure2_tree;
+    use crate::dn::Rdn;
+    use crate::entry::Modification;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "metacomm-backup-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let dir = tmpdir("snap");
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let path = dir.join("dit.ldif");
+        snapshot(&dit, &path).unwrap();
+        let restored = Dit::new();
+        let n = restore_snapshot(&restored, &path).unwrap();
+        assert_eq!(n, 9);
+        assert_eq!(restored.export().len(), dit.export().len());
+        for e in dit.export() {
+            assert_eq!(restored.get(e.dn()).as_ref(), Some(&e));
+        }
+    }
+
+    #[test]
+    fn journal_captures_and_replays_all_ops() {
+        let dir = tmpdir("journal");
+        let jpath = dir.join("changes.ldif");
+        let dit = Dit::new();
+        let _journal = Journal::attach(&dit, &jpath).unwrap();
+        figure2_tree(&dit).unwrap();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("telephoneNumber", "9123")])
+            .unwrap();
+        dit.modify_rdn(&john, &Rdn::new("cn", "Jack Doe"), true, None)
+            .unwrap();
+        let pat = Dn::parse("cn=Pat Smith,o=Marketing,o=Lucent").unwrap();
+        dit.delete(&pat).unwrap();
+
+        // Recover from the journal alone.
+        let recovered = Dit::new();
+        let applied = Journal::replay(&recovered, &jpath).unwrap();
+        assert_eq!(applied, 9 + 3);
+        assert!(recovered
+            .get(&Dn::parse("cn=Jack Doe,o=Marketing,o=Lucent").unwrap())
+            .is_some());
+        assert!(recovered.get(&pat).is_none());
+        assert_eq!(
+            recovered
+                .get(&Dn::parse("cn=Jack Doe,o=Marketing,o=Lucent").unwrap())
+                .unwrap()
+                .first("telephoneNumber"),
+            Some("9123")
+        );
+    }
+
+    #[test]
+    fn torn_final_record_discarded() {
+        let dir = tmpdir("torn");
+        let jpath = dir.join("changes.ldif");
+        let dit = Dit::new();
+        let _journal = Journal::attach(&dit, &jpath).unwrap();
+        figure2_tree(&dit).unwrap();
+        // Simulate a crash mid-append: write half a record with no commit mark.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&jpath)
+                .unwrap();
+            write!(f, "dn: cn=Torn,o=Lucent\nchangetype: add\nobjectCl").unwrap();
+        }
+        let recovered = Dit::new();
+        let applied = Journal::replay(&recovered, &jpath).unwrap();
+        assert_eq!(applied, 9, "torn record must be discarded");
+        assert!(recovered
+            .get(&Dn::parse("cn=Torn,o=Lucent").unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn snapshot_plus_journal_recovery() {
+        let dir = tmpdir("full");
+        let spath = dir.join("snap.ldif");
+        let jpath = dir.join("changes.ldif");
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        snapshot(&dit, &spath).unwrap();
+        // Post-snapshot updates go to the journal only.
+        let _journal = Journal::attach(&dit, &jpath).unwrap();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("roomNumber", "2B-401")])
+            .unwrap();
+
+        let recovered = Dit::new();
+        let (s, j) = recover(&recovered, &spath, &jpath).unwrap();
+        assert_eq!((s, j), (9, 1));
+        let e = verify_entry(&recovered, "cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        assert_eq!(e.first("roomNumber"), Some("2B-401"));
+    }
+
+    #[test]
+    fn recover_with_nothing_present_is_empty() {
+        let dir = tmpdir("none");
+        let dit = Dit::new();
+        let (s, j) = recover(&dit, &dir.join("nope.ldif"), &dir.join("nada.ldif")).unwrap();
+        assert_eq!((s, j), (0, 0));
+        assert!(dit.is_empty());
+    }
+}

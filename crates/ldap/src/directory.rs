@@ -1,0 +1,160 @@
+//! The `Directory` trait: one uniform API over every way of reaching a
+//! directory — the in-process DIT, a TCP client, or the LTAP gateway.
+//!
+//! MetaComm's Update Manager, the examples, and the benchmarks are all
+//! written against this trait, so swapping the LTAP gateway between its
+//! network and library deployments (paper §5.5) is a one-line change.
+
+use crate::dit::{Dit, Scope};
+use crate::dn::{Dn, Rdn};
+use crate::entry::{Entry, Modification};
+use crate::error::Result;
+use crate::filter::Filter;
+use std::sync::Arc;
+
+/// Uniform LDAP operations.
+pub trait Directory: Send + Sync {
+    fn add(&self, entry: Entry) -> Result<()>;
+
+    fn delete(&self, dn: &Dn) -> Result<()>;
+
+    fn modify(&self, dn: &Dn, mods: &[Modification]) -> Result<()>;
+
+    fn modify_rdn(
+        &self,
+        dn: &Dn,
+        new_rdn: &Rdn,
+        delete_old: bool,
+        new_superior: Option<&Dn>,
+    ) -> Result<()>;
+
+    fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<Vec<Entry>>;
+
+    fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool>;
+
+    /// Convenience: fetch one entry by DN (`None` when absent).
+    fn get(&self, dn: &Dn) -> Result<Option<Entry>> {
+        match self.search(dn, Scope::Base, &Filter::match_all(), &[], 0) {
+            Ok(mut v) => Ok(v.pop()),
+            Err(e) if e.code == crate::error::ResultCode::NoSuchObject => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The in-process implementation: direct calls into the DIT.
+impl Directory for Dit {
+    fn add(&self, entry: Entry) -> Result<()> {
+        Dit::add(self, entry)
+    }
+
+    fn delete(&self, dn: &Dn) -> Result<()> {
+        Dit::delete(self, dn)
+    }
+
+    fn modify(&self, dn: &Dn, mods: &[Modification]) -> Result<()> {
+        Dit::modify(self, dn, mods)
+    }
+
+    fn modify_rdn(
+        &self,
+        dn: &Dn,
+        new_rdn: &Rdn,
+        delete_old: bool,
+        new_superior: Option<&Dn>,
+    ) -> Result<()> {
+        Dit::modify_rdn(self, dn, new_rdn, delete_old, new_superior)
+    }
+
+    fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<Vec<Entry>> {
+        Dit::search(self, base, scope, filter, attrs, size_limit)
+    }
+
+    fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
+        Dit::compare(self, dn, attr, value)
+    }
+}
+
+/// Blanket impl so `Arc<Dit>` (and `Arc<Gateway>` etc.) are Directories.
+impl<T: Directory + ?Sized> Directory for Arc<T> {
+    fn add(&self, entry: Entry) -> Result<()> {
+        (**self).add(entry)
+    }
+    fn delete(&self, dn: &Dn) -> Result<()> {
+        (**self).delete(dn)
+    }
+    fn modify(&self, dn: &Dn, mods: &[Modification]) -> Result<()> {
+        (**self).modify(dn, mods)
+    }
+    fn modify_rdn(
+        &self,
+        dn: &Dn,
+        new_rdn: &Rdn,
+        delete_old: bool,
+        new_superior: Option<&Dn>,
+    ) -> Result<()> {
+        (**self).modify_rdn(dn, new_rdn, delete_old, new_superior)
+    }
+    fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<Vec<Entry>> {
+        (**self).search(base, scope, filter, attrs, size_limit)
+    }
+    fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
+        (**self).compare(dn, attr, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dit::figure2_tree;
+
+    #[test]
+    fn dit_implements_directory() {
+        let dit: Arc<Dit> = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let dir: &dyn Directory = &dit;
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        let e = dir.get(&john).unwrap().unwrap();
+        assert_eq!(e.first("sn"), Some("Doe"));
+        assert_eq!(dir.get(&Dn::parse("cn=ghost,o=Lucent").unwrap()).unwrap(), None);
+    }
+
+    #[test]
+    fn arc_blanket_impl() {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        fn takes_directory(d: &impl Directory) -> usize {
+            d.search(
+                &Dn::parse("o=Lucent").unwrap(),
+                Scope::Sub,
+                &Filter::match_all(),
+                &[],
+                0,
+            )
+            .unwrap()
+            .len()
+        }
+        assert_eq!(takes_directory(&dit), 9);
+    }
+}

@@ -1,0 +1,808 @@
+//! The Directory Information Tree: an in-memory hierarchical entry store
+//! implementing the LDAP update and search operations.
+//!
+//! Faithful to the paper's constraints:
+//! - each individual update (add / delete / modify / modifyRDN) is atomic;
+//! - there is **no way to group updates into a transaction** — a
+//!   ModifyRDN+Modify pair is two separately observable steps (§5.1);
+//! - deletes apply to leaves only;
+//! - RDN uniqueness among siblings is enforced.
+
+use crate::dn::{Dn, Rdn};
+use crate::entry::{Entry, Modification};
+use crate::error::{LdapError, Result, ResultCode};
+use crate::filter::Filter;
+use crate::schema::{Schema, SchemaRef};
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Search scopes (RFC 2251 §4.5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// The base entry only.
+    Base,
+    /// Immediate children of the base.
+    One,
+    /// The base and all descendants.
+    Sub,
+}
+
+impl Scope {
+    pub fn code(self) -> u32 {
+        match self {
+            Scope::Base => 0,
+            Scope::One => 1,
+            Scope::Sub => 2,
+        }
+    }
+
+    pub fn from_code(c: u32) -> Result<Scope> {
+        match c {
+            0 => Ok(Scope::Base),
+            1 => Ok(Scope::One),
+            2 => Ok(Scope::Sub),
+            _ => Err(LdapError::protocol(format!("bad scope {c}"))),
+        }
+    }
+}
+
+/// What changed, for observers (replication, tests).
+#[derive(Debug, Clone)]
+pub enum ChangeOp {
+    Add(Entry),
+    Delete,
+    Modify(Vec<Modification>),
+    ModifyRdn {
+        new_rdn: Rdn,
+        delete_old: bool,
+        new_superior: Option<Dn>,
+    },
+}
+
+/// A committed change, in commit order.
+#[derive(Debug, Clone)]
+pub struct ChangeRecord {
+    /// Monotonic commit sequence number of this DIT.
+    pub seq: u64,
+    /// DN the operation addressed (pre-rename DN for ModifyRdn).
+    pub dn: Dn,
+    pub op: ChangeOp,
+}
+
+type Observer = Box<dyn Fn(&ChangeRecord) + Send + Sync>;
+
+struct Store {
+    /// norm DN key → entry
+    entries: HashMap<String, Entry>,
+    /// norm parent key → norm child keys ("" is the DIT root)
+    children: HashMap<String, BTreeSet<String>>,
+    seq: u64,
+}
+
+impl Store {
+    fn new() -> Store {
+        let mut children = HashMap::new();
+        children.insert(String::new(), BTreeSet::new());
+        Store {
+            entries: HashMap::new(),
+            children,
+            seq: 0,
+        }
+    }
+}
+
+/// The DIT. Cheap to clone the handle (`Arc` inside); all methods take
+/// `&self` and are safe for concurrent use.
+pub struct Dit {
+    store: RwLock<Store>,
+    schema: SchemaRef,
+    observers: RwLock<Vec<Observer>>,
+}
+
+impl Dit {
+    /// DIT with schema checking off.
+    pub fn new() -> Arc<Dit> {
+        Dit::with_schema(Arc::new(Schema::permissive()))
+    }
+
+    /// DIT validating every write against `schema`.
+    pub fn with_schema(schema: SchemaRef) -> Arc<Dit> {
+        Arc::new(Dit {
+            store: RwLock::new(Store::new()),
+            schema,
+            observers: RwLock::new(Vec::new()),
+        })
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Register a commit observer (replication, LTAP library mode, tests).
+    /// Observers run synchronously inside the commit, in registration order.
+    pub fn observe(&self, f: impl Fn(&ChangeRecord) + Send + Sync + 'static) {
+        self.observers.write().push(Box::new(f));
+    }
+
+    fn emit(&self, rec: ChangeRecord) {
+        for obs in self.observers.read().iter() {
+            obs(&rec);
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.store.read().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Commit sequence of the most recent update.
+    pub fn seq(&self) -> u64 {
+        self.store.read().seq
+    }
+
+    /// Fetch a copy of one entry.
+    pub fn get(&self, dn: &Dn) -> Option<Entry> {
+        self.store.read().entries.get(&dn.norm_key()).cloned()
+    }
+
+    pub fn exists(&self, dn: &Dn) -> bool {
+        self.store.read().entries.contains_key(&dn.norm_key())
+    }
+
+    /// Add an entry. The parent must exist unless the entry is a suffix
+    /// (depth-1) entry.
+    pub fn add(&self, entry: Entry) -> Result<()> {
+        if entry.dn().is_root() {
+            return Err(LdapError::unwilling("cannot add the root DSE"));
+        }
+        self.schema.validate_entry(&entry)?;
+        let key = entry.dn().norm_key();
+        let parent = entry.dn().parent().expect("non-root");
+        let parent_key = parent.norm_key();
+        let mut s = self.store.write();
+        if s.entries.contains_key(&key) {
+            return Err(LdapError::already_exists(entry.dn()));
+        }
+        if !parent.is_root() && !s.entries.contains_key(&parent_key) {
+            return Err(LdapError::new(
+                ResultCode::NoSuchObject,
+                format!("parent of `{}` does not exist", entry.dn()),
+            ));
+        }
+        s.children
+            .entry(parent_key)
+            .or_default()
+            .insert(key.clone());
+        s.children.entry(key.clone()).or_default();
+        s.entries.insert(key, entry.clone());
+        s.seq += 1;
+        let rec = ChangeRecord {
+            seq: s.seq,
+            dn: entry.dn().clone(),
+            op: ChangeOp::Add(entry),
+        };
+        drop(s);
+        self.emit(rec);
+        Ok(())
+    }
+
+    /// Delete a leaf entry.
+    pub fn delete(&self, dn: &Dn) -> Result<()> {
+        let key = dn.norm_key();
+        let mut s = self.store.write();
+        if !s.entries.contains_key(&key) {
+            return Err(LdapError::no_such_object(dn));
+        }
+        if s.children.get(&key).is_some_and(|c| !c.is_empty()) {
+            return Err(LdapError::new(
+                ResultCode::NotAllowedOnNonLeaf,
+                format!("`{dn}` has children"),
+            ));
+        }
+        s.entries.remove(&key);
+        s.children.remove(&key);
+        let parent_key = dn.parent().map(|p| p.norm_key()).unwrap_or_default();
+        if let Some(siblings) = s.children.get_mut(&parent_key) {
+            siblings.remove(&key);
+        }
+        s.seq += 1;
+        let rec = ChangeRecord {
+            seq: s.seq,
+            dn: dn.clone(),
+            op: ChangeOp::Delete,
+        };
+        drop(s);
+        self.emit(rec);
+        Ok(())
+    }
+
+    /// Modify an entry in place. All modifications apply atomically; RDN
+    /// attribute values cannot be removed (use [`Dit::modify_rdn`]).
+    pub fn modify(&self, dn: &Dn, mods: &[Modification]) -> Result<()> {
+        let key = dn.norm_key();
+        let mut s = self.store.write();
+        let entry = s
+            .entries
+            .get(&key)
+            .ok_or_else(|| LdapError::no_such_object(dn))?;
+        let mut updated = entry.clone();
+        updated.apply_modifications(mods)?;
+        // Naming invariant even under a permissive schema.
+        if let Some(rdn) = dn.rdn() {
+            for ava in rdn.avas() {
+                if !updated.has_value(ava.attr(), ava.value()) {
+                    return Err(LdapError::new(
+                        ResultCode::NotAllowedOnRdn,
+                        format!(
+                            "modification would remove RDN value `{}={}`",
+                            ava.attr(),
+                            ava.value()
+                        ),
+                    ));
+                }
+            }
+        }
+        self.schema.validate_entry(&updated)?;
+        s.entries.insert(key, updated);
+        s.seq += 1;
+        let rec = ChangeRecord {
+            seq: s.seq,
+            dn: dn.clone(),
+            op: ChangeOp::Modify(mods.to_vec()),
+        };
+        drop(s);
+        self.emit(rec);
+        Ok(())
+    }
+
+    /// Rename an entry (and implicitly its subtree) and optionally move it
+    /// under `new_superior` (LDAPv3 ModifyDN).
+    ///
+    /// `delete_old` removes the old RDN values from the entry's attributes.
+    pub fn modify_rdn(
+        &self,
+        dn: &Dn,
+        new_rdn: &Rdn,
+        delete_old: bool,
+        new_superior: Option<&Dn>,
+    ) -> Result<()> {
+        if dn.is_root() {
+            return Err(LdapError::unwilling("cannot rename the root"));
+        }
+        let old_key = dn.norm_key();
+        let new_dn = match new_superior {
+            Some(sup) => sup.child(new_rdn.clone()),
+            None => dn.with_rdn(new_rdn.clone())?,
+        };
+        let new_key = new_dn.norm_key();
+        let mut s = self.store.write();
+        if !s.entries.contains_key(&old_key) {
+            return Err(LdapError::no_such_object(dn));
+        }
+        if let Some(sup) = new_superior {
+            if !sup.is_root() && !s.entries.contains_key(&sup.norm_key()) {
+                return Err(LdapError::no_such_object(sup));
+            }
+            // Refuse to move an entry under its own subtree.
+            if sup.is_within(dn) {
+                return Err(LdapError::unwilling(format!(
+                    "cannot move `{dn}` under its own descendant `{sup}`"
+                )));
+            }
+        }
+        if new_key != old_key && s.entries.contains_key(&new_key) {
+            return Err(LdapError::already_exists(&new_dn));
+        }
+        // Update the renamed entry's attributes.
+        let mut entry = s.entries.get(&old_key).cloned().expect("checked");
+        if delete_old {
+            if let Some(old_rdn) = dn.rdn() {
+                for ava in old_rdn.avas() {
+                    entry.remove_value(ava.attr(), ava.value());
+                }
+            }
+        }
+        for ava in new_rdn.avas() {
+            if !entry.has_value(ava.attr(), ava.value()) {
+                entry.add_value(ava.attr().to_string(), ava.value().to_string());
+            }
+        }
+        entry.set_dn(new_dn.clone());
+        self.schema.validate_entry(&entry)?;
+
+        // Re-key the whole subtree.
+        let descendants = collect_subtree(&s, &old_key);
+        let old_depth = dn.depth();
+        for desc_key in &descendants {
+            let old_entry = s.entries.remove(desc_key).expect("subtree member");
+            let children = s.children.remove(desc_key).unwrap_or_default();
+            let mut e = if *desc_key == old_key {
+                entry.clone()
+            } else {
+                let mut e = old_entry;
+                let rdns = e.dn().rdns();
+                let keep = rdns.len() - old_depth;
+                let mut new_rdns = rdns[..keep].to_vec();
+                new_rdns.extend(new_dn.rdns().iter().cloned());
+                e.set_dn(Dn::from_rdns(new_rdns));
+                e
+            };
+            let rewritten_children: BTreeSet<String> = children
+                .iter()
+                .map(|c| rewrite_key(c, &old_key, &new_key))
+                .collect();
+            let new_desc_key = e.dn().norm_key();
+            if *desc_key == old_key {
+                e = entry.clone();
+            }
+            s.children.insert(new_desc_key.clone(), rewritten_children);
+            s.entries.insert(new_desc_key, e);
+        }
+        // Fix parent links.
+        let old_parent_key = dn.parent().map(|p| p.norm_key()).unwrap_or_default();
+        if let Some(siblings) = s.children.get_mut(&old_parent_key) {
+            siblings.remove(&old_key);
+        }
+        let new_parent_key = new_dn.parent().map(|p| p.norm_key()).unwrap_or_default();
+        s.children
+            .entry(new_parent_key)
+            .or_default()
+            .insert(new_key);
+        s.seq += 1;
+        let rec = ChangeRecord {
+            seq: s.seq,
+            dn: dn.clone(),
+            op: ChangeOp::ModifyRdn {
+                new_rdn: new_rdn.clone(),
+                delete_old,
+                new_superior: new_superior.cloned(),
+            },
+        };
+        drop(s);
+        self.emit(rec);
+        Ok(())
+    }
+
+    /// Compare one attribute value (RFC 2251 Compare).
+    pub fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
+        let s = self.store.read();
+        let entry = s
+            .entries
+            .get(&dn.norm_key())
+            .ok_or_else(|| LdapError::no_such_object(dn))?;
+        Ok(entry.has_value(attr, value))
+    }
+
+    /// Search. `attrs` selects returned attributes (empty = all);
+    /// `size_limit` of 0 means unlimited, otherwise exceeding it is an error.
+    pub fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<Vec<Entry>> {
+        let s = self.store.read();
+        let base_key = base.norm_key();
+        if !base.is_root() && !s.entries.contains_key(&base_key) {
+            return Err(LdapError::no_such_object(base));
+        }
+        let mut out = Vec::new();
+        let mut push = |e: &Entry| -> Result<()> {
+            if filter.matches(e) {
+                if size_limit != 0 && out.len() >= size_limit {
+                    return Err(LdapError::new(
+                        ResultCode::SizeLimitExceeded,
+                        format!("more than {size_limit} entries match"),
+                    ));
+                }
+                out.push(e.project(attrs));
+            }
+            Ok(())
+        };
+        match scope {
+            Scope::Base => {
+                if let Some(e) = s.entries.get(&base_key) {
+                    push(e)?;
+                }
+            }
+            Scope::One => {
+                if let Some(kids) = s.children.get(&base_key) {
+                    for k in kids {
+                        push(&s.entries[k])?;
+                    }
+                }
+            }
+            Scope::Sub => {
+                for k in collect_subtree(&s, &base_key) {
+                    if k.is_empty() {
+                        continue; // virtual root
+                    }
+                    push(&s.entries[&k])?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every entry, parents before children (for export / sync dumps).
+    pub fn export(&self) -> Vec<Entry> {
+        let s = self.store.read();
+        collect_subtree(&s, "")
+            .into_iter()
+            .filter(|k| !k.is_empty())
+            .map(|k| s.entries[&k].clone())
+            .collect()
+    }
+
+    /// Remove everything (used by resynchronization).
+    pub fn clear(&self) {
+        let mut s = self.store.write();
+        s.entries.clear();
+        s.children.clear();
+        s.children.insert(String::new(), BTreeSet::new());
+    }
+}
+
+/// BFS over the subtree rooted at `root_key` (inclusive), parents first.
+fn collect_subtree(s: &Store, root_key: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(root_key.to_string());
+    while let Some(k) = queue.pop_front() {
+        if let Some(kids) = s.children.get(&k) {
+            for c in kids {
+                queue.push_back(c.clone());
+            }
+        }
+        out.push(k);
+    }
+    out
+}
+
+fn rewrite_key(key: &str, old_suffix: &str, new_suffix: &str) -> String {
+    if key == old_suffix {
+        return new_suffix.to_string();
+    }
+    match key.strip_suffix(old_suffix) {
+        Some(prefix) => format!("{prefix}{new_suffix}"),
+        None => key.to_string(),
+    }
+}
+
+/// Convenience: build the standard test tree from the paper's Figure 2.
+///
+/// ```text
+/// o=Lucent
+/// ├── o=Marketing     ── cn=John Doe, cn=Pat Smith
+/// ├── o=Accounting    ── cn=Tim Dickens
+/// ├── o=R&D           ── cn=Jill Lu
+/// └── o=DEN Group
+/// ```
+pub fn figure2_tree(dit: &Dit) -> Result<()> {
+    let org = |name: &str| {
+        Entry::with_attrs(
+            Dn::parse(name).unwrap(),
+            [("objectClass", "top"), ("objectClass", "organization")],
+        )
+    };
+    let mut lucent = org("o=Lucent");
+    lucent.add_value("o", "Lucent");
+    dit.add(lucent)?;
+    for (unit, people) in [
+        ("Marketing", vec!["John Doe", "Pat Smith"]),
+        ("Accounting", vec!["Tim Dickens"]),
+        ("R&D", vec!["Jill Lu"]),
+        ("DEN Group", vec![]),
+    ] {
+        let dn = Dn::root()
+            .child(Rdn::new("o", "Lucent"))
+            .child(Rdn::new("o", unit));
+        let mut e = Entry::new(dn.clone());
+        e.add_value("objectClass", "top");
+        e.add_value("objectClass", "organization");
+        e.add_value("o", unit);
+        dit.add(e)?;
+        for person in people {
+            let pdn = dn.child(Rdn::new("cn", person));
+            let sn = person.split_whitespace().last().unwrap_or(person);
+            let e = Entry::with_attrs(
+                pdn,
+                [
+                    ("objectClass", "top"),
+                    ("objectClass", "person"),
+                    ("cn", person),
+                    ("sn", sn),
+                ],
+            );
+            dit.add(e)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Arc<Dit> {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        dit
+    }
+
+    #[test]
+    fn figure2_builds() {
+        let dit = tree();
+        assert_eq!(dit.len(), 9); // 1 + 4 orgs + 4 people
+        assert!(dit.exists(&Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap()));
+    }
+
+    #[test]
+    fn add_requires_parent() {
+        let dit = Dit::new();
+        let e = Entry::with_attrs(
+            Dn::parse("cn=X,o=Nowhere").unwrap(),
+            [("objectClass", "person"), ("cn", "X"), ("sn", "X")],
+        );
+        let err = dit.add(e).unwrap_err();
+        assert_eq!(err.code, ResultCode::NoSuchObject);
+    }
+
+    #[test]
+    fn add_duplicate_rejected() {
+        let dit = tree();
+        let e = Entry::with_attrs(
+            Dn::parse("cn=JOHN DOE,o=marketing,o=lucent").unwrap(),
+            [("objectClass", "person"), ("cn", "JOHN DOE"), ("sn", "Doe")],
+        );
+        let err = dit.add(e).unwrap_err();
+        assert_eq!(err.code, ResultCode::EntryAlreadyExists);
+    }
+
+    #[test]
+    fn delete_leaf_only() {
+        let dit = tree();
+        let marketing = Dn::parse("o=Marketing,o=Lucent").unwrap();
+        let err = dit.delete(&marketing).unwrap_err();
+        assert_eq!(err.code, ResultCode::NotAllowedOnNonLeaf);
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.delete(&john).unwrap();
+        assert!(!dit.exists(&john));
+        assert_eq!(dit.delete(&john).unwrap_err().code, ResultCode::NoSuchObject);
+    }
+
+    #[test]
+    fn modify_updates_entry() {
+        let dit = tree();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("telephoneNumber", "+1 908 582 9123")])
+            .unwrap();
+        assert_eq!(
+            dit.get(&john).unwrap().first("telephoneNumber"),
+            Some("+1 908 582 9123")
+        );
+    }
+
+    #[test]
+    fn modify_cannot_remove_rdn_value() {
+        let dit = tree();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        let err = dit
+            .modify(&john, &[Modification::set("cn", "Other Name")])
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::NotAllowedOnRdn);
+    }
+
+    #[test]
+    fn modify_rdn_renames_and_updates_attrs() {
+        let dit = tree();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify_rdn(&john, &Rdn::new("cn", "Jack Doe"), true, None)
+            .unwrap();
+        assert!(!dit.exists(&john));
+        let jack = Dn::parse("cn=Jack Doe,o=Marketing,o=Lucent").unwrap();
+        let e = dit.get(&jack).unwrap();
+        assert!(e.has_value("cn", "Jack Doe"));
+        assert!(!e.has_value("cn", "John Doe"));
+    }
+
+    #[test]
+    fn modify_rdn_keep_old_values() {
+        let dit = tree();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify_rdn(&john, &Rdn::new("cn", "Jack Doe"), false, None)
+            .unwrap();
+        let jack = Dn::parse("cn=Jack Doe,o=Marketing,o=Lucent").unwrap();
+        let e = dit.get(&jack).unwrap();
+        assert!(e.has_value("cn", "Jack Doe"));
+        assert!(e.has_value("cn", "John Doe"));
+    }
+
+    #[test]
+    fn modify_rdn_collision_rejected() {
+        let dit = tree();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        let err = dit
+            .modify_rdn(&john, &Rdn::new("cn", "Pat Smith"), true, None)
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::EntryAlreadyExists);
+    }
+
+    #[test]
+    fn subtree_move_rekeys_descendants() {
+        let dit = tree();
+        // Move the whole Marketing org under R&D.
+        let marketing = Dn::parse("o=Marketing,o=Lucent").unwrap();
+        let rd = Dn::parse("o=R&D,o=Lucent").unwrap();
+        dit.modify_rdn(&marketing, &Rdn::new("o", "Marketing"), false, Some(&rd))
+            .unwrap();
+        assert!(dit.exists(&Dn::parse("o=Marketing,o=R&D,o=Lucent").unwrap()));
+        let moved = Dn::parse("cn=John Doe,o=Marketing,o=R&D,o=Lucent").unwrap();
+        assert!(dit.exists(&moved), "descendant should move with subtree");
+        assert!(!dit.exists(&Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap()));
+        // The moved child's stored DN matches its key.
+        assert_eq!(dit.get(&moved).unwrap().dn(), &moved);
+    }
+
+    #[test]
+    fn cannot_move_under_own_descendant() {
+        let dit = tree();
+        let lucent = Dn::parse("o=Lucent").unwrap();
+        let marketing = Dn::parse("o=Marketing,o=Lucent").unwrap();
+        let err = dit
+            .modify_rdn(&lucent, &Rdn::new("o", "Lucent"), false, Some(&marketing))
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::UnwillingToPerform);
+    }
+
+    #[test]
+    fn search_scopes() {
+        let dit = tree();
+        let lucent = Dn::parse("o=Lucent").unwrap();
+        let all = Filter::match_all();
+        assert_eq!(dit.search(&lucent, Scope::Base, &all, &[], 0).unwrap().len(), 1);
+        assert_eq!(dit.search(&lucent, Scope::One, &all, &[], 0).unwrap().len(), 4);
+        assert_eq!(dit.search(&lucent, Scope::Sub, &all, &[], 0).unwrap().len(), 9);
+        // root-based search sees everything
+        assert_eq!(
+            dit.search(&Dn::root(), Scope::Sub, &all, &[], 0).unwrap().len(),
+            9
+        );
+    }
+
+    #[test]
+    fn search_filter_and_projection() {
+        let dit = tree();
+        let lucent = Dn::parse("o=Lucent").unwrap();
+        let f = Filter::parse("(&(objectClass=person)(cn=J*))").unwrap();
+        let hits = dit
+            .search(&lucent, Scope::Sub, &f, &["cn".into()], 0)
+            .unwrap();
+        assert_eq!(hits.len(), 2); // John Doe, Jill Lu
+        for e in &hits {
+            assert!(e.has_attr("cn"));
+            assert!(!e.has_attr("sn"));
+        }
+    }
+
+    #[test]
+    fn search_size_limit() {
+        let dit = tree();
+        let lucent = Dn::parse("o=Lucent").unwrap();
+        let err = dit
+            .search(&lucent, Scope::Sub, &Filter::match_all(), &[], 3)
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::SizeLimitExceeded);
+    }
+
+    #[test]
+    fn search_missing_base() {
+        let dit = tree();
+        let err = dit
+            .search(
+                &Dn::parse("o=Nothing").unwrap(),
+                Scope::Sub,
+                &Filter::match_all(),
+                &[],
+                0,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::NoSuchObject);
+    }
+
+    #[test]
+    fn compare_semantics() {
+        let dit = tree();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        assert!(dit.compare(&john, "sn", "doe").unwrap());
+        assert!(!dit.compare(&john, "sn", "smith").unwrap());
+        assert!(dit
+            .compare(&Dn::parse("cn=ghost,o=Lucent").unwrap(), "sn", "x")
+            .is_err());
+    }
+
+    #[test]
+    fn export_is_parent_first() {
+        let dit = tree();
+        let entries = dit.export();
+        assert_eq!(entries.len(), 9);
+        // Every entry's parent appears earlier (or is the root).
+        for (i, e) in entries.iter().enumerate() {
+            if let Some(parent) = e.dn().parent() {
+                if parent.is_root() {
+                    continue;
+                }
+                let pos = entries
+                    .iter()
+                    .position(|x| x.dn() == &parent)
+                    .expect("parent present");
+                assert!(pos < i, "parent of {} must precede it", e.dn());
+            }
+        }
+    }
+
+    #[test]
+    fn observers_see_commits_in_order() {
+        let dit = Dit::new();
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        dit.observe(move |rec| seen2.lock().push(rec.seq));
+        figure2_tree(&dit).unwrap();
+        let v = seen.lock();
+        assert_eq!(v.len(), 9);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn schema_checked_on_add_and_modify() {
+        let dit = Dit::with_schema(Arc::new(Schema::x500_core()));
+        let mut lucent = Entry::new(Dn::parse("o=Lucent").unwrap());
+        lucent.add_value("objectClass", "top");
+        lucent.add_value("objectClass", "organization");
+        lucent.add_value("o", "Lucent");
+        dit.add(lucent).unwrap();
+        // Missing sn → rejected
+        let bad = Entry::with_attrs(
+            Dn::parse("cn=X,o=Lucent").unwrap(),
+            [("objectClass", "top"), ("objectClass", "person"), ("cn", "X")],
+        );
+        assert_eq!(
+            dit.add(bad).unwrap_err().code,
+            ResultCode::ObjectClassViolation
+        );
+        let good = Entry::with_attrs(
+            Dn::parse("cn=X,o=Lucent").unwrap(),
+            [
+                ("objectClass", "top"),
+                ("objectClass", "person"),
+                ("cn", "X"),
+                ("sn", "X"),
+            ],
+        );
+        dit.add(good).unwrap();
+        // Modify deleting a must attribute → rejected, entry unchanged
+        let dn = Dn::parse("cn=X,o=Lucent").unwrap();
+        let err = dit
+            .modify(&dn, &[Modification::delete_attr("sn")])
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::ObjectClassViolation);
+        assert!(dit.get(&dn).unwrap().has_attr("sn"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let dit = tree();
+        dit.clear();
+        assert!(dit.is_empty());
+        // Can rebuild after clear.
+        figure2_tree(&dit).unwrap();
+        assert_eq!(dit.len(), 9);
+    }
+}

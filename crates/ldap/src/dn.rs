@@ -1,0 +1,576 @@
+//! Distinguished names (RFC 2253).
+//!
+//! A [`Dn`] is a sequence of [`Rdn`]s ordered leaf-first (LDAP order: the
+//! string `cn=John Doe, o=Marketing, o=Lucent` names an entry whose parent is
+//! `o=Marketing, o=Lucent`). Each RDN is one or more attribute/value pairs
+//! ([`Ava`]); multi-AVA RDNs are joined with `+`.
+//!
+//! Matching is case-insensitive on both attribute names and values and
+//! insensitive to insignificant whitespace, which matches the
+//! `caseIgnoreMatch` behaviour of the directory-string syntax that all
+//! MetaComm naming attributes use.
+
+use crate::error::{LdapError, Result};
+use std::fmt;
+
+/// One attribute/value pair inside an RDN, e.g. `cn=John Doe`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ava {
+    /// Attribute name exactly as written (display form).
+    attr: String,
+    /// Attribute value exactly as written (unescaped).
+    value: String,
+    /// Normalized (lowercased, space-squeezed) forms used for matching.
+    norm_attr: String,
+    norm_value: String,
+}
+
+impl Ava {
+    pub fn new(attr: impl Into<String>, value: impl Into<String>) -> Ava {
+        let attr = attr.into();
+        let value = value.into();
+        let norm_attr = attr.trim().to_ascii_lowercase();
+        let norm_value = normalize_value(&value);
+        Ava {
+            attr,
+            value,
+            norm_attr,
+            norm_value,
+        }
+    }
+
+    /// Attribute name as originally written.
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// Unescaped value as originally written.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// Lowercased attribute name used for matching.
+    pub fn norm_attr(&self) -> &str {
+        &self.norm_attr
+    }
+
+    /// Case/whitespace-normalized value used for matching.
+    pub fn norm_value(&self) -> &str {
+        &self.norm_value
+    }
+
+    fn matches(&self, other: &Ava) -> bool {
+        self.norm_attr == other.norm_attr && self.norm_value == other.norm_value
+    }
+}
+
+/// Collapse internal whitespace runs, trim, and lowercase — the
+/// `caseIgnoreMatch` normalization for directory strings.
+fn normalize_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut last_space = true; // leading spaces dropped
+    for ch in v.chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// A relative distinguished name: one or more AVAs (`cn=J+ou=Sales`).
+///
+/// Invariant: at least one AVA; AVAs are kept sorted by normalized attribute
+/// name so equality is order-insensitive, per X.501.
+#[derive(Debug, Clone, Eq)]
+pub struct Rdn {
+    avas: Vec<Ava>,
+}
+
+impl Rdn {
+    /// Single-AVA RDN, the common case (`cn=John Doe`).
+    pub fn new(attr: impl Into<String>, value: impl Into<String>) -> Rdn {
+        Rdn {
+            avas: vec![Ava::new(attr, value)],
+        }
+    }
+
+    /// Multi-AVA RDN. Returns an error when `avas` is empty or two AVAs use
+    /// the same attribute type.
+    pub fn multi(avas: Vec<Ava>) -> Result<Rdn> {
+        if avas.is_empty() {
+            return Err(LdapError::invalid_dn("empty RDN"));
+        }
+        let mut avas = avas;
+        avas.sort_by(|a, b| a.norm_attr.cmp(&b.norm_attr));
+        for w in avas.windows(2) {
+            if w[0].norm_attr == w[1].norm_attr {
+                return Err(LdapError::invalid_dn(format!(
+                    "duplicate attribute `{}` in RDN",
+                    w[0].attr
+                )));
+            }
+        }
+        Ok(Rdn { avas })
+    }
+
+    pub fn avas(&self) -> &[Ava] {
+        &self.avas
+    }
+
+    /// The first (or only) AVA.
+    pub fn first(&self) -> &Ava {
+        &self.avas[0]
+    }
+
+    /// Parse one RDN from its RFC 2253 string form.
+    pub fn parse(s: &str) -> Result<Rdn> {
+        let dn = Dn::parse(s)?;
+        if dn.depth() != 1 {
+            return Err(LdapError::invalid_dn(format!(
+                "expected a single RDN, got `{s}`"
+            )));
+        }
+        Ok(dn.rdns[0].clone())
+    }
+
+    /// Normalized key for hashing/indexing.
+    pub fn norm_key(&self) -> String {
+        let mut out = String::new();
+        for (i, ava) in self.avas.iter().enumerate() {
+            if i > 0 {
+                out.push('+');
+            }
+            out.push_str(&ava.norm_attr);
+            out.push('=');
+            out.push_str(&ava.norm_value);
+        }
+        out
+    }
+}
+
+impl PartialEq for Rdn {
+    fn eq(&self, other: &Self) -> bool {
+        self.avas.len() == other.avas.len()
+            && self
+                .avas
+                .iter()
+                .zip(&other.avas)
+                .all(|(a, b)| a.matches(b))
+    }
+}
+
+impl std::hash::Hash for Rdn {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for ava in &self.avas {
+            ava.norm_attr.hash(state);
+            ava.norm_value.hash(state);
+        }
+    }
+}
+
+impl fmt::Display for Rdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ava) in self.avas.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{}={}", ava.attr, escape_value(&ava.value))?;
+        }
+        Ok(())
+    }
+}
+
+/// A distinguished name: RDNs ordered leaf-first. The empty DN (zero RDNs)
+/// names the root of the DIT.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dn {
+    rdns: Vec<Rdn>,
+}
+
+impl Dn {
+    /// The empty DN (the DIT root).
+    pub fn root() -> Dn {
+        Dn { rdns: Vec::new() }
+    }
+
+    /// Build from leaf-first RDNs.
+    pub fn from_rdns(rdns: Vec<Rdn>) -> Dn {
+        Dn { rdns }
+    }
+
+    /// Parse an RFC 2253 string like `cn=John Doe, o=Marketing, o=Lucent`.
+    ///
+    /// Supported escapes: `\` followed by a special character
+    /// (`,` `+` `"` `\` `<` `>` `;` `=` `#` or space) or two hex digits.
+    pub fn parse(s: &str) -> Result<Dn> {
+        if s.trim().is_empty() {
+            return Ok(Dn::root());
+        }
+        let s = s.trim_start();
+        let mut rdns = Vec::new();
+        let mut avas: Vec<Ava> = Vec::new();
+        let mut chars = s.chars().peekable();
+        loop {
+            // Parse one AVA: attr '=' value
+            let mut attr = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == '=' {
+                    break;
+                }
+                if c == ',' || c == '+' || c == ';' {
+                    return Err(LdapError::invalid_dn(format!(
+                        "expected `=` in AVA while parsing `{s}`"
+                    )));
+                }
+                attr.push(c);
+                chars.next();
+            }
+            if chars.next() != Some('=') {
+                return Err(LdapError::invalid_dn(format!("missing `=` in `{s}`")));
+            }
+            let attr = attr.trim().to_string();
+            if attr.is_empty() {
+                return Err(LdapError::invalid_dn(format!("empty attribute in `{s}`")));
+            }
+            // Value: read until unescaped ',' ';' or '+'.
+            let mut value = String::new();
+            // skip leading unescaped spaces
+            while chars.peek() == Some(&' ') {
+                chars.next();
+            }
+            let mut terminator: Option<char> = None;
+            // Length of `value` up to and including the last escaped char —
+            // trailing spaces beyond this point are insignificant.
+            let mut escaped_end = 0usize;
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some(e) if is_special(e) => {
+                            value.push(e);
+                            escaped_end = value.len();
+                        }
+                        Some(h1) if h1.is_ascii_hexdigit() => {
+                            let h2 = chars.next().ok_or_else(|| {
+                                LdapError::invalid_dn("truncated hex escape")
+                            })?;
+                            if !h2.is_ascii_hexdigit() {
+                                return Err(LdapError::invalid_dn("bad hex escape"));
+                            }
+                            let byte = u8::from_str_radix(
+                                &format!("{h1}{h2}"),
+                                16,
+                            )
+                            .expect("checked hex digits");
+                            value.push(byte as char);
+                            escaped_end = value.len();
+                        }
+                        Some(other) => {
+                            return Err(LdapError::invalid_dn(format!(
+                                "invalid escape `\\{other}`"
+                            )))
+                        }
+                        None => {
+                            return Err(LdapError::invalid_dn("trailing backslash"))
+                        }
+                    },
+                    ',' | ';' | '+' => {
+                        terminator = Some(if c == ';' { ',' } else { c });
+                        break;
+                    }
+                    other => value.push(other),
+                }
+            }
+            // Trim only unescaped trailing spaces.
+            while value.len() > escaped_end && value.ends_with(' ') {
+                value.pop();
+            }
+            avas.push(Ava::new(attr, value));
+            match terminator {
+                Some('+') => continue, // next AVA of same RDN
+                Some(',') => {
+                    rdns.push(Rdn::multi(std::mem::take(&mut avas))?);
+                    // skip spaces before next RDN
+                    while chars.peek() == Some(&' ') {
+                        chars.next();
+                    }
+                    if chars.peek().is_none() {
+                        return Err(LdapError::invalid_dn(format!(
+                            "trailing separator in `{s}`"
+                        )));
+                    }
+                    continue;
+                }
+                _ => {
+                    rdns.push(Rdn::multi(std::mem::take(&mut avas))?);
+                    break;
+                }
+            }
+        }
+        Ok(Dn { rdns })
+    }
+
+    /// RDNs leaf-first.
+    pub fn rdns(&self) -> &[Rdn] {
+        &self.rdns
+    }
+
+    /// Number of RDNs. The root has depth 0.
+    pub fn depth(&self) -> usize {
+        self.rdns.len()
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.rdns.is_empty()
+    }
+
+    /// Leaf RDN, or `None` for the root.
+    pub fn rdn(&self) -> Option<&Rdn> {
+        self.rdns.first()
+    }
+
+    /// Parent DN, or `None` for the root.
+    pub fn parent(&self) -> Option<Dn> {
+        if self.rdns.is_empty() {
+            None
+        } else {
+            Some(Dn {
+                rdns: self.rdns[1..].to_vec(),
+            })
+        }
+    }
+
+    /// A child of `self` named by `rdn`.
+    pub fn child(&self, rdn: Rdn) -> Dn {
+        let mut rdns = Vec::with_capacity(self.rdns.len() + 1);
+        rdns.push(rdn);
+        rdns.extend(self.rdns.iter().cloned());
+        Dn { rdns }
+    }
+
+    /// `true` when `self` equals `ancestor` or lies underneath it.
+    pub fn is_within(&self, ancestor: &Dn) -> bool {
+        if ancestor.rdns.len() > self.rdns.len() {
+            return false;
+        }
+        let offset = self.rdns.len() - ancestor.rdns.len();
+        self.rdns[offset..] == ancestor.rdns[..]
+    }
+
+    /// Replace the leaf RDN (the LDAP ModifyRDN operation on names).
+    pub fn with_rdn(&self, rdn: Rdn) -> Result<Dn> {
+        if self.rdns.is_empty() {
+            return Err(LdapError::invalid_dn("root has no RDN to replace"));
+        }
+        let mut rdns = self.rdns.clone();
+        rdns[0] = rdn;
+        Ok(Dn { rdns })
+    }
+
+    /// Re-root: replace everything above the leaf with `new_parent`
+    /// (the ModifyDN `newSuperior` operation).
+    pub fn moved_under(&self, new_parent: &Dn) -> Result<Dn> {
+        let rdn = self
+            .rdn()
+            .ok_or_else(|| LdapError::invalid_dn("cannot move the root"))?;
+        Ok(new_parent.child(rdn.clone()))
+    }
+
+    /// Canonical normalized string used as an index key.
+    pub fn norm_key(&self) -> String {
+        let mut out = String::new();
+        for (i, rdn) in self.rdns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&rdn.norm_key());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, rdn) in self.rdns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{rdn}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Dn {
+    type Err = LdapError;
+    fn from_str(s: &str) -> Result<Dn> {
+        Dn::parse(s)
+    }
+}
+
+fn is_special(c: char) -> bool {
+    matches!(c, ',' | '+' | '"' | '\\' | '<' | '>' | ';' | '=' | '#' | ' ')
+}
+
+/// Escape a value for RFC 2253 output.
+pub fn escape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let len = v.chars().count();
+    for (i, c) in v.chars().enumerate() {
+        let needs = match c {
+            ',' | '+' | '"' | '\\' | '<' | '>' | ';' => true,
+            '#' if i == 0 => true,
+            ' ' if i == 0 || i == len - 1 => true,
+            _ => false,
+        };
+        if needs {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_dn() {
+        let dn = Dn::parse("cn=John Doe, o=Marketing, o=Lucent").unwrap();
+        assert_eq!(dn.depth(), 3);
+        assert_eq!(dn.rdn().unwrap().first().attr(), "cn");
+        assert_eq!(dn.rdn().unwrap().first().value(), "John Doe");
+        assert_eq!(dn.parent().unwrap().to_string(), "o=Marketing,o=Lucent");
+    }
+
+    #[test]
+    fn empty_dn_is_root() {
+        let dn = Dn::parse("").unwrap();
+        assert!(dn.is_root());
+        assert_eq!(dn.depth(), 0);
+        assert!(dn.parent().is_none());
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        let a = Dn::parse("CN=John Doe,O=Lucent").unwrap();
+        let b = Dn::parse("cn=john doe, o=lucent").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.norm_key(), b.norm_key());
+    }
+
+    #[test]
+    fn whitespace_normalization_in_values() {
+        let a = Dn::parse("cn=John   Doe,o=Lucent").unwrap();
+        let b = Dn::parse("cn=John Doe,o=Lucent").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn escaped_comma_in_value() {
+        let dn = Dn::parse(r"cn=Doe\, John,o=Lucent").unwrap();
+        assert_eq!(dn.depth(), 2);
+        assert_eq!(dn.rdn().unwrap().first().value(), "Doe, John");
+        // round-trips through Display
+        let again = Dn::parse(&dn.to_string()).unwrap();
+        assert_eq!(dn, again);
+    }
+
+    #[test]
+    fn hex_escape() {
+        let dn = Dn::parse(r"cn=a\2Cb,o=x").unwrap();
+        assert_eq!(dn.rdn().unwrap().first().value(), "a,b");
+    }
+
+    #[test]
+    fn multi_ava_rdn() {
+        let dn = Dn::parse("cn=John+ou=Sales,o=Lucent").unwrap();
+        assert_eq!(dn.depth(), 2);
+        assert_eq!(dn.rdn().unwrap().avas().len(), 2);
+        // order-insensitive equality
+        let dn2 = Dn::parse("ou=Sales+cn=John,o=Lucent").unwrap();
+        assert_eq!(dn, dn2);
+    }
+
+    #[test]
+    fn duplicate_attr_in_rdn_rejected() {
+        assert!(Dn::parse("cn=a+cn=b,o=x").is_err());
+    }
+
+    #[test]
+    fn hierarchy_relations() {
+        let root = Dn::parse("o=Lucent").unwrap();
+        let child = Dn::parse("o=Marketing,o=Lucent").unwrap();
+        let grandchild = Dn::parse("cn=Pat Smith,o=Marketing,o=Lucent").unwrap();
+        assert!(child.is_within(&root));
+        assert!(grandchild.is_within(&root));
+        assert!(grandchild.is_within(&child));
+        assert!(!root.is_within(&child));
+        assert!(grandchild.is_within(&grandchild));
+        assert_eq!(grandchild.parent().unwrap(), child);
+        assert_eq!(
+            root.child(Rdn::new("o", "Marketing")),
+            child
+        );
+    }
+
+    #[test]
+    fn with_rdn_replaces_leaf() {
+        let dn = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        let renamed = dn.with_rdn(Rdn::new("cn", "Jack Doe")).unwrap();
+        assert_eq!(renamed.to_string(), "cn=Jack Doe,o=Marketing,o=Lucent");
+    }
+
+    #[test]
+    fn moved_under_changes_parent() {
+        let dn = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        let target = Dn::parse("o=R&D,o=Lucent").unwrap();
+        let moved = dn.moved_under(&target).unwrap();
+        assert_eq!(moved.to_string(), "cn=John Doe,o=R&D,o=Lucent");
+    }
+
+    #[test]
+    fn semicolon_separator_accepted() {
+        let dn = Dn::parse("cn=a;o=b").unwrap();
+        assert_eq!(dn.depth(), 2);
+    }
+
+    #[test]
+    fn trailing_separator_rejected() {
+        assert!(Dn::parse("cn=a,").is_err());
+        assert!(Dn::parse("cn=a,o=b,").is_err());
+    }
+
+    #[test]
+    fn missing_equals_rejected() {
+        assert!(Dn::parse("john doe").is_err());
+        assert!(Dn::parse("cn").is_err());
+    }
+
+    #[test]
+    fn escape_value_round_trip() {
+        for v in ["plain", "a,b", "a+b", " leading", "trailing ", "#hash", r"back\slash"] {
+            let dn = Dn::root().child(Rdn::new("cn", v));
+            let parsed = Dn::parse(&dn.to_string()).unwrap();
+            assert_eq!(parsed.rdn().unwrap().first().value(), v, "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn rdn_parse_single() {
+        let rdn = Rdn::parse("cn=John Doe").unwrap();
+        assert_eq!(rdn.first().value(), "John Doe");
+        assert!(Rdn::parse("cn=a,o=b").is_err());
+    }
+}

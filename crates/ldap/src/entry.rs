@@ -1,0 +1,436 @@
+//! Directory entries and the modification operations that act on them.
+
+use crate::attr::{norm_value, value_eq_ci, AttrName, Attribute};
+use crate::dn::Dn;
+use crate::error::{LdapError, Result, ResultCode};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A directory entry: a DN plus a set of multi-valued attributes.
+///
+/// The `objectClass` attribute is stored like any other but has dedicated
+/// accessors because schema checking and MetaComm's auxiliary-class design
+/// both hinge on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    dn: Dn,
+    attrs: BTreeMap<AttrName, Attribute>,
+}
+
+impl Entry {
+    pub fn new(dn: Dn) -> Entry {
+        Entry {
+            dn,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Convenience constructor from `(name, value)` pairs; repeated names
+    /// accumulate values.
+    pub fn with_attrs<N, V>(dn: Dn, pairs: impl IntoIterator<Item = (N, V)>) -> Entry
+    where
+        N: Into<AttrName>,
+        V: Into<String>,
+    {
+        let mut e = Entry::new(dn);
+        for (n, v) in pairs {
+            e.add_value(n, v);
+        }
+        e
+    }
+
+    pub fn dn(&self) -> &Dn {
+        &self.dn
+    }
+
+    pub fn set_dn(&mut self, dn: Dn) {
+        self.dn = dn;
+    }
+
+    /// All attributes in normalized-name order.
+    pub fn attributes(&self) -> impl Iterator<Item = &Attribute> {
+        self.attrs.values()
+    }
+
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Attribute> {
+        self.attrs.get(name.to_ascii_lowercase().as_str())
+    }
+
+    /// First value of the attribute, if any.
+    pub fn first(&self, name: &str) -> Option<&str> {
+        self.get(name)
+            .and_then(|a| a.values.first())
+            .map(String::as_str)
+    }
+
+    /// All values of the attribute (empty slice when absent).
+    pub fn values(&self, name: &str) -> &[String] {
+        self.get(name).map(|a| a.values.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// `true` when `name` has a value equal to `value` (case-insensitive).
+    pub fn has_value(&self, name: &str, value: &str) -> bool {
+        self.get(name).is_some_and(|a| a.contains_ci(value))
+    }
+
+    /// Add one value, creating the attribute when missing. Returns `false`
+    /// when the value was already present.
+    pub fn add_value(&mut self, name: impl Into<AttrName>, value: impl Into<String>) -> bool {
+        let name = name.into();
+        match self.attrs.get_mut(name.norm()) {
+            Some(attr) => attr.add_value(value),
+            None => {
+                self.attrs
+                    .insert(name.clone(), Attribute::new(name, vec![value.into()]));
+                true
+            }
+        }
+    }
+
+    /// Replace all values of the attribute (removes it when `values` is empty).
+    pub fn put(&mut self, name: impl Into<AttrName>, values: Vec<String>) {
+        let name = name.into();
+        if values.is_empty() {
+            self.attrs.remove(name.norm());
+        } else {
+            self.attrs.insert(name.clone(), Attribute::new(name, values));
+        }
+    }
+
+    /// Remove an entire attribute; returns it when present.
+    pub fn remove_attr(&mut self, name: &str) -> Option<Attribute> {
+        self.attrs.remove(name.to_ascii_lowercase().as_str())
+    }
+
+    /// Remove one value; prunes the attribute when it becomes empty.
+    /// Returns `true` when a value was removed.
+    pub fn remove_value(&mut self, name: &str, value: &str) -> bool {
+        let key = name.to_ascii_lowercase();
+        if let Some(attr) = self.attrs.get_mut(key.as_str()) {
+            let removed = attr.remove_value(value);
+            if attr.is_empty() {
+                self.attrs.remove(key.as_str());
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// The entry's object classes (values of `objectClass`).
+    pub fn object_classes(&self) -> &[String] {
+        self.values("objectClass")
+    }
+
+    pub fn has_object_class(&self, oc: &str) -> bool {
+        self.object_classes().iter().any(|c| value_eq_ci(c, oc))
+    }
+
+    /// Keep only the named attributes (used by search attribute selection);
+    /// an empty list keeps everything, per RFC 2251.
+    pub fn project(&self, names: &[String]) -> Entry {
+        if names.is_empty() {
+            return self.clone();
+        }
+        let mut out = Entry::new(self.dn.clone());
+        for n in names {
+            if let Some(attr) = self.get(n) {
+                out.attrs.insert(attr.name.clone(), attr.clone());
+            }
+        }
+        out
+    }
+
+    /// Apply a list of modifications atomically: either all succeed or the
+    /// entry is left untouched. (This is the single-entry atomicity LDAP
+    /// guarantees — and the *only* atomicity it guarantees.)
+    pub fn apply_modifications(&mut self, mods: &[Modification]) -> Result<()> {
+        let mut scratch = self.clone();
+        for m in mods {
+            scratch.apply_one(m)?;
+        }
+        *self = scratch;
+        Ok(())
+    }
+
+    fn apply_one(&mut self, m: &Modification) -> Result<()> {
+        match &m.op {
+            ModOp::Add => {
+                if m.values.is_empty() {
+                    return Err(LdapError::protocol("add modification with no values"));
+                }
+                for v in &m.values {
+                    if self.has_value(m.attr.as_str(), v) {
+                        return Err(LdapError::new(
+                            ResultCode::AttributeOrValueExists,
+                            format!("value `{v}` already exists for `{}`", m.attr),
+                        ));
+                    }
+                }
+                for v in &m.values {
+                    self.add_value(m.attr.clone(), v.clone());
+                }
+                Ok(())
+            }
+            ModOp::Delete => {
+                if m.values.is_empty() {
+                    // delete whole attribute
+                    if self.remove_attr(m.attr.as_str()).is_none() {
+                        return Err(LdapError::new(
+                            ResultCode::NoSuchAttribute,
+                            format!("no attribute `{}` to delete", m.attr),
+                        ));
+                    }
+                    Ok(())
+                } else {
+                    for v in &m.values {
+                        if !self.remove_value(m.attr.as_str(), v) {
+                            return Err(LdapError::new(
+                                ResultCode::NoSuchAttribute,
+                                format!("no value `{v}` of `{}` to delete", m.attr),
+                            ));
+                        }
+                    }
+                    Ok(())
+                }
+            }
+            ModOp::Replace => {
+                self.put(m.attr.clone(), m.values.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Diff two attribute images into the minimal replace-based modification
+    /// list that turns `self` into `target` (DN excluded). Used by filters
+    /// when a device reports a whole-record change.
+    pub fn diff_to(&self, target: &Entry) -> Vec<Modification> {
+        let mut mods = Vec::new();
+        for attr in target.attributes() {
+            let old = self.values(attr.name.norm());
+            if !same_value_set(old, &attr.values) {
+                mods.push(Modification::replace(
+                    attr.name.as_str(),
+                    attr.values.clone(),
+                ));
+            }
+        }
+        for attr in self.attributes() {
+            if !target.has_attr(attr.name.norm()) {
+                mods.push(Modification::delete_attr(attr.name.as_str()));
+            }
+        }
+        mods
+    }
+}
+
+fn same_value_set(a: &[String], b: &[String]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut na: Vec<String> = a.iter().map(|v| norm_value(v)).collect();
+    let mut nb: Vec<String> = b.iter().map(|v| norm_value(v)).collect();
+    na.sort();
+    nb.sort();
+    na == nb
+}
+
+impl fmt::Display for Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dn: {}", self.dn)?;
+        for attr in self.attributes() {
+            for v in &attr.values {
+                writeln!(f, "{}: {}", attr.name, v)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The three RFC 2251 modification operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModOp {
+    Add,
+    Delete,
+    Replace,
+}
+
+/// One element of a Modify request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Modification {
+    pub op: ModOp,
+    pub attr: AttrName,
+    pub values: Vec<String>,
+}
+
+impl Modification {
+    pub fn add(attr: impl Into<AttrName>, values: Vec<String>) -> Modification {
+        Modification {
+            op: ModOp::Add,
+            attr: attr.into(),
+            values,
+        }
+    }
+
+    pub fn delete(attr: impl Into<AttrName>, values: Vec<String>) -> Modification {
+        Modification {
+            op: ModOp::Delete,
+            attr: attr.into(),
+            values,
+        }
+    }
+
+    /// Delete the entire attribute.
+    pub fn delete_attr(attr: impl Into<AttrName>) -> Modification {
+        Modification {
+            op: ModOp::Delete,
+            attr: attr.into(),
+            values: Vec::new(),
+        }
+    }
+
+    pub fn replace(attr: impl Into<AttrName>, values: Vec<String>) -> Modification {
+        Modification {
+            op: ModOp::Replace,
+            attr: attr.into(),
+            values,
+        }
+    }
+
+    /// Replace with a single value.
+    pub fn set(attr: impl Into<AttrName>, value: impl Into<String>) -> Modification {
+        Modification::replace(attr, vec![value.into()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person() -> Entry {
+        Entry::with_attrs(
+            Dn::parse("cn=John Doe,o=Lucent").unwrap(),
+            [
+                ("objectClass", "top"),
+                ("objectClass", "person"),
+                ("cn", "John Doe"),
+                ("sn", "Doe"),
+                ("telephoneNumber", "+1 908 582 9000"),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let e = person();
+        assert_eq!(e.first("CN"), Some("John Doe"));
+        assert_eq!(e.values("objectclass").len(), 2);
+        assert!(e.has_object_class("PERSON"));
+        assert!(e.has_value("sn", "doe"));
+        assert!(!e.has_attr("mail"));
+    }
+
+    #[test]
+    fn modify_add_and_duplicate() {
+        let mut e = person();
+        e.apply_modifications(&[Modification::add("mail", vec!["jd@lucent.com".into()])])
+            .unwrap();
+        assert_eq!(e.first("mail"), Some("jd@lucent.com"));
+        let err = e
+            .apply_modifications(&[Modification::add("mail", vec!["JD@LUCENT.COM".into()])])
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::AttributeOrValueExists);
+    }
+
+    #[test]
+    fn modify_delete_value_and_attr() {
+        let mut e = person();
+        e.apply_modifications(&[Modification::delete(
+            "telephoneNumber",
+            vec!["+1 908 582 9000".into()],
+        )])
+        .unwrap();
+        assert!(!e.has_attr("telephoneNumber"));
+        let err = e
+            .apply_modifications(&[Modification::delete_attr("telephoneNumber")])
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::NoSuchAttribute);
+    }
+
+    #[test]
+    fn modify_replace_and_remove_by_empty_replace() {
+        let mut e = person();
+        e.apply_modifications(&[Modification::set("sn", "Smith")]).unwrap();
+        assert_eq!(e.first("sn"), Some("Smith"));
+        e.apply_modifications(&[Modification::replace("sn", vec![])]).unwrap();
+        assert!(!e.has_attr("sn"));
+    }
+
+    #[test]
+    fn modifications_are_atomic() {
+        let mut e = person();
+        let before = e.clone();
+        // Second modification fails; the first must not stick.
+        let err = e.apply_modifications(&[
+            Modification::set("sn", "Smith"),
+            Modification::delete_attr("nonexistent"),
+        ]);
+        assert!(err.is_err());
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn projection() {
+        let e = person();
+        let p = e.project(&["cn".into(), "SN".into()]);
+        assert_eq!(p.attr_count(), 2);
+        assert!(p.has_attr("cn"));
+        assert!(!p.has_attr("telephoneNumber"));
+        // empty selection keeps everything
+        assert_eq!(e.project(&[]).attr_count(), e.attr_count());
+    }
+
+    #[test]
+    fn diff_produces_minimal_mods() {
+        let a = person();
+        let mut b = a.clone();
+        b.put("telephoneNumber", vec!["+1 908 582 9001".into()]);
+        b.add_value("mail", "jd@lucent.com");
+        b.remove_attr("sn");
+        let mods = a.clone_and_apply_diff(&b);
+        assert_eq!(mods, b);
+    }
+
+    impl Entry {
+        /// Test helper: apply `self.diff_to(target)` to a clone of `self`.
+        fn clone_and_apply_diff(&self, target: &Entry) -> Entry {
+            let mods = self.diff_to(target);
+            let mut out = self.clone();
+            out.apply_modifications(&mods).unwrap();
+            out
+        }
+    }
+
+    #[test]
+    fn diff_is_empty_for_equal_entries() {
+        let a = person();
+        assert!(a.diff_to(&a).is_empty());
+    }
+
+    #[test]
+    fn diff_ignores_value_order() {
+        let mut a = person();
+        a.put("ou", vec!["x".into(), "y".into()]);
+        let mut b = person();
+        b.put("ou", vec!["y".into(), "x".into()]);
+        assert!(a.diff_to(&b).is_empty());
+    }
+}

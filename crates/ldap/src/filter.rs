@@ -1,0 +1,499 @@
+//! LDAP search filters: the RFC 2254 string representation, a parser, and an
+//! evaluator over [`Entry`].
+//!
+//! Supported: `&`, `|`, `!`, equality, substring (`a*b*c`), `>=`, `<=`,
+//! presence (`=*`) and approximate (`~=`, implemented as case-insensitive
+//! equality after whitespace squeezing — a reasonable stand-in for the
+//! phonetic matching real servers use).
+
+use crate::attr::{norm_value, value_eq_ci};
+use crate::entry::Entry;
+use crate::error::{LdapError, Result};
+use std::fmt;
+
+/// Parsed search filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    And(Vec<Filter>),
+    Or(Vec<Filter>),
+    Not(Box<Filter>),
+    Equality(String, String),
+    /// `attr=initial*any1*any2*final` — each component optional.
+    Substring {
+        attr: String,
+        initial: Option<String>,
+        any: Vec<String>,
+        final_: Option<String>,
+    },
+    GreaterOrEqual(String, String),
+    LessOrEqual(String, String),
+    Present(String),
+    Approx(String, String),
+}
+
+impl Filter {
+    /// `(objectClass=*)` — matches every entry.
+    pub fn match_all() -> Filter {
+        Filter::Present("objectClass".into())
+    }
+
+    /// Shorthand for an equality filter.
+    pub fn eq(attr: impl Into<String>, value: impl Into<String>) -> Filter {
+        Filter::Equality(attr.into(), value.into())
+    }
+
+    /// Parse an RFC 2254 filter string like `(&(objectClass=person)(cn=J*))`.
+    /// A bare `attr=value` without parentheses is also accepted.
+    pub fn parse(s: &str) -> Result<Filter> {
+        let mut p = Parser {
+            chars: s.trim().char_indices().peekable(),
+            src: s.trim(),
+        };
+        let f = p.parse_filter()?;
+        if p.chars.next().is_some() {
+            return Err(LdapError::protocol(format!(
+                "trailing characters in filter `{s}`"
+            )));
+        }
+        Ok(f)
+    }
+
+    /// Evaluate the filter against an entry.
+    pub fn matches(&self, entry: &Entry) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(entry)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
+            Filter::Not(f) => !f.matches(entry),
+            Filter::Equality(attr, value) => entry
+                .values(attr)
+                .iter()
+                .any(|v| value_eq_ci(v, value)),
+            Filter::Substring {
+                attr,
+                initial,
+                any,
+                final_,
+            } => entry
+                .values(attr)
+                .iter()
+                .any(|v| substring_match(v, initial.as_deref(), any, final_.as_deref())),
+            Filter::GreaterOrEqual(attr, value) => entry
+                .values(attr)
+                .iter()
+                .any(|v| ordering_cmp(v, value) != std::cmp::Ordering::Less),
+            Filter::LessOrEqual(attr, value) => entry
+                .values(attr)
+                .iter()
+                .any(|v| ordering_cmp(v, value) != std::cmp::Ordering::Greater),
+            Filter::Present(attr) => entry.has_attr(attr),
+            Filter::Approx(attr, value) => entry
+                .values(attr)
+                .iter()
+                .any(|v| approx_eq(v, value)),
+        }
+    }
+}
+
+/// Compare values for ordering filters: numerically when both sides parse as
+/// integers (telephone extensions, limits), otherwise as normalized strings.
+fn ordering_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    match (a.trim().parse::<i64>(), b.trim().parse::<i64>()) {
+        (Ok(x), Ok(y)) => x.cmp(&y),
+        _ => norm_value(a).cmp(&norm_value(b)),
+    }
+}
+
+/// Approximate match: case/whitespace-insensitive equality, additionally
+/// ignoring `.` and `-` (so `J. Doe ~= j doe`).
+fn approx_eq(a: &str, b: &str) -> bool {
+    let squash = |s: &str| {
+        norm_value(s)
+            .chars()
+            .filter(|c| !matches!(c, '.' | '-' | ' '))
+            .collect::<String>()
+    };
+    squash(a) == squash(b)
+}
+
+fn substring_match(
+    value: &str,
+    initial: Option<&str>,
+    any: &[String],
+    final_: Option<&str>,
+) -> bool {
+    let v = norm_value(value);
+    let mut pos = 0usize;
+    if let Some(init) = initial {
+        let init = norm_value(init);
+        if !v.starts_with(&init) {
+            return false;
+        }
+        pos = init.len();
+    }
+    for part in any {
+        let part = norm_value(part);
+        match v[pos..].find(&part) {
+            Some(i) => pos += i + part.len(),
+            None => return false,
+        }
+    }
+    if let Some(fin) = final_ {
+        let fin = norm_value(fin);
+        if v.len() < pos + fin.len() {
+            return false;
+        }
+        return v.ends_with(&fin);
+    }
+    true
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_filter(&mut self) -> Result<Filter> {
+        match self.chars.peek() {
+            Some((_, '(')) => {
+                self.chars.next();
+                let f = self.parse_component()?;
+                match self.chars.next() {
+                    Some((_, ')')) => Ok(f),
+                    _ => Err(LdapError::protocol(format!(
+                        "unbalanced parentheses in `{}`",
+                        self.src
+                    ))),
+                }
+            }
+            Some(_) => self.parse_item(),
+            None => Err(LdapError::protocol("empty filter")),
+        }
+    }
+
+    fn parse_component(&mut self) -> Result<Filter> {
+        match self.chars.peek() {
+            Some((_, '&')) => {
+                self.chars.next();
+                Ok(Filter::And(self.parse_list()?))
+            }
+            Some((_, '|')) => {
+                self.chars.next();
+                Ok(Filter::Or(self.parse_list()?))
+            }
+            Some((_, '!')) => {
+                self.chars.next();
+                Ok(Filter::Not(Box::new(self.parse_filter()?)))
+            }
+            _ => self.parse_item(),
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<Vec<Filter>> {
+        let mut out = Vec::new();
+        while matches!(self.chars.peek(), Some((_, '('))) {
+            out.push(self.parse_filter()?);
+        }
+        if out.is_empty() {
+            return Err(LdapError::protocol(format!(
+                "empty filter list in `{}`",
+                self.src
+            )));
+        }
+        Ok(out)
+    }
+
+    /// attr OP value, where OP ∈ {=, >=, <=, ~=} and value may contain `*`.
+    fn parse_item(&mut self) -> Result<Filter> {
+        let mut attr = String::new();
+        let mut op = '=';
+        loop {
+            match self.chars.peek().copied() {
+                Some((_, '=')) => {
+                    self.chars.next();
+                    break;
+                }
+                Some((_, c)) if c == '>' || c == '<' || c == '~' => {
+                    self.chars.next();
+                    match self.chars.next() {
+                        Some((_, '=')) => {
+                            op = c;
+                            break;
+                        }
+                        _ => {
+                            return Err(LdapError::protocol(format!(
+                                "expected `=` after `{c}` in `{}`",
+                                self.src
+                            )))
+                        }
+                    }
+                }
+                Some((_, c)) if c == '(' || c == ')' => {
+                    return Err(LdapError::protocol(format!(
+                        "unexpected `{c}` in attribute of `{}`",
+                        self.src
+                    )))
+                }
+                Some((_, c)) => {
+                    attr.push(c);
+                    self.chars.next();
+                }
+                None => {
+                    return Err(LdapError::protocol(format!(
+                        "truncated filter `{}`",
+                        self.src
+                    )))
+                }
+            }
+        }
+        let attr = attr.trim().to_string();
+        if attr.is_empty() {
+            return Err(LdapError::protocol("empty attribute in filter"));
+        }
+        // value: read until ')' (unescaped); '*' splits substring parts.
+        let mut parts: Vec<String> = vec![String::new()];
+        let mut saw_star = false;
+        while let Some((_, c)) = self.chars.peek().copied() {
+            match c {
+                ')' => break,
+                '*' => {
+                    saw_star = true;
+                    parts.push(String::new());
+                    self.chars.next();
+                }
+                '\\' => {
+                    self.chars.next();
+                    // RFC 2254 escapes: \XX hex
+                    let h1 = self.chars.next();
+                    let h2 = self.chars.next();
+                    match (h1, h2) {
+                        (Some((_, a)), Some((_, b)))
+                            if a.is_ascii_hexdigit() && b.is_ascii_hexdigit() =>
+                        {
+                            let byte =
+                                u8::from_str_radix(&format!("{a}{b}"), 16).expect("hex");
+                            parts.last_mut().unwrap().push(byte as char);
+                        }
+                        _ => return Err(LdapError::protocol("bad filter escape")),
+                    }
+                }
+                other => {
+                    parts.last_mut().unwrap().push(other);
+                    self.chars.next();
+                }
+            }
+        }
+        match op {
+            '>' => return Ok(Filter::GreaterOrEqual(attr, parts.concat())),
+            '<' => return Ok(Filter::LessOrEqual(attr, parts.concat())),
+            '~' => return Ok(Filter::Approx(attr, parts.concat())),
+            _ => {}
+        }
+        if !saw_star {
+            return Ok(Filter::Equality(attr, parts.concat()));
+        }
+        // presence: single `*`
+        if parts.len() == 2 && parts[0].is_empty() && parts[1].is_empty() {
+            return Ok(Filter::Present(attr));
+        }
+        let n = parts.len();
+        let initial = if parts[0].is_empty() {
+            None
+        } else {
+            Some(parts[0].clone())
+        };
+        let final_ = if parts[n - 1].is_empty() {
+            None
+        } else {
+            Some(parts[n - 1].clone())
+        };
+        let any = parts[1..n - 1]
+            .iter()
+            .filter(|p| !p.is_empty())
+            .cloned()
+            .collect();
+        Ok(Filter::Substring {
+            attr,
+            initial,
+            any,
+            final_,
+        })
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::And(fs) => {
+                f.write_str("(&")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                f.write_str(")")
+            }
+            Filter::Or(fs) => {
+                f.write_str("(|")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                f.write_str(")")
+            }
+            Filter::Not(x) => write!(f, "(!{x})"),
+            Filter::Equality(a, v) => write!(f, "({a}={})", escape(v)),
+            Filter::Substring {
+                attr,
+                initial,
+                any,
+                final_,
+            } => {
+                write!(f, "({attr}=")?;
+                if let Some(i) = initial {
+                    write!(f, "{}", escape(i))?;
+                }
+                f.write_str("*")?;
+                for a in any {
+                    write!(f, "{}*", escape(a))?;
+                }
+                if let Some(x) = final_ {
+                    write!(f, "{}", escape(x))?;
+                }
+                f.write_str(")")
+            }
+            Filter::GreaterOrEqual(a, v) => write!(f, "({a}>={})", escape(v)),
+            Filter::LessOrEqual(a, v) => write!(f, "({a}<={})", escape(v)),
+            Filter::Present(a) => write!(f, "({a}=*)"),
+            Filter::Approx(a, v) => write!(f, "({a}~={})", escape(v)),
+        }
+    }
+}
+
+fn escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '*' => out.push_str("\\2a"),
+            '(' => out.push_str("\\28"),
+            ')' => out.push_str("\\29"),
+            '\\' => out.push_str("\\5c"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dn::Dn;
+
+    fn entry() -> Entry {
+        Entry::with_attrs(
+            Dn::parse("cn=John Doe,o=Lucent").unwrap(),
+            [
+                ("objectClass", "top"),
+                ("objectClass", "person"),
+                ("cn", "John Doe"),
+                ("sn", "Doe"),
+                ("telephoneNumber", "+1 908 582 9123"),
+                ("definityExtension", "9123"),
+            ],
+        )
+    }
+
+    #[test]
+    fn equality() {
+        let f = Filter::parse("(cn=john doe)").unwrap();
+        assert!(f.matches(&entry()));
+        assert!(!Filter::parse("(cn=jane)").unwrap().matches(&entry()));
+    }
+
+    #[test]
+    fn bare_item_without_parens() {
+        let f = Filter::parse("sn=Doe").unwrap();
+        assert!(f.matches(&entry()));
+    }
+
+    #[test]
+    fn presence() {
+        assert!(Filter::parse("(telephoneNumber=*)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(mail=*)").unwrap().matches(&entry()));
+        assert_eq!(Filter::parse("(cn=*)").unwrap(), Filter::Present("cn".into()));
+    }
+
+    #[test]
+    fn substring_forms() {
+        assert!(Filter::parse("(cn=John*)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(cn=*Doe)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(cn=*ohn*)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(cn=J*n*oe)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(cn=J*x*)").unwrap().matches(&entry()));
+        // ordering constraint: parts must appear in order
+        assert!(!Filter::parse("(cn=Doe*John)").unwrap().matches(&entry()));
+    }
+
+    #[test]
+    fn and_or_not() {
+        let f = Filter::parse("(&(objectClass=person)(cn=J*))").unwrap();
+        assert!(f.matches(&entry()));
+        let f = Filter::parse("(|(cn=nobody)(sn=doe))").unwrap();
+        assert!(f.matches(&entry()));
+        let f = Filter::parse("(!(cn=nobody))").unwrap();
+        assert!(f.matches(&entry()));
+        let f = Filter::parse("(&(objectClass=person)(!(sn=Doe)))").unwrap();
+        assert!(!f.matches(&entry()));
+    }
+
+    #[test]
+    fn numeric_ordering() {
+        assert!(Filter::parse("(definityExtension>=9000)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(definityExtension<=9123)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(definityExtension>=9124)").unwrap().matches(&entry()));
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert!(Filter::parse("(sn>=D)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(sn<=A)").unwrap().matches(&entry()));
+    }
+
+    #[test]
+    fn approx() {
+        assert!(Filter::parse("(cn~=JOHN-DOE)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(cn~=j.o.h.n doe)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(cn~=jon doe)").unwrap().matches(&entry()));
+    }
+
+    #[test]
+    fn escapes_in_value() {
+        let f = Filter::parse(r"(cn=a\2ab)").unwrap();
+        assert_eq!(f, Filter::Equality("cn".into(), "a*b".into()));
+        let round = Filter::parse(&f.to_string()).unwrap();
+        assert_eq!(round, f);
+    }
+
+    #[test]
+    fn malformed_filters_rejected() {
+        for bad in ["", "(", "(cn=x", "(&)", "(cn>x)", "(cn=x))", "()", "(!)"] {
+            assert!(Filter::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in [
+            "(&(objectClass=person)(|(cn=J*n)(sn>=A))(!(mail=*)))",
+            "(cn=J*n*oe)",
+            "(cn~=jd)",
+            "(telephoneNumber<=99)",
+        ] {
+            let f = Filter::parse(s).unwrap();
+            let g = Filter::parse(&f.to_string()).unwrap();
+            assert_eq!(f, g, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn match_all_matches_everything() {
+        assert!(Filter::match_all().matches(&entry()));
+    }
+}

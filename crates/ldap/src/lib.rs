@@ -1,0 +1,48 @@
+//! # ldap — directory substrate for the MetaComm reproduction
+//!
+//! A from-scratch LDAP directory implementation providing everything the
+//! MetaComm meta-directory (Freire et al., ICDE 2000) assumes of its
+//! directory server:
+//!
+//! - the X.500 data model: [`dn::Dn`]s, multi-valued attributes,
+//!   [`entry::Entry`]s arranged in a [`dit::Dit`] tree;
+//! - a [`schema::Schema`] with structural and auxiliary object classes —
+//!   including the auxiliary-class restrictions the paper's integrated
+//!   schema design works around;
+//! - RFC 2254 search [`filter::Filter`]s;
+//! - the LDAP update model: atomic single-entry add/delete/modify/modifyRDN,
+//!   **no multi-entry transactions** (the weakness MetaComm's Update Manager
+//!   is built to survive);
+//! - LDIF import/export ([`ldif`]);
+//! - an LDAPv3 wire subset: BER codec ([`ber`]), message layer ([`proto`]),
+//!   a threaded TCP [`server`] and [`client`];
+//! - lazy multi-master [`repl`]ication with the relaxed write-write
+//!   consistency the paper describes directories as having.
+//!
+//! The [`directory::Directory`] trait unifies the in-process DIT, the TCP
+//! client, and (in the `ltap` crate) the trigger gateway.
+
+pub mod attr;
+pub mod backup;
+pub mod ber;
+pub mod client;
+pub mod directory;
+pub mod dit;
+pub mod dn;
+pub mod entry;
+pub mod error;
+pub mod filter;
+pub mod ldif;
+pub mod proto;
+pub mod repl;
+pub mod schema;
+pub mod server;
+
+pub use attr::{AttrName, Attribute};
+pub use directory::Directory;
+pub use dit::{ChangeOp, ChangeRecord, Dit, Scope};
+pub use dn::{Ava, Dn, Rdn};
+pub use entry::{Entry, ModOp, Modification};
+pub use error::{LdapError, Result, ResultCode};
+pub use filter::Filter;
+pub use schema::{AttributeType, ClassKind, ObjectClass, Schema, SchemaRef, Syntax};

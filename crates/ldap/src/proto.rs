@@ -1,0 +1,780 @@
+//! LDAPv3 message layer (RFC 2251 subset): protocol-op types, BER
+//! encode/decode, and stream framing.
+//!
+//! Covered ops: Bind, Unbind, Search (+ entry/done), Modify, Add, Delete,
+//! ModifyDN, Compare. Controls, SASL, referrals and extended ops are out of
+//! scope — MetaComm does not use them.
+
+use crate::ber::{self, Reader, Writer};
+use crate::dit::Scope;
+use crate::dn::{Dn, Rdn};
+use crate::entry::{Entry, ModOp, Modification};
+use crate::error::{LdapError, Result, ResultCode};
+use crate::filter::Filter;
+use std::io::Read;
+
+/// An LDAPMessage: id + protocol op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdapMessage {
+    pub id: i64,
+    pub op: ProtocolOp,
+}
+
+/// The LDAPResult wire structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdapResult {
+    pub code: ResultCode,
+    pub matched_dn: String,
+    pub message: String,
+}
+
+impl LdapResult {
+    pub fn success() -> LdapResult {
+        LdapResult {
+            code: ResultCode::Success,
+            matched_dn: String::new(),
+            message: String::new(),
+        }
+    }
+
+    pub fn error(e: &LdapError) -> LdapResult {
+        LdapResult {
+            code: e.code,
+            matched_dn: String::new(),
+            message: e.message.clone(),
+        }
+    }
+
+    /// Convert to `Err` unless the code is non-error.
+    pub fn into_result(self) -> Result<LdapResult> {
+        if self.code.is_non_error() {
+            Ok(self)
+        } else {
+            Err(LdapError::new(self.code, self.message))
+        }
+    }
+}
+
+/// Protocol operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolOp {
+    BindRequest {
+        version: i64,
+        dn: String,
+        password: String,
+    },
+    BindResponse(LdapResult),
+    UnbindRequest,
+    SearchRequest {
+        base: String,
+        scope: Scope,
+        size_limit: i64,
+        filter: Filter,
+        attrs: Vec<String>,
+    },
+    SearchResultEntry {
+        dn: String,
+        attrs: Vec<(String, Vec<String>)>,
+    },
+    SearchResultDone(LdapResult),
+    ModifyRequest {
+        dn: String,
+        mods: Vec<Modification>,
+    },
+    ModifyResponse(LdapResult),
+    AddRequest {
+        dn: String,
+        attrs: Vec<(String, Vec<String>)>,
+    },
+    AddResponse(LdapResult),
+    DelRequest {
+        dn: String,
+    },
+    DelResponse(LdapResult),
+    ModifyDnRequest {
+        dn: String,
+        new_rdn: String,
+        delete_old: bool,
+        new_superior: Option<String>,
+    },
+    ModifyDnResponse(LdapResult),
+    CompareRequest {
+        dn: String,
+        attr: String,
+        value: String,
+    },
+    CompareResponse(LdapResult),
+}
+
+// Application tags (RFC 2251 §4).
+const OP_BIND_REQ: u8 = 0;
+const OP_BIND_RESP: u8 = 1;
+const OP_UNBIND: u8 = 2;
+const OP_SEARCH_REQ: u8 = 3;
+const OP_SEARCH_ENTRY: u8 = 4;
+const OP_SEARCH_DONE: u8 = 5;
+const OP_MODIFY_REQ: u8 = 6;
+const OP_MODIFY_RESP: u8 = 7;
+const OP_ADD_REQ: u8 = 8;
+const OP_ADD_RESP: u8 = 9;
+const OP_DEL_REQ: u8 = 10;
+const OP_DEL_RESP: u8 = 11;
+const OP_MODDN_REQ: u8 = 12;
+const OP_MODDN_RESP: u8 = 13;
+const OP_COMPARE_REQ: u8 = 14;
+const OP_COMPARE_RESP: u8 = 15;
+
+impl LdapMessage {
+    /// Encode to the wire form (a complete BER TLV).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.sequence(|w| {
+            w.integer(self.id);
+            encode_op(w, &self.op);
+        });
+        w.into_bytes()
+    }
+
+    /// Decode one message from a complete frame.
+    pub fn decode(frame: &[u8]) -> Result<LdapMessage> {
+        let mut r = Reader::new(frame);
+        let mut seq = r.sequence()?;
+        let id = seq.integer()?;
+        let op = decode_op(&mut seq)?;
+        Ok(LdapMessage { id, op })
+    }
+}
+
+fn encode_result(w: &mut Writer, tag: u8, res: &LdapResult) {
+    w.constructed(ber::app(tag), |w| {
+        w.enumerated(i64::from(res.code.code()));
+        w.str(&res.matched_dn);
+        w.str(&res.message);
+    });
+}
+
+fn encode_op(w: &mut Writer, op: &ProtocolOp) {
+    match op {
+        ProtocolOp::BindRequest {
+            version,
+            dn,
+            password,
+        } => w.constructed(ber::app(OP_BIND_REQ), |w| {
+            w.integer(*version);
+            w.str(dn);
+            // simple auth: context primitive 0
+            w.octet_string_tagged(ber::ctx_prim(0), password.as_bytes());
+        }),
+        ProtocolOp::BindResponse(r) => encode_result(w, OP_BIND_RESP, r),
+        ProtocolOp::UnbindRequest => {
+            w.tlv(ber::app_prim(OP_UNBIND), &[]);
+        }
+        ProtocolOp::SearchRequest {
+            base,
+            scope,
+            size_limit,
+            filter,
+            attrs,
+        } => w.constructed(ber::app(OP_SEARCH_REQ), |w| {
+            w.str(base);
+            w.enumerated(i64::from(scope.code()));
+            w.enumerated(0); // derefAliases: never
+            w.integer(*size_limit);
+            w.integer(0); // timeLimit
+            w.boolean(false); // typesOnly
+            encode_filter(w, filter);
+            w.sequence(|w| {
+                for a in attrs {
+                    w.str(a);
+                }
+            });
+        }),
+        ProtocolOp::SearchResultEntry { dn, attrs } => {
+            w.constructed(ber::app(OP_SEARCH_ENTRY), |w| {
+                w.str(dn);
+                w.sequence(|w| {
+                    for (name, values) in attrs {
+                        w.sequence(|w| {
+                            w.str(name);
+                            w.set(|w| {
+                                for v in values {
+                                    w.str(v);
+                                }
+                            });
+                        });
+                    }
+                });
+            })
+        }
+        ProtocolOp::SearchResultDone(r) => encode_result(w, OP_SEARCH_DONE, r),
+        ProtocolOp::ModifyRequest { dn, mods } => {
+            w.constructed(ber::app(OP_MODIFY_REQ), |w| {
+                w.str(dn);
+                w.sequence(|w| {
+                    for m in mods {
+                        w.sequence(|w| {
+                            w.enumerated(match m.op {
+                                ModOp::Add => 0,
+                                ModOp::Delete => 1,
+                                ModOp::Replace => 2,
+                            });
+                            w.sequence(|w| {
+                                w.str(m.attr.as_str());
+                                w.set(|w| {
+                                    for v in &m.values {
+                                        w.str(v);
+                                    }
+                                });
+                            });
+                        });
+                    }
+                });
+            })
+        }
+        ProtocolOp::ModifyResponse(r) => encode_result(w, OP_MODIFY_RESP, r),
+        ProtocolOp::AddRequest { dn, attrs } => {
+            w.constructed(ber::app(OP_ADD_REQ), |w| {
+                w.str(dn);
+                w.sequence(|w| {
+                    for (name, values) in attrs {
+                        w.sequence(|w| {
+                            w.str(name);
+                            w.set(|w| {
+                                for v in values {
+                                    w.str(v);
+                                }
+                            });
+                        });
+                    }
+                });
+            })
+        }
+        ProtocolOp::AddResponse(r) => encode_result(w, OP_ADD_RESP, r),
+        ProtocolOp::DelRequest { dn } => {
+            w.octet_string_tagged(ber::app_prim(OP_DEL_REQ), dn.as_bytes());
+        }
+        ProtocolOp::DelResponse(r) => encode_result(w, OP_DEL_RESP, r),
+        ProtocolOp::ModifyDnRequest {
+            dn,
+            new_rdn,
+            delete_old,
+            new_superior,
+        } => w.constructed(ber::app(OP_MODDN_REQ), |w| {
+            w.str(dn);
+            w.str(new_rdn);
+            w.boolean(*delete_old);
+            if let Some(sup) = new_superior {
+                w.octet_string_tagged(ber::ctx_prim(0), sup.as_bytes());
+            }
+        }),
+        ProtocolOp::ModifyDnResponse(r) => encode_result(w, OP_MODDN_RESP, r),
+        ProtocolOp::CompareRequest { dn, attr, value } => {
+            w.constructed(ber::app(OP_COMPARE_REQ), |w| {
+                w.str(dn);
+                w.sequence(|w| {
+                    w.str(attr);
+                    w.str(value);
+                });
+            })
+        }
+        ProtocolOp::CompareResponse(r) => encode_result(w, OP_COMPARE_RESP, r),
+    }
+}
+
+fn decode_result(body: &[u8]) -> Result<LdapResult> {
+    let mut r = Reader::new(body);
+    let code = ResultCode::from_code(r.enumerated()? as u32);
+    let matched_dn = r.string()?;
+    let message = r.string()?;
+    Ok(LdapResult {
+        code,
+        matched_dn,
+        message,
+    })
+}
+
+fn decode_partial_attrs(r: &mut Reader) -> Result<Vec<(String, Vec<String>)>> {
+    let mut attrs = Vec::new();
+    let mut list = r.sequence()?;
+    while !list.is_empty() {
+        let mut item = list.sequence()?;
+        let name = item.string()?;
+        let mut vals = item.sub(ber::TAG_SET)?;
+        let mut values = Vec::new();
+        while !vals.is_empty() {
+            values.push(vals.string()?);
+        }
+        attrs.push((name, values));
+    }
+    Ok(attrs)
+}
+
+fn decode_op(r: &mut Reader) -> Result<ProtocolOp> {
+    let (tag, body) = r.tlv()?;
+    let mut b = Reader::new(body);
+    let app_tag = tag & 0x1F;
+    match (tag & 0xE0, app_tag) {
+        (0x60, OP_BIND_REQ) => {
+            let version = b.integer()?;
+            let dn = b.string()?;
+            let password = match b.peek_tag() {
+                Some(t) if t == ber::ctx_prim(0) => {
+                    String::from_utf8(b.expect(t)?.to_vec())
+                        .map_err(|_| LdapError::protocol("non-UTF-8 password"))?
+                }
+                _ => String::new(),
+            };
+            Ok(ProtocolOp::BindRequest {
+                version,
+                dn,
+                password,
+            })
+        }
+        (0x60, OP_BIND_RESP) => Ok(ProtocolOp::BindResponse(decode_result(body)?)),
+        (0x40, OP_UNBIND) | (0x60, OP_UNBIND) => Ok(ProtocolOp::UnbindRequest),
+        (0x60, OP_SEARCH_REQ) => {
+            let base = b.string()?;
+            let scope = Scope::from_code(b.enumerated()? as u32)?;
+            let _deref = b.enumerated()?;
+            let size_limit = b.integer()?;
+            let _time_limit = b.integer()?;
+            let _types_only = b.boolean()?;
+            let filter = decode_filter(&mut b)?;
+            let mut attr_list = b.sequence()?;
+            let mut attrs = Vec::new();
+            while !attr_list.is_empty() {
+                attrs.push(attr_list.string()?);
+            }
+            Ok(ProtocolOp::SearchRequest {
+                base,
+                scope,
+                size_limit,
+                filter,
+                attrs,
+            })
+        }
+        (0x60, OP_SEARCH_ENTRY) => {
+            let dn = b.string()?;
+            let attrs = decode_partial_attrs(&mut b)?;
+            Ok(ProtocolOp::SearchResultEntry { dn, attrs })
+        }
+        (0x60, OP_SEARCH_DONE) => Ok(ProtocolOp::SearchResultDone(decode_result(body)?)),
+        (0x60, OP_MODIFY_REQ) => {
+            let dn = b.string()?;
+            let mut list = b.sequence()?;
+            let mut mods = Vec::new();
+            while !list.is_empty() {
+                let mut item = list.sequence()?;
+                let op = match item.enumerated()? {
+                    0 => ModOp::Add,
+                    1 => ModOp::Delete,
+                    2 => ModOp::Replace,
+                    other => {
+                        return Err(LdapError::protocol(format!("bad mod op {other}")))
+                    }
+                };
+                let mut ava = item.sequence()?;
+                let attr = ava.string()?;
+                let mut vals = ava.sub(ber::TAG_SET)?;
+                let mut values = Vec::new();
+                while !vals.is_empty() {
+                    values.push(vals.string()?);
+                }
+                mods.push(Modification {
+                    op,
+                    attr: attr.into(),
+                    values,
+                });
+            }
+            Ok(ProtocolOp::ModifyRequest { dn, mods })
+        }
+        (0x60, OP_MODIFY_RESP) => Ok(ProtocolOp::ModifyResponse(decode_result(body)?)),
+        (0x60, OP_ADD_REQ) => {
+            let dn = b.string()?;
+            let attrs = decode_partial_attrs(&mut b)?;
+            Ok(ProtocolOp::AddRequest { dn, attrs })
+        }
+        (0x60, OP_ADD_RESP) => Ok(ProtocolOp::AddResponse(decode_result(body)?)),
+        (0x40, OP_DEL_REQ) => {
+            let dn = String::from_utf8(body.to_vec())
+                .map_err(|_| LdapError::protocol("non-UTF-8 DN"))?;
+            Ok(ProtocolOp::DelRequest { dn })
+        }
+        (0x60, OP_DEL_RESP) => Ok(ProtocolOp::DelResponse(decode_result(body)?)),
+        (0x60, OP_MODDN_REQ) => {
+            let dn = b.string()?;
+            let new_rdn = b.string()?;
+            let delete_old = b.boolean()?;
+            let new_superior = match b.peek_tag() {
+                Some(t) if t == ber::ctx_prim(0) => Some(
+                    String::from_utf8(b.expect(t)?.to_vec())
+                        .map_err(|_| LdapError::protocol("non-UTF-8 newSuperior"))?,
+                ),
+                _ => None,
+            };
+            Ok(ProtocolOp::ModifyDnRequest {
+                dn,
+                new_rdn,
+                delete_old,
+                new_superior,
+            })
+        }
+        (0x60, OP_MODDN_RESP) => Ok(ProtocolOp::ModifyDnResponse(decode_result(body)?)),
+        (0x60, OP_COMPARE_REQ) => {
+            let dn = b.string()?;
+            let mut ava = b.sequence()?;
+            let attr = ava.string()?;
+            let value = ava.string()?;
+            Ok(ProtocolOp::CompareRequest { dn, attr, value })
+        }
+        (0x60, OP_COMPARE_RESP) => Ok(ProtocolOp::CompareResponse(decode_result(body)?)),
+        _ => Err(LdapError::protocol(format!(
+            "unknown protocol op tag 0x{tag:02x}"
+        ))),
+    }
+}
+
+/// Filter encoding (RFC 2251 §4.5.1 context tags).
+fn encode_filter(w: &mut Writer, f: &Filter) {
+    match f {
+        Filter::And(fs) => w.constructed(ber::ctx(0), |w| {
+            for x in fs {
+                encode_filter(w, x);
+            }
+        }),
+        Filter::Or(fs) => w.constructed(ber::ctx(1), |w| {
+            for x in fs {
+                encode_filter(w, x);
+            }
+        }),
+        Filter::Not(x) => w.constructed(ber::ctx(2), |w| encode_filter(w, x)),
+        Filter::Equality(a, v) => w.constructed(ber::ctx(3), |w| {
+            w.str(a);
+            w.str(v);
+        }),
+        Filter::Substring {
+            attr,
+            initial,
+            any,
+            final_,
+        } => w.constructed(ber::ctx(4), |w| {
+            w.str(attr);
+            w.sequence(|w| {
+                if let Some(i) = initial {
+                    w.octet_string_tagged(ber::ctx_prim(0), i.as_bytes());
+                }
+                for a in any {
+                    w.octet_string_tagged(ber::ctx_prim(1), a.as_bytes());
+                }
+                if let Some(x) = final_ {
+                    w.octet_string_tagged(ber::ctx_prim(2), x.as_bytes());
+                }
+            });
+        }),
+        Filter::GreaterOrEqual(a, v) => w.constructed(ber::ctx(5), |w| {
+            w.str(a);
+            w.str(v);
+        }),
+        Filter::LessOrEqual(a, v) => w.constructed(ber::ctx(6), |w| {
+            w.str(a);
+            w.str(v);
+        }),
+        Filter::Present(a) => w.octet_string_tagged(ber::ctx_prim(7), a.as_bytes()),
+        Filter::Approx(a, v) => w.constructed(ber::ctx(8), |w| {
+            w.str(a);
+            w.str(v);
+        }),
+    }
+}
+
+fn decode_filter(r: &mut Reader) -> Result<Filter> {
+    let (tag, body) = r.tlv()?;
+    let mut b = Reader::new(body);
+    match tag {
+        t if t == ber::ctx(0) || t == ber::ctx(1) => {
+            let mut parts = Vec::new();
+            while !b.is_empty() {
+                parts.push(decode_filter(&mut b)?);
+            }
+            if parts.is_empty() {
+                return Err(LdapError::protocol("empty and/or filter"));
+            }
+            Ok(if tag == ber::ctx(0) {
+                Filter::And(parts)
+            } else {
+                Filter::Or(parts)
+            })
+        }
+        t if t == ber::ctx(2) => Ok(Filter::Not(Box::new(decode_filter(&mut b)?))),
+        t if t == ber::ctx(3) => Ok(Filter::Equality(b.string()?, b.string()?)),
+        t if t == ber::ctx(4) => {
+            let attr = b.string()?;
+            let mut parts = b.sequence()?;
+            let (mut initial, mut any, mut final_) = (None, Vec::new(), None);
+            while !parts.is_empty() {
+                let (ptag, pbody) = parts.tlv()?;
+                let s = String::from_utf8(pbody.to_vec())
+                    .map_err(|_| LdapError::protocol("non-UTF-8 substring"))?;
+                match ptag {
+                    t if t == ber::ctx_prim(0) => initial = Some(s),
+                    t if t == ber::ctx_prim(1) => any.push(s),
+                    t if t == ber::ctx_prim(2) => final_ = Some(s),
+                    other => {
+                        return Err(LdapError::protocol(format!(
+                            "bad substring tag 0x{other:02x}"
+                        )))
+                    }
+                }
+            }
+            Ok(Filter::Substring {
+                attr,
+                initial,
+                any,
+                final_,
+            })
+        }
+        t if t == ber::ctx(5) => Ok(Filter::GreaterOrEqual(b.string()?, b.string()?)),
+        t if t == ber::ctx(6) => Ok(Filter::LessOrEqual(b.string()?, b.string()?)),
+        t if t == ber::ctx_prim(7) => Ok(Filter::Present(
+            String::from_utf8(body.to_vec())
+                .map_err(|_| LdapError::protocol("non-UTF-8 attribute"))?,
+        )),
+        t if t == ber::ctx(8) => Ok(Filter::Approx(b.string()?, b.string()?)),
+        other => Err(LdapError::protocol(format!(
+            "unknown filter tag 0x{other:02x}"
+        ))),
+    }
+}
+
+/// Read one complete BER frame (tag + length + body) from a stream.
+/// Returns `None` on clean EOF at a frame boundary.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut head = [0u8; 2];
+    let mut read = 0;
+    while read < 2 {
+        let n = stream.read(&mut head[read..])?;
+        if n == 0 {
+            if read == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated BER frame header",
+            ));
+        }
+        read += n;
+    }
+    let mut frame = head.to_vec();
+    let body_len = if head[1] < 0x80 {
+        head[1] as usize
+    } else {
+        let n = (head[1] & 0x7F) as usize;
+        if n == 0 || n > 8 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unsupported BER length",
+            ));
+        }
+        let mut ext = vec![0u8; n];
+        stream.read_exact(&mut ext)?;
+        let mut len = 0usize;
+        for b in &ext {
+            len = (len << 8) | *b as usize;
+        }
+        frame.extend_from_slice(&ext);
+        len
+    };
+    if body_len > 64 * 1024 * 1024 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "BER frame too large",
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    stream.read_exact(&mut body)?;
+    frame.extend_from_slice(&body);
+    Ok(Some(frame))
+}
+
+/// Convert an [`Entry`] to the wire attribute list.
+pub fn entry_to_wire(e: &Entry) -> (String, Vec<(String, Vec<String>)>) {
+    (
+        e.dn().to_string(),
+        e.attributes()
+            .map(|a| (a.name.as_str().to_string(), a.values.clone()))
+            .collect(),
+    )
+}
+
+/// Convert a wire attribute list back to an [`Entry`].
+pub fn entry_from_wire(dn: &str, attrs: &[(String, Vec<String>)]) -> Result<Entry> {
+    let mut e = Entry::new(Dn::parse(dn)?);
+    for (name, values) in attrs {
+        for v in values {
+            e.add_value(name.as_str(), v.clone());
+        }
+    }
+    Ok(e)
+}
+
+/// Parse the string forms used in requests.
+pub fn parse_rdn(s: &str) -> Result<Rdn> {
+    Rdn::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(op: ProtocolOp) {
+        let msg = LdapMessage { id: 42, op };
+        let bytes = msg.encode();
+        let decoded = LdapMessage::decode(&bytes).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn bind_round_trip() {
+        round_trip(ProtocolOp::BindRequest {
+            version: 3,
+            dn: "cn=admin,o=Lucent".into(),
+            password: "secret".into(),
+        });
+        round_trip(ProtocolOp::BindResponse(LdapResult::success()));
+    }
+
+    #[test]
+    fn unbind_round_trip() {
+        round_trip(ProtocolOp::UnbindRequest);
+    }
+
+    #[test]
+    fn search_round_trip() {
+        round_trip(ProtocolOp::SearchRequest {
+            base: "o=Lucent".into(),
+            scope: Scope::Sub,
+            size_limit: 100,
+            filter: Filter::parse("(&(objectClass=person)(|(cn=J*n)(sn>=A))(!(mail=*))(cn~=jd)(x<=9))")
+                .unwrap(),
+            attrs: vec!["cn".into(), "sn".into()],
+        });
+        round_trip(ProtocolOp::SearchResultEntry {
+            dn: "cn=J,o=Lucent".into(),
+            attrs: vec![
+                ("cn".into(), vec!["J".into()]),
+                ("objectClass".into(), vec!["top".into(), "person".into()]),
+            ],
+        });
+        round_trip(ProtocolOp::SearchResultDone(LdapResult::success()));
+    }
+
+    #[test]
+    fn modify_round_trip() {
+        round_trip(ProtocolOp::ModifyRequest {
+            dn: "cn=J,o=Lucent".into(),
+            mods: vec![
+                Modification::set("telephoneNumber", "9123"),
+                Modification::delete_attr("mail"),
+                Modification::add("ou", vec!["a".into(), "b".into()]),
+            ],
+        });
+    }
+
+    #[test]
+    fn add_delete_round_trip() {
+        round_trip(ProtocolOp::AddRequest {
+            dn: "cn=J,o=Lucent".into(),
+            attrs: vec![("cn".into(), vec!["J".into()])],
+        });
+        round_trip(ProtocolOp::DelRequest {
+            dn: "cn=J,o=Lucent".into(),
+        });
+        round_trip(ProtocolOp::DelResponse(LdapResult {
+            code: ResultCode::NoSuchObject,
+            matched_dn: "o=Lucent".into(),
+            message: "nope".into(),
+        }));
+    }
+
+    #[test]
+    fn moddn_round_trip() {
+        round_trip(ProtocolOp::ModifyDnRequest {
+            dn: "cn=J,o=Lucent".into(),
+            new_rdn: "cn=K".into(),
+            delete_old: true,
+            new_superior: None,
+        });
+        round_trip(ProtocolOp::ModifyDnRequest {
+            dn: "cn=J,o=Lucent".into(),
+            new_rdn: "cn=K".into(),
+            delete_old: false,
+            new_superior: Some("o=R&D,o=Lucent".into()),
+        });
+    }
+
+    #[test]
+    fn compare_round_trip() {
+        round_trip(ProtocolOp::CompareRequest {
+            dn: "cn=J,o=Lucent".into(),
+            attr: "sn".into(),
+            value: "Doe".into(),
+        });
+        round_trip(ProtocolOp::CompareResponse(LdapResult {
+            code: ResultCode::CompareTrue,
+            matched_dn: String::new(),
+            message: String::new(),
+        }));
+    }
+
+    #[test]
+    fn frame_reader_handles_stream() {
+        let m1 = LdapMessage {
+            id: 1,
+            op: ProtocolOp::DelRequest { dn: "cn=a".into() },
+        };
+        let m2 = LdapMessage {
+            id: 2,
+            op: ProtocolOp::SearchResultEntry {
+                dn: "cn=b".into(),
+                attrs: vec![("description".into(), vec!["x".repeat(300)])],
+            },
+        };
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend(m1.encode());
+        stream.extend(m2.encode());
+        let mut cursor = std::io::Cursor::new(stream);
+        let f1 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(LdapMessage::decode(&f1).unwrap(), m1);
+        let f2 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(LdapMessage::decode(&f2).unwrap(), m2);
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let m = LdapMessage {
+            id: 1,
+            op: ProtocolOp::DelRequest { dn: "cn=a".into() },
+        };
+        let bytes = m.encode();
+        let mut cursor = std::io::Cursor::new(&bytes[..bytes.len() - 1]);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn entry_wire_round_trip() {
+        let e = Entry::with_attrs(
+            Dn::parse("cn=J,o=L").unwrap(),
+            [("cn", "J"), ("sn", "D"), ("ou", "a"), ("ou", "b")],
+        );
+        let (dn, attrs) = entry_to_wire(&e);
+        let back = entry_from_wire(&dn, &attrs).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(LdapMessage::decode(&[0x01, 0x02, 0x03]).is_err());
+        assert!(LdapMessage::decode(&[]).is_err());
+    }
+}

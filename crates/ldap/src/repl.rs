@@ -1,0 +1,405 @@
+//! Lazy multi-master replication with relaxed write-write consistency.
+//!
+//! Section 2 of the paper: "LDAP servers make extensive use of replication
+//! to make directory information highly available … directory systems
+//! maintain a relaxed write-write consistency by ensuring that updates
+//! eventually result in the same values for object attributes being present
+//! in each copy of the object."
+//!
+//! This module models exactly that guarantee: replicas accept writes
+//! independently, stamp each *attribute* write with a Lamport clock
+//! (total-ordered by `(time, replica-id)`), and reconcile pairwise with
+//! last-writer-wins per attribute plus entry-level create/delete tombstones.
+//! After any sequence of anti-entropy exchanges that connects all replicas,
+//! every replica holds the same attribute values — the property MetaComm
+//! *extends* to meta-directory updates by reapplying DDUs (see the
+//! `metacomm` crate).
+
+use crate::attr::Attribute;
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::error::{LdapError, Result, ResultCode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A replication stamp: Lamport time, tie-broken by replica id.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Stamp {
+    pub time: u64,
+    pub replica: String,
+}
+
+/// Canonical digest form: `(normalized DN, sorted attribute/value sets)`.
+pub type Digest = Vec<(String, Vec<(String, Vec<String>)>)>;
+
+/// One replicated entry with per-attribute stamps.
+#[derive(Debug, Clone)]
+struct ReplEntry {
+    /// Display DN (kept for exports).
+    dn: Dn,
+    /// attribute (normalized name) → (values, stamp of last write)
+    attrs: HashMap<String, (Attribute, Stamp)>,
+    created: Stamp,
+    deleted: Option<Stamp>,
+}
+
+impl ReplEntry {
+    fn is_visible(&self) -> bool {
+        match &self.deleted {
+            None => true,
+            Some(d) => self.created > *d,
+        }
+    }
+}
+
+/// One replica of a replicated directory partition.
+pub struct Replica {
+    id: String,
+    state: Mutex<State>,
+}
+
+struct State {
+    clock: u64,
+    entries: HashMap<String, ReplEntry>,
+}
+
+impl Replica {
+    pub fn new(id: impl Into<String>) -> Replica {
+        Replica {
+            id: id.into(),
+            state: Mutex::new(State {
+                clock: 0,
+                entries: HashMap::new(),
+            }),
+        }
+    }
+
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn tick(&self, state: &mut State) -> Stamp {
+        state.clock += 1;
+        Stamp {
+            time: state.clock,
+            replica: self.id.clone(),
+        }
+    }
+
+    /// Create (or resurrect) an entry with the given attribute image.
+    pub fn put_entry(&self, entry: &Entry) -> Result<()> {
+        let mut s = self.state.lock();
+        let stamp = self.tick(&mut s);
+        let key = entry.dn().norm_key();
+        let mut attrs = HashMap::new();
+        for a in entry.attributes() {
+            attrs.insert(a.name.norm().to_string(), (a.clone(), stamp.clone()));
+        }
+        match s.entries.get_mut(&key) {
+            Some(existing) => {
+                existing.created = stamp.clone();
+                for (k, v) in attrs {
+                    existing.attrs.insert(k, v);
+                }
+            }
+            None => {
+                s.entries.insert(
+                    key,
+                    ReplEntry {
+                        dn: entry.dn().clone(),
+                        attrs,
+                        created: stamp,
+                        deleted: None,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite one attribute of an entry.
+    pub fn set_attr(&self, dn: &Dn, attr: Attribute) -> Result<()> {
+        let mut s = self.state.lock();
+        let stamp = self.tick(&mut s);
+        let key = dn.norm_key();
+        match s.entries.get_mut(&key) {
+            Some(e) if e.is_visible() => {
+                e.attrs
+                    .insert(attr.name.norm().to_string(), (attr, stamp));
+                Ok(())
+            }
+            _ => Err(LdapError::no_such_object(dn)),
+        }
+    }
+
+    /// Tombstone an entry.
+    pub fn delete_entry(&self, dn: &Dn) -> Result<()> {
+        let mut s = self.state.lock();
+        let stamp = self.tick(&mut s);
+        let key = dn.norm_key();
+        match s.entries.get_mut(&key) {
+            Some(e) if e.is_visible() => {
+                e.deleted = Some(stamp);
+                Ok(())
+            }
+            _ => Err(LdapError::no_such_object(dn)),
+        }
+    }
+
+    /// Read back a visible entry.
+    pub fn get(&self, dn: &Dn) -> Option<Entry> {
+        let s = self.state.lock();
+        let e = s.entries.get(&dn.norm_key())?;
+        if !e.is_visible() {
+            return None;
+        }
+        let mut out = Entry::new(e.dn.clone());
+        for (attr, _) in e.attrs.values() {
+            out.put(attr.name.clone(), attr.values.clone());
+        }
+        Some(out)
+    }
+
+    /// Number of visible entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.values().filter(|e| e.is_visible()).count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One round of anti-entropy: pull `other`'s state into `self`, then
+    /// push `self`'s merged state back. Afterwards both replicas agree.
+    pub fn sync_with(&self, other: &Replica) {
+        // Snapshot other's state.
+        let other_snapshot: Vec<(String, ReplEntry)> = {
+            let o = other.state.lock();
+            o.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        let other_clock = other.state.lock().clock;
+        {
+            let mut s = self.state.lock();
+            s.clock = s.clock.max(other_clock);
+            for (key, theirs) in other_snapshot {
+                merge_entry(&mut s.entries, key, theirs);
+            }
+        }
+        // Push merged state back.
+        let my_snapshot: Vec<(String, ReplEntry)> = {
+            let s = self.state.lock();
+            s.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        let my_clock = self.state.lock().clock;
+        let mut o = other.state.lock();
+        o.clock = o.clock.max(my_clock);
+        for (key, theirs) in my_snapshot {
+            merge_entry(&mut o.entries, key, theirs);
+        }
+    }
+
+    /// A canonical digest of the visible state — equal digests mean the
+    /// replicas have converged.
+    pub fn digest(&self) -> Digest {
+        let s = self.state.lock();
+        let mut out: Digest = s
+            .entries
+            .iter()
+            .filter(|(_, e)| e.is_visible())
+            .map(|(k, e)| {
+                let mut attrs: Vec<(String, Vec<String>)> = e
+                    .attrs
+                    .iter()
+                    .map(|(n, (a, _))| {
+                        let mut vals = a.values.clone();
+                        vals.sort();
+                        (n.clone(), vals)
+                    })
+                    .collect();
+                attrs.sort();
+                (k.clone(), attrs)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+fn merge_entry(entries: &mut HashMap<String, ReplEntry>, key: String, theirs: ReplEntry) {
+    match entries.get_mut(&key) {
+        None => {
+            entries.insert(key, theirs);
+        }
+        Some(mine) => {
+            if theirs.created > mine.created {
+                mine.created = theirs.created.clone();
+            }
+            match (&mine.deleted, &theirs.deleted) {
+                (None, Some(_)) => mine.deleted = theirs.deleted.clone(),
+                (Some(m), Some(t)) if t > m => mine.deleted = theirs.deleted.clone(),
+                _ => {}
+            }
+            for (attr_key, (attr, stamp)) in theirs.attrs {
+                match mine.attrs.get(&attr_key) {
+                    Some((_, my_stamp)) if *my_stamp >= stamp => {}
+                    _ => {
+                        mine.attrs.insert(attr_key, (attr, stamp));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Error helper shared with the rest of the crate.
+impl Replica {
+    /// Like [`Replica::set_attr`] but fails with `NoSuchAttribute`-style
+    /// context when the attribute was never written (used by tests).
+    pub fn attr_stamp(&self, dn: &Dn, attr: &str) -> Result<Stamp> {
+        let s = self.state.lock();
+        s.entries
+            .get(&dn.norm_key())
+            .and_then(|e| e.attrs.get(&attr.to_ascii_lowercase()))
+            .map(|(_, st)| st.clone())
+            .ok_or_else(|| {
+                LdapError::new(
+                    ResultCode::NoSuchAttribute,
+                    format!("no stamped attribute `{attr}` on `{dn}`"),
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(dn: &str, phone: &str) -> Entry {
+        Entry::with_attrs(
+            Dn::parse(dn).unwrap(),
+            [
+                ("objectClass", "person"),
+                ("cn", "J"),
+                ("sn", "D"),
+                ("telephoneNumber", phone),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_put_get_delete() {
+        let r = Replica::new("r1");
+        let dn = Dn::parse("cn=J,o=L").unwrap();
+        r.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        assert_eq!(r.get(&dn).unwrap().first("telephoneNumber"), Some("1"));
+        r.delete_entry(&dn).unwrap();
+        assert!(r.get(&dn).is_none());
+        assert!(r.set_attr(&dn, Attribute::single("sn", "X")).is_err());
+    }
+
+    #[test]
+    fn concurrent_attr_writes_converge_lww() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        a.sync_with(&b);
+        let dn = Dn::parse("cn=J,o=L").unwrap();
+        // Concurrent independent writes to the SAME attribute.
+        a.set_attr(&dn, Attribute::single("telephoneNumber", "from-a"))
+            .unwrap();
+        b.set_attr(&dn, Attribute::single("telephoneNumber", "from-b"))
+            .unwrap();
+        a.sync_with(&b);
+        assert_eq!(a.digest(), b.digest(), "replicas must converge");
+        // Winner is deterministic: equal times tie-break on replica id "b" > "a".
+        assert_eq!(
+            a.get(&dn).unwrap().first("telephoneNumber"),
+            Some("from-b")
+        );
+    }
+
+    #[test]
+    fn disjoint_attr_writes_both_survive() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        a.sync_with(&b);
+        let dn = Dn::parse("cn=J,o=L").unwrap();
+        a.set_attr(&dn, Attribute::single("mail", "j@l.com")).unwrap();
+        b.set_attr(&dn, Attribute::single("roomNumber", "2B-401")).unwrap();
+        a.sync_with(&b);
+        let merged = a.get(&dn).unwrap();
+        assert_eq!(merged.first("mail"), Some("j@l.com"));
+        assert_eq!(merged.first("roomNumber"), Some("2B-401"));
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn delete_vs_update_resolved_by_stamp() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        a.sync_with(&b);
+        let dn = Dn::parse("cn=J,o=L").unwrap();
+        // b deletes, then a recreates with a later logical history after syncing.
+        b.delete_entry(&dn).unwrap();
+        b.sync_with(&a);
+        assert!(a.get(&dn).is_none(), "delete propagates");
+        a.put_entry(&entry("cn=J,o=L", "2")).unwrap();
+        a.sync_with(&b);
+        assert!(b.get(&dn).is_some(), "recreate wins over older tombstone");
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn three_replicas_converge_via_chain() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        let c = Replica::new("c");
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        a.put_entry(&entry("cn=K,o=L", "2")).unwrap();
+        a.sync_with(&b);
+        b.sync_with(&c);
+        let dn_j = Dn::parse("cn=J,o=L").unwrap();
+        let dn_k = Dn::parse("cn=K,o=L").unwrap();
+        a.set_attr(&dn_j, Attribute::single("telephoneNumber", "11")).unwrap();
+        b.set_attr(&dn_k, Attribute::single("telephoneNumber", "22")).unwrap();
+        c.delete_entry(&dn_j).unwrap();
+        // Chain topology: a<->b, b<->c, a<->b again.
+        a.sync_with(&b);
+        b.sync_with(&c);
+        a.sync_with(&b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(b.digest(), c.digest());
+    }
+
+    #[test]
+    fn sync_is_idempotent() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        a.sync_with(&b);
+        let d1 = a.digest();
+        a.sync_with(&b);
+        a.sync_with(&b);
+        assert_eq!(a.digest(), d1);
+        assert_eq!(b.digest(), d1);
+    }
+
+    #[test]
+    fn attr_stamps_advance() {
+        let a = Replica::new("a");
+        let dn = Dn::parse("cn=J,o=L").unwrap();
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        let s1 = a.attr_stamp(&dn, "telephoneNumber").unwrap();
+        a.set_attr(&dn, Attribute::single("telephoneNumber", "2")).unwrap();
+        let s2 = a.attr_stamp(&dn, "telephoneNumber").unwrap();
+        assert!(s2 > s1);
+    }
+}

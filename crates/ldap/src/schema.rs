@@ -1,0 +1,654 @@
+//! Directory schema: attribute types, object classes, and entry validation.
+//!
+//! The model follows X.501 as profiled by the paper:
+//! - object classes are *structural*, *auxiliary*, or *abstract*;
+//! - auxiliary classes **cannot declare mandatory attributes** — the
+//!   practical limitation §5.2 of the paper reports, which is why the
+//!   presence of `definityUser` on an entry only means the person *may* use
+//!   a PBX (one must check whether the extension attribute is set);
+//! - attribute types carry a syntax, a matching rule, and a
+//!   single-valued flag. Typing is deliberately shallow ("very weak typing",
+//!   §5.3): syntaxes validate the value's *shape* only.
+
+use crate::entry::Entry;
+use crate::error::{LdapError, Result, ResultCode};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Value syntaxes. Deliberately few — LDAP typing is weak and MetaComm's
+/// integrated schema only uses these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Syntax {
+    /// Any UTF-8 string.
+    DirectoryString,
+    /// Digits, `+`, spaces, `-`, `(`, `)`.
+    TelephoneNumber,
+    /// Optional sign + digits.
+    Integer,
+    /// Must parse as a DN.
+    DnSyntax,
+    /// `TRUE` or `FALSE`.
+    Boolean,
+}
+
+impl Syntax {
+    /// Shape-check a value against the syntax.
+    pub fn validate(self, value: &str) -> bool {
+        match self {
+            Syntax::DirectoryString => true,
+            Syntax::TelephoneNumber => {
+                !value.trim().is_empty()
+                    && value
+                        .chars()
+                        .all(|c| c.is_ascii_digit() || matches!(c, '+' | ' ' | '-' | '(' | ')' | '.'))
+            }
+            Syntax::Integer => {
+                let v = value.trim();
+                let v = v.strip_prefix('-').unwrap_or(v);
+                !v.is_empty() && v.chars().all(|c| c.is_ascii_digit())
+            }
+            Syntax::DnSyntax => crate::dn::Dn::parse(value).is_ok(),
+            Syntax::Boolean => matches!(value, "TRUE" | "FALSE"),
+        }
+    }
+}
+
+/// An attribute-type definition.
+#[derive(Debug, Clone)]
+pub struct AttributeType {
+    pub name: String,
+    pub syntax: Syntax,
+    pub single_valued: bool,
+    /// `true` when the attribute may appear in RDNs (naming attribute).
+    pub naming: bool,
+}
+
+impl AttributeType {
+    pub fn string(name: &str) -> AttributeType {
+        AttributeType {
+            name: name.into(),
+            syntax: Syntax::DirectoryString,
+            single_valued: false,
+            naming: true,
+        }
+    }
+
+    pub fn single(mut self) -> AttributeType {
+        self.single_valued = true;
+        self
+    }
+
+    pub fn syntax(mut self, s: Syntax) -> AttributeType {
+        self.syntax = s;
+        self
+    }
+}
+
+/// Object-class kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    Structural,
+    Auxiliary,
+    Abstract,
+}
+
+/// An object-class definition.
+#[derive(Debug, Clone)]
+pub struct ObjectClass {
+    pub name: String,
+    pub kind: ClassKind,
+    /// Superclass name (`None` only for `top`).
+    pub superior: Option<String>,
+    pub must: Vec<String>,
+    pub may: Vec<String>,
+}
+
+/// The schema: a registry of attribute types and object classes plus the
+/// entry validator.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    attrs: BTreeMap<String, AttributeType>,
+    classes: BTreeMap<String, ObjectClass>,
+    /// When `true`, attributes not brought in by any present class are
+    /// rejected (`ObjectClassViolation`). Operational attributes registered
+    /// via [`Schema::add_operational`] are always allowed.
+    strict: bool,
+    operational: BTreeSet<String>,
+}
+
+impl Schema {
+    /// An empty schema that accepts anything (schema checking off).
+    pub fn permissive() -> Schema {
+        Schema::default()
+    }
+
+    /// The standard X.500 core used by the paper's integrated schema:
+    /// `top`, `person`, `organizationalPerson`, `organization`,
+    /// `organizationalUnit`, plus the operational attributes MetaComm needs.
+    pub fn x500_core() -> Schema {
+        let mut s = Schema {
+            strict: true,
+            ..Schema::default()
+        };
+        for at in [
+            AttributeType::string("objectClass"),
+            AttributeType::string("cn"),
+            AttributeType::string("sn"),
+            AttributeType::string("o"),
+            AttributeType::string("ou"),
+            AttributeType::string("c"),
+            AttributeType::string("description"),
+            AttributeType::string("seeAlso").syntax(Syntax::DnSyntax),
+            AttributeType::string("userPassword"),
+            AttributeType::string("telephoneNumber").syntax(Syntax::TelephoneNumber),
+            AttributeType::string("facsimileTelephoneNumber").syntax(Syntax::TelephoneNumber),
+            AttributeType::string("title"),
+            AttributeType::string("postalAddress"),
+            AttributeType::string("postalCode"),
+            AttributeType::string("l"),
+            AttributeType::string("st"),
+            AttributeType::string("street"),
+            AttributeType::string("mail"),
+            AttributeType::string("uid"),
+            AttributeType::string("roomNumber"),
+            AttributeType::string("employeeNumber").single(),
+        ] {
+            s.add_attribute(at).expect("builtin attr");
+        }
+        for oc in [
+            ObjectClass {
+                name: "top".into(),
+                kind: ClassKind::Abstract,
+                superior: None,
+                must: vec!["objectClass".into()],
+                may: vec![],
+            },
+            ObjectClass {
+                name: "person".into(),
+                kind: ClassKind::Structural,
+                superior: Some("top".into()),
+                must: vec!["cn".into(), "sn".into()],
+                may: vec![
+                    "telephoneNumber".into(),
+                    "userPassword".into(),
+                    "description".into(),
+                    "seeAlso".into(),
+                ],
+            },
+            ObjectClass {
+                name: "organizationalPerson".into(),
+                kind: ClassKind::Structural,
+                superior: Some("person".into()),
+                must: vec![],
+                may: vec![
+                    "ou".into(),
+                    "title".into(),
+                    "postalAddress".into(),
+                    "postalCode".into(),
+                    "l".into(),
+                    "st".into(),
+                    "street".into(),
+                    "facsimileTelephoneNumber".into(),
+                    "roomNumber".into(),
+                    "mail".into(),
+                    "uid".into(),
+                    "employeeNumber".into(),
+                ],
+            },
+            ObjectClass {
+                name: "organization".into(),
+                kind: ClassKind::Structural,
+                superior: Some("top".into()),
+                must: vec!["o".into()],
+                may: vec!["description".into(), "telephoneNumber".into()],
+            },
+            ObjectClass {
+                name: "organizationalUnit".into(),
+                kind: ClassKind::Structural,
+                superior: Some("top".into()),
+                must: vec!["ou".into()],
+                may: vec!["description".into(), "telephoneNumber".into()],
+            },
+            ObjectClass {
+                name: "country".into(),
+                kind: ClassKind::Structural,
+                superior: Some("top".into()),
+                must: vec!["c".into()],
+                may: vec!["description".into()],
+            },
+        ] {
+            s.add_class(oc).expect("builtin class");
+        }
+        s
+    }
+
+    /// Register an attribute type. Re-registration with the same name fails.
+    pub fn add_attribute(&mut self, at: AttributeType) -> Result<()> {
+        let key = at.name.to_ascii_lowercase();
+        if self.attrs.contains_key(&key) {
+            return Err(LdapError::new(
+                ResultCode::Other,
+                format!("attribute type `{}` already defined", at.name),
+            ));
+        }
+        self.attrs.insert(key, at);
+        Ok(())
+    }
+
+    /// Register an *operational* attribute: always allowed on any entry,
+    /// never required. MetaComm uses this for `lastUpdater`.
+    pub fn add_operational(&mut self, at: AttributeType) -> Result<()> {
+        self.operational.insert(at.name.to_ascii_lowercase());
+        self.add_attribute(at)
+    }
+
+    /// Register an object class. Enforces the paper's auxiliary-class
+    /// limitation: auxiliary classes cannot declare `must` attributes.
+    pub fn add_class(&mut self, oc: ObjectClass) -> Result<()> {
+        if oc.kind == ClassKind::Auxiliary && !oc.must.is_empty() {
+            return Err(LdapError::new(
+                ResultCode::ObjectClassViolation,
+                format!(
+                    "auxiliary class `{}` cannot have mandatory attributes",
+                    oc.name
+                ),
+            ));
+        }
+        if let Some(sup) = &oc.superior {
+            if !self.classes.contains_key(&sup.to_ascii_lowercase()) {
+                return Err(LdapError::new(
+                    ResultCode::Other,
+                    format!("unknown superior class `{sup}` for `{}`", oc.name),
+                ));
+            }
+        }
+        for a in oc.must.iter().chain(&oc.may) {
+            if !self.attrs.contains_key(&a.to_ascii_lowercase()) {
+                return Err(LdapError::new(
+                    ResultCode::UndefinedAttributeType,
+                    format!("class `{}` references unknown attribute `{a}`", oc.name),
+                ));
+            }
+        }
+        let key = oc.name.to_ascii_lowercase();
+        if self.classes.contains_key(&key) {
+            return Err(LdapError::new(
+                ResultCode::Other,
+                format!("object class `{}` already defined", oc.name),
+            ));
+        }
+        self.classes.insert(key, oc);
+        Ok(())
+    }
+
+    pub fn attribute(&self, name: &str) -> Option<&AttributeType> {
+        self.attrs.get(&name.to_ascii_lowercase())
+    }
+
+    pub fn class(&self, name: &str) -> Option<&ObjectClass> {
+        self.classes.get(&name.to_ascii_lowercase())
+    }
+
+    /// All transitive superclasses of `name`, including itself.
+    fn class_chain(&self, name: &str) -> Result<Vec<&ObjectClass>> {
+        let mut out = Vec::new();
+        let mut cur = Some(name.to_string());
+        while let Some(n) = cur {
+            let oc = self.class(&n).ok_or_else(|| {
+                LdapError::new(
+                    ResultCode::ObjectClassViolation,
+                    format!("unknown object class `{n}`"),
+                )
+            })?;
+            cur = oc.superior.clone();
+            out.push(oc);
+            if out.len() > 32 {
+                return Err(LdapError::new(
+                    ResultCode::Other,
+                    format!("object class chain too deep at `{n}`"),
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Validate an entry against the schema:
+    /// structural-class presence, `must` attributes, `may` closure,
+    /// syntaxes, single-valued constraints, and RDN attributes present in
+    /// the entry (naming).
+    pub fn validate_entry(&self, entry: &Entry) -> Result<()> {
+        if self.classes.is_empty() {
+            return Ok(()); // permissive schema
+        }
+        let classes = entry.object_classes();
+        if classes.is_empty() {
+            return Err(LdapError::new(
+                ResultCode::ObjectClassViolation,
+                format!("entry `{}` has no objectClass", entry.dn()),
+            ));
+        }
+        let mut structural = 0usize;
+        let mut must: BTreeSet<String> = BTreeSet::new();
+        let mut allowed: BTreeSet<String> = BTreeSet::new();
+        allowed.insert("objectclass".into());
+        for name in classes {
+            for oc in self.class_chain(name)? {
+                if oc.kind == ClassKind::Structural && oc.superior.as_deref() == Some("top") {
+                    // count distinct structural roots loosely via chain walk below
+                }
+                for a in &oc.must {
+                    must.insert(a.to_ascii_lowercase());
+                    allowed.insert(a.to_ascii_lowercase());
+                }
+                for a in &oc.may {
+                    allowed.insert(a.to_ascii_lowercase());
+                }
+            }
+            if self
+                .class(name)
+                .is_some_and(|c| c.kind == ClassKind::Structural)
+            {
+                structural += 1;
+            }
+        }
+        if structural == 0 {
+            return Err(LdapError::new(
+                ResultCode::ObjectClassViolation,
+                format!("entry `{}` has no structural object class", entry.dn()),
+            ));
+        }
+        // `person` + `organizationalPerson` is one chain, not two structurals.
+        if structural > 1 && !self.all_one_chain(classes) {
+            return Err(LdapError::new(
+                ResultCode::ObjectClassViolation,
+                format!(
+                    "entry `{}` has multiple unrelated structural classes",
+                    entry.dn()
+                ),
+            ));
+        }
+        for m in &must {
+            if m == "objectclass" {
+                continue;
+            }
+            if !entry.has_attr(m) {
+                return Err(LdapError::new(
+                    ResultCode::ObjectClassViolation,
+                    format!("entry `{}` missing mandatory attribute `{m}`", entry.dn()),
+                ));
+            }
+        }
+        for attr in entry.attributes() {
+            let norm = attr.name.norm();
+            let at = self.attribute(norm).ok_or_else(|| {
+                LdapError::new(
+                    ResultCode::UndefinedAttributeType,
+                    format!("unknown attribute type `{}`", attr.name),
+                )
+            })?;
+            if self.strict
+                && !allowed.contains(norm)
+                && !self.operational.contains(norm)
+            {
+                return Err(LdapError::new(
+                    ResultCode::ObjectClassViolation,
+                    format!(
+                        "attribute `{}` not allowed by object classes of `{}`",
+                        attr.name,
+                        entry.dn()
+                    ),
+                ));
+            }
+            if at.single_valued && attr.values.len() > 1 {
+                return Err(LdapError::new(
+                    ResultCode::ConstraintViolation,
+                    format!("attribute `{}` is single-valued", attr.name),
+                ));
+            }
+            for v in &attr.values {
+                if !at.syntax.validate(v) {
+                    return Err(LdapError::new(
+                        ResultCode::InvalidAttributeSyntax,
+                        format!("value `{v}` violates syntax of `{}`", attr.name),
+                    ));
+                }
+            }
+        }
+        // Naming: every RDN AVA must be an attribute value of the entry.
+        if let Some(rdn) = entry.dn().rdn() {
+            for ava in rdn.avas() {
+                if !entry.has_value(ava.attr(), ava.value()) {
+                    return Err(LdapError::new(
+                        ResultCode::NamingViolation,
+                        format!(
+                            "RDN `{}={}` not present among entry attributes",
+                            ava.attr(),
+                            ava.value()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every structural class among `classes` lies on one
+    /// superclass chain (e.g. `person` ⊂ `organizationalPerson`).
+    fn all_one_chain(&self, classes: &[String]) -> bool {
+        let structurals: Vec<&str> = classes
+            .iter()
+            .map(String::as_str)
+            .filter(|c| {
+                self.class(c)
+                    .is_some_and(|oc| oc.kind == ClassKind::Structural)
+            })
+            .collect();
+        for a in &structurals {
+            for b in &structurals {
+                if a == b {
+                    continue;
+                }
+                let a_chain: Vec<String> = match self.class_chain(a) {
+                    Ok(ch) => ch.iter().map(|c| c.name.to_ascii_lowercase()).collect(),
+                    Err(_) => return false,
+                };
+                let b_chain: Vec<String> = match self.class_chain(b) {
+                    Ok(ch) => ch.iter().map(|c| c.name.to_ascii_lowercase()).collect(),
+                    Err(_) => return false,
+                };
+                if !a_chain.contains(&b.to_ascii_lowercase())
+                    && !b_chain.contains(&a.to_ascii_lowercase())
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Shared schema handle used by the DIT.
+pub type SchemaRef = Arc<Schema>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dn::Dn;
+
+    fn person_entry() -> Entry {
+        Entry::with_attrs(
+            Dn::parse("cn=John Doe,o=Lucent").unwrap(),
+            [
+                ("objectClass", "top"),
+                ("objectClass", "person"),
+                ("cn", "John Doe"),
+                ("sn", "Doe"),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_person_passes() {
+        Schema::x500_core().validate_entry(&person_entry()).unwrap();
+    }
+
+    #[test]
+    fn missing_must_fails() {
+        let mut e = person_entry();
+        e.remove_attr("sn");
+        let err = Schema::x500_core().validate_entry(&e).unwrap_err();
+        assert_eq!(err.code, ResultCode::ObjectClassViolation);
+        assert!(err.message.contains("sn"));
+    }
+
+    #[test]
+    fn attribute_outside_may_fails() {
+        let mut e = person_entry();
+        e.add_value("o", "Lucent"); // `o` is not in person's may set
+        let err = Schema::x500_core().validate_entry(&e).unwrap_err();
+        assert_eq!(err.code, ResultCode::ObjectClassViolation);
+    }
+
+    #[test]
+    fn unknown_attribute_fails() {
+        let mut e = person_entry();
+        e.add_value("frobnicator", "x");
+        let err = Schema::x500_core().validate_entry(&e).unwrap_err();
+        assert_eq!(err.code, ResultCode::UndefinedAttributeType);
+    }
+
+    #[test]
+    fn no_structural_class_fails() {
+        let e = Entry::with_attrs(
+            Dn::parse("cn=X,o=Lucent").unwrap(),
+            [("objectClass", "top"), ("cn", "X")],
+        );
+        let err = Schema::x500_core().validate_entry(&e).unwrap_err();
+        assert_eq!(err.code, ResultCode::ObjectClassViolation);
+    }
+
+    #[test]
+    fn chained_structural_classes_allowed() {
+        let mut e = person_entry();
+        e.add_value("objectClass", "organizationalPerson");
+        e.add_value("ou", "Research");
+        Schema::x500_core().validate_entry(&e).unwrap();
+    }
+
+    #[test]
+    fn unrelated_structural_classes_rejected() {
+        let mut e = person_entry();
+        e.add_value("objectClass", "organization");
+        e.add_value("o", "Lucent");
+        let err = Schema::x500_core().validate_entry(&e).unwrap_err();
+        assert_eq!(err.code, ResultCode::ObjectClassViolation);
+    }
+
+    #[test]
+    fn auxiliary_class_with_must_rejected_at_registration() {
+        let mut s = Schema::x500_core();
+        let err = s
+            .add_class(ObjectClass {
+                name: "badAux".into(),
+                kind: ClassKind::Auxiliary,
+                superior: Some("top".into()),
+                must: vec!["cn".into()],
+                may: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::ObjectClassViolation);
+    }
+
+    #[test]
+    fn auxiliary_class_attributes_allowed_when_class_present() {
+        let mut s = Schema::x500_core();
+        s.add_attribute(AttributeType::string("definityExtension").single())
+            .unwrap();
+        s.add_class(ObjectClass {
+            name: "definityUser".into(),
+            kind: ClassKind::Auxiliary,
+            superior: Some("top".into()),
+            must: vec![],
+            may: vec!["definityExtension".into()],
+        })
+        .unwrap();
+        let mut e = person_entry();
+        // attribute without class: violation
+        e.add_value("definityExtension", "9123");
+        assert!(s.validate_entry(&e).is_err());
+        // with the auxiliary class present: fine
+        e.add_value("objectClass", "definityUser");
+        s.validate_entry(&e).unwrap();
+        // paper's §5.2 anomaly: class present but extension absent is LEGAL
+        let mut anomaly = person_entry();
+        anomaly.add_value("objectClass", "definityUser");
+        s.validate_entry(&anomaly).unwrap();
+    }
+
+    #[test]
+    fn telephone_syntax_enforced() {
+        let mut e = person_entry();
+        e.add_value("telephoneNumber", "not a number!");
+        let err = Schema::x500_core().validate_entry(&e).unwrap_err();
+        assert_eq!(err.code, ResultCode::InvalidAttributeSyntax);
+    }
+
+    #[test]
+    fn single_valued_enforced() {
+        let mut s = Schema::x500_core();
+        s.add_attribute(AttributeType::string("mbid").single()).unwrap();
+        s.add_class(ObjectClass {
+            name: "mbAux".into(),
+            kind: ClassKind::Auxiliary,
+            superior: Some("top".into()),
+            must: vec![],
+            may: vec!["mbid".into()],
+        })
+        .unwrap();
+        let mut e = person_entry();
+        e.add_value("objectClass", "mbAux");
+        e.put("mbid", vec!["1".into(), "2".into()]);
+        let err = s.validate_entry(&e).unwrap_err();
+        assert_eq!(err.code, ResultCode::ConstraintViolation);
+    }
+
+    #[test]
+    fn naming_violation_detected() {
+        let mut e = person_entry();
+        e.put("cn", vec!["Different Name".into()]);
+        let err = Schema::x500_core().validate_entry(&e).unwrap_err();
+        assert_eq!(err.code, ResultCode::NamingViolation);
+    }
+
+    #[test]
+    fn operational_attribute_always_allowed() {
+        let mut s = Schema::x500_core();
+        s.add_operational(AttributeType::string("lastUpdater").single())
+            .unwrap();
+        let mut e = person_entry();
+        e.add_value("lastUpdater", "pbx-1");
+        s.validate_entry(&e).unwrap();
+    }
+
+    #[test]
+    fn permissive_schema_accepts_anything() {
+        let s = Schema::permissive();
+        let e = Entry::with_attrs(
+            Dn::parse("x=y").unwrap(),
+            [("whatever", "value")],
+        );
+        s.validate_entry(&e).unwrap();
+    }
+
+    #[test]
+    fn syntaxes() {
+        assert!(Syntax::TelephoneNumber.validate("+1 908 582-9123"));
+        assert!(!Syntax::TelephoneNumber.validate("ext. nine"));
+        assert!(Syntax::Integer.validate("-42"));
+        assert!(!Syntax::Integer.validate("4.2"));
+        assert!(Syntax::DnSyntax.validate("cn=a,o=b"));
+        assert!(!Syntax::DnSyntax.validate("no-equals"));
+        assert!(Syntax::Boolean.validate("TRUE"));
+        assert!(!Syntax::Boolean.validate("yes"));
+    }
+}

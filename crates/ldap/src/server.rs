@@ -1,0 +1,257 @@
+//! Threaded LDAP server: serves the wire protocol over TCP against any
+//! [`Directory`] implementation.
+//!
+//! Because the server fronts a `Directory` (not the DIT concretely), the
+//! same code serves both a plain directory server and the LTAP *gateway*
+//! deployment — LTAP's interceptor implements `Directory` too.
+
+use crate::directory::Directory;
+use crate::dit::Scope;
+use crate::dn::Dn;
+use crate::error::{LdapError, Result, ResultCode};
+use crate::filter::Filter;
+use crate::proto::{
+    entry_from_wire, entry_to_wire, parse_rdn, read_frame, LdapMessage, LdapResult,
+    ProtocolOp,
+};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running LDAP server. Shuts down when dropped.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start serving `dir` on `addr` (use port 0 for an ephemeral port).
+    pub fn start(dir: Arc<dyn Directory>, addr: &str) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("ldap-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            stream.set_nodelay(true).ok();
+                            let dir = dir.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("ldap-conn".into())
+                                .spawn(move || serve_connection(stream, dir));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .map_err(|e| LdapError::new(ResultCode::Unavailable, e.to_string()))?;
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Unblock the accept loop.
+            let _ = TcpStream::connect(self.addr);
+            if let Some(t) = self.accept_thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, dir: Arc<dyn Directory>) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            _ => return,
+        };
+        let msg = match LdapMessage::decode(&frame) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let id = msg.id;
+        let responses = match msg.op {
+            ProtocolOp::UnbindRequest => return,
+            op => handle_op(op, &dir),
+        };
+        // One write per request: search results can be hundreds of
+        // messages, and per-message syscalls dominate otherwise.
+        let mut out = Vec::new();
+        for op in responses {
+            out.extend(LdapMessage { id, op }.encode());
+        }
+        if stream.write_all(&out).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+fn result_of(r: Result<()>) -> LdapResult {
+    match r {
+        Ok(()) => LdapResult::success(),
+        Err(e) => LdapResult::error(&e),
+    }
+}
+
+fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>) -> Vec<ProtocolOp> {
+    match op {
+        ProtocolOp::BindRequest { dn, password, .. } => {
+            vec![ProtocolOp::BindResponse(bind_result(dir, &dn, &password))]
+        }
+        ProtocolOp::SearchRequest {
+            base,
+            scope,
+            size_limit,
+            filter,
+            attrs,
+        } => search_responses(dir, &base, scope, size_limit, &filter, &attrs),
+        ProtocolOp::AddRequest { dn, attrs } => {
+            let r = entry_from_wire(&dn, &attrs).and_then(|e| dir.add(e));
+            vec![ProtocolOp::AddResponse(result_of(r))]
+        }
+        ProtocolOp::DelRequest { dn } => {
+            let r = Dn::parse(&dn).and_then(|d| dir.delete(&d));
+            vec![ProtocolOp::DelResponse(result_of(r))]
+        }
+        ProtocolOp::ModifyRequest { dn, mods } => {
+            let r = Dn::parse(&dn).and_then(|d| dir.modify(&d, &mods));
+            vec![ProtocolOp::ModifyResponse(result_of(r))]
+        }
+        ProtocolOp::ModifyDnRequest {
+            dn,
+            new_rdn,
+            delete_old,
+            new_superior,
+        } => {
+            let r = (|| {
+                let d = Dn::parse(&dn)?;
+                let rdn = parse_rdn(&new_rdn)?;
+                let sup = match &new_superior {
+                    Some(s) => Some(Dn::parse(s)?),
+                    None => None,
+                };
+                dir.modify_rdn(&d, &rdn, delete_old, sup.as_ref())
+            })();
+            vec![ProtocolOp::ModifyDnResponse(result_of(r))]
+        }
+        ProtocolOp::CompareRequest { dn, attr, value } => {
+            let res = Dn::parse(&dn).and_then(|d| dir.compare(&d, &attr, &value));
+            let lr = match res {
+                Ok(true) => LdapResult {
+                    code: ResultCode::CompareTrue,
+                    matched_dn: String::new(),
+                    message: String::new(),
+                },
+                Ok(false) => LdapResult {
+                    code: ResultCode::CompareFalse,
+                    matched_dn: String::new(),
+                    message: String::new(),
+                },
+                Err(e) => LdapResult::error(&e),
+            };
+            vec![ProtocolOp::CompareResponse(lr)]
+        }
+        // Requests a server never receives (responses, unbind handled above).
+        _ => vec![ProtocolOp::SearchResultDone(LdapResult::error(
+            &LdapError::protocol("unexpected protocol op"),
+        ))],
+    }
+}
+
+fn bind_result(dir: &Arc<dyn Directory>, dn: &str, password: &str) -> LdapResult {
+    // Anonymous bind always succeeds.
+    if dn.is_empty() {
+        return LdapResult::success();
+    }
+    let parsed = match Dn::parse(dn) {
+        Ok(d) => d,
+        Err(e) => return LdapResult::error(&e),
+    };
+    match dir.get(&parsed) {
+        Ok(Some(entry)) => {
+            if entry.has_value("userPassword", password) {
+                LdapResult::success()
+            } else {
+                LdapResult::error(&LdapError::new(
+                    ResultCode::InvalidCredentials,
+                    "wrong password",
+                ))
+            }
+        }
+        Ok(None) => LdapResult::error(&LdapError::new(
+            ResultCode::InvalidCredentials,
+            "no such user",
+        )),
+        Err(e) => LdapResult::error(&e),
+    }
+}
+
+fn search_responses(
+    dir: &Arc<dyn Directory>,
+    base: &str,
+    scope: Scope,
+    size_limit: i64,
+    filter: &Filter,
+    attrs: &[String],
+) -> Vec<ProtocolOp> {
+    let result = Dn::parse(base).and_then(|b| {
+        dir.search(&b, scope, filter, attrs, size_limit.max(0) as usize)
+    });
+    match result {
+        Ok(entries) => {
+            let mut out: Vec<ProtocolOp> = entries
+                .iter()
+                .map(|e| {
+                    let (dn, attrs) = entry_to_wire(e);
+                    ProtocolOp::SearchResultEntry { dn, attrs }
+                })
+                .collect();
+            out.push(ProtocolOp::SearchResultDone(LdapResult::success()));
+            out
+        }
+        Err(e) => vec![ProtocolOp::SearchResultDone(LdapResult::error(&e))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dit::{figure2_tree, Dit};
+
+    #[test]
+    fn server_starts_and_stops() {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let mut server = Server::start(dit, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        // Plain TCP connect works.
+        let _c = TcpStream::connect(addr).unwrap();
+        server.shutdown();
+    }
+}

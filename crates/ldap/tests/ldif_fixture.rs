@@ -1,0 +1,97 @@
+//! LDIF fixture parity: the paper's Figure 2 tree expressed as LDIF loads
+//! into a DIT identical to the one the programmatic builder produces, and
+//! export/import is a faithful round trip.
+
+use ldap::dit::{figure2_tree, Dit};
+use ldap::ldif::{parse, to_ldif, Record};
+
+const FIGURE2_LDIF: &str = r#"
+# The sample tree from Figure 2 of the paper.
+dn: o=Lucent
+objectClass: top
+objectClass: organization
+o: Lucent
+
+dn: o=Marketing,o=Lucent
+objectClass: top
+objectClass: organization
+o: Marketing
+
+dn: cn=John Doe,o=Marketing,o=Lucent
+objectClass: top
+objectClass: person
+cn: John Doe
+sn: Doe
+
+dn: cn=Pat Smith,o=Marketing,o=Lucent
+objectClass: top
+objectClass: person
+cn: Pat Smith
+sn: Smith
+
+dn: o=Accounting,o=Lucent
+objectClass: top
+objectClass: organization
+o: Accounting
+
+dn: cn=Tim Dickens,o=Accounting,o=Lucent
+objectClass: top
+objectClass: person
+cn: Tim Dickens
+sn: Dickens
+
+dn: o=R&D,o=Lucent
+objectClass: top
+objectClass: organization
+o: R&D
+
+dn: cn=Jill Lu,o=R&D,o=Lucent
+objectClass: top
+objectClass: person
+cn: Jill Lu
+sn: Lu
+
+dn: o=DEN Group,o=Lucent
+objectClass: top
+objectClass: organization
+o: DEN Group
+"#;
+
+fn load(text: &str) -> std::sync::Arc<Dit> {
+    let dit = Dit::new();
+    for record in parse(text).expect("fixture parses") {
+        match record {
+            Record::Content(e) => ldap::Dit::add(&dit, e).expect("fixture adds"),
+            other => panic!("unexpected record {other:?}"),
+        }
+    }
+    dit
+}
+
+#[test]
+fn fixture_matches_programmatic_builder() {
+    let from_ldif = load(FIGURE2_LDIF);
+    let built = Dit::new();
+    figure2_tree(&built).unwrap();
+    assert_eq!(from_ldif.len(), built.len());
+    for e in built.export() {
+        let other = from_ldif.get(e.dn()).unwrap_or_else(|| {
+            panic!("fixture missing {}", e.dn())
+        });
+        assert_eq!(other, e, "entry {} differs", e.dn());
+    }
+}
+
+#[test]
+fn export_import_round_trip_preserves_everything() {
+    let original = load(FIGURE2_LDIF);
+    let text = to_ldif(&original.export());
+    let reloaded = load(&text);
+    assert_eq!(reloaded.len(), original.len());
+    for e in original.export() {
+        assert_eq!(reloaded.get(e.dn()).as_ref(), Some(&e));
+    }
+    // And a second round trip is byte-stable (canonical ordering).
+    let text2 = to_ldif(&reloaded.export());
+    assert_eq!(text, text2, "export must be canonical");
+}

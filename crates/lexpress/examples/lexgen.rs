@@ -1,0 +1,43 @@
+//! Mapping-file generator — the command-line stand-in for the GUI the paper
+//! built to "eliminate the need to enter redundant information" when
+//! integrating several devices with closely related mappings (§5.4).
+//!
+//! ```text
+//! cargo run -p lexpress --example lexgen -- pbx pbx-west '9???' o=Lucent
+//! cargo run -p lexpress --example lexgen -- msgplat mp '*' o=Lucent
+//! cargo run -p lexpress --example lexgen -- hub
+//! ```
+//!
+//! The emitted description file compiles as-is (`lexgen` verifies before
+//! printing) and can be handed to `MetaCommBuilder::with_mappings` or
+//! loaded into a running engine.
+
+use lexpress::{library, Closure, Engine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let src = match args.first().map(String::as_str) {
+        Some("pbx") if args.len() == 4 => {
+            library::pbx_mappings(&args[1], &args[2], &args[3])
+        }
+        Some("msgplat") if args.len() == 4 => {
+            library::msgplat_mappings(&args[1], &args[2], &args[3])
+        }
+        Some("hub") => library::hub_rules(),
+        _ => {
+            eprintln!(
+                "usage: lexgen pbx <name> <ext-glob> <suffix>\n       \
+                 lexgen msgplat <name> <mbx-glob> <suffix>\n       \
+                 lexgen hub"
+            );
+            std::process::exit(2);
+        }
+    };
+    // Verify the generated description compiles before emitting it.
+    if args[0] == "hub" {
+        Closure::from_source(&src).expect("generated hub rules must compile");
+    } else {
+        Engine::from_source(&src).expect("generated mappings must compile");
+    }
+    print!("{src}");
+}

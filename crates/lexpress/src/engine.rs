@@ -1,0 +1,482 @@
+//! The translation engine: applies a compiled mapping to an update
+//! descriptor, producing the correct series of target operations —
+//! including the partitioning-constraint routing matrix (§4.2) and
+//! conditional (reapplied) updates (§5.4).
+
+use crate::bytecode::{Bundle, CompiledMapping, Program};
+use crate::descriptor::{Image, OpKind, TargetOp, UpdateDescriptor, UpdateKind};
+use crate::error::RuntimeError;
+use crate::value::Value;
+use crate::vm::eval;
+
+/// A loaded bundle plus the operations MetaComm filters need.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    bundle: Bundle,
+}
+
+impl Engine {
+    pub fn new(bundle: Bundle) -> Engine {
+        Engine { bundle }
+    }
+
+    /// Compile and load a description source (convenience).
+    pub fn from_source(src: &str) -> Result<Engine, crate::error::CompileError> {
+        Ok(Engine::new(crate::compile::compile(src)?))
+    }
+
+    /// Dynamically load more descriptions into the running engine
+    /// (paper §4.2: descriptions "can be added dynamically (to running
+    /// programs) by compiling them at run-time").
+    pub fn load(&mut self, src: &str) -> Result<(), crate::error::CompileError> {
+        let extra = crate::compile::compile(src)?;
+        self.bundle.absorb(extra)
+    }
+
+    /// Load a description file from disk (the deployment-configuration
+    /// path: description files live next to the device they describe).
+    pub fn load_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), crate::error::CompileError> {
+        let src = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            crate::error::CompileError::Semantic(format!(
+                "cannot read {}: {e}",
+                path.as_ref().display()
+            ))
+        })?;
+        self.load(&src)
+    }
+
+    pub fn bundle(&self) -> &Bundle {
+        &self.bundle
+    }
+
+    pub fn mapping(&self, name: &str) -> Option<&CompiledMapping> {
+        self.bundle.mapping(name)
+    }
+
+    /// Apply every rule of `mapping` to a source image, producing the
+    /// target-schema image.
+    pub fn apply_rules(
+        &self,
+        mapping: &CompiledMapping,
+        source: &Image,
+    ) -> Result<Image, RuntimeError> {
+        let mut out = Image::new();
+        for rule in &mapping.rules {
+            if let Some(guard) = &rule.guard {
+                if !eval(&self.bundle, guard, source)?.truthy() {
+                    continue;
+                }
+            }
+            let mut v = eval(&self.bundle, &rule.prog, source)?;
+            if v.is_null() {
+                if let Some(d) = &rule.default {
+                    v = Value::Str(d.clone());
+                }
+            }
+            let values = v.into_values();
+            if !values.is_empty() {
+                out.set(rule.target.clone(), values);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Compute the target key for a *source* image (None when the image is
+    /// empty or the key expression yields null).
+    pub fn target_key(
+        &self,
+        mapping: &CompiledMapping,
+        source: &Image,
+        target_image: &Image,
+    ) -> Result<Option<String>, RuntimeError> {
+        if source.is_empty() && target_image.is_empty() {
+            return Ok(None);
+        }
+        match &mapping.target_key_prog {
+            Some(prog) => Ok(eval(&self.bundle, prog, source)?.as_str()),
+            None => Ok(target_image
+                .first(&mapping.target_key_attr)
+                .map(str::to_string)),
+        }
+    }
+
+    /// Is the partitioning constraint satisfied by this *source* image?
+    /// (Paper §4.2: "lexpress checks the partitioning constraints against
+    /// both the old and new attributes of the object" — the object's
+    /// global-schema attributes, e.g. its phone number.)
+    fn partition_satisfied(
+        &self,
+        partition: Option<&Program>,
+        source_image: &Image,
+    ) -> Result<bool, RuntimeError> {
+        if source_image.is_empty() {
+            return Ok(false);
+        }
+        match partition {
+            None => Ok(true),
+            Some(p) => Ok(eval(&self.bundle, p, source_image)?.truthy()),
+        }
+    }
+
+    /// Translate an update descriptor through `mapping` into the operation
+    /// to forward to the mapping's target repository.
+    pub fn translate(
+        &self,
+        mapping_name: &str,
+        d: &UpdateDescriptor,
+    ) -> Result<TargetOp, RuntimeError> {
+        let mapping = self.bundle.mapping(mapping_name).ok_or_else(|| {
+            RuntimeError::BadBytecode(format!("no mapping `{mapping_name}` loaded"))
+        })?;
+        // Old/new images in the target schema.
+        let old_target = if d.old.is_empty() {
+            Image::new()
+        } else {
+            self.apply_rules(mapping, &d.old)?
+        };
+        let mut new_target = if d.new.is_empty() {
+            Image::new()
+        } else {
+            self.apply_rules(mapping, &d.new)?
+        };
+        // Stamp the originator attribute (device→directory direction).
+        if let Some(attr) = &mapping.originator {
+            if !new_target.is_empty() {
+                new_target.set(attr.clone(), vec![d.origin.clone()]);
+            }
+        }
+        // Conditional (reapplied) operation detection:
+        //  - the descriptor's origin IS this mapping's target (direct echo), or
+        //  - the declared origin-check attribute of the source image names
+        //    this mapping's target (second-hop echo through the directory).
+        let mut conditional = d.origin == mapping.target;
+        if let Some(check) = &mapping.origin_check {
+            if let Some(orig) = d.new.first(check).or_else(|| d.old.first(check)) {
+                if orig == mapping.target {
+                    conditional = true;
+                }
+            }
+        }
+        // Keys.
+        let old_key = self.target_key(mapping, &d.old, &old_target)?;
+        let new_key = self.target_key(mapping, &d.new, &new_target)?;
+        // Partitioning matrix.
+        let part = mapping.partition.as_ref();
+        let old_sat = self.partition_satisfied(part, &d.old)?;
+        let new_sat = self.partition_satisfied(part, &d.new)?;
+        let kind = match d.kind {
+            UpdateKind::Add => {
+                if new_sat {
+                    OpKind::Add
+                } else {
+                    OpKind::Skip
+                }
+            }
+            UpdateKind::Delete => {
+                if old_sat {
+                    OpKind::Delete
+                } else {
+                    OpKind::Skip
+                }
+            }
+            UpdateKind::Modify => match (old_sat, new_sat) {
+                (false, true) => OpKind::Add,
+                (true, true) => OpKind::Modify,
+                (true, false) => OpKind::Delete,
+                (false, false) => OpKind::Skip,
+            },
+        };
+        // Key sanity for non-skip operations.
+        if kind != OpKind::Skip {
+            let needs_new = matches!(kind, OpKind::Add | OpKind::Modify);
+            let needs_old = matches!(kind, OpKind::Delete | OpKind::Modify);
+            if needs_new && new_key.is_none() {
+                return Err(RuntimeError::MissingKey {
+                    mapping: mapping.name.clone(),
+                    detail: format!("new image {} yields no target key", d.new),
+                });
+            }
+            if needs_old && old_key.is_none() {
+                return Err(RuntimeError::MissingKey {
+                    mapping: mapping.name.clone(),
+                    detail: format!("old image {} yields no target key", d.old),
+                });
+            }
+        }
+        Ok(TargetOp {
+            kind,
+            conditional,
+            old_key,
+            new_key,
+            attrs: new_target,
+            old_attrs: old_target,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PBX_TO_LDAP: &str = r#"
+transform surname(n) {
+    match n {
+        "*,*" => trim(split(n, ",", 0));
+        "* *" => split(n, " ", -1);
+        _     => n;
+    }
+}
+transform fullname(n) {
+    match n {
+        "*,*" => concat(trim(split(n, ",", 1)), " ", trim(split(n, ",", 0)));
+        _     => n;
+    }
+}
+mapping pbx_to_ldap {
+    source pbx-west;
+    target ldap;
+    key source Extension;
+    key target dn : concat("cn=", fullname(Name), ",o=Lucent");
+    originator lastUpdater;
+
+    map Extension -> definityExtension;
+    map Extension -> telephoneNumber : concat("+1 908 582 ", Extension);
+    map Name -> cn : fullname(Name);
+    map Name -> sn : surname(Name);
+    map Room -> roomNumber;
+}
+"#;
+
+    const LDAP_TO_PBX: &str = r#"
+mapping ldap_to_pbx_west {
+    source ldap;
+    target pbx-west;
+    key source dn;
+    key target Extension : definityExtension || digits(substr(telephoneNumber, -4, 4));
+    origin-check lastUpdater;
+
+    map definityExtension -> Extension;
+    map telephoneNumber -> Extension : digits(substr(telephoneNumber, -4, 4));
+    map cn -> Name;
+    map roomNumber -> Room;
+
+    partition when matches(telephoneNumber, "+1 908 582 9*");
+}
+"#;
+
+    fn engine() -> Engine {
+        let mut e = Engine::from_source(PBX_TO_LDAP).unwrap();
+        e.load(LDAP_TO_PBX).unwrap();
+        e
+    }
+
+    #[test]
+    fn pbx_add_translates_to_ldap_add() {
+        let e = engine();
+        let d = UpdateDescriptor::add(
+            "9123",
+            Image::from_pairs([
+                ("Extension", "9123"),
+                ("Name", "Doe, John"),
+                ("Room", "2B-401"),
+            ]),
+            "pbx-west",
+        );
+        let op = e.translate("pbx_to_ldap", &d).unwrap();
+        assert_eq!(op.kind, OpKind::Add);
+        assert!(!op.conditional);
+        assert_eq!(op.new_key.as_deref(), Some("cn=John Doe,o=Lucent"));
+        assert_eq!(op.attrs.first("cn"), Some("John Doe"));
+        assert_eq!(op.attrs.first("sn"), Some("Doe"));
+        assert_eq!(op.attrs.first("definityExtension"), Some("9123"));
+        assert_eq!(op.attrs.first("telephoneNumber"), Some("+1 908 582 9123"));
+        assert_eq!(op.attrs.first("roomNumber"), Some("2B-401"));
+        // originator stamped
+        assert_eq!(op.attrs.first("lastUpdater"), Some("pbx-west"));
+    }
+
+    #[test]
+    fn echo_back_to_origin_is_conditional() {
+        let e = engine();
+        // Direct echo: descriptor originated at pbx-west, translated back.
+        let d = UpdateDescriptor::add(
+            "9123",
+            Image::from_pairs([
+                ("definityExtension", "9123"),
+                ("telephoneNumber", "+1 908 582 9123"),
+                ("cn", "John Doe"),
+            ]),
+            "pbx-west",
+        );
+        let op = e.translate("ldap_to_pbx_west", &d).unwrap();
+        assert!(op.conditional, "direct echo must be conditional");
+
+        // Second hop: LDAP-originated descriptor whose lastUpdater says the
+        // update came from pbx-west.
+        let d = UpdateDescriptor::add(
+            "cn=John Doe,o=Lucent",
+            Image::from_pairs([
+                ("definityExtension", "9123"),
+                ("telephoneNumber", "+1 908 582 9123"),
+                ("cn", "John Doe"),
+                ("lastUpdater", "pbx-west"),
+            ]),
+            "ldap",
+        );
+        let op = e.translate("ldap_to_pbx_west", &d).unwrap();
+        assert!(op.conditional, "lastUpdater echo must be conditional");
+
+        // Fresh WBA update: not conditional.
+        let d = UpdateDescriptor::add(
+            "cn=John Doe,o=Lucent",
+            Image::from_pairs([
+                ("definityExtension", "9123"),
+                ("telephoneNumber", "+1 908 582 9123"),
+                ("cn", "John Doe"),
+                ("lastUpdater", "wba"),
+            ]),
+            "ldap",
+        );
+        let op = e.translate("ldap_to_pbx_west", &d).unwrap();
+        assert!(!op.conditional);
+    }
+
+    #[test]
+    fn partition_matrix_all_four_cases() {
+        let e = engine();
+        let in_range = Image::from_pairs([
+            ("telephoneNumber", "+1 908 582 9123"),
+            ("definityExtension", "9123"),
+            ("cn", "J"),
+        ]);
+        let out_of_range = Image::from_pairs([
+            ("telephoneNumber", "+1 908 582 3456"),
+            ("definityExtension", "3456"),
+            ("cn", "J"),
+        ]);
+        // old out, new in → ADD
+        let d = UpdateDescriptor::modify("cn=J", out_of_range.clone(), in_range.clone(), "wba");
+        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Add);
+        // old in, new in → MODIFY
+        let mut renumbered = in_range.clone();
+        renumbered.set("telephoneNumber", vec!["+1 908 582 9200".into()]);
+        renumbered.set("definityExtension", vec!["9200".into()]);
+        let d = UpdateDescriptor::modify("cn=J", in_range.clone(), renumbered, "wba");
+        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Modify);
+        // old in, new out → DELETE
+        let d = UpdateDescriptor::modify("cn=J", in_range.clone(), out_of_range.clone(), "wba");
+        let op = e.translate("ldap_to_pbx_west", &d).unwrap();
+        assert_eq!(op.kind, OpKind::Delete);
+        assert_eq!(op.old_key.as_deref(), Some("9123"));
+        // old out, new out → SKIP
+        let mut other = out_of_range.clone();
+        other.set("telephoneNumber", vec!["+1 908 582 3999".into()]);
+        other.set("definityExtension", vec!["3999".into()]);
+        let d = UpdateDescriptor::modify("cn=J", out_of_range, other, "wba");
+        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Skip);
+    }
+
+    #[test]
+    fn add_and_delete_respect_partition() {
+        let e = engine();
+        let out_of_range = Image::from_pairs([
+            ("telephoneNumber", "+1 908 582 3456"),
+            ("definityExtension", "3456"),
+            ("cn", "J"),
+        ]);
+        let d = UpdateDescriptor::add("cn=J", out_of_range.clone(), "wba");
+        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Skip);
+        let d = UpdateDescriptor::delete("cn=J", out_of_range, "wba");
+        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Skip);
+        let in_range = Image::from_pairs([
+            ("telephoneNumber", "+1 908 582 9123"),
+            ("definityExtension", "9123"),
+            ("cn", "J"),
+        ]);
+        let d = UpdateDescriptor::delete("cn=J", in_range, "wba");
+        let op = e.translate("ldap_to_pbx_west", &d).unwrap();
+        assert_eq!(op.kind, OpKind::Delete);
+    }
+
+    #[test]
+    fn guards_and_defaults_in_rules() {
+        let src = r#"
+mapping m {
+    source a; target b;
+    key source K; key target K2;
+    map K -> K2;
+    map X -> guarded : X when matches(X, "yes*");
+    map Y -> defaulted : Y default "fallback";
+}
+"#;
+        let e = Engine::from_source(src).unwrap();
+        let d = UpdateDescriptor::add(
+            "1",
+            Image::from_pairs([("K", "1"), ("X", "no-thanks")]),
+            "a",
+        );
+        let op = e.translate("m", &d).unwrap();
+        assert!(!op.attrs.has("guarded"), "guard suppressed the rule");
+        assert_eq!(op.attrs.first("defaulted"), Some("fallback"));
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let e = engine();
+        // No Name → key expression yields null.
+        let d = UpdateDescriptor::add("9123", Image::from_pairs([("Extension", "9123")]), "pbx-west");
+        let err = e.translate("pbx_to_ldap", &d).unwrap_err();
+        assert!(matches!(err, RuntimeError::MissingKey { .. }));
+    }
+
+    #[test]
+    fn unknown_mapping_is_an_error() {
+        let e = engine();
+        let d = UpdateDescriptor::add("x", Image::from_pairs([("a", "b")]), "a");
+        assert!(e.translate("nope", &d).is_err());
+    }
+
+    #[test]
+    fn multi_valued_attributes_translate() {
+        let src = r#"
+mapping m {
+    source a; target b;
+    key source K; key target K2;
+    map K -> K2;
+    map ou -> groups : values(ou);
+}
+"#;
+        let e = Engine::from_source(src).unwrap();
+        let mut img = Image::from_pairs([("K", "1")]);
+        img.add("ou", "alpha");
+        img.add("ou", "beta");
+        let d = UpdateDescriptor::add("1", img, "a");
+        let op = e.translate("m", &d).unwrap();
+        assert_eq!(op.attrs.values("groups"), &["alpha", "beta"]);
+    }
+}
+
+#[cfg(test)]
+mod load_file_tests {
+    use super::*;
+
+    #[test]
+    fn load_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("lexpress-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.lex");
+        std::fs::write(
+            &path,
+            "mapping m { source a; target b; key source K; key target T; map K -> T; }",
+        )
+        .unwrap();
+        let mut e = Engine::default();
+        e.load_file(&path).unwrap();
+        assert!(e.mapping("m").is_some());
+        // Missing files are a compile error, not a panic.
+        assert!(Engine::default().load_file(dir.join("nope.lex")).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Errors for the lexpress compiler and interpreter.
+
+use std::fmt;
+
+/// Compile-time errors (lexing, parsing, semantic analysis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexer error: unexpected character.
+    Lex { line: u32, message: String },
+    /// Parser error: unexpected token.
+    Parse { line: u32, message: String },
+    /// Semantic error: unknown table/transform, duplicate names, arity.
+    Semantic(String),
+    /// A dependency cycle whose composed transformation cannot reach a
+    /// fixpoint (detected at compile time by probing — paper §4.2's
+    /// "at compile time (if a fixpoint can never be reached)").
+    NonConvergentCycle { attrs: Vec<String> },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lex { line, message } => {
+                write!(f, "lex error at line {line}: {message}")
+            }
+            CompileError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CompileError::Semantic(m) => write!(f, "semantic error: {m}"),
+            CompileError::NonConvergentCycle { attrs } => write!(
+                f,
+                "dependency cycle over [{}] can never reach a fixpoint",
+                attrs.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Run-time errors (interpretation, translation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The VM was asked to run malformed bytecode (internal error).
+    BadBytecode(String),
+    /// A required attribute (e.g. the key) evaluated to null.
+    MissingKey { mapping: String, detail: String },
+    /// Transitive closure did not converge for this update
+    /// (paper §4.2's "at execution time (if a fixpoint will not be reached
+    /// for a current update)").
+    FixpointNotReached { attrs: Vec<String> },
+    /// Type error, e.g. `join` over a non-list.
+    Type(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::BadBytecode(m) => write!(f, "bad bytecode: {m}"),
+            RuntimeError::MissingKey { mapping, detail } => {
+                write!(f, "mapping `{mapping}`: cannot compute key: {detail}")
+            }
+            RuntimeError::FixpointNotReached { attrs } => write!(
+                f,
+                "transitive closure did not converge for attributes [{}]",
+                attrs.join(", ")
+            ),
+            RuntimeError::Type(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = CompileError::Parse {
+            line: 3,
+            message: "expected `;`".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = CompileError::NonConvergentCycle {
+            attrs: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("a, b"));
+        let e = RuntimeError::FixpointNotReached {
+            attrs: vec!["x".into()],
+        };
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,260 @@
+//! "A library of common mappings for telecommunications directories is
+//! available" (paper §4.2). These are the stock description fragments the
+//! MetaComm deployment composes; callers can load them directly or use them
+//! as templates.
+
+/// Name-handling transforms shared by every telecom mapping: the PBX stores
+/// names as `Surname, Given`, the directory as `Given Surname`.
+pub const NAME_TRANSFORMS: &str = r#"
+# --- common telecom name handling -------------------------------------
+transform surname(n) {
+    match n {
+        "*,*" => trim(split(n, ",", 0));   # "Doe, John"     -> "Doe"
+        "* *" => after(n, " ");            # "John Doe Jr"   -> "Doe Jr"
+        _     => n;
+    }
+}
+
+transform givenname(n) {
+    match n {
+        "*,*" => trim(split(n, ",", 1));   # "Doe, John"  -> "John"
+        "* *" => before(n, " ");           # "John Doe"   -> "John"
+        _     => n;
+    }
+}
+
+transform fullname(n) {
+    match n {
+        "*,*" => concat(trim(split(n, ",", 1)), " ", trim(split(n, ",", 0)));
+        _     => n;
+    }
+}
+
+transform pbxname(n) {
+    # directory "John Doe" -> PBX "Doe, John"; multi-token surnames keep
+    # every token after the given name ("Maya Mori 0003" -> "Mori 0003, Maya")
+    match n {
+        "*,*" => n;
+        "* *" => concat(after(n, " "), ", ", before(n, " "));
+        _     => n;
+    }
+}
+"#;
+
+/// Phone-number normalization for the Murray Hill dial plan the paper uses
+/// (`+1 908-582-9xxx` extensions).
+pub const PHONE_TRANSFORMS: &str = r#"
+# --- common telecom number handling ------------------------------------
+transform extension4(p) {
+    # any phone-number shape -> 4-digit extension
+    substr(digits(p), -4, 4)
+}
+
+transform mh_number(e) {
+    # 4-digit extension -> full E.164-ish number at Murray Hill
+    concat("+1 908 582 ", e)
+}
+"#;
+
+/// Build the PBX↔LDAP mapping pair for one PBX partition.
+///
+/// * `pbx` — repository name (e.g. `pbx-west`)
+/// * `ext_glob` — partitioning constraint over `definityExtension`
+///   (e.g. `"9???"` for the switch owning 9xxx). Ownership is keyed on the
+///   extension attribute being *set* (paper §5.2: the auxiliary class alone
+///   only means a person *may* use a PBX; "we must look to see if the PBX
+///   Extension field is set"), so clearing the attribute routes a delete to
+///   the switch and a person without an extension gets no station.
+/// * `suffix` — directory suffix people live under (e.g. `o=Lucent`)
+pub fn pbx_mappings(pbx: &str, ext_glob: &str, suffix: &str) -> String {
+    format!(
+        r#"{NAME_TRANSFORMS}
+{PHONE_TRANSFORMS}
+
+mapping {pbx}_to_ldap {{
+    source {pbx};
+    target ldap;
+    key source Extension;
+    key target dn : concat("cn=", fullname(Name), ",{suffix}");
+    originator lastUpdater;
+
+    map Extension -> definityExtension;
+    map Extension -> telephoneNumber : mh_number(Extension);
+    map Name -> cn : fullname(Name);
+    map Name -> sn : surname(Name);
+    map Room -> roomNumber;
+    map Port -> definityPort;
+    map Type -> definitySetType;
+    map CoveragePath -> definityCoveragePath;
+    map Cor -> definityCor;
+}}
+
+mapping ldap_to_{pbx} {{
+    source ldap;
+    target {pbx};
+    key source dn;
+    key target Extension : definityExtension || extension4(telephoneNumber);
+    origin-check lastUpdater;
+
+    map definityExtension -> Extension;
+    map cn -> Name : pbxname(cn);
+    map roomNumber -> Room;
+    map definityPort -> Port;
+    map definitySetType -> Type;
+    map definityCoveragePath -> CoveragePath default "1";
+    map definityCor -> Cor default "1";
+
+    partition when matches(definityExtension, "{ext_glob}");
+}}
+"#
+    )
+}
+
+/// Build the messaging-platform↔LDAP mapping pair. `mbx_glob` constrains
+/// `mpMailbox` (use `"*"` for an unpartitioned platform).
+pub fn msgplat_mappings(mp: &str, mbx_glob: &str, suffix: &str) -> String {
+    format!(
+        r#"{NAME_TRANSFORMS}
+{PHONE_TRANSFORMS}
+
+mapping {mp}_to_ldap {{
+    source {mp};
+    target ldap;
+    key source Mailbox;
+    key target dn : concat("cn=", fullname(Subscriber), ",{suffix}");
+    originator lastUpdater;
+
+    map Mailbox -> mpMailbox;
+    map MbId -> mpMailboxId;
+    map Subscriber -> cn : fullname(Subscriber);
+    map Subscriber -> sn : surname(Subscriber);
+    map Cos -> mpClassOfService;
+}}
+
+mapping ldap_to_{mp} {{
+    source ldap;
+    target {mp};
+    key source dn;
+    key target Mailbox : mpMailbox || extension4(telephoneNumber);
+    origin-check lastUpdater;
+
+    map mpMailbox -> Mailbox;
+    map cn -> Subscriber : pbxname(cn);
+    map mpClassOfService -> Cos default "standard";
+
+    partition when matches(mpMailbox, "{mbx_glob}");
+}}
+"#
+    )
+}
+
+/// Intra-directory dependency rules (the transitive-closure hub): the
+/// paper's `telephoneNumber ↔ DefinityExtension ↔ mailbox` relationships
+/// expressed over the integrated LDAP schema.
+pub fn hub_rules() -> String {
+    r#"
+mapping hub_rules {
+    source ldap; target ldap;
+    key source dn; key target dn;
+    # The extension/mailbox follow the phone number only for people who
+    # already HAVE one — the auxiliary-class anomaly of paper section 5.2
+    # means presence of the attribute, not the class, signals device use.
+    map telephoneNumber -> definityExtension : substr(digits(telephoneNumber), -4, 4)
+        when matches(definityExtension, "*");
+    map definityExtension -> telephoneNumber : concat("+1 908 582 ", definityExtension);
+    map telephoneNumber -> mpMailbox : substr(digits(telephoneNumber), -4, 4)
+        when matches(mpMailbox, "*");
+}
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::Closure;
+    use crate::descriptor::{Image, OpKind, UpdateDescriptor};
+    use crate::engine::Engine;
+
+    #[test]
+    fn pbx_mapping_pair_compiles_and_round_trips() {
+        let src = pbx_mappings("pbx-west", "9???", "o=Lucent");
+        let e = Engine::from_source(&src).unwrap();
+        // PBX record → LDAP entry image
+        let d = UpdateDescriptor::add(
+            "9123",
+            Image::from_pairs([
+                ("Extension", "9123"),
+                ("Name", "Doe, John"),
+                ("Room", "2B-401"),
+                ("CoveragePath", "3"),
+                ("Cor", "2"),
+            ]),
+            "pbx-west",
+        );
+        let op = e.translate("pbx-west_to_ldap", &d).unwrap();
+        assert_eq!(op.kind, OpKind::Add);
+        assert_eq!(op.new_key.as_deref(), Some("cn=John Doe,o=Lucent"));
+        assert_eq!(op.attrs.first("telephoneNumber"), Some("+1 908 582 9123"));
+        assert_eq!(op.attrs.first("sn"), Some("Doe"));
+
+        // …and back: LDAP image → PBX record
+        let mut img = op.attrs.clone();
+        img.set("dn", vec!["cn=John Doe,o=Lucent".into()]);
+        let d2 = UpdateDescriptor::add("cn=John Doe,o=Lucent", img, "ldap");
+        let op2 = e.translate("ldap_to_pbx-west", &d2).unwrap();
+        // lastUpdater was stamped pbx-west, so the reverse trip is conditional.
+        assert!(op2.conditional);
+        assert_eq!(op2.kind, OpKind::Add);
+        assert_eq!(op2.new_key.as_deref(), Some("9123"));
+        assert_eq!(op2.attrs.first("Name"), Some("Doe, John"));
+        assert_eq!(op2.attrs.first("Room"), Some("2B-401"));
+        assert_eq!(op2.attrs.first("CoveragePath"), Some("3"));
+    }
+
+    #[test]
+    fn msgplat_mapping_pair_compiles() {
+        let src = msgplat_mappings("mp", "*", "o=Lucent");
+        let e = Engine::from_source(&src).unwrap();
+        let d = UpdateDescriptor::add(
+            "9123",
+            Image::from_pairs([
+                ("Mailbox", "9123"),
+                ("MbId", "MB-000017"),
+                ("Subscriber", "Doe, John"),
+                ("Cos", "executive"),
+            ]),
+            "mp",
+        );
+        let op = e.translate("mp_to_ldap", &d).unwrap();
+        assert_eq!(op.attrs.first("mpMailboxId"), Some("MB-000017"));
+        assert_eq!(op.attrs.first("mpClassOfService"), Some("executive"));
+        assert_eq!(op.attrs.first("cn"), Some("John Doe"));
+    }
+
+    #[test]
+    fn hub_rules_converge() {
+        let c = Closure::from_source(&hub_rules()).unwrap();
+        assert_eq!(c.rule_count(), 3);
+    }
+
+    #[test]
+    fn two_pbx_partitions_coexist() {
+        // Mapping names embed the pbx name, so loading two partitions into
+        // one engine must work (the paper's multi-PBX deployment).
+        let mut e = Engine::from_source(&pbx_mappings("pbx-west", "9???", "o=Lucent"))
+            .expect("west");
+        // Second load: duplicate transform names are a compile error within
+        // one file but the second file is separate — the engine absorbs it.
+        let east = pbx_mappings("pbx-east", "3???", "o=Lucent");
+        e.load(&east).expect("east");
+        let img = Image::from_pairs([
+            ("telephoneNumber", "+1 908 582 3456"),
+            ("definityExtension", "3456"),
+            ("cn", "Jill Lu"),
+        ]);
+        let d = UpdateDescriptor::add("cn=Jill Lu,o=Lucent", img, "wba");
+        assert_eq!(e.translate("ldap_to_pbx-west", &d).unwrap().kind, OpKind::Skip);
+        assert_eq!(e.translate("ldap_to_pbx-east", &d).unwrap().kind, OpKind::Add);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ltap — the Lightweight Trigger Access Process
+//!
+//! A reconstruction of LTAP (Lieuwen, Arlein, Gehani — used by MetaComm,
+//! ICDE 2000 §4.3/§5.1): a gateway that pretends to be an LDAP server,
+//! intercepting update commands to add *active* (trigger) functionality to
+//! trigger-less LDAP servers, plus
+//!
+//! - entry-level [`lock`]ing while trigger processing runs;
+//! - the [`quiesce`] facility and persistent synchronization
+//!   [`session`]s MetaComm added (§5.1);
+//! - both deployments of §5.5: bind the [`gateway::Gateway`] in-process
+//!   (library mode) or serve it over TCP with `ldap::server::Server`
+//!   (gateway mode);
+//! - the simple LTAP-based [`security`] model §7 mentions: declarative
+//!   policies compiled into vetoing before-triggers.
+
+pub mod gateway;
+pub mod lock;
+pub mod quiesce;
+pub mod security;
+pub mod session;
+pub mod trigger;
+
+pub use gateway::{Gateway, Stats, TriggerId};
+pub use lock::{LockGuard, LockManager};
+pub use quiesce::QuiesceGate;
+pub use security::SecurityPolicy;
+pub use session::SyncSession;
+pub use trigger::{
+    Disposition, LtapOp, OpKind, Timing, TriggerContext, TriggerHandler, TriggerSpec,
+};

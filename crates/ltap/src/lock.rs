@@ -1,0 +1,137 @@
+//! Entry-level lock manager (paper §4.3: "LTAP also provides locking
+//! facilities, forbidding updates to an entry while trigger processing is
+//! being performed on that entry").
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Locks normalized-DN keys. Fair enough for the workload: waiters block on
+/// a condvar and retry.
+#[derive(Default)]
+pub struct LockManager {
+    locked: Mutex<HashSet<String>>,
+    cv: Condvar,
+}
+
+impl LockManager {
+    pub fn new() -> LockManager {
+        LockManager::default()
+    }
+
+    /// Acquire the lock for `key`, blocking until available.
+    pub fn lock(&self, key: impl Into<String>) -> LockGuard<'_> {
+        let key = key.into();
+        let mut locked = self.locked.lock();
+        while locked.contains(&key) {
+            self.cv.wait(&mut locked);
+        }
+        locked.insert(key.clone());
+        LockGuard { mgr: self, key }
+    }
+
+    /// Acquire with a timeout; `None` when the wait expires (used to avoid
+    /// deadlocking the UM against itself in pathological schedules).
+    pub fn try_lock_for(&self, key: impl Into<String>, dur: Duration) -> Option<LockGuard<'_>> {
+        let key = key.into();
+        let deadline = std::time::Instant::now() + dur;
+        let mut locked = self.locked.lock();
+        while locked.contains(&key) {
+            if self.cv.wait_until(&mut locked, deadline).timed_out() {
+                return None;
+            }
+        }
+        locked.insert(key.clone());
+        Some(LockGuard { mgr: self, key })
+    }
+
+    /// Is `key` currently held? (diagnostics/tests)
+    pub fn is_locked(&self, key: &str) -> bool {
+        self.locked.lock().contains(key)
+    }
+
+    /// Number of currently held locks.
+    pub fn held(&self) -> usize {
+        self.locked.lock().len()
+    }
+}
+
+/// RAII guard releasing the entry lock on drop.
+pub struct LockGuard<'a> {
+    mgr: &'a LockManager,
+    key: String,
+}
+
+impl LockGuard<'_> {
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        let mut locked = self.mgr.locked.lock();
+        locked.remove(&self.key);
+        self.mgr.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_lock_unlock() {
+        let m = LockManager::new();
+        {
+            let g = m.lock("cn=a");
+            assert!(m.is_locked("cn=a"));
+            assert_eq!(g.key(), "cn=a");
+            assert_eq!(m.held(), 1);
+        }
+        assert!(!m.is_locked("cn=a"));
+    }
+
+    #[test]
+    fn distinct_keys_dont_block() {
+        let m = LockManager::new();
+        let _a = m.lock("cn=a");
+        let _b = m.lock("cn=b");
+        assert_eq!(m.held(), 2);
+    }
+
+    #[test]
+    fn try_lock_times_out_and_succeeds() {
+        let m = LockManager::new();
+        let g = m.lock("cn=a");
+        assert!(m.try_lock_for("cn=a", Duration::from_millis(30)).is_none());
+        drop(g);
+        assert!(m.try_lock_for("cn=a", Duration::from_millis(30)).is_some());
+    }
+
+    #[test]
+    fn contended_lock_serializes() {
+        let m = Arc::new(LockManager::new());
+        let counter = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = m.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _g = m.lock("cn=hot");
+                    // Critical section: read-modify-write without tearing.
+                    let v = *counter.lock();
+                    std::thread::yield_now();
+                    *counter.lock() = v + 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8 * 50);
+        assert_eq!(m.held(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The simple LTAP-based security model (paper §7: "the current system
+//! uses a very simple security mechanism (based on the security model of
+//! LTAP)").
+//!
+//! Security is expressed as a *vetoing before-trigger*: a declarative
+//! [`SecurityPolicy`] compiled into a [`TriggerHandler`] that rejects
+//! disallowed client operations with `InsufficientAccessRights` while the
+//! entry lock is held. Operations arriving over tagged persistent
+//! connections (MetaComm's own device relays) are trusted and exempt.
+
+use crate::trigger::{Disposition, LtapOp, TriggerContext, TriggerHandler};
+use ldap::dn::Dn;
+use ldap::entry::ModOp;
+use ldap::{LdapError, ResultCode};
+use std::sync::Arc;
+
+/// A declarative update-security policy.
+#[derive(Debug, Clone, Default)]
+pub struct SecurityPolicy {
+    /// Attributes ordinary clients may never write (e.g. the
+    /// platform-generated `mpMailboxId`).
+    readonly_attrs: Vec<String>,
+    /// Subtrees ordinary clients may not update at all.
+    protected_subtrees: Vec<Dn>,
+    /// Deny entry deletion by ordinary clients.
+    deny_delete: bool,
+    /// Deny renames (ModifyRDN) by ordinary clients.
+    deny_rename: bool,
+}
+
+impl SecurityPolicy {
+    pub fn new() -> SecurityPolicy {
+        SecurityPolicy::default()
+    }
+
+    /// Forbid clients from writing `attr` (internal relays still can).
+    pub fn readonly_attr(mut self, attr: &str) -> Self {
+        self.readonly_attrs.push(attr.to_ascii_lowercase());
+        self
+    }
+
+    /// Forbid all client updates under `base`.
+    pub fn protect_subtree(mut self, base: Dn) -> Self {
+        self.protected_subtrees.push(base);
+        self
+    }
+
+    /// Forbid client deletes.
+    pub fn deny_delete(mut self) -> Self {
+        self.deny_delete = true;
+        self
+    }
+
+    /// Forbid client renames.
+    pub fn deny_rename(mut self) -> Self {
+        self.deny_rename = true;
+        self
+    }
+
+    fn deny(reason: impl std::fmt::Display) -> ldap::Result<Disposition> {
+        Err(LdapError::new(
+            ResultCode::InsufficientAccessRights,
+            format!("denied by security policy: {reason}"),
+        ))
+    }
+
+    /// Evaluate one trapped operation.
+    fn check(&self, ctx: &TriggerContext<'_>) -> ldap::Result<Disposition> {
+        // Tagged persistent connections are MetaComm's own relays: trusted.
+        if ctx.origin.is_some() {
+            return Ok(Disposition::Proceed);
+        }
+        let dn = ctx.op.dn();
+        for base in &self.protected_subtrees {
+            if dn.is_within(base) {
+                return Self::deny(format_args!("subtree {base} is protected"));
+            }
+        }
+        match ctx.op {
+            LtapOp::Delete(_) if self.deny_delete => Self::deny("deletes are disabled"),
+            LtapOp::ModifyRdn { .. } if self.deny_rename => {
+                Self::deny("renames are disabled")
+            }
+            LtapOp::Add(e) => {
+                for attr in &self.readonly_attrs {
+                    if e.has_attr(attr) {
+                        return Self::deny(format_args!("attribute {attr} is read-only"));
+                    }
+                }
+                Ok(Disposition::Proceed)
+            }
+            LtapOp::Modify(_, mods) => {
+                for m in mods {
+                    let name = m.attr.norm();
+                    if self.readonly_attrs.iter().any(|a| a == name) {
+                        // Echoing the existing value back is tolerated
+                        // (clients copying an entry through a browser);
+                        // changing or clearing it is not.
+                        let unchanged = matches!(m.op, ModOp::Replace)
+                            && ctx.pre_image.is_some_and(|pre| {
+                                let cur = pre.values(name);
+                                cur == m.values.as_slice()
+                            });
+                        if !unchanged {
+                            return Self::deny(format_args!(
+                                "attribute {} is read-only",
+                                m.attr
+                            ));
+                        }
+                    }
+                }
+                Ok(Disposition::Proceed)
+            }
+            _ => Ok(Disposition::Proceed),
+        }
+    }
+
+    /// Compile the policy into a trigger handler. Register it *before* the
+    /// Update Manager's handler so vetoes happen first.
+    pub fn into_handler(self) -> Arc<dyn TriggerHandler> {
+        Arc::new(move |ctx: &TriggerContext<'_>| self.check(ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gateway::Gateway;
+    use crate::trigger::TriggerSpec;
+    use ldap::dit::{figure2_tree, Dit};
+    use ldap::entry::{Entry, Modification};
+    use ldap::Directory;
+
+    fn secured(policy: SecurityPolicy) -> (Arc<Gateway>, Arc<Dit>) {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let gw = Gateway::new(dit.clone());
+        gw.register(
+            TriggerSpec::all_updates("security", Dn::root()),
+            policy.into_handler(),
+        );
+        (gw, dit)
+    }
+
+    #[test]
+    fn readonly_attribute_enforced() {
+        let policy = SecurityPolicy::new().readonly_attr("mpMailboxId");
+        let (gw, _dit) = secured(policy);
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        // Plain write denied.
+        let err = gw
+            .modify(&john, &[Modification::set("mpMailboxId", "MB-999999")])
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::InsufficientAccessRights);
+        // Other attributes unaffected.
+        gw.modify(&john, &[Modification::set("description", "fine")])
+            .unwrap();
+        // Adds carrying the attribute denied too.
+        let mut e = Entry::new(Dn::parse("cn=New,o=Lucent").unwrap());
+        e.add_value("objectClass", "person");
+        e.add_value("cn", "New");
+        e.add_value("sn", "New");
+        e.add_value("mpMailboxId", "MB-000001");
+        assert_eq!(
+            gw.add(e).unwrap_err().code,
+            ResultCode::InsufficientAccessRights
+        );
+    }
+
+    #[test]
+    fn echoing_current_value_is_tolerated() {
+        let policy = SecurityPolicy::new().readonly_attr("mpMailboxId");
+        let (gw, dit) = secured(policy);
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        ldap::Dit::modify(&dit, &john, &[Modification::set("mpMailboxId", "MB-1")]).unwrap();
+        // Replacing with the identical value (browser round trip) passes…
+        gw.modify(&john, &[Modification::set("mpMailboxId", "MB-1")])
+            .unwrap();
+        // …but changing it does not.
+        assert!(gw
+            .modify(&john, &[Modification::set("mpMailboxId", "MB-2")])
+            .is_err());
+    }
+
+    #[test]
+    fn tagged_relays_bypass_the_policy() {
+        let policy = SecurityPolicy::new()
+            .readonly_attr("mpMailboxId")
+            .deny_delete();
+        let (gw, _dit) = secured(policy);
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        // An internal persistent connection (MetaComm's relay) may write it.
+        gw.apply_tagged(
+            crate::trigger::LtapOp::Modify(
+                john.clone(),
+                vec![Modification::set("mpMailboxId", "MB-000042")],
+            ),
+            "mp",
+        )
+        .unwrap();
+        // And may delete.
+        gw.apply_tagged(crate::trigger::LtapOp::Delete(john), "mp")
+            .unwrap();
+    }
+
+    #[test]
+    fn protected_subtree() {
+        let policy = SecurityPolicy::new()
+            .protect_subtree(Dn::parse("o=Accounting,o=Lucent").unwrap());
+        let (gw, _dit) = secured(policy);
+        let tim = Dn::parse("cn=Tim Dickens,o=Accounting,o=Lucent").unwrap();
+        assert_eq!(
+            gw.modify(&tim, &[Modification::set("description", "x")])
+                .unwrap_err()
+                .code,
+            ResultCode::InsufficientAccessRights
+        );
+        assert_eq!(
+            gw.delete(&tim).unwrap_err().code,
+            ResultCode::InsufficientAccessRights
+        );
+        // Outside the subtree: fine.
+        let jill = Dn::parse("cn=Jill Lu,o=R&D,o=Lucent").unwrap();
+        gw.modify(&jill, &[Modification::set("description", "x")])
+            .unwrap();
+    }
+
+    #[test]
+    fn deny_delete_and_rename() {
+        let policy = SecurityPolicy::new().deny_delete().deny_rename();
+        let (gw, _dit) = secured(policy);
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        assert!(gw.delete(&john).is_err());
+        assert!(gw
+            .modify_rdn(&john, &ldap::Rdn::new("cn", "X"), true, None)
+            .is_err());
+        // Ordinary modifies still pass.
+        gw.modify(&john, &[Modification::set("description", "ok")])
+            .unwrap();
+    }
+}

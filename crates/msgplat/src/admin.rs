@@ -1,0 +1,191 @@
+//! The platform's proprietary admin console — the direct-update path for
+//! the messaging platform, analogous to the PBX craft terminal.
+//!
+//! ```text
+//! add subscriber 9123 name "Doe, John" cos executive
+//! change subscriber 9123 cos standard
+//! display subscriber 9123
+//! remove subscriber 9123
+//! list subscribers
+//! ```
+
+use crate::error::{MpError, Result};
+use crate::store::{fields, record, Channel, Record, Store};
+use std::fmt::Write as _;
+
+fn field_for(keyword: &str) -> Option<&'static str> {
+    match keyword {
+        "name" => Some(fields::SUBSCRIBER),
+        "cos" => Some(fields::COS),
+        _ => None,
+    }
+}
+
+/// Execute one console command; returns the console output.
+pub fn execute(store: &Store, line: &str) -> Result<String> {
+    let tokens = tokenize(line)?;
+    let mut it = tokens.iter();
+    let verb = it.next().map(String::as_str).unwrap_or("");
+    match verb {
+        "add" | "change" => {
+            expect_kw(&mut it, "subscriber", line)?;
+            let mb = it
+                .next()
+                .ok_or_else(|| MpError::BadCommand(format!("missing mailbox: {line}")))?;
+            let mut rec: Record = record::<String, String>([]);
+            if verb == "add" {
+                rec.insert(fields::MAILBOX.into(), mb.clone());
+            }
+            while let Some(kw) = it.next() {
+                let field = field_for(kw)
+                    .ok_or_else(|| MpError::BadCommand(format!("unknown field `{kw}`")))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| MpError::BadCommand(format!("missing value for `{kw}`")))?;
+                rec.insert(field.into(), value.clone());
+            }
+            if verb == "add" {
+                let created = store.add(rec, Channel::Console)?;
+                Ok(format!(
+                    "subscriber {mb} created, mailbox id {}",
+                    created.get(fields::MBID).map(String::as_str).unwrap_or("?")
+                ))
+            } else {
+                store.change(mb, rec, Channel::Console)?;
+                Ok(format!("subscriber {mb} changed"))
+            }
+        }
+        "remove" => {
+            expect_kw(&mut it, "subscriber", line)?;
+            let mb = it
+                .next()
+                .ok_or_else(|| MpError::BadCommand(format!("missing mailbox: {line}")))?;
+            store.remove(mb, Channel::Console)?;
+            Ok(format!("subscriber {mb} removed"))
+        }
+        "display" => {
+            expect_kw(&mut it, "subscriber", line)?;
+            let mb = it
+                .next()
+                .ok_or_else(|| MpError::BadCommand(format!("missing mailbox: {line}")))?;
+            let rec = store
+                .get(mb)
+                .ok_or_else(|| MpError::NoSuchMailbox(mb.clone()))?;
+            let mut out = String::new();
+            writeln!(out, "MAILBOX {mb}").expect("write");
+            for (k, v) in &rec {
+                if k != fields::MAILBOX {
+                    writeln!(out, "  {k:<14} {v}").expect("write");
+                }
+            }
+            Ok(out)
+        }
+        "list" => {
+            match it.next().map(String::as_str) {
+                Some("subscribers") => {}
+                other => {
+                    return Err(MpError::BadCommand(format!(
+                        "expected `subscribers`, got {other:?}"
+                    )))
+                }
+            }
+            let mut out = String::new();
+            writeln!(out, "{:<8} {:<12} {:<24}", "MBX", "ID", "SUBSCRIBER").expect("write");
+            for mb in store.mailboxes() {
+                let r = store.get(&mb).expect("listed");
+                writeln!(
+                    out,
+                    "{:<8} {:<12} {:<24}",
+                    mb,
+                    r.get(fields::MBID).map(String::as_str).unwrap_or(""),
+                    r.get(fields::SUBSCRIBER).map(String::as_str).unwrap_or("")
+                )
+                .expect("write");
+            }
+            Ok(out)
+        }
+        other => Err(MpError::BadCommand(format!("unknown verb `{other}`"))),
+    }
+}
+
+fn expect_kw<'a>(it: &mut impl Iterator<Item = &'a String>, kw: &str, line: &str) -> Result<()> {
+    match it.next() {
+        Some(t) if t == kw => Ok(()),
+        _ => Err(MpError::BadCommand(format!("expected `{kw}` in `{line}`"))),
+    }
+}
+
+fn tokenize(line: &str) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            let mut closed = false;
+            for c in chars.by_ref() {
+                if c == '"' {
+                    closed = true;
+                    break;
+                }
+                s.push(c);
+            }
+            if !closed {
+                return Err(MpError::BadCommand(format!("unterminated quote in `{line}`")));
+            }
+            out.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                s.push(c);
+                chars.next();
+            }
+            out.push(s);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn console_round_trip() {
+        let s = Store::new("mp");
+        let out = execute(&s, r#"add subscriber 9123 name "Doe, John" cos executive"#).unwrap();
+        assert!(out.contains("MB-"), "reports generated id: {out}");
+        let shown = execute(&s, "display subscriber 9123").unwrap();
+        assert!(shown.contains("Doe, John"));
+        assert!(shown.contains("executive"));
+        execute(&s, "change subscriber 9123 cos standard").unwrap();
+        assert_eq!(
+            s.get("9123").unwrap().get(fields::COS).map(String::as_str),
+            Some("standard")
+        );
+        let listing = execute(&s, "list subscribers").unwrap();
+        assert!(listing.contains("9123"));
+        execute(&s, "remove subscriber 9123").unwrap();
+        assert!(s.get("9123").is_none());
+    }
+
+    #[test]
+    fn bad_commands() {
+        let s = Store::new("mp");
+        for bad in [
+            "add mailbox 9123",
+            "add subscriber",
+            "add subscriber 9123 frob x",
+            "list mailboxes",
+            "display subscriber 404",
+            "nonsense",
+        ] {
+            assert!(execute(&s, bad).is_err(), "should reject `{bad}`");
+        }
+    }
+}

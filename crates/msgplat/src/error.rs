@@ -1,0 +1,29 @@
+//! Messaging-platform administration errors.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpError {
+    NoSuchMailbox(String),
+    DuplicateMailbox(String),
+    InvalidField { field: String, detail: String },
+    BadCommand(String),
+    /// Attempt to change the platform-generated mailbox id.
+    ImmutableField(String),
+}
+
+impl fmt::Display for MpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpError::NoSuchMailbox(m) => write!(f, "no mailbox {m}"),
+            MpError::DuplicateMailbox(m) => write!(f, "mailbox {m} already exists"),
+            MpError::InvalidField { field, detail } => write!(f, "invalid {field}: {detail}"),
+            MpError::BadCommand(c) => write!(f, "bad command: {c}"),
+            MpError::ImmutableField(x) => write!(f, "field {x} is platform-generated"),
+        }
+    }
+}
+
+impl std::error::Error for MpError {}
+
+pub type Result<T> = std::result::Result<T, MpError>;

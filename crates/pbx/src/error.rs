@@ -1,0 +1,41 @@
+//! PBX administration errors.
+
+use std::fmt;
+
+/// Errors surfaced by the PBX administration surface. The underlying store
+/// is weakly typed; these errors come from the admin-interface boundary and
+/// record-level invariants only (faithful to the paper's "extremely weak
+/// typing and transactional support").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbxError {
+    /// No station with that extension.
+    NoSuchStation(String),
+    /// A station with that extension already exists.
+    DuplicateStation(String),
+    /// The extension is not owned by this switch's dial plan.
+    OutsideDialPlan { extension: String, plan: String },
+    /// Field-level validation at the admin boundary.
+    InvalidField { field: String, detail: String },
+    /// Malformed OSSI command.
+    BadCommand(String),
+}
+
+impl fmt::Display for PbxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbxError::NoSuchStation(x) => write!(f, "no station {x}"),
+            PbxError::DuplicateStation(x) => write!(f, "station {x} already administered"),
+            PbxError::OutsideDialPlan { extension, plan } => {
+                write!(f, "extension {extension} outside dial plan {plan}")
+            }
+            PbxError::InvalidField { field, detail } => {
+                write!(f, "invalid {field}: {detail}")
+            }
+            PbxError::BadCommand(c) => write!(f, "bad command: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for PbxError {}
+
+pub type Result<T> = std::result::Result<T, PbxError>;

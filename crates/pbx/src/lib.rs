@@ -1,0 +1,72 @@
+//! # pbx — a Definity®-style PBX simulator
+//!
+//! Stands in for the proprietary Lucent Definity switch the paper
+//! integrates (see DESIGN.md §1 for the substitution argument). It exposes
+//! exactly the surfaces MetaComm interacts with:
+//!
+//! - a station [`store`] with **single-record atomic updates only**, no
+//!   triggers, and weak (string) typing;
+//! - commit-time change notifications distinguishing craft-terminal updates
+//!   (direct device updates, DDUs) from MetaComm's own administration
+//!   session;
+//! - an [`ossi`] craft-terminal command interface — the legacy path device
+//!   administrators keep using alongside the directory;
+//! - a [`dialplan`] partitioning extensions across switches, mirrored by
+//!   the lexpress partitioning constraints on the directory side.
+
+pub mod dialplan;
+pub mod error;
+pub mod ossi;
+pub mod record;
+pub mod store;
+
+pub use dialplan::DialPlan;
+pub use error::{PbxError, Result};
+pub use record::{fields, Record};
+pub use store::{Channel, DeviceEvent, EventKind, Store};
+
+/// A complete simulated switch: store + dial plan + craft interface.
+///
+/// ```
+/// use pbx::{Pbx, DialPlan};
+/// let pbx = Pbx::new("pbx-west", DialPlan::with_prefix("9", 4));
+/// pbx.craft(r#"add station 9123 name "Doe, John" room 2B-401"#).unwrap();
+/// assert_eq!(pbx.store().len(), 1);
+/// ```
+pub struct Pbx {
+    store: std::sync::Arc<Store>,
+}
+
+impl Pbx {
+    pub fn new(name: impl Into<String>, plan: DialPlan) -> Pbx {
+        Pbx {
+            store: std::sync::Arc::new(Store::new(name, plan)),
+        }
+    }
+
+    pub fn store(&self) -> &std::sync::Arc<Store> {
+        &self.store
+    }
+
+    pub fn name(&self) -> &str {
+        self.store.name()
+    }
+
+    /// Execute a craft-terminal command (a direct device update).
+    pub fn craft(&self, line: &str) -> Result<String> {
+        ossi::execute(&self.store, line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example() {
+        let pbx = Pbx::new("pbx-west", DialPlan::with_prefix("9", 4));
+        pbx.craft(r#"add station 9123 name "Doe, John""#).unwrap();
+        assert_eq!(pbx.name(), "pbx-west");
+        assert_eq!(pbx.store().len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Weakly-typed device records.
+//!
+//! The Definity stores administration data as flat field/value forms; every
+//! value is a string and the device itself enforces almost nothing — the
+//! "extremely weak typing" the paper's consistency machinery must survive.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The well-known station fields this simulator administers. Anything else
+/// is accepted too (weak typing) but these are what the OSSI interface and
+/// the MetaComm mappings use.
+pub mod fields {
+    pub const EXTENSION: &str = "Extension";
+    pub const NAME: &str = "Name";
+    pub const ROOM: &str = "Room";
+    pub const PORT: &str = "Port";
+    pub const SET_TYPE: &str = "Type";
+    pub const COVERAGE_PATH: &str = "CoveragePath";
+    pub const COR: &str = "Cor";
+}
+
+/// A flat, string-typed record.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Record {
+    map: BTreeMap<String, String>,
+}
+
+impl Record {
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    pub fn from_pairs<K: Into<String>, V: Into<String>>(
+        pairs: impl IntoIterator<Item = (K, V)>,
+    ) -> Record {
+        let mut r = Record::new();
+        for (k, v) in pairs {
+            r.set(k, v);
+        }
+        r
+    }
+
+    pub fn get(&self, field: &str) -> Option<&str> {
+        self.map.get(field).map(String::as_str)
+    }
+
+    pub fn set(&mut self, field: impl Into<String>, value: impl Into<String>) {
+        self.map.insert(field.into(), value.into());
+    }
+
+    pub fn unset(&mut self, field: &str) -> Option<String> {
+        self.map.remove(field)
+    }
+
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Overlay `other`'s fields onto a copy of `self`; empty values in
+    /// `other` clear the field (Definity semantics for blanking a form
+    /// field).
+    pub fn updated_with(&self, other: &Record) -> Record {
+        let mut out = self.clone();
+        for (k, v) in other.fields() {
+            if v.is_empty() {
+                out.unset(k);
+            } else {
+                out.set(k, v);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in self.fields() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{k}={v:?}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut r = Record::from_pairs([("Extension", "9123"), ("Name", "Doe, John")]);
+        assert_eq!(r.get("Extension"), Some("9123"));
+        assert_eq!(r.get("Missing"), None);
+        r.set("Room", "2B-401");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.unset("Room"), Some("2B-401".into()));
+        assert!(r.get("Room").is_none());
+    }
+
+    #[test]
+    fn update_with_blanking() {
+        let r = Record::from_pairs([("Extension", "9123"), ("Name", "Doe"), ("Room", "2B")]);
+        let patch = Record::from_pairs([("Name", "Smith"), ("Room", "")]);
+        let out = r.updated_with(&patch);
+        assert_eq!(out.get("Name"), Some("Smith"));
+        assert_eq!(out.get("Room"), None, "empty value blanks the field");
+        assert_eq!(out.get("Extension"), Some("9123"));
+    }
+
+    #[test]
+    fn weak_typing_accepts_anything() {
+        let mut r = Record::new();
+        r.set("CoveragePath", "not-a-number");
+        r.set("SomeUnknownField", "☎");
+        assert_eq!(r.get("SomeUnknownField"), Some("☎"));
+    }
+}

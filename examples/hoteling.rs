@@ -1,0 +1,174 @@
+//! Hoteling (paper §4.5): "shared workspaces that are reserved as needed" —
+//! the application the paper cites as enabled by MetaComm's simplified
+//! administration. An authorized program redirects a person's telephone
+//! extension to the port in whichever room they reserve.
+//!
+//! ```text
+//! cargo run --example hoteling
+//! ```
+//!
+//! The hoteling service below is an ordinary LDAP application: it only
+//! talks to the directory; MetaComm propagates every reservation to the
+//! switch.
+
+use ldap::{Directory, Filter, Scope};
+use metacomm::{MetaComm, MetaCommBuilder, Wba};
+use pbx::{DialPlan, Pbx};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A tiny hoteling service: rooms with ports, reservations by person.
+struct Hoteling<'a> {
+    wba: Wba<Arc<ltap::Gateway>>,
+    system: &'a MetaComm,
+    /// room → port designator
+    rooms: BTreeMap<String, String>,
+}
+
+impl<'a> Hoteling<'a> {
+    fn new(system: &'a MetaComm, rooms: &[(&str, &str)]) -> Hoteling<'a> {
+        Hoteling {
+            wba: system.wba(),
+            system,
+            rooms: rooms
+                .iter()
+                .map(|(r, p)| (r.to_string(), p.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Who currently occupies `room`?
+    fn occupant(&self, room: &str) -> Option<String> {
+        self.wba
+            .find(&format!("(roomNumber={room})"))
+            .ok()?
+            .first()
+            .and_then(|e| e.first("cn"))
+            .map(str::to_string)
+    }
+
+    /// Reserve `room` for `cn`: fails when occupied, otherwise redirects
+    /// the person's extension to the room (and its port).
+    fn reserve(&self, cn: &str, room: &str) -> Result<(), String> {
+        let port = self
+            .rooms
+            .get(room)
+            .ok_or_else(|| format!("no such room {room}"))?;
+        if let Some(holder) = self.occupant(room) {
+            if holder != cn {
+                return Err(format!("{room} is reserved by {holder}"));
+            }
+        }
+        // One directory update; MetaComm moves the extension's port.
+        let dn = ldap::Dn::parse(&format!("cn={cn},{}", self.wba.suffix())).unwrap();
+        self.wba
+            .directory()
+            .modify(
+                &dn,
+                &[
+                    ldap::Modification::set("roomNumber", room),
+                    ldap::Modification::set("definityPort", port.clone()),
+                    ldap::Modification::set("lastUpdater", "hoteling"),
+                ],
+            )
+            .map_err(|e| e.to_string())?;
+        self.system.settle();
+        Ok(())
+    }
+
+    fn release(&self, cn: &str) -> Result<(), String> {
+        let dn = ldap::Dn::parse(&format!("cn={cn},{}", self.wba.suffix())).unwrap();
+        self.wba
+            .directory()
+            .modify(
+                &dn,
+                &[
+                    ldap::Modification::delete_attr("roomNumber"),
+                    ldap::Modification::delete_attr("definityPort"),
+                    ldap::Modification::set("lastUpdater", "hoteling"),
+                ],
+            )
+            .map_err(|e| e.to_string())?;
+        self.system.settle();
+        Ok(())
+    }
+}
+
+fn main() {
+    println!("=== Hoteling on top of MetaComm (paper §4.5) ===\n");
+    let switch = Pbx::new("pbx-west", DialPlan::with_prefix("9", 4));
+    let system = MetaCommBuilder::new("o=Lucent")
+        .add_pbx(switch.store().clone(), "9???")
+        .build()
+        .expect("assemble");
+    let wba = system.wba();
+    for (cn, sn, ext) in [
+        ("John Doe", "Doe", "9100"),
+        ("Pat Smith", "Smith", "9200"),
+    ] {
+        wba.add_person_with_extension(cn, sn, ext, "HOME").unwrap();
+    }
+    system.settle();
+
+    let hotel = Hoteling::new(
+        &system,
+        &[("HOT-101", "01A0101"), ("HOT-102", "01A0102"), ("HOT-103", "01A0103")],
+    );
+
+    // John reserves HOT-101.
+    hotel.reserve("John Doe", "HOT-101").expect("reserve");
+    println!("John Doe reserved HOT-101.");
+    println!(
+        "  switch sees: {}",
+        switch.craft("display station 9100").unwrap().replace('\n', " | ")
+    );
+
+    // Pat tries the same room: refused by the *application*, not the device.
+    let err = hotel.reserve("Pat Smith", "HOT-101").unwrap_err();
+    println!("\nPat Smith tried HOT-101: {err}");
+
+    // Pat takes HOT-102 instead.
+    hotel.reserve("Pat Smith", "HOT-102").expect("reserve 2");
+    println!("Pat Smith reserved HOT-102.");
+    println!(
+        "  switch sees: {}",
+        switch.craft("display station 9200").unwrap().replace('\n', " | ")
+    );
+
+    // John checks out; the room frees up and the switch port is cleared.
+    hotel.release("John Doe").expect("release");
+    println!("\nJohn Doe checked out of HOT-101.");
+    assert!(hotel.occupant("HOT-101").is_none());
+    println!(
+        "  switch sees: {}",
+        switch.craft("display station 9100").unwrap().replace('\n', " | ")
+    );
+
+    // Now Pat can move to the corner office.
+    hotel.reserve("Pat Smith", "HOT-101").expect("move");
+    println!("\nPat Smith moved to HOT-101.");
+
+    // The whole floor, straight from the directory:
+    println!("\nFloor plan from the directory:");
+    let people = system
+        .directory()
+        .search(
+            system.suffix(),
+            Scope::Sub,
+            &Filter::parse("(objectClass=person)").unwrap(),
+            &[],
+            0,
+        )
+        .unwrap();
+    for p in people {
+        println!(
+            "  {:<12} ext {:<6} room {:<8} port {}",
+            p.first("cn").unwrap_or("?"),
+            p.first("definityExtension").unwrap_or("-"),
+            p.first("roomNumber").unwrap_or("(none)"),
+            p.first("definityPort").unwrap_or("-"),
+        );
+    }
+    system.shutdown();
+    println!("\nDone.");
+}

@@ -1,0 +1,110 @@
+//! Quickstart: assemble the full MetaComm architecture of the paper's
+//! Figure 1 and drive one update down each path.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The deployment: two Definity-style switches partitioned by extension
+//! range, one voice-messaging platform, an LDAP directory with the
+//! integrated schema, the LTAP trigger gateway, and the Update Manager —
+//! plus the Figure 2 sample tree.
+
+use ldap::{Directory, Filter, Scope};
+use metacomm::MetaCommBuilder;
+use msgplat::MsgPlat;
+use pbx::{DialPlan, Pbx};
+
+fn main() {
+    println!("=== MetaComm quickstart (paper Figure 1 architecture) ===\n");
+
+    // --- the legacy devices -------------------------------------------
+    let west = Pbx::new("pbx-west", DialPlan::with_prefix("9", 4));
+    let east = Pbx::new("pbx-east", DialPlan::with_prefix("3", 4));
+    let mp = MsgPlat::new("mp");
+
+    // --- the meta-directory -------------------------------------------
+    let system = MetaCommBuilder::new("o=Lucent")
+        .add_pbx(west.store().clone(), "9???")
+        .add_pbx(east.store().clone(), "3???")
+        .add_msgplat(mp.store().clone(), "*")
+        .build()
+        .expect("assemble MetaComm");
+
+    // Build the paper's Figure 2 organizational tree around the people.
+    let dir = system.directory();
+    for unit in ["Marketing", "Accounting", "R&D", "DEN Group"] {
+        let mut e = ldap::Entry::new(
+            ldap::Dn::parse(&format!("ou={unit},o=Lucent")).unwrap(),
+        );
+        e.add_value("objectClass", "top");
+        e.add_value("objectClass", "organizationalUnit");
+        e.add_value("ou", unit);
+        dir.add(e).expect("add org unit");
+    }
+    println!("Figure 2 tree created: o=Lucent with 4 organizational units.\n");
+
+    // --- Path 1: administer through the directory (WBA → LTAP → UM) ---
+    let wba = system.wba();
+    wba.add_person_with_extension("John Doe", "Doe", "9123", "2B-401")
+        .expect("add John");
+    wba.assign_mailbox("John Doe", "9123", "executive")
+        .expect("mailbox");
+    system.settle();
+    println!("WBA added John Doe with extension 9123 + mailbox:");
+    println!("  pbx-west: {}", west.craft("display station 9123").unwrap().trim_end());
+    println!("  mp      : {}", mp.console("display subscriber 9123").unwrap().trim_end());
+
+    // --- Path 2: a direct device update (craft terminal → filter → UM) -
+    east.craft(r#"add station 3456 name "Smith, Pat" room 2C-115"#)
+        .expect("craft add");
+    system.settle();
+    let pat = wba.person("Pat Smith").unwrap().expect("materialized");
+    println!("\nCraft terminal added station 3456 directly at pbx-east;");
+    println!("the directory materialized it:\n{pat}");
+
+    // --- The flagship update: a phone-number change --------------------
+    // The transitive closure recomputes the extension; the partitioning
+    // constraint turns the modify into delete@west + add@east.
+    wba.set_phone("John Doe", "+1 908 582 3999").expect("renumber");
+    system.settle();
+    println!("Changed John's phone to +1 908 582 3999:");
+    println!(
+        "  pbx-west has 9123? {}   pbx-east has 3999? {}",
+        west.store().get("9123").is_some(),
+        east.store().get("3999").is_some()
+    );
+
+    // --- Any LDAP tool works: a search over the gateway ----------------
+    let people = dir
+        .search(
+            system.suffix(),
+            Scope::Sub,
+            &Filter::parse("(&(objectClass=person)(telephoneNumber=*))").unwrap(),
+            &["cn".into(), "telephoneNumber".into(), "definityExtension".into()],
+            0,
+        )
+        .unwrap();
+    println!("\nDirectory view (any LDAP client sees this):");
+    for p in &people {
+        println!(
+            "  {:<22} phone={:<18} ext={}",
+            p.first("cn").unwrap_or("?"),
+            p.first("telephoneNumber").unwrap_or("-"),
+            p.first("definityExtension").unwrap_or("-")
+        );
+    }
+
+    // --- Stats ----------------------------------------------------------
+    let um = system.um_stats();
+    use std::sync::atomic::Ordering::Relaxed;
+    println!(
+        "\nUpdate Manager: {} updates, {} device ops ({} reapplied, {} skipped by partition)",
+        um.updates.load(Relaxed),
+        um.device_ops.load(Relaxed),
+        um.reapplied.load(Relaxed),
+        um.skipped.load(Relaxed),
+    );
+    system.shutdown();
+    println!("\nDone.");
+}

@@ -1,0 +1,230 @@
+//! Web-Based Administration over the network-gateway deployment.
+//!
+//! The paper's point (§4.5, Figure 1): once MetaComm fronts the directory
+//! with LTAP, *any* tool that speaks LDAP administers the telecom devices —
+//! "for example, any LDAP enabled Web browser". Here the "browser" is a
+//! scripted LDAP client talking BER/LDAPv3 over TCP to the served gateway.
+//!
+//! ```text
+//! cargo run --example wba_admin            # run the canned admin script
+//! cargo run --example wba_admin -- shell   # interactive admin shell
+//! ```
+
+use ldap::client::TcpDirectory;
+use ldap::{Directory, Dn, Entry, Filter, Modification, Scope};
+use metacomm::MetaCommBuilder;
+use msgplat::MsgPlat;
+use pbx::{DialPlan, Pbx};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let west = Pbx::new("pbx-west", DialPlan::with_prefix("9", 4));
+    let mp = MsgPlat::new("mp");
+    let system = MetaCommBuilder::new("o=Lucent")
+        .add_pbx(west.store().clone(), "9???")
+        .add_msgplat(mp.store().clone(), "*")
+        .build()
+        .expect("assemble");
+
+    // §5.5 gateway deployment: LTAP served over TCP.
+    let server = system.serve("127.0.0.1:0").expect("serve gateway");
+    let addr = server.addr().to_string();
+    println!("LTAP gateway serving LDAP on {addr}\n");
+
+    let client = TcpDirectory::connect(&addr).expect("connect");
+
+    let interactive = std::env::args().nth(1).as_deref() == Some("shell");
+    if interactive {
+        shell(&client, &system, &west, &mp);
+        return;
+    }
+
+    // ---- canned administration session over the wire -------------------
+    script(&client, &system, &west, &mp);
+    system.shutdown();
+}
+
+fn script(
+    client: &TcpDirectory,
+    system: &metacomm::MetaComm,
+    west: &Pbx,
+    mp: &MsgPlat,
+) {
+    // 1. Create a person with a phone, exactly as an LDAP browser would.
+    let dn = Dn::parse("cn=Jill Lu,o=Lucent").unwrap();
+    let mut e = Entry::new(dn.clone());
+    for (k, v) in [
+        ("objectClass", "top"),
+        ("objectClass", "person"),
+        ("objectClass", "organizationalPerson"),
+        ("objectClass", "definityUser"),
+        ("objectClass", "messagingUser"),
+        ("cn", "Jill Lu"),
+        ("sn", "Lu"),
+        ("definityExtension", "9500"),
+        ("mpMailbox", "9500"),
+        ("lastUpdater", "browser"),
+    ] {
+        e.add_value(k, v);
+    }
+    client.add(e).expect("LDAP add over TCP");
+    system.settle();
+    println!("> ldapadd cn=Jill Lu  (extension 9500, mailbox 9500)");
+    println!("{}", west.craft("list stations").unwrap());
+    println!("{}", mp.console("list subscribers").unwrap());
+
+    // 2. Modify her coverage path — one LDAP modify, one device change.
+    client
+        .modify(
+            &dn,
+            &[
+                Modification::set("definityCoveragePath", "7"),
+                Modification::set("lastUpdater", "browser"),
+            ],
+        )
+        .expect("LDAP modify");
+    system.settle();
+    println!("> ldapmodify definityCoveragePath=7");
+    println!("{}", west.craft("display station 9500").unwrap());
+
+    // 3. Search — reads bypass the Update Manager entirely.
+    let hits = client
+        .search(
+            &Dn::parse("o=Lucent").unwrap(),
+            Scope::Sub,
+            &Filter::parse("(&(objectClass=person)(definityExtension>=9000))").unwrap(),
+            &["cn".into(), "definityExtension".into(), "mpMailboxId".into()],
+            0,
+        )
+        .expect("LDAP search");
+    println!("> ldapsearch '(definityExtension>=9000)'");
+    for h in &hits {
+        println!(
+            "  {} ext={} mbid={}",
+            h.first("cn").unwrap_or("?"),
+            h.first("definityExtension").unwrap_or("-"),
+            h.first("mpMailboxId").unwrap_or("-"),
+        );
+    }
+
+    // 4. Delete — person removed from the directory AND both devices.
+    client.delete(&dn).expect("LDAP delete");
+    system.settle();
+    println!("\n> ldapdelete cn=Jill Lu");
+    println!(
+        "station 9500 gone: {}; mailbox 9500 gone: {}",
+        west.store().get("9500").is_none(),
+        mp.store().get("9500").is_none(),
+    );
+}
+
+/// A minimal interactive admin shell over the LDAP connection.
+fn shell(client: &TcpDirectory, system: &metacomm::MetaComm, west: &Pbx, mp: &MsgPlat) {
+    println!("commands: add <cn> <sn> <ext> | phone <cn> <number> | show <cn>");
+    println!("          find <filter> | craft <ossi-cmd> | console <mp-cmd>");
+    println!("          mappings | trace | quit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("wba> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            return;
+        }
+        let parts: Vec<&str> = line.trim().splitn(3, ' ').collect();
+        let result: Result<String, String> = match parts.as_slice() {
+            ["quit"] | ["exit"] => return,
+            ["add", cn, rest] => {
+                let mut it = rest.split(' ');
+                let sn = it.next().unwrap_or(cn);
+                let ext = it.next().unwrap_or("9000");
+                let mut e = Entry::new(
+                    Dn::parse(&format!("cn={cn},o=Lucent")).unwrap(),
+                );
+                for (k, v) in [
+                    ("objectClass", "top"),
+                    ("objectClass", "person"),
+                    ("objectClass", "organizationalPerson"),
+                    ("objectClass", "definityUser"),
+                    ("cn", *cn),
+                    ("sn", sn),
+                    ("definityExtension", ext),
+                ] {
+                    e.add_value(k, v);
+                }
+                client
+                    .add(e)
+                    .map(|_| format!("added {cn} ext {ext}"))
+                    .map_err(|e| e.to_string())
+            }
+            ["phone", cn, number] => client
+                .modify(
+                    &Dn::parse(&format!("cn={cn},o=Lucent")).unwrap(),
+                    &[Modification::set("telephoneNumber", *number)],
+                )
+                .map(|_| "ok".to_string())
+                .map_err(|e| e.to_string()),
+            ["show", cn] | ["show", cn, _] => client
+                .get(&Dn::parse(&format!("cn={cn},o=Lucent")).unwrap())
+                .map(|e| {
+                    e.map(|e| e.to_string())
+                        .unwrap_or_else(|| "(no such person)".into())
+                })
+                .map_err(|e| e.to_string()),
+            ["find", rest @ ..] => {
+                let f = rest.join(" ");
+                Filter::parse(&f)
+                    .and_then(|f| {
+                        client.search(&Dn::parse("o=Lucent").unwrap(), Scope::Sub, &f, &[], 0)
+                    })
+                    .map(|hits| {
+                        hits.iter()
+                            .map(|h| h.dn().to_string())
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    })
+                    .map_err(|e| e.to_string())
+            }
+            ["mappings"] | ["mappings", ..] => Ok(lexpress::disasm::describe(
+                system.engine().bundle(),
+            )),
+            ["trace"] | ["trace", ..] => Ok(system
+                .recent_traces()
+                .iter()
+                .rev()
+                .take(10)
+                .map(|t| {
+                    let devices = t
+                        .device_ops
+                        .iter()
+                        .map(|(name, kind, cond, applied)| {
+                            format!(
+                                "{name}:{kind}{}{}",
+                                if *cond { "~" } else { "" },
+                                if *applied { "" } else { "!" }
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    format!(
+                        "#{} [{}] {} derived={:?} devices=[{devices}] -> {}",
+                        t.seq, t.origin, t.op, t.derived_attrs, t.outcome
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n")),
+            ["craft", rest @ ..] => west
+                .craft(&rest.join(" "))
+                .map_err(|e| e.to_string()),
+            ["console", rest @ ..] => mp
+                .console(&rest.join(" "))
+                .map_err(|e| e.to_string()),
+            other => Err(format!("unknown command {other:?}")),
+        };
+        system.settle();
+        match result {
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Workspace root crate: re-exports the MetaComm stack for examples and
+//! integration tests. The real public API lives in the member crates.
+
+pub use ldap;
+pub use lexpress;
+pub use ltap;
+pub use metacomm;
+pub use msgplat;
+pub use pbx;

@@ -1,0 +1,181 @@
+//! Property-based tests for the LDAP substrate: round-trip laws for DNs,
+//! filters, BER messages, and LDIF; atomicity of modification batches.
+
+use ldap::dn::{Dn, Rdn};
+use ldap::entry::{Entry, ModOp, Modification};
+use ldap::filter::Filter;
+use ldap::proto::{LdapMessage, ProtocolOp};
+use proptest::prelude::*;
+
+/// Printable-ASCII values that exercise the escaping paths.
+fn value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{1,24}")
+        .expect("regex")
+        .prop_filter("no lone surrogate issues", |s| !s.trim().is_empty())
+}
+
+fn attr_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9-]{0,14}").expect("regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dn_display_parse_round_trip(
+        attrs in proptest::collection::vec((attr_strategy(), value_strategy()), 1..5)
+    ) {
+        let mut dn = Dn::root();
+        for (a, v) in &attrs {
+            dn = dn.child(Rdn::new(a.clone(), v.clone()));
+        }
+        let s = dn.to_string();
+        let parsed = Dn::parse(&s).expect("display must parse");
+        prop_assert_eq!(&parsed, &dn, "round trip of `{}`", s);
+        // Normalized keys agree too.
+        prop_assert_eq!(parsed.norm_key(), dn.norm_key());
+    }
+
+    #[test]
+    fn dn_hierarchy_laws(
+        attrs in proptest::collection::vec((attr_strategy(), value_strategy()), 1..5)
+    ) {
+        let mut dn = Dn::root();
+        for (a, v) in &attrs {
+            dn = dn.child(Rdn::new(a.clone(), v.clone()));
+        }
+        // parent/child are inverses.
+        let rdn = dn.rdn().expect("non-root").clone();
+        let parent = dn.parent().expect("non-root");
+        prop_assert_eq!(parent.child(rdn), dn.clone());
+        // is_within is reflexive and respects ancestry.
+        prop_assert!(dn.is_within(&dn));
+        prop_assert!(dn.is_within(&parent));
+        prop_assert!(dn.is_within(&Dn::root()));
+        if !parent.is_root() {
+            prop_assert!(!parent.is_within(&dn));
+        }
+    }
+
+    #[test]
+    fn filter_display_parse_round_trip(f in filter_strategy()) {
+        let s = f.to_string();
+        let parsed = Filter::parse(&s).unwrap_or_else(|e| panic!("`{s}`: {e}"));
+        prop_assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn ber_message_round_trip(
+        id in 1i64..100000,
+        dn in value_strategy(),
+        attr in attr_strategy(),
+        values in proptest::collection::vec(value_strategy(), 0..4),
+    ) {
+        for op in [
+            ProtocolOp::AddRequest {
+                dn: dn.clone(),
+                attrs: vec![(attr.clone(), values.clone())],
+            },
+            ProtocolOp::DelRequest { dn: dn.clone() },
+            ProtocolOp::ModifyRequest {
+                dn: dn.clone(),
+                mods: vec![Modification {
+                    op: ModOp::Replace,
+                    attr: attr.clone().into(),
+                    values: values.clone(),
+                }],
+            },
+            ProtocolOp::CompareRequest {
+                dn: dn.clone(),
+                attr: attr.clone(),
+                value: values.first().cloned().unwrap_or_default(),
+            },
+        ] {
+            let msg = LdapMessage { id, op };
+            let decoded = LdapMessage::decode(&msg.encode()).expect("decode");
+            prop_assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn ldif_entry_round_trip(
+        pairs in proptest::collection::vec((attr_strategy(), value_strategy()), 1..8)
+    ) {
+        let mut e = Entry::new(Dn::parse("cn=probe,o=L").unwrap());
+        e.add_value("cn", "probe");
+        for (a, v) in &pairs {
+            e.add_value(a.clone(), v.clone());
+        }
+        let text = ldap::ldif::to_ldif(std::slice::from_ref(&e));
+        let records = ldap::ldif::parse(&text).expect("parse own output");
+        prop_assert_eq!(records.len(), 1);
+        match &records[0] {
+            ldap::ldif::Record::Content(back) => prop_assert_eq!(back, &e),
+            other => prop_assert!(false, "unexpected record {:?}", other),
+        }
+    }
+
+    #[test]
+    fn base64_round_trip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let enc = ldap::ldif::b64_encode(&data);
+        prop_assert_eq!(ldap::ldif::b64_decode(&enc).expect("decode"), data);
+    }
+
+    #[test]
+    fn modification_batches_are_atomic(
+        vals in proptest::collection::vec(value_strategy(), 1..4),
+    ) {
+        let mut e = Entry::with_attrs(
+            Dn::parse("cn=probe,o=L").unwrap(),
+            [("objectClass", "person"), ("cn", "probe"), ("sn", "probe")],
+        );
+        let before = e.clone();
+        // A batch whose last step always fails must leave no trace.
+        let mods = vec![
+            Modification::replace("description", vals.clone()),
+            Modification::add("seeAlso", vec!["cn=x".into()]),
+            Modification::delete_attr("never-existed"),
+        ];
+        prop_assert!(e.apply_modifications(&mods).is_err());
+        prop_assert_eq!(e, before);
+    }
+}
+
+/// Recursive filter generator.
+fn filter_strategy() -> impl Strategy<Value = Filter> {
+    fn clean_value() -> proptest::string::RegexGeneratorStrategy<String> {
+        proptest::string::string_regex("[a-zA-Z0-9 +._-]{1,12}").expect("regex")
+    }
+    let leaf = prop_oneof![
+        (attr_strategy(), clean_value()).prop_map(|(a, v)| Filter::Equality(a, v)),
+        attr_strategy().prop_map(Filter::Present),
+        (attr_strategy(), clean_value()).prop_map(|(a, v)| Filter::GreaterOrEqual(a, v)),
+        (attr_strategy(), clean_value()).prop_map(|(a, v)| Filter::LessOrEqual(a, v)),
+        (attr_strategy(), clean_value()).prop_map(|(a, v)| Filter::Approx(a, v)),
+        (
+            attr_strategy(),
+            proptest::option::of(clean_value()),
+            proptest::collection::vec(clean_value(), 0..3),
+            proptest::option::of(clean_value()),
+        )
+            .prop_filter_map("substring needs some part", |(attr, i, any, f)| {
+                if i.is_none() && any.is_empty() && f.is_none() {
+                    None
+                } else {
+                    Some(Filter::Substring {
+                        attr,
+                        initial: i,
+                        any,
+                        final_: f,
+                    })
+                }
+            }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Filter::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}

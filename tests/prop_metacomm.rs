@@ -1,0 +1,138 @@
+//! Property-based tests of the MetaComm glue layer: entry/image conversion
+//! laws, diff laws, and the changed-fields patch semantics device filters
+//! rely on for non-clobbering reapplication.
+
+use ldap::dn::Dn;
+use lexpress::Image;
+use metacomm::filter::changed_fields;
+use metacomm::image::{diff_mods, diff_mods_full, entry_to_image, image_to_entry};
+use metacomm::schema::integrated_schema;
+use proptest::prelude::*;
+
+fn attr_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("telephoneNumber".to_string()),
+        Just("roomNumber".to_string()),
+        Just("definityExtension".to_string()),
+        Just("definityCoveragePath".to_string()),
+        Just("mpMailbox".to_string()),
+        Just("mpClassOfService".to_string()),
+        Just("description".to_string()),
+        Just("mail".to_string()),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[0-9]{1,6}").expect("regex")
+}
+
+fn image_strategy() -> impl Strategy<Value = Image> {
+    proptest::collection::btree_map(attr_strategy(), value_strategy(), 0..6).prop_map(|m| {
+        let mut img = Image::new();
+        for (k, v) in m {
+            img.set(k, vec![v]);
+        }
+        img
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// image → entry → image is the identity (plus cn/sn bookkeeping), and
+    /// the constructed entry validates against the integrated schema.
+    #[test]
+    fn image_entry_round_trip_is_schema_valid(img in image_strategy()) {
+        let mut img = img;
+        img.set("cn", vec!["Probe Person".into()]);
+        img.set("sn", vec!["Person".into()]);
+        let dn = Dn::parse("cn=Probe Person,o=Lucent").unwrap();
+        let entry = image_to_entry(dn, &img);
+        integrated_schema().validate_entry(&entry).expect("schema valid");
+        let back = entry_to_image(&entry);
+        for (name, values) in img.iter() {
+            prop_assert_eq!(back.values(name), values, "attr {}", name);
+        }
+    }
+
+    /// Applying diff_mods_full(current, target) makes the entry equal the
+    /// target image exactly (RDN attrs aside) — and is a fixpoint.
+    #[test]
+    fn full_diff_reaches_target_and_fixes(
+        current_img in image_strategy(),
+        target_img in image_strategy(),
+    ) {
+        let dn = Dn::parse("cn=Probe,o=Lucent").unwrap();
+        let mut base = current_img.clone();
+        base.set("cn", vec!["Probe".into()]);
+        base.set("sn", vec!["Probe".into()]);
+        let mut current = image_to_entry(dn, &base);
+        let mut target = target_img.clone();
+        target.set("cn", vec!["Probe".into()]);
+        target.set("sn", vec!["Probe".into()]);
+        let mods = diff_mods_full(&current, &target);
+        current.apply_modifications(&mods).expect("diff applies");
+        for (name, values) in target.iter() {
+            prop_assert_eq!(current.values(name), values, "attr {}", name);
+        }
+        // Nothing extra survives (objectClass aside).
+        let after = entry_to_image(&current);
+        for (name, _) in after.iter() {
+            prop_assert!(target.has(name), "unexpected survivor {}", name);
+        }
+        // Fixpoint.
+        prop_assert!(diff_mods_full(&current, &target).is_empty());
+    }
+
+    /// The overlay diff never deletes attributes absent from the target.
+    #[test]
+    fn overlay_diff_never_deletes(
+        current_img in image_strategy(),
+        target_img in image_strategy(),
+    ) {
+        let dn = Dn::parse("cn=Probe,o=Lucent").unwrap();
+        let mut base = current_img;
+        base.set("cn", vec!["Probe".into()]);
+        base.set("sn", vec!["Probe".into()]);
+        let current = image_to_entry(dn, &base);
+        for m in diff_mods(&current, &target_img) {
+            prop_assert!(
+                !matches!(m.op, ldap::ModOp::Delete),
+                "overlay diff produced a delete of {}", m.attr
+            );
+        }
+    }
+
+    /// changed_fields produces exactly the fields whose value changed, plus
+    /// blank-to-clear markers for vanished ones — and nothing when the
+    /// images agree (so reapplied no-ops never touch the device).
+    #[test]
+    fn changed_fields_laws(
+        old in image_strategy(),
+        new in image_strategy(),
+    ) {
+        let patch = changed_fields(&old, &new);
+        for (name, values) in patch.iter() {
+            if values == [String::new()] && !new.has(name) {
+                prop_assert!(old.has(name), "blank marker for unknown field {}", name);
+            } else {
+                prop_assert_eq!(new.values(name), values);
+                prop_assert_ne!(old.values(name), values, "unchanged field {} in patch", name);
+            }
+        }
+        // Every difference is covered.
+        for (name, values) in new.iter() {
+            if old.values(name) != values {
+                prop_assert!(patch.has(name), "missed change to {}", name);
+            }
+        }
+        for (name, _) in old.iter() {
+            if !new.has(name) {
+                prop_assert!(patch.has(name), "missed clear of {}", name);
+            }
+        }
+        // Agreement → empty patch.
+        let noop = changed_fields(&new, &new);
+        prop_assert!(noop.is_empty(), "self-diff must be empty: {}", noop);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the replication substrate: the relaxed
+//! write-write consistency guarantee (paper §2) holds for *arbitrary*
+//! interleavings of writes and anti-entropy exchanges.
+
+use ldap::attr::Attribute;
+use ldap::dn::Dn;
+use ldap::entry::Entry;
+use ldap::repl::Replica;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Put entry `e` at replica `r`.
+    Put { r: usize, e: usize, phone: String },
+    /// Set one attribute at replica `r`.
+    Set { r: usize, e: usize, attr: String, val: String },
+    /// Delete entry at replica `r`.
+    Del { r: usize, e: usize },
+    /// Anti-entropy between two replicas.
+    Sync { a: usize, b: usize },
+}
+
+fn op_strategy(n_replicas: usize, n_entries: usize) -> impl Strategy<Value = Op> {
+    let val = || proptest::string::string_regex("[a-z0-9]{1,8}").expect("regex");
+    let attr = prop_oneof![
+        Just("telephoneNumber".to_string()),
+        Just("roomNumber".to_string()),
+        Just("mail".to_string()),
+    ];
+    prop_oneof![
+        (0..n_replicas, 0..n_entries, val())
+            .prop_map(|(r, e, phone)| Op::Put { r, e, phone }),
+        (0..n_replicas, 0..n_entries, attr, val())
+            .prop_map(|(r, e, attr, val)| Op::Set { r, e, attr, val }),
+        (0..n_replicas, 0..n_entries).prop_map(|(r, e)| Op::Del { r, e }),
+        (0..n_replicas, 0..n_replicas).prop_map(|(a, b)| Op::Sync { a, b }),
+    ]
+}
+
+fn entry(e: usize, phone: &str) -> Entry {
+    Entry::with_attrs(
+        Dn::parse(&format!("cn=Entry {e},o=L")).unwrap(),
+        [
+            ("objectClass", "person"),
+            ("cn", format!("Entry {e}").as_str()),
+            ("sn", "Entry"),
+            ("telephoneNumber", phone),
+        ],
+    )
+}
+
+fn dn(e: usize) -> Dn {
+    Dn::parse(&format!("cn=Entry {e},o=L")).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any op sequence followed by a full round of pairwise syncs,
+    /// all replicas hold identical visible state.
+    #[test]
+    fn replicas_converge_after_full_sync(
+        ops in proptest::collection::vec(op_strategy(3, 4), 1..60)
+    ) {
+        let replicas = [Replica::new("a"), Replica::new("b"), Replica::new("c")];
+        for op in &ops {
+            match op {
+                Op::Put { r, e, phone } => {
+                    replicas[*r].put_entry(&entry(*e, phone)).expect("put");
+                }
+                Op::Set { r, e, attr, val } => {
+                    // set_attr fails when the entry is invisible there; that
+                    // is legal replica-local behaviour.
+                    let _ = replicas[*r].set_attr(&dn(*e), Attribute::single(attr.clone(), val.clone()));
+                }
+                Op::Del { r, e } => {
+                    let _ = replicas[*r].delete_entry(&dn(*e));
+                }
+                Op::Sync { a, b } => {
+                    if a != b {
+                        replicas[*a].sync_with(&replicas[*b]);
+                    }
+                }
+            }
+        }
+        // Full connectivity: two rounds of a chain guarantee convergence.
+        for _ in 0..2 {
+            replicas[0].sync_with(&replicas[1]);
+            replicas[1].sync_with(&replicas[2]);
+            replicas[2].sync_with(&replicas[0]);
+        }
+        let d0 = replicas[0].digest();
+        prop_assert_eq!(&d0, &replicas[1].digest());
+        prop_assert_eq!(&d0, &replicas[2].digest());
+    }
+
+    /// Anti-entropy is idempotent: syncing twice changes nothing more.
+    #[test]
+    fn sync_idempotent(
+        ops in proptest::collection::vec(op_strategy(2, 3), 1..40)
+    ) {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        for op in &ops {
+            let rs = [&a, &b];
+            match op {
+                Op::Put { r, e, phone } => { rs[*r % 2].put_entry(&entry(*e, phone)).unwrap(); }
+                Op::Set { r, e, attr, val } => {
+                    let _ = rs[*r % 2].set_attr(&dn(*e), Attribute::single(attr.clone(), val.clone()));
+                }
+                Op::Del { r, e } => { let _ = rs[*r % 2].delete_entry(&dn(*e)); }
+                Op::Sync { .. } => a.sync_with(&b),
+            }
+        }
+        a.sync_with(&b);
+        let da = a.digest();
+        let db = b.digest();
+        a.sync_with(&b);
+        b.sync_with(&a);
+        prop_assert_eq!(a.digest(), da);
+        prop_assert_eq!(b.digest(), db);
+    }
+
+    /// Convergence is order-insensitive for concurrent single-attribute
+    /// writes: whatever the sync direction, both replicas agree.
+    #[test]
+    fn lww_is_direction_independent(va in "[a-z]{1,6}", vb in "[a-z]{1,6}") {
+        let mk = || {
+            let a = Replica::new("a");
+            let b = Replica::new("b");
+            a.put_entry(&entry(0, "0")).unwrap();
+            a.sync_with(&b);
+            a.set_attr(&dn(0), Attribute::single("roomNumber", va.clone())).unwrap();
+            b.set_attr(&dn(0), Attribute::single("roomNumber", vb.clone())).unwrap();
+            (a, b)
+        };
+        let (a1, b1) = mk();
+        a1.sync_with(&b1);
+        let (a2, b2) = mk();
+        b2.sync_with(&a2);
+        prop_assert_eq!(a1.digest(), b1.digest());
+        prop_assert_eq!(a2.digest(), b2.digest());
+        // And both orders resolve to the same winner.
+        prop_assert_eq!(a1.digest(), a2.digest());
+    }
+}
