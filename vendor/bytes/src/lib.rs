@@ -1,0 +1,102 @@
+//! Offline stand-in for `bytes`: `BytesMut` as a thin wrapper over
+//! `Vec<u8>` with the `BufMut` writer methods this workspace uses. The real
+//! crate's zero-copy splitting is not implemented.
+
+/// Growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Write-side buffer operations.
+pub trait BufMut {
+    fn put_u8(&mut self, value: u8);
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u16(&mut self, value: u16) {
+        self.put_slice(&value.to_be_bytes());
+    }
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.inner.push(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u8(0x30);
+        b.put_slice(&[1, 2, 3]);
+        b.put_u16(0x0405);
+        assert_eq!(b.to_vec(), vec![0x30, 1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 6);
+        assert_eq!(&b[..2], &[0x30, 1]);
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for `crossbeam`, implementing the `channel` API subset
+//! this workspace uses: a multi-producer multi-consumer channel with
+//! cloneable senders AND receivers, timed receives, and a polling `Select`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Core<T> {
+        queue: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    impl<T> Core<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        core: Arc<Core<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable: clones share one queue
+    /// (each message is delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        core: Arc<Core<T>>,
+    }
+
+    /// Returned when sending into a channel with no receivers left.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Returned when receiving from an empty, disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on a channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let core = Arc::new(Core {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender { core: core.clone() },
+            Receiver { core },
+        )
+    }
+
+    /// A bounded channel. This stand-in does not enforce the capacity
+    /// (sends never block); the workspace only uses small bounds as
+    /// rendezvous reply slots, where that difference is unobservable.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut s = self.core.lock();
+            if s.receivers == 0 {
+                return Err(SendError(value));
+            }
+            s.items.push_back(value);
+            drop(s);
+            self.core.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.core.lock().senders += 1;
+            Sender {
+                core: self.core.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.core.lock();
+            s.senders -= 1;
+            if s.senders == 0 {
+                drop(s);
+                self.core.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut s = self.core.lock();
+            loop {
+                if let Some(v) = s.items.pop_front() {
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvError);
+                }
+                s = self
+                    .core
+                    .cv
+                    .wait(s)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut s = self.core.lock();
+            match s.items.pop_front() {
+                Some(v) => Ok(v),
+                None if s.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut s = self.core.lock();
+            loop {
+                if let Some(v) = s.items.pop_front() {
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .core
+                    .cv
+                    .wait_timeout(s, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                s = guard;
+                if res.timed_out() && s.items.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Blocking iterator until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Non-blocking iterator over currently queued messages.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.core.lock().items.is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.core.lock().items.len()
+        }
+
+        fn ready(&self) -> bool {
+            let s = self.core.lock();
+            !s.items.is_empty() || s.senders == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.core.lock().receivers += 1;
+            Receiver {
+                core: self.core.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.core.lock().receivers -= 1;
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Readiness-polling select over a fixed set of receivers. Registered
+    /// receivers are checked round-robin; [`Select::select`] parks briefly
+    /// between sweeps.
+    pub struct Select<'a> {
+        ready: Vec<Box<dyn Fn() -> bool + 'a>>,
+    }
+
+    impl<'a> Select<'a> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Select<'a> {
+            Select { ready: Vec::new() }
+        }
+
+        /// Register a receive operation, returning its index.
+        pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+            self.ready.push(Box::new(move || rx.ready()));
+            self.ready.len() - 1
+        }
+
+        /// Block until one registered operation is ready.
+        pub fn select(&mut self) -> SelectedOperation {
+            loop {
+                for (i, ready) in self.ready.iter().enumerate() {
+                    if ready() {
+                        return SelectedOperation { index: i };
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// A ready operation; complete it with [`SelectedOperation::recv`].
+    pub struct SelectedOperation {
+        index: usize,
+    }
+
+    impl SelectedOperation {
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Complete the selected receive. May return `Err` if the channel
+        /// disconnected, or block briefly if another receiver raced us to
+        /// the message (matching crossbeam's retry semantics closely enough
+        /// for single-consumer selects, which is all this workspace uses).
+        pub fn recv<T>(self, rx: &Receiver<T>) -> Result<T, RecvError> {
+            loop {
+                match rx.try_recv() {
+                    Ok(v) => return Ok(v),
+                    Err(TryRecvError::Disconnected) => return Err(RecvError),
+                    Err(TryRecvError::Empty) => {
+                        std::thread::sleep(Duration::from_micros(100))
+                    }
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<i32>();
+            drop(rx);
+            assert!(tx.send(5).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (_tx, rx) = unbounded::<i32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn cloned_receivers_share_queue() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(7).unwrap();
+            let got = rx2.try_recv();
+            assert_eq!(got, Ok(7));
+            assert_eq!(rx1.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn select_picks_ready_channel() {
+            let (tx_a, rx_a) = unbounded::<i32>();
+            let (_tx_b, rx_b) = unbounded::<i32>();
+            tx_a.send(42).unwrap();
+            let mut sel = Select::new();
+            let a = sel.recv(&rx_a);
+            let _b = sel.recv(&rx_b);
+            let oper = sel.select();
+            assert_eq!(oper.index(), a);
+            assert_eq!(oper.recv(&rx_a), Ok(42));
+        }
+
+        #[test]
+        fn blocking_iter_drains_until_disconnect() {
+            let (tx, rx) = unbounded();
+            std::thread::spawn(move || {
+                for i in 0..5 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Wrap a strategy so roughly a quarter of draws are `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn mixes_none_and_some() {
+        let s = of(0..100u32);
+        let mut rng = TestRng::for_case("option_mix", 0);
+        let draws: Vec<_> = (0..400).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_none()));
+        assert!(draws.iter().any(|d| d.is_some()));
+    }
+}

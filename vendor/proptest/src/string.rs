@@ -1,0 +1,351 @@
+//! Regex-driven string generation (`string_regex`).
+//!
+//! Supports the subset of regex syntax the workspace's patterns use:
+//! literals, `[...]` classes with ranges, `(...)` groups with `|`
+//! alternation, escapes (`\d`, `\w`, `\s`, `\<char>`), and the quantifiers
+//! `?`, `*`, `+`, `{n}`, `{m,n}`, `{m,}`. Unbounded repetition is capped at
+//! 8 extra iterations.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex strategy error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Extra repetitions granted to `*`, `+`, and `{m,}`.
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; a single char is a (c, c) range.
+    Class(Vec<(char, char)>),
+    /// Alternation of sequences.
+    Group(Vec<Vec<Node>>),
+    Repeat {
+        node: Box<Node>,
+        min: usize,
+        max: usize,
+    },
+}
+
+pub struct RegexGeneratorStrategy<T> {
+    nodes: Vec<Node>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy<String>, Error> {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    // Anchors are implicit for a generator.
+    if chars.first() == Some(&'^') {
+        chars.remove(0);
+    }
+    if chars.last() == Some(&'$') {
+        chars.pop();
+    }
+    let mut pos = 0;
+    let alts = parse_alternation(&chars, &mut pos)?;
+    if pos != chars.len() {
+        return Err(Error(format!("unexpected `{}` at offset {pos}", chars[pos])));
+    }
+    let nodes = if alts.len() == 1 {
+        alts.into_iter().next().unwrap()
+    } else {
+        vec![Node::Group(alts)]
+    };
+    Ok(RegexGeneratorStrategy {
+        nodes,
+        _marker: std::marker::PhantomData,
+    })
+}
+
+/// Parse `seq ('|' seq)*` until `)` or end of input.
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Result<Vec<Vec<Node>>, Error> {
+    let mut alts = Vec::new();
+    let mut current = Vec::new();
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' => break,
+            '|' => {
+                *pos += 1;
+                alts.push(std::mem::take(&mut current));
+            }
+            _ => {
+                let atom = parse_atom(chars, pos)?;
+                current.push(parse_quantifier(chars, pos, atom)?);
+            }
+        }
+    }
+    alts.push(current);
+    Ok(alts)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '(' => {
+            *pos += 1;
+            let alts = parse_alternation(chars, pos)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err(Error("unclosed group".into()));
+            }
+            *pos += 1;
+            Ok(Node::Group(alts))
+        }
+        '\\' => {
+            *pos += 1;
+            if *pos >= chars.len() {
+                return Err(Error("dangling escape".into()));
+            }
+            let c = chars[*pos];
+            *pos += 1;
+            Ok(escape_node(c))
+        }
+        '.' => {
+            *pos += 1;
+            Ok(Node::Class(vec![(' ', '~')]))
+        }
+        c @ (')' | '|' | '?' | '*' | '+') => {
+            Err(Error(format!("unexpected `{c}` where an atom was expected")))
+        }
+        c => {
+            *pos += 1;
+            Ok(Node::Literal(c))
+        }
+    }
+}
+
+fn escape_node(c: char) -> Node {
+    match c {
+        'd' => Node::Class(vec![('0', '9')]),
+        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+        's' => Node::Literal(' '),
+        other => Node::Literal(other),
+    }
+}
+
+/// Parse the body of a `[...]` class; `pos` is just past the `[`.
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+    let mut ranges = Vec::new();
+    if *pos < chars.len() && chars[*pos] == '^' {
+        return Err(Error("negated classes are not supported".into()));
+    }
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = if chars[*pos] == '\\' {
+            *pos += 1;
+            if *pos >= chars.len() {
+                return Err(Error("dangling escape in class".into()));
+            }
+            match escape_node(chars[*pos]) {
+                Node::Class(mut rs) => {
+                    *pos += 1;
+                    ranges.append(&mut rs);
+                    continue;
+                }
+                Node::Literal(c) => c,
+                _ => unreachable!(),
+            }
+        } else {
+            chars[*pos]
+        };
+        *pos += 1;
+        // `a-z` range, unless `-` is the last char before `]` (then literal).
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let hi = chars[*pos + 1];
+            if hi < lo {
+                return Err(Error(format!("inverted class range `{lo}-{hi}`")));
+            }
+            ranges.push((lo, hi));
+            *pos += 2;
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if *pos >= chars.len() {
+        return Err(Error("unclosed character class".into()));
+    }
+    *pos += 1; // consume ']'
+    if ranges.is_empty() {
+        return Err(Error("empty character class".into()));
+    }
+    Ok(Node::Class(ranges))
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Result<Node, Error> {
+    if *pos >= chars.len() {
+        return Ok(atom);
+    }
+    let (min, max) = match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        '+' => {
+            *pos += 1;
+            (1, 1 + UNBOUNDED_CAP)
+        }
+        '{' => {
+            *pos += 1;
+            let mut first = String::new();
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                first.push(chars[*pos]);
+                *pos += 1;
+            }
+            let m: usize = first
+                .parse()
+                .map_err(|_| Error("bad repetition count".into()))?;
+            let n = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                let mut second = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    second.push(chars[*pos]);
+                    *pos += 1;
+                }
+                if second.is_empty() {
+                    m + UNBOUNDED_CAP
+                } else {
+                    second
+                        .parse()
+                        .map_err(|_| Error("bad repetition count".into()))?
+                }
+            } else {
+                m
+            };
+            if *pos >= chars.len() || chars[*pos] != '}' {
+                return Err(Error("unclosed `{` quantifier".into()));
+            }
+            *pos += 1;
+            if n < m {
+                return Err(Error(format!("inverted repetition {{{m},{n}}}")));
+            }
+            (m, n)
+        }
+        _ => return Ok(atom),
+    };
+    Ok(Node::Repeat {
+        node: Box::new(atom),
+        min,
+        max,
+    })
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                    break;
+                }
+                pick -= span;
+            }
+        }
+        Node::Group(alts) => {
+            let arm = rng.below(alts.len() as u64) as usize;
+            for n in &alts[arm] {
+                generate_node(n, rng, out);
+            }
+        }
+        Node::Repeat { node, min, max } => {
+            let reps = rng.in_range(*min, *max);
+            for _ in 0..reps {
+                generate_node(node, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for RegexGeneratorStrategy<String> {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for node in &self.nodes {
+            generate_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn check(pattern: &str, verify: impl Fn(&str) -> bool) {
+        let s = string_regex(pattern).unwrap_or_else(|e| panic!("{pattern}: {e}"));
+        let mut rng = TestRng::for_case(pattern, 0);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!(verify(&v), "pattern `{pattern}` produced `{v}`");
+        }
+    }
+
+    #[test]
+    fn workspace_patterns_generate_matching_strings() {
+        check("[ -~]{1,24}", |s| {
+            (1..=24).contains(&s.chars().count())
+                && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+        check("[a-zA-Z][a-zA-Z0-9-]{0,14}", |s| {
+            let mut it = s.chars();
+            it.next().is_some_and(|c| c.is_ascii_alphabetic())
+                && it.all(|c| c.is_ascii_alphanumeric() || c == '-')
+                && s.chars().count() <= 15
+        });
+        check("[a-zA-Z0-9 +._-]{1,12}", |s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || " +._-".contains(c))
+        });
+        check("[1-9][0-9]{3}", |s| {
+            s.len() == 4 && s.parse::<u32>().is_ok_and(|n| (1000..=9999).contains(&n))
+        });
+        check("[ab?*]{0,8}", |s| {
+            s.len() <= 8 && s.chars().all(|c| "ab?*".contains(c))
+        });
+        check("[A-Z][a-z]{1,8}( [0-9]{1,4})?", |s| {
+            let head = s.split(' ').next().unwrap();
+            head.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && head.chars().skip(1).all(|c| c.is_ascii_lowercase())
+        });
+    }
+
+    #[test]
+    fn alternation_and_quantifiers() {
+        check("(foo|ba+r){2}", |s| !s.is_empty());
+        check("a?b*c", |s| s.ends_with('c'));
+        check("\\d{2,}", |s| s.len() >= 2 && s.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn rejects_malformed_patterns() {
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("(ab").is_err());
+        assert!(string_regex("a{3").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("*a").is_err());
+    }
+}
