@@ -1,8 +1,8 @@
 //! Criterion benchmark for experiment E5: LTAP gateway vs. library reads,
 //! and the raw DIT as the no-LTAP baseline.
 
-use bench::workload::{populate, Workload};
 use bench::rig;
+use bench::workload::{populate, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldap::{Directory, Filter, Scope};
 

@@ -20,7 +20,10 @@ fn populated(n: usize) -> std::sync::Arc<Dit> {
                 ("objectClass", "person"),
                 ("cn", format!("Person {i:05}").as_str()),
                 ("sn", "Person"),
-                ("telephoneNumber", format!("+1 908 582 {:04}", i % 10000).as_str()),
+                (
+                    "telephoneNumber",
+                    format!("+1 908 582 {:04}", i % 10000).as_str(),
+                ),
             ],
         );
         ldap::Dit::add(&dit, e).unwrap();

@@ -36,9 +36,8 @@ fn bench_closure(c: &mut Criterion) {
         for i in 0..len {
             rules.push_str(&format!("map a{i} -> a{} : concat(a{i}, \"\");\n", i + 1));
         }
-        let src = format!(
-            "mapping chain {{ source l; target l; key source d; key target d;\n{rules}}}"
-        );
+        let src =
+            format!("mapping chain {{ source l; target l; key source d; key target d;\n{rules}}}");
         let closure = Closure::from_source(&src).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
             b.iter(|| {

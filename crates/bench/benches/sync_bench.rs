@@ -1,8 +1,8 @@
 //! Criterion benchmark for experiment E4: synchronization (initial load and
 //! no-op resync) under LTAP quiesce.
 
-use bench::workload::{preload_devices, Workload};
 use bench::rig;
+use bench::workload::{preload_devices, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sync(c: &mut Criterion) {

@@ -22,7 +22,7 @@ fn main() {
                 exp = args.get(i).cloned();
             }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick|--full] [--exp e1..e11]");
+                eprintln!("usage: experiments [--quick|--full] [--exp e1..e12]");
                 return;
             }
             other => {
@@ -40,7 +40,7 @@ fn main() {
         Some(id) => match run_one(&id, scale) {
             Some(r) => r.print(),
             None => {
-                eprintln!("no experiment `{id}` (e1..e11)");
+                eprintln!("no experiment `{id}` (e1..e12)");
                 std::process::exit(2);
             }
         },

@@ -35,7 +35,10 @@ fn populate(dit: &Dit, n: usize) {
                 ("objectClass", "person"),
                 ("cn", format!("Person {i:05}").as_str()),
                 ("sn", "Person"),
-                ("telephoneNumber", format!("+1 908 582 {:04}", i % 10000).as_str()),
+                (
+                    "telephoneNumber",
+                    format!("+1 908 582 {:04}", i % 10000).as_str(),
+                ),
             ],
         );
         Dit::add(dit, e).expect("person");
@@ -56,7 +59,13 @@ pub fn run(scale: Scale) -> Report {
         std::hint::black_box(&dn);
         samples.push(d);
     }
-    writeln!(table, "{:<40} {:>9.3} µs", "DN parse + normalize", mean_us(&samples)).unwrap();
+    writeln!(
+        table,
+        "{:<40} {:>9.3} µs",
+        "DN parse + normalize",
+        mean_us(&samples)
+    )
+    .unwrap();
 
     // Filter parse + eval.
     let entry = Entry::with_attrs(
@@ -76,7 +85,13 @@ pub fn run(scale: Scale) -> Report {
         std::hint::black_box(&f);
         samples.push(d);
     }
-    writeln!(table, "{:<40} {:>9.3} µs", "filter parse", mean_us(&samples)).unwrap();
+    writeln!(
+        table,
+        "{:<40} {:>9.3} µs",
+        "filter parse",
+        mean_us(&samples)
+    )
+    .unwrap();
     let f = Filter::parse("(&(objectClass=person)(|(cn=J*)(telephoneNumber=*9123)))").unwrap();
     let mut samples = Vec::new();
     for _ in 0..iters {
@@ -84,7 +99,13 @@ pub fn run(scale: Scale) -> Report {
         assert!(hit);
         samples.push(d);
     }
-    writeln!(table, "{:<40} {:>9.3} µs", "filter eval (hit)", mean_us(&samples)).unwrap();
+    writeln!(
+        table,
+        "{:<40} {:>9.3} µs",
+        "filter eval (hit)",
+        mean_us(&samples)
+    )
+    .unwrap();
 
     // Search scaling.
     let dit = Dit::new();
@@ -183,10 +204,8 @@ pub fn run(scale: Scale) -> Report {
                 operations, search linear in candidate set, subtree \
                 relocation linear in subtree size",
         table,
-        observations: vec![
-            "matches the paper's premise that device I/O, not the \
+        observations: vec!["matches the paper's premise that device I/O, not the \
              directory, dominates end-to-end cost"
-                .to_string(),
-        ],
+            .to_string()],
     }
 }

@@ -33,7 +33,8 @@ fn phone_change_migrates(with_hub: bool) -> (bool, bool) {
     wba.add_person_with_extension("John Doe", "Doe", "1100", "2B")
         .expect("add");
     system.settle();
-    wba.set_phone("John Doe", "+1 908 582 2200").expect("renumber");
+    wba.set_phone("John Doe", "+1 908 582 2200")
+        .expect("renumber");
     system.settle();
     let migrated = west.get("1100").is_none() && east.get("2200").is_some();
     let ext_updated = wba
@@ -97,8 +98,18 @@ pub fn run(_scale: Scale) -> Report {
     .unwrap();
     let (mig_on, ext_on) = phone_change_migrates(true);
     let (mig_off, ext_off) = phone_change_migrates(false);
-    writeln!(table, "{:<34} {:>12} {:>14}", "  hub closure ON (paper)", mig_on, ext_on).unwrap();
-    writeln!(table, "{:<34} {:>12} {:>14}", "  hub closure OFF", mig_off, ext_off).unwrap();
+    writeln!(
+        table,
+        "{:<34} {:>12} {:>14}",
+        "  hub closure ON (paper)", mig_on, ext_on
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "{:<34} {:>12} {:>14}",
+        "  hub closure OFF", mig_off, ext_off
+    )
+    .unwrap();
     writeln!(table).unwrap();
     writeln!(
         table,

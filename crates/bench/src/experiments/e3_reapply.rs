@@ -54,14 +54,21 @@ pub fn run(scale: Scale) -> Report {
         });
         naive.push(d);
     }
+    writeln!(table, "{:<34} {:>12}", "filter-level reapplication", "mean").unwrap();
     writeln!(
         table,
-        "{:<34} {:>12}",
-        "filter-level reapplication", "mean"
+        "{:<34} {:>9.2} µs",
+        "  conditional modify (lexpress)",
+        mean_us(&cond)
     )
     .unwrap();
-    writeln!(table, "{:<34} {:>9.2} µs", "  conditional modify (lexpress)", mean_us(&cond)).unwrap();
-    writeln!(table, "{:<34} {:>9.2} µs", "  naive add + error recovery", mean_us(&naive)).unwrap();
+    writeln!(
+        table,
+        "{:<34} {:>9.2} µs",
+        "  naive add + error recovery",
+        mean_us(&naive)
+    )
+    .unwrap();
 
     // --- (b) system-level: full DDU round trip --------------------------
     let r = rig(1, false);

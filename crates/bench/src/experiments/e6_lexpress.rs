@@ -67,7 +67,10 @@ pub fn run(scale: Scale) -> Report {
     for len in [1usize, 2, 4, 8] {
         let mut rules = String::new();
         for i in 0..len {
-            rules.push_str(&format!("    map a{i} -> a{} : concat(a{i}, \"\");\n", i + 1));
+            rules.push_str(&format!(
+                "    map a{i} -> a{} : concat(a{i}, \"\");\n",
+                i + 1
+            ));
         }
         let src = format!(
             "mapping chain {{ source ldap; target ldap; key source dn; key target dn;\n{rules}}}"
@@ -125,10 +128,8 @@ pub fn run(scale: Scale) -> Report {
                 closure cost is linear in chain length, never-converging \
                 cycles are caught at compile time",
         table,
-        observations: vec![
-            "a description file compiles ~1000× faster than the \
+        observations: vec!["a description file compiles ~1000× faster than the \
              'few minutes' the paper reports for *writing* one"
-                .to_string(),
-        ],
+            .to_string()],
     }
 }

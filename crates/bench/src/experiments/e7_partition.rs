@@ -27,14 +27,23 @@ pub fn run(_scale: Scale) -> Report {
         .expect("add");
     r.system.settle();
     let (a, b) = stations(&r);
-    writeln!(table, "{:<34} {:>8} {:>8} {:>10}", "create (none → 1xxx)", a, b, "add@1").unwrap();
+    writeln!(
+        table,
+        "{:<34} {:>8} {:>8} {:>10}",
+        "create (none → 1xxx)", a, b, "add@1"
+    )
+    .unwrap();
 
     // old ∧ new → MODIFY at pbx-1
     wba.assign_room("John Doe", "3F-100").expect("modify");
     r.system.settle();
     let (a, b) = stations(&r);
-    writeln!(table, "{:<34} {:>8} {:>8} {:>10}", "room change (1xxx → 1xxx)", a, b, "modify@1")
-        .unwrap();
+    writeln!(
+        table,
+        "{:<34} {:>8} {:>8} {:>10}",
+        "room change (1xxx → 1xxx)", a, b, "modify@1"
+    )
+    .unwrap();
 
     // old@1 ∧ new@2 → DELETE at pbx-1 + ADD at pbx-2 (the paper's example)
     let skipped_before = r.system.um_stats().skipped.load(Ordering::SeqCst);
@@ -79,10 +88,8 @@ pub fn run(_scale: Scale) -> Report {
                 series of adds/deletes/modifies per target — a phone-number \
                 change becomes delete at the old switch + add at the new one",
         table,
-        observations: vec![
-            "all four old/new satisfaction cases route exactly as the \
+        observations: vec!["all four old/new satisfaction cases route exactly as the \
              paper's matrix specifies"
-                .to_string(),
-        ],
+            .to_string()],
     }
 }

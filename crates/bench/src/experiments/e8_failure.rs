@@ -101,7 +101,11 @@ pub fn run(scale: Scale) -> Report {
         observations: vec![format!(
             "{trials}/{trials} injected crashes produced the predicted \
              inconsistency and {} repaired it",
-            if all_repaired { "resync always" } else { "resync NOT always" }
+            if all_repaired {
+                "resync always"
+            } else {
+                "resync NOT always"
+            }
         )],
     }
 }

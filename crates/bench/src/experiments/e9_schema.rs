@@ -90,16 +90,9 @@ pub fn run(scale: Scale) -> Report {
     let torn_children = persons
         .iter()
         .filter(|p| {
-            Dit::search(
-                &dit,
-                p.dn(),
-                Scope::One,
-                &Filter::match_all(),
-                &[],
-                0,
-            )
-            .map(|kids| kids.is_empty())
-            .unwrap_or(true)
+            Dit::search(&dit, p.dn(), Scope::One, &Filter::match_all(), &[], 0)
+                .map(|kids| kids.is_empty())
+                .unwrap_or(true)
         })
         .count();
     writeln!(

@@ -4,6 +4,9 @@
 //! each experiment operationalizes one *testable claim* (see DESIGN.md §3)
 //! as a workload + sweep + printed table.
 
+pub mod e10_ldap;
+pub mod e11_ablations;
+pub mod e12_outage;
 pub mod e1_propagation;
 pub mod e2_convergence;
 pub mod e3_reapply;
@@ -13,8 +16,6 @@ pub mod e6_lexpress;
 pub mod e7_partition;
 pub mod e8_failure;
 pub mod e9_schema;
-pub mod e10_ldap;
-pub mod e11_ablations;
 
 /// How big to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,10 +65,11 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e9_schema::run(scale),
         e10_ldap::run(scale),
         e11_ablations::run(scale),
+        e12_outage::run(scale),
     ]
 }
 
-/// Run one experiment by id (`e1` … `e11`).
+/// Run one experiment by id (`e1` … `e12`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
     Some(match id {
         "e1" => e1_propagation::run(scale),
@@ -81,6 +83,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
         "e9" => e9_schema::run(scale),
         "e10" => e10_ldap::run(scale),
         "e11" => e11_ablations::run(scale),
+        "e12" => e12_outage::run(scale),
         _ => return None,
     })
 }
@@ -136,8 +139,18 @@ mod tests {
     }
 
     #[test]
+    fn quick_e12_outage() {
+        let r = e12_outage::run(Scale::Quick);
+        assert_eq!(r.id, "E12");
+        // Both recovery mechanisms must appear in the sweep, losing nothing.
+        assert!(r.table.contains("drain("), "{}", r.table);
+        assert!(r.table.contains("resync"), "{}", r.table);
+        assert!(r.observations.iter().any(|o| o.contains("total lost = 0")));
+    }
+
+    #[test]
     fn run_one_dispatches_every_id() {
-        for id in ["e7", "e9"] {
+        for id in ["e7", "e9", "e12"] {
             assert!(run_one(id, Scale::Quick).is_some());
         }
         assert!(run_one("e99", Scale::Quick).is_none());

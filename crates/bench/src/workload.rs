@@ -5,13 +5,12 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 const GIVEN: &[&str] = &[
-    "John", "Pat", "Tim", "Jill", "Ana", "Wei", "Ravi", "Maya", "Sam", "Lena",
-    "Igor", "Noor", "Kofi", "Rosa", "Hugo", "Mei", "Omar", "Tara", "Ivan", "Yuki",
+    "John", "Pat", "Tim", "Jill", "Ana", "Wei", "Ravi", "Maya", "Sam", "Lena", "Igor", "Noor",
+    "Kofi", "Rosa", "Hugo", "Mei", "Omar", "Tara", "Ivan", "Yuki",
 ];
 const SURNAMES: &[&str] = &[
-    "Doe", "Smith", "Dickens", "Lu", "Garcia", "Chen", "Patel", "Okafor", "Kim",
-    "Novak", "Hassan", "Silva", "Mori", "Bauer", "Rossi", "Dubois", "Larsen",
-    "Kovacs", "Adeyemi", "Nakamura",
+    "Doe", "Smith", "Dickens", "Lu", "Garcia", "Chen", "Patel", "Okafor", "Kim", "Novak", "Hassan",
+    "Silva", "Mori", "Bauer", "Rossi", "Dubois", "Larsen", "Kovacs", "Adeyemi", "Nakamura",
 ];
 const ROOMS: &[&str] = &["2B", "2C", "3A", "3F", "4D", "5A"];
 

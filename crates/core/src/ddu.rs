@@ -13,16 +13,18 @@
 use crate::errorlog::ErrorLog;
 use crate::filter::DeviceFilter;
 use crate::image::{diff_mods, image_to_entry};
+use crate::resilience::RetryPolicy;
 use crate::um::aux_class_mods;
 use crossbeam::channel::{Receiver, Select};
-use lexpress::{Engine, OpKind, TargetOp, UpdateDescriptor};
 use ldap::dn::Dn;
 use ldap::entry::Modification;
-use ldap::Directory;
+use ldap::{Directory, ResultCode};
+use lexpress::{Engine, OpKind, TargetOp, UpdateDescriptor};
 use ltap::{Gateway, LtapOp};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Relay statistics.
 #[derive(Debug, Default)]
@@ -37,6 +39,8 @@ pub struct RelayStats {
     pub errors: AtomicUsize,
     /// Simulated crashes injected between the pair (experiment E8).
     pub injected_crashes: AtomicUsize,
+    /// Transient gateway failures masked by retry.
+    pub retried: AtomicUsize,
 }
 
 pub(crate) struct RelayHandles {
@@ -53,6 +57,8 @@ pub(crate) fn spawn_relays(
     errorlog: Arc<ErrorLog>,
     stats: Arc<RelayStats>,
     crash_between_pair: Arc<AtomicBool>,
+    seq: Arc<AtomicU64>,
+    retry: RetryPolicy,
 ) -> RelayHandles {
     let (shutdown_tx, shutdown_rx) = crossbeam::channel::unbounded::<()>();
     let mut threads = Vec::new();
@@ -67,12 +73,25 @@ pub(crate) fn spawn_relays(
         let mapping = f.mapping_to_ldap();
         let sd = shutdown_rx.clone();
         let owned_attrs = f.ldap_owned_attrs();
+        let sq = seq.clone();
+        let rt = retry.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("ddu-relay-{name}"))
                 .spawn(move || {
                     relay_loop(
-                        rx, sd, gw, eng, log, st, crash, &name, &mapping, &owned_attrs,
+                        rx,
+                        sd,
+                        gw,
+                        eng,
+                        log,
+                        st,
+                        crash,
+                        sq,
+                        rt,
+                        &name,
+                        &mapping,
+                        &owned_attrs,
                     )
                 })
                 .expect("spawn relay"),
@@ -93,6 +112,8 @@ fn relay_loop(
     errorlog: Arc<ErrorLog>,
     stats: Arc<RelayStats>,
     crash: Arc<AtomicBool>,
+    seq: Arc<AtomicU64>,
+    retry: RetryPolicy,
     origin: &str,
     mapping: &str,
     owned_attrs: &[String],
@@ -111,6 +132,7 @@ fn relay_loop(
                         &engine,
                         &stats,
                         &crash,
+                        &retry,
                         origin,
                         mapping,
                         owned_attrs,
@@ -119,7 +141,7 @@ fn relay_loop(
                         stats.errors.fetch_add(1, Ordering::Relaxed);
                         errorlog.log(
                             gateway.inner().as_ref(),
-                            0,
+                            seq.fetch_add(1, Ordering::SeqCst),
                             &format!("DDU relay from {origin} failed: {e}"),
                             &format!("{d:?}"),
                         );
@@ -136,12 +158,43 @@ fn relay_loop(
     }
 }
 
+/// Send one LTAP operation through the gateway, retrying transient
+/// (`Unavailable`) failures per the retry policy. Retry sits at this
+/// granularity — never around a whole DDU — because the §5.1
+/// ModifyRDN+Modify pair is not idempotent as a unit.
+fn apply_tagged_retry(
+    gateway: &Arc<Gateway>,
+    stats: &RelayStats,
+    retry: &RetryPolicy,
+    op: LtapOp,
+    origin: &str,
+) -> ldap::Result<()> {
+    let started = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match gateway.apply_tagged(op.clone(), origin) {
+            Ok(()) => return Ok(()),
+            Err(e)
+                if e.code == ResultCode::Unavailable
+                    && attempt < retry.max_attempts
+                    && started.elapsed() < retry.deadline =>
+            {
+                stats.retried.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(retry.backoff(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn relay_one(
     gateway: &Arc<Gateway>,
     engine: &Arc<Engine>,
     stats: &RelayStats,
     crash: &AtomicBool,
+    retry: &RetryPolicy,
     origin: &str,
     mapping: &str,
     owned_attrs: &[String],
@@ -160,14 +213,20 @@ fn relay_one(
                     mods.extend(diff_mods(&existing, &top.attrs));
                     if !mods.is_empty() {
                         stats.ops_sent.fetch_add(1, Ordering::Relaxed);
-                        gateway.apply_tagged(LtapOp::Modify(dn, mods), origin)?;
+                        apply_tagged_retry(
+                            gateway,
+                            stats,
+                            retry,
+                            LtapOp::Modify(dn, mods),
+                            origin,
+                        )?;
                     }
                     Ok(())
                 }
                 None => {
                     let entry = image_to_entry(dn, &top.attrs);
                     stats.ops_sent.fetch_add(1, Ordering::Relaxed);
-                    gateway.apply_tagged(LtapOp::Add(entry), origin)?;
+                    apply_tagged_retry(gateway, stats, retry, LtapOp::Add(entry), origin)?;
                     Ok(())
                 }
             }
@@ -185,7 +244,10 @@ fn relay_one(
                     .ok_or_else(|| ldap::LdapError::invalid_dn("empty new DN"))?
                     .clone();
                 stats.ops_sent.fetch_add(1, Ordering::Relaxed);
-                gateway.apply_tagged(
+                apply_tagged_retry(
+                    gateway,
+                    stats,
+                    retry,
                     LtapOp::ModifyRdn {
                         dn: old_dn,
                         new_rdn,
@@ -208,7 +270,13 @@ fn relay_one(
                     mods.extend(diff_mods(&existing, &top.attrs));
                     if !mods.is_empty() {
                         stats.ops_sent.fetch_add(1, Ordering::Relaxed);
-                        gateway.apply_tagged(LtapOp::Modify(new_dn, mods), origin)?;
+                        apply_tagged_retry(
+                            gateway,
+                            stats,
+                            retry,
+                            LtapOp::Modify(new_dn, mods),
+                            origin,
+                        )?;
                     }
                 }
                 Ok(())
@@ -219,7 +287,13 @@ fn relay_one(
                         mods.extend(diff_mods(&existing, &top.attrs));
                         if !mods.is_empty() {
                             stats.ops_sent.fetch_add(1, Ordering::Relaxed);
-                            gateway.apply_tagged(LtapOp::Modify(new_dn, mods), origin)?;
+                            apply_tagged_retry(
+                                gateway,
+                                stats,
+                                retry,
+                                LtapOp::Modify(new_dn, mods),
+                                origin,
+                            )?;
                         }
                         Ok(())
                     }
@@ -228,7 +302,7 @@ fn relay_one(
                         // directory while the DDU was in flight): recreate.
                         let entry = image_to_entry(new_dn, &top.attrs);
                         stats.ops_sent.fetch_add(1, Ordering::Relaxed);
-                        gateway.apply_tagged(LtapOp::Add(entry), origin)?;
+                        apply_tagged_retry(gateway, stats, retry, LtapOp::Add(entry), origin)?;
                         Ok(())
                     }
                 }
@@ -247,7 +321,7 @@ fn relay_one(
                     .collect();
                 if !mods.is_empty() {
                     stats.ops_sent.fetch_add(1, Ordering::Relaxed);
-                    gateway.apply_tagged(LtapOp::Modify(dn, mods), origin)?;
+                    apply_tagged_retry(gateway, stats, retry, LtapOp::Modify(dn, mods), origin)?;
                 }
             }
             Ok(())

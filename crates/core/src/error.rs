@@ -13,6 +13,11 @@ pub enum MetaError {
     Compile(lexpress::CompileError),
     /// A device rejected an operation.
     Device { repository: String, detail: String },
+    /// A device could not be reached (link down, timeout, injected fault).
+    /// Unlike [`MetaError::Device`] this is *transient*: the operation was
+    /// not judged invalid, the device just never saw it — so it is safe to
+    /// retry or queue for reapplication (§4.4 recovery).
+    DeviceUnreachable { repository: String, detail: String },
     /// The Update Manager is shut down (or crashed, in failure-injection
     /// experiments).
     Unavailable(String),
@@ -26,6 +31,9 @@ impl fmt::Display for MetaError {
             MetaError::Compile(e) => write!(f, "compile: {e}"),
             MetaError::Device { repository, detail } => {
                 write!(f, "device {repository}: {detail}")
+            }
+            MetaError::DeviceUnreachable { repository, detail } => {
+                write!(f, "device {repository} unreachable: {detail}")
             }
             MetaError::Unavailable(m) => write!(f, "update manager unavailable: {m}"),
         }
@@ -58,11 +66,21 @@ impl MetaError {
     pub fn into_ldap(self) -> ldap::LdapError {
         match self {
             MetaError::Ldap(e) => e,
+            e @ MetaError::DeviceUnreachable { .. } => {
+                ldap::LdapError::new(ldap::ResultCode::Unavailable, format!("metacomm: {e}"))
+            }
             other => ldap::LdapError::new(
                 ldap::ResultCode::UnwillingToPerform,
                 format!("metacomm: {other}"),
             ),
         }
+    }
+
+    /// Whether retrying (or queueing for later reapplication) could
+    /// succeed. Semantic rejections ([`MetaError::Device`], translation and
+    /// schema failures) are permanent and must abort the update instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MetaError::DeviceUnreachable { .. })
     }
 }
 

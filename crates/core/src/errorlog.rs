@@ -60,9 +60,7 @@ impl ErrorLog {
     /// the log write fails the alert still goes out.
     pub fn log(&self, dir: &dyn Directory, seq: u64, text: &str, failed_op: &str) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        let dn = self
-            .base
-            .child(Rdn::new("metacommErrorId", id.to_string()));
+        let dn = self.base.child(Rdn::new("metacommErrorId", id.to_string()));
         let mut e = Entry::new(dn);
         e.add_value("objectClass", "top");
         e.add_value("objectClass", "metacommError");

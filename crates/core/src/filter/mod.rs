@@ -4,6 +4,7 @@
 //! (the lexpress mapping pair naming how its schema relates to the
 //! integrated LDAP schema).
 
+pub mod fault;
 pub mod mp;
 pub mod pbx;
 
@@ -66,8 +67,21 @@ pub trait DeviceFilter: Send + Sync {
         format!("ldap_to_{}", self.name())
     }
 
+    /// The device-schema field that keys this repository's records (the
+    /// field synchronization reads off each dumped record to identify it).
+    fn key_attr(&self) -> &str;
+
     /// Protocol converter: apply a translated operation to the device.
     fn apply(&self, op: &TargetOp) -> Result<ApplyOutcome>;
+
+    /// Liveness probe: cheap round-trip to the device, used by the recovery
+    /// monitor to detect reconnection. The default rides on
+    /// [`DeviceFilter::record_count`]; decorators that model link outages
+    /// (see [`fault::FaultInjector`]) override it.
+    fn probe(&self) -> Result<()> {
+        let _ = self.record_count();
+        Ok(())
+    }
 
     /// Fetch one record (device-schema image) by key.
     fn fetch(&self, key: &str) -> Option<Image>;

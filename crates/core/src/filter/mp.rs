@@ -56,8 +56,16 @@ impl MpFilter {
     }
 
     fn event_to_descriptor(name: &str, ev: &MpEvent) -> UpdateDescriptor {
-        let old = ev.old.as_ref().map(Self::record_to_image).unwrap_or_default();
-        let new = ev.new.as_ref().map(Self::record_to_image).unwrap_or_default();
+        let old = ev
+            .old
+            .as_ref()
+            .map(Self::record_to_image)
+            .unwrap_or_default();
+        let new = ev
+            .new
+            .as_ref()
+            .map(Self::record_to_image)
+            .unwrap_or_default();
         match ev.kind {
             EventKind::Add => UpdateDescriptor::add(ev.key.clone(), new, name),
             EventKind::Change => UpdateDescriptor::modify(ev.key.clone(), old, new, name),
@@ -69,6 +77,10 @@ impl MpFilter {
 impl DeviceFilter for MpFilter {
     fn name(&self) -> &str {
         self.store.name()
+    }
+
+    fn key_attr(&self) -> &str {
+        fields::MAILBOX
     }
 
     fn apply(&self, op: &TargetOp) -> Result<ApplyOutcome> {
@@ -278,11 +290,21 @@ mod tests {
     fn conditional_add_preserves_existing_id() {
         let f = filter();
         let first = f.apply(&add_op("9123", "Doe, John", false)).unwrap();
-        let id1 = first.generated.unwrap().first("mpMailboxId").unwrap().to_string();
+        let id1 = first
+            .generated
+            .unwrap()
+            .first("mpMailboxId")
+            .unwrap()
+            .to_string();
         // Reapplied add → conditional modify → same id survives.
         let again = f.apply(&add_op("9123", "Doe, John", true)).unwrap();
         assert!(again.reapplied);
-        let id2 = again.generated.unwrap().first("mpMailboxId").unwrap().to_string();
+        let id2 = again
+            .generated
+            .unwrap()
+            .first("mpMailboxId")
+            .unwrap()
+            .to_string();
         assert_eq!(id1, id2, "reapplication must not regenerate the id");
     }
 
@@ -290,7 +312,12 @@ mod tests {
     fn mailbox_renumber_regenerates_id() {
         let f = filter();
         let first = f.apply(&add_op("9123", "Doe, John", false)).unwrap();
-        let id1 = first.generated.unwrap().first("mpMailboxId").unwrap().to_string();
+        let id1 = first
+            .generated
+            .unwrap()
+            .first("mpMailboxId")
+            .unwrap()
+            .to_string();
         let renumber = TargetOp {
             kind: OpKind::Modify,
             conditional: false,
@@ -300,7 +327,12 @@ mod tests {
             old_attrs: Image::new(),
         };
         let out = f.apply(&renumber).unwrap();
-        let id2 = out.generated.unwrap().first("mpMailboxId").unwrap().to_string();
+        let id2 = out
+            .generated
+            .unwrap()
+            .first("mpMailboxId")
+            .unwrap()
+            .to_string();
         assert_ne!(id1, id2, "a new mailbox gets a new platform id");
         assert!(f.fetch("9123").is_none());
         assert!(f.fetch("9200").is_some());

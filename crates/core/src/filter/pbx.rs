@@ -43,8 +43,16 @@ impl PbxFilter {
     }
 
     fn event_to_descriptor(name: &str, ev: &DeviceEvent) -> UpdateDescriptor {
-        let old = ev.old.as_ref().map(Self::record_to_image).unwrap_or_default();
-        let new = ev.new.as_ref().map(Self::record_to_image).unwrap_or_default();
+        let old = ev
+            .old
+            .as_ref()
+            .map(Self::record_to_image)
+            .unwrap_or_default();
+        let new = ev
+            .new
+            .as_ref()
+            .map(Self::record_to_image)
+            .unwrap_or_default();
         match ev.kind {
             EventKind::Add => UpdateDescriptor::add(ev.key.clone(), new, name),
             EventKind::Change => UpdateDescriptor::modify(ev.key.clone(), old, new, name),
@@ -56,6 +64,10 @@ impl PbxFilter {
 impl DeviceFilter for PbxFilter {
     fn name(&self) -> &str {
         self.store.name()
+    }
+
+    fn key_attr(&self) -> &str {
+        fields::EXTENSION
     }
 
     fn apply(&self, op: &TargetOp) -> Result<ApplyOutcome> {
@@ -231,7 +243,10 @@ mod tests {
     use pbx::DialPlan;
 
     fn filter() -> Arc<PbxFilter> {
-        PbxFilter::new(Arc::new(Store::new("pbx-west", DialPlan::with_prefix("9", 4))))
+        PbxFilter::new(Arc::new(Store::new(
+            "pbx-west",
+            DialPlan::with_prefix("9", 4),
+        )))
     }
 
     fn add_op(key: &str, name: &str, conditional: bool) -> TargetOp {

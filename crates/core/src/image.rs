@@ -2,9 +2,9 @@
 //! construction of integrated-schema entries from images.
 
 use crate::schema::{DEFINITY_USER, LAST_UPDATER, MESSAGING_USER};
-use lexpress::Image;
 use ldap::dn::Dn;
 use ldap::entry::{Entry, Modification};
+use lexpress::Image;
 
 /// Attributes that never flow through lexpress translation.
 fn is_structural(attr: &str) -> bool {
@@ -147,7 +147,9 @@ mod tests {
         assert!(e.has_object_class("person"));
         assert!(e.has_object_class(DEFINITY_USER));
         assert!(e.has_object_class(MESSAGING_USER));
-        crate::schema::integrated_schema().validate_entry(&e).unwrap();
+        crate::schema::integrated_schema()
+            .validate_entry(&e)
+            .unwrap();
         let back = entry_to_image(&e);
         assert_eq!(back.first("telephoneNumber"), Some("+1 908 582 9123"));
         assert!(!back.has("objectClass"));
@@ -183,9 +185,9 @@ mod tests {
             ],
         );
         let target = Image::from_pairs([
-            ("cn", "Someone Else"),    // RDN attr: must be skipped
-            ("sn", "Doe"),             // unchanged: skipped
-            ("roomNumber", "2C-115"),  // changed: replaced
+            ("cn", "Someone Else"),      // RDN attr: must be skipped
+            ("sn", "Doe"),               // unchanged: skipped
+            ("roomNumber", "2C-115"),    // changed: replaced
             ("telephoneNumber", "9123"), // new: replaced in
         ]);
         let mods = diff_mods(&current, &target);
@@ -242,7 +244,10 @@ mod full_diff_tests {
         let dn = Dn::parse("cn=X,o=L").unwrap();
         let current = Entry::with_attrs(dn, [("objectClass", "person"), ("cn", "X"), ("sn", "X")]);
         let target = Image::from_pairs([("cn", "X"), ("sn", "X"), ("roomNumber", "1")]);
-        assert_eq!(diff_mods_full(&current, &target), diff_mods(&current, &target));
+        assert_eq!(
+            diff_mods_full(&current, &target),
+            diff_mods(&current, &target)
+        );
     }
 
     #[test]
@@ -250,11 +255,20 @@ mod full_diff_tests {
         let dn = Dn::parse("cn=X,o=L").unwrap();
         let current = Entry::with_attrs(
             dn,
-            [("objectClass", "person"), ("cn", "X"), ("sn", "X"), ("mail", "x@l")],
+            [
+                ("objectClass", "person"),
+                ("cn", "X"),
+                ("sn", "X"),
+                ("mail", "x@l"),
+            ],
         );
         let target = Image::from_pairs([("cn", "X"), ("sn", "Y")]);
         let mut e = current.clone();
-        e.apply_modifications(&diff_mods_full(&current, &target)).unwrap();
-        assert!(diff_mods_full(&e, &target).is_empty(), "fixpoint after one apply");
+        e.apply_modifications(&diff_mods_full(&current, &target))
+            .unwrap();
+        assert!(
+            diff_mods_full(&e, &target).is_empty(),
+            "fixpoint after one apply"
+        );
     }
 }

@@ -41,6 +41,7 @@ pub mod error;
 pub mod errorlog;
 pub mod filter;
 pub mod image;
+pub mod resilience;
 pub mod schema;
 pub mod sync;
 pub mod um;
@@ -48,21 +49,25 @@ pub mod wba;
 
 pub use error::{MetaError, Result};
 pub use errorlog::{AdminAlert, ErrorLog};
+pub use filter::fault::{FaultHandle, FaultInjector, FaultPlan};
 pub use filter::{ApplyOutcome, DeviceFilter};
+pub use resilience::{BreakerPolicy, DeviceHealth, HealthState, RecoveryOutcome, RetryPolicy};
 pub use sync::SyncReport;
 pub use um::{UmStats, UpdateTrace};
 pub use wba::Wba;
 
 use crate::ddu::{RelayHandles, RelayStats};
 use crate::filter::{mp::MpFilter, pbx::PbxFilter};
+use crate::resilience::{DeviceRuntime, MonitorHandle, RecoveryCtx};
 use crate::um::{Shared, UpdateManager};
-use lexpress::{library, Closure, Engine};
 use ldap::dn::Dn;
 use ldap::entry::Entry;
 use ldap::{Directory, Filter as LdapFilter};
+use lexpress::{library, Closure, Engine};
 use ltap::{Gateway, SecurityPolicy, TriggerSpec};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configures and assembles a MetaComm deployment.
@@ -76,6 +81,9 @@ pub struct MetaCommBuilder {
     persist_dir: Option<std::path::PathBuf>,
     security: Option<SecurityPolicy>,
     file_errors: Vec<String>,
+    retry: RetryPolicy,
+    breaker: BreakerPolicy,
+    fault_plans: HashMap<String, FaultPlan>,
 }
 
 impl MetaCommBuilder {
@@ -91,6 +99,9 @@ impl MetaCommBuilder {
             persist_dir: None,
             security: None,
             file_errors: Vec::new(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            fault_plans: HashMap::new(),
         }
     }
 
@@ -149,6 +160,29 @@ impl MetaCommBuilder {
         self
     }
 
+    /// Bounded retry with exponential backoff for transient device faults
+    /// (both device-apply paths: the UM coordinator and the DDU relays).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Per-device circuit-breaker thresholds, outage-journal bound, and
+    /// recovery-probe interval.
+    pub fn with_breaker_policy(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Wrap the named device's filter in a [`FaultInjector`] following
+    /// `plan` — deterministic outages/errors/latency for resilience tests
+    /// and the outage experiment. Control the injected outage at runtime
+    /// through [`MetaComm::fault_handle`].
+    pub fn with_fault_plan(mut self, device: &str, plan: FaultPlan) -> Self {
+        self.fault_plans.insert(device.to_string(), plan);
+        self
+    }
+
     /// Make the directory durable: recover state from `dir` at build time
     /// (LDIF snapshot + change journal), checkpoint, and journal every
     /// commit from then on — the "backups" half of the paper's §2
@@ -170,14 +204,12 @@ impl MetaCommBuilder {
         // else touches the tree, then checkpoint and re-attach the journal.
         let journal = match &self.persist_dir {
             Some(dir) => {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| MetaError::Unavailable(e.to_string()))?;
+                std::fs::create_dir_all(dir).map_err(|e| MetaError::Unavailable(e.to_string()))?;
                 let snap = dir.join("directory.ldif");
                 let jpath = dir.join("changes.ldif");
                 ldap::backup::recover(&dit, &snap, &jpath)?;
                 ldap::backup::snapshot(&dit, &snap)?;
-                std::fs::write(&jpath, "")
-                    .map_err(|e| MetaError::Unavailable(e.to_string()))?;
+                std::fs::write(&jpath, "").map_err(|e| MetaError::Unavailable(e.to_string()))?;
                 Some(ldap::backup::Journal::attach(&dit, &jpath)?)
             }
             None => None,
@@ -216,13 +248,27 @@ impl MetaCommBuilder {
         // Error log lives in the directory itself.
         let errorlog = Arc::new(ErrorLog::install(dit.as_ref(), &suffix)?);
 
-        // Filters: protocol converter + mapper per repository.
+        // Filters: protocol converter + mapper per repository. A filter
+        // with a fault plan gets the FaultInjector decorator.
         let mut filters: Vec<Arc<dyn DeviceFilter>> = Vec::new();
-        for (store, _) in &self.pbxes {
-            filters.push(PbxFilter::new(store.clone()));
-        }
-        for (store, _) in &self.msgplats {
-            filters.push(MpFilter::new(store.clone()));
+        let mut fault_handles: HashMap<String, Arc<FaultHandle>> = HashMap::new();
+        {
+            let mut wrap = |f: Arc<dyn DeviceFilter>| -> Arc<dyn DeviceFilter> {
+                match self.fault_plans.get(f.name()) {
+                    Some(plan) => {
+                        let inj = FaultInjector::new(f, plan.clone());
+                        fault_handles.insert(inj.name().to_string(), inj.handle());
+                        Arc::new(inj)
+                    }
+                    None => f,
+                }
+            };
+            for (store, _) in &self.pbxes {
+                filters.push(wrap(PbxFilter::new(store.clone())));
+            }
+            for (store, _) in &self.msgplats {
+                filters.push(wrap(MpFilter::new(store.clone())));
+            }
         }
 
         // LTAP gateway in front of the directory.
@@ -238,6 +284,25 @@ impl MetaCommBuilder {
 
         // The Update Manager: trap every person update under the suffix.
         let um_stats = Arc::new(UmStats::default());
+        // Per-device breaker/journal runtimes, shared between the
+        // coordinator (records outcomes, journals during outages) and the
+        // recovery monitor (probes and drains).
+        let mut runtimes: HashMap<String, Arc<DeviceRuntime>> = HashMap::new();
+        for f in &filters {
+            runtimes.insert(
+                f.name().to_string(),
+                DeviceRuntime::new(
+                    f.name(),
+                    self.breaker.clone(),
+                    errorlog.clone(),
+                    dit.clone() as Arc<dyn Directory>,
+                    um_stats.clone(),
+                ),
+            );
+        }
+        // Coordinator sequence counter, shared with the relays so every
+        // error-log entry carries a real monotonic sequence number.
+        let seq = Arc::new(AtomicU64::new(1));
         let um = UpdateManager::start(Shared {
             inner: dit.clone() as Arc<dyn Directory>,
             engine: engine.clone(),
@@ -247,6 +312,9 @@ impl MetaCommBuilder {
             stats: um_stats.clone(),
             saga: self.saga,
             traces: Arc::new(Mutex::new(std::collections::VecDeque::new())),
+            retry: self.retry.clone(),
+            runtimes: runtimes.clone(),
+            seq: seq.clone(),
         });
         gateway.register(
             TriggerSpec::all_updates("metacomm-um", suffix.clone())
@@ -264,6 +332,26 @@ impl MetaCommBuilder {
             errorlog.clone(),
             relay_stats.clone(),
             crash_between_pair.clone(),
+            seq.clone(),
+            self.retry.clone(),
+        );
+
+        // Recovery monitor: probes non-Up devices and reapplies their
+        // backlog (journal drain, or full resync after overflow).
+        let monitor = resilience::spawn_monitor(
+            RecoveryCtx {
+                gateway: gateway.clone(),
+                engine: engine.clone(),
+                suffix: suffix.clone(),
+                errorlog: errorlog.clone(),
+                stats: um_stats.clone(),
+                retry: self.retry.clone(),
+            },
+            filters
+                .iter()
+                .map(|f| (f.clone(), runtimes[f.name()].clone()))
+                .collect(),
+            self.breaker.probe_interval,
         );
 
         Ok(MetaComm {
@@ -280,6 +368,10 @@ impl MetaCommBuilder {
             crash_between_pair,
             persist_dir: self.persist_dir,
             _journal: journal,
+            retry: self.retry,
+            runtimes,
+            fault_handles,
+            monitor: Mutex::new(Some(monitor)),
         })
     }
 }
@@ -299,6 +391,10 @@ pub struct MetaComm {
     crash_between_pair: Arc<AtomicBool>,
     persist_dir: Option<std::path::PathBuf>,
     _journal: Option<Arc<ldap::backup::Journal>>,
+    retry: RetryPolicy,
+    runtimes: HashMap<String, Arc<DeviceRuntime>>,
+    fault_handles: HashMap<String, Arc<FaultHandle>>,
+    monitor: Mutex<Option<MonitorHandle>>,
 }
 
 impl MetaComm {
@@ -389,6 +485,26 @@ impl MetaComm {
         )
     }
 
+    /// Reapply the directory's materialization onto one device — the
+    /// inverse of [`MetaComm::synchronize_device`], used when a device
+    /// missed updates while unreachable (outage recovery).
+    pub fn resynchronize_device_from_directory(&self, name: &str) -> Result<SyncReport> {
+        let filter = self
+            .filters
+            .iter()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| MetaError::Unavailable(format!("no device `{name}`")))?;
+        sync::resynchronize_device_from_directory(
+            &self.gateway,
+            &self.engine,
+            filter,
+            &self.suffix,
+            Some(&self.errorlog),
+            &self.retry,
+            &self.um_stats,
+        )
+    }
+
     /// Initial load / full resynchronization.
     pub fn synchronize_all(&self) -> Result<SyncReport> {
         sync::synchronize_all(
@@ -404,6 +520,53 @@ impl MetaComm {
     /// ModifyRDN+Modify pair "crashes" between the two operations.
     pub fn inject_crash_between_pair(&self) {
         self.crash_between_pair.store(true, Ordering::SeqCst);
+    }
+
+    /// Health snapshot for one device (breaker state, consecutive failures,
+    /// queued ops, last error).
+    pub fn device_health(&self, name: &str) -> Option<DeviceHealth> {
+        self.runtimes.get(name).map(|r| r.health())
+    }
+
+    /// Health snapshots for every device, in filter registration order.
+    pub fn device_healths(&self) -> Vec<DeviceHealth> {
+        self.filters
+            .iter()
+            .filter_map(|f| self.runtimes.get(f.name()))
+            .map(|r| r.health())
+            .collect()
+    }
+
+    /// The fault-injection control handle for a device configured with
+    /// [`MetaCommBuilder::with_fault_plan`].
+    pub fn fault_handle(&self, name: &str) -> Option<Arc<FaultHandle>> {
+        self.fault_handles.get(name).cloned()
+    }
+
+    /// Probe one device synchronously and run recovery if it answers:
+    /// drain its outage journal as conditional reapplies, or full-resync if
+    /// the journal overflowed. The background monitor does the same thing
+    /// on its probe interval; this entry point makes recovery deterministic
+    /// for tests and experiments.
+    pub fn probe_device(&self, name: &str) -> Result<RecoveryOutcome> {
+        let filter = self
+            .filters
+            .iter()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| MetaError::Unavailable(format!("no device `{name}`")))?;
+        let runtime = self
+            .runtimes
+            .get(name)
+            .ok_or_else(|| MetaError::Unavailable(format!("no device `{name}`")))?;
+        let ctx = RecoveryCtx {
+            gateway: self.gateway.clone(),
+            engine: self.engine.clone(),
+            suffix: self.suffix.clone(),
+            errorlog: self.errorlog.clone(),
+            stats: self.um_stats.clone(),
+            retry: self.retry.clone(),
+        };
+        resilience::attempt_recovery(&ctx, filter, runtime)
     }
 
     /// Checkpoint a durable deployment: write a fresh snapshot and truncate
@@ -430,6 +593,10 @@ impl MetaComm {
                 mc.relay_stats.ops_sent.load(Ordering::SeqCst),
                 mc.relay_stats.errors.load(Ordering::SeqCst),
                 mc.relay_stats.injected_crashes.load(Ordering::SeqCst),
+                mc.um_stats.queued.load(Ordering::SeqCst),
+                mc.um_stats.journal_drained.load(Ordering::SeqCst),
+                mc.um_stats.full_resyncs.load(Ordering::SeqCst),
+                mc.um_stats.breaker_trips.load(Ordering::SeqCst),
             )
         };
         let mut last = snapshot(self);
@@ -449,8 +616,13 @@ impl MetaComm {
         }
     }
 
-    /// Stop the relays and the Update Manager.
+    /// Stop the recovery monitor, the relays, and the Update Manager (in
+    /// that order: the monitor and relays feed the UM).
     pub fn shutdown(&self) {
+        if let Some(monitor) = self.monitor.lock().take() {
+            let _ = monitor.shutdown.send(());
+            let _ = monitor.thread.join();
+        }
         if let Some(relays) = self.relays.lock().take() {
             let _ = relays.shutdown.send(());
             for _ in 1..self.filters.len() {

@@ -1,0 +1,663 @@
+//! Device-outage resilience: retry, per-device circuit breaker, and the
+//! store-and-forward outage journal.
+//!
+//! The paper's failure story (§4.4) is abort-log-alert plus full
+//! resynchronization after reconnection. This module adds the intermediate
+//! regime a production deployment needs: transient device faults are
+//! retried with bounded exponential backoff; a device that keeps failing
+//! trips a per-device circuit breaker (`Up → Degraded → Offline`); while
+//! `Offline`, translated device operations are appended to a bounded
+//! outage journal instead of failing the client update — the directory
+//! stays authoritative, exactly as during disconnected operation in the
+//! paper. A recovery monitor probes offline devices and, on reconnect,
+//! drains the journal as *conditional* reapplied operations (§5.4),
+//! falling back to a full directory→device resynchronization
+//! ([`crate::sync::resynchronize_device_from_directory`]) when the
+//! journal overflowed its bound. Every state transition emits a §4.4
+//! administrator alert.
+
+use crate::errorlog::ErrorLog;
+use crate::filter::DeviceFilter;
+use crate::um::UmStats;
+use ldap::dn::Dn;
+use ldap::Directory;
+use lexpress::TargetOp;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bounded retry with exponential backoff and jitter, applied to transient
+/// device faults in both device-apply paths (UM coordinator and DDU relay).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before attempt N+1 is `base_delay * 2^(N-1)`, jittered.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Overall budget across attempts: once this much wall-clock time has
+    /// been spent on an operation, remaining attempts are forfeited.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+            deadline: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all (useful in tests that count device attempts).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff to sleep after failed attempt `attempt` (1-based): capped
+    /// exponential with ±50% jitter.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_delay);
+        // Jitter source: each `RandomState` is freshly (randomly) keyed, so
+        // hashing the attempt number yields a different fraction per call —
+        // the core crate deliberately takes no RNG dependency.
+        let state = std::collections::hash_map::RandomState::new();
+        let frac = (state.hash_one(attempt) % 1000) as f64 / 1000.0; // [0, 1)
+        capped.mul_f64(0.5 + frac)
+    }
+}
+
+/// Apply `op` at `filter`, retrying transient faults per `retry`.
+/// Returns the outcome of the first success, or the last error once
+/// attempts or the deadline run out. Retries are counted in `stats`.
+pub fn apply_with_retry(
+    filter: &Arc<dyn DeviceFilter>,
+    op: &TargetOp,
+    retry: &RetryPolicy,
+    stats: &UmStats,
+) -> crate::error::Result<crate::filter::ApplyOutcome> {
+    let started = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match filter.apply(op) {
+            Ok(outcome) => return Ok(outcome),
+            Err(e)
+                if e.is_transient()
+                    && attempt < retry.max_attempts
+                    && started.elapsed() < retry.deadline =>
+            {
+                stats.retried.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(retry.backoff(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Circuit-breaker thresholds and journal bound for one device.
+#[derive(Debug, Clone)]
+pub struct BreakerPolicy {
+    /// Consecutive failures before the device is reported `Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive failures before the breaker opens (`Offline`) and
+    /// translated operations start queueing instead of applying.
+    pub offline_after: u32,
+    /// Outage-journal bound: past this many queued ops the journal is
+    /// abandoned and recovery falls back to full resynchronization.
+    pub journal_cap: usize,
+    /// How often the recovery monitor probes non-`Up` devices.
+    pub probe_interval: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            degraded_after: 1,
+            offline_after: 3,
+            journal_cap: 512,
+            probe_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Device health, per the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Normal operation: translated ops apply directly.
+    Up,
+    /// Recent failures, still applying directly (with retry).
+    Degraded,
+    /// Breaker open: translated ops queue in the outage journal.
+    Offline,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Up => write!(f, "up"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::Offline => write!(f, "offline"),
+        }
+    }
+}
+
+/// Snapshot of one device's health (the [`crate::MetaComm::device_health`]
+/// API).
+#[derive(Debug, Clone)]
+pub struct DeviceHealth {
+    pub device: String,
+    pub state: HealthState,
+    pub consecutive_failures: u32,
+    /// Translated operations waiting in the outage journal.
+    pub queued_ops: usize,
+    /// The journal overflowed: recovery will resynchronize instead of
+    /// draining.
+    pub journal_overflowed: bool,
+    /// Operations discarded after the overflow (recovered only by the full
+    /// resynchronization).
+    pub dropped_ops: usize,
+    pub last_error: Option<String>,
+}
+
+/// One queued translated operation awaiting reapplication.
+#[derive(Debug, Clone)]
+struct JournaledOp {
+    ticket: u64,
+    op: TargetOp,
+    /// Directory entry the op concerns (post-update DN), for folding
+    /// device-generated information back in when the op finally applies.
+    dn: Option<Dn>,
+}
+
+#[derive(Debug)]
+struct RuntimeInner {
+    state: HealthState,
+    consecutive_failures: u32,
+    journal: VecDeque<JournaledOp>,
+    overflowed: bool,
+    dropped_ops: usize,
+    draining: bool,
+    last_error: Option<String>,
+}
+
+/// Per-device breaker state + outage journal. Shared between the UM
+/// coordinator (which records outcomes and journals ops) and the recovery
+/// monitor (which probes and drains).
+pub struct DeviceRuntime {
+    name: String,
+    policy: BreakerPolicy,
+    errorlog: Arc<ErrorLog>,
+    dir: Arc<dyn Directory>,
+    stats: Arc<UmStats>,
+    next_ticket: AtomicU64,
+    inner: Mutex<RuntimeInner>,
+}
+
+impl DeviceRuntime {
+    pub(crate) fn new(
+        name: &str,
+        policy: BreakerPolicy,
+        errorlog: Arc<ErrorLog>,
+        dir: Arc<dyn Directory>,
+        stats: Arc<UmStats>,
+    ) -> Arc<DeviceRuntime> {
+        Arc::new(DeviceRuntime {
+            name: name.to_string(),
+            policy,
+            errorlog,
+            dir,
+            stats,
+            next_ticket: AtomicU64::new(1),
+            inner: Mutex::new(RuntimeInner {
+                state: HealthState::Up,
+                consecutive_failures: 0,
+                journal: VecDeque::new(),
+                overflowed: false,
+                dropped_ops: 0,
+                draining: false,
+                last_error: None,
+            }),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn health(&self) -> DeviceHealth {
+        let g = self.inner.lock();
+        DeviceHealth {
+            device: self.name.clone(),
+            state: g.state,
+            consecutive_failures: g.consecutive_failures,
+            queued_ops: g.journal.len(),
+            journal_overflowed: g.overflowed,
+            dropped_ops: g.dropped_ops,
+            last_error: g.last_error.clone(),
+        }
+    }
+
+    /// Should the coordinator bypass the device and journal this op?
+    /// True while the breaker is open — and also while queued ops exist or
+    /// a drain is running, so reapplication stays FIFO with live traffic.
+    pub(crate) fn should_journal(&self) -> bool {
+        let g = self.inner.lock();
+        g.state == HealthState::Offline || !g.journal.is_empty() || g.draining
+    }
+
+    /// Append a translated op to the outage journal. Returns a ticket that
+    /// [`DeviceRuntime::discard_tickets`] can use to withdraw the op if the
+    /// surrounding client update later aborts. `None` when the journal has
+    /// overflowed (the op is dropped and counted; full resync recovers it).
+    pub(crate) fn journal(&self, op: TargetOp, dn: Option<Dn>) -> Option<u64> {
+        let mut g = self.inner.lock();
+        if g.overflowed {
+            g.dropped_ops += 1;
+            return None;
+        }
+        if g.journal.len() >= self.policy.journal_cap {
+            g.overflowed = true;
+            g.dropped_ops += g.journal.len() + 1;
+            g.journal.clear();
+            drop(g);
+            self.errorlog.log(
+                self.dir.as_ref(),
+                0,
+                &format!(
+                    "device {} outage journal overflowed at {} ops; queued ops \
+                     abandoned, full resynchronization scheduled on reconnect",
+                    self.name, self.policy.journal_cap
+                ),
+                "journal overflow",
+            );
+            return None;
+        }
+        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+        g.journal.push_back(JournaledOp { ticket, op, dn });
+        self.stats.queued.fetch_add(1, Ordering::Relaxed);
+        Some(ticket)
+    }
+
+    /// Withdraw journaled ops whose client update aborted (the directory
+    /// never saw the update either, so reapplying them would diverge).
+    pub(crate) fn discard_tickets(&self, tickets: &[u64]) {
+        if tickets.is_empty() {
+            return;
+        }
+        let mut g = self.inner.lock();
+        g.journal.retain(|j| !tickets.contains(&j.ticket));
+    }
+
+    /// Record a failed (post-retry) device apply; advances the breaker and
+    /// alerts on each state transition (§4.4).
+    pub(crate) fn record_failure(&self, seq: u64, error: &crate::error::MetaError) {
+        let transition = {
+            let mut g = self.inner.lock();
+            g.consecutive_failures += 1;
+            g.last_error = Some(error.to_string());
+            let next = if g.consecutive_failures >= self.policy.offline_after {
+                HealthState::Offline
+            } else if g.consecutive_failures >= self.policy.degraded_after {
+                HealthState::Degraded
+            } else {
+                g.state
+            };
+            if next != g.state {
+                let prev = g.state;
+                g.state = next;
+                Some((prev, next, g.consecutive_failures))
+            } else {
+                None
+            }
+        };
+        if let Some((prev, next, failures)) = transition {
+            if next == HealthState::Offline {
+                self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            self.errorlog.log(
+                self.dir.as_ref(),
+                seq,
+                &format!(
+                    "device {} {prev} -> {next} after {failures} consecutive \
+                     failures: {error}{}",
+                    self.name,
+                    if next == HealthState::Offline {
+                        "; translated operations now queue in the outage journal"
+                    } else {
+                        ""
+                    },
+                ),
+                "device health transition",
+            );
+        }
+    }
+
+    /// Record a successful device apply: closes the breaker (with an alert
+    /// if the device was not `Up`).
+    pub(crate) fn record_success(&self) {
+        let recovered = {
+            let mut g = self.inner.lock();
+            g.consecutive_failures = 0;
+            g.last_error = None;
+            if g.state != HealthState::Up && g.journal.is_empty() && !g.draining {
+                let prev = g.state;
+                g.state = HealthState::Up;
+                Some(prev)
+            } else {
+                if g.state == HealthState::Degraded {
+                    g.state = HealthState::Up;
+                }
+                None
+            }
+        };
+        if let Some(prev) = recovered {
+            self.errorlog.log(
+                self.dir.as_ref(),
+                0,
+                &format!("device {} {prev} -> up", self.name),
+                "device health transition",
+            );
+        }
+    }
+}
+
+/// Everything the recovery path needs to reconcile one device.
+pub(crate) struct RecoveryCtx {
+    pub gateway: Arc<ltap::Gateway>,
+    pub engine: Arc<lexpress::Engine>,
+    pub suffix: Dn,
+    pub errorlog: Arc<ErrorLog>,
+    pub stats: Arc<UmStats>,
+    pub retry: RetryPolicy,
+}
+
+/// Outcome of one recovery attempt (surfaced by
+/// [`crate::MetaComm::probe_device`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// Device is `Up` with nothing queued: no work.
+    Healthy,
+    /// Probe still failing; device remains offline.
+    StillDown,
+    /// Journal drained: this many ops reapplied (conditionally, §5.4).
+    Drained(usize),
+    /// Journal had overflowed: full resynchronization ran instead.
+    Resynchronized(crate::sync::SyncReport),
+}
+
+/// Probe a device and, if it answers, reapply its backlog: drain the
+/// journal as conditional ops, or run a full directory→device
+/// resynchronization when the journal overflowed. Called by the recovery
+/// monitor on its probe interval and synchronously by
+/// [`crate::MetaComm::probe_device`].
+pub(crate) fn attempt_recovery(
+    ctx: &RecoveryCtx,
+    filter: &Arc<dyn DeviceFilter>,
+    runtime: &Arc<DeviceRuntime>,
+) -> crate::error::Result<RecoveryOutcome> {
+    // Claim the recovery: the `draining` flag is both the mutual exclusion
+    // between concurrent recoveries (monitor vs. explicit probe) and the
+    // signal that keeps the coordinator journaling new ops behind the
+    // backlog while the drain runs.
+    let (overflowed, queued) = {
+        let mut g = runtime.inner.lock();
+        if g.draining {
+            return Ok(RecoveryOutcome::StillDown);
+        }
+        let needs_work = g.state != HealthState::Up || !g.journal.is_empty() || g.overflowed;
+        if !needs_work {
+            return Ok(RecoveryOutcome::Healthy);
+        }
+        g.draining = true;
+        (g.overflowed, g.journal.len())
+    };
+    if let Err(e) = filter.probe() {
+        let mut g = runtime.inner.lock();
+        g.draining = false;
+        g.last_error = Some(e.to_string());
+        return Ok(RecoveryOutcome::StillDown);
+    }
+    ctx.errorlog.log(
+        ctx.gateway.inner().as_ref(),
+        0,
+        &format!(
+            "device {} reconnected; {}",
+            runtime.name,
+            if overflowed {
+                "journal overflowed during the outage — running full resynchronization".to_string()
+            } else {
+                format!("draining {queued} queued ops")
+            }
+        ),
+        "device reconnect",
+    );
+    if overflowed {
+        // Directory→device: the device was unreachable the whole outage, so
+        // the directory (which kept taking client updates) is authoritative.
+        let report = match crate::sync::resynchronize_device_from_directory(
+            &ctx.gateway,
+            &ctx.engine,
+            filter,
+            &ctx.suffix,
+            Some(&ctx.errorlog),
+            &ctx.retry,
+            &ctx.stats,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                let mut g = runtime.inner.lock();
+                g.draining = false;
+                g.last_error = Some(e.to_string());
+                return Err(e);
+            }
+        };
+        ctx.stats.full_resyncs.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut g = runtime.inner.lock();
+            g.journal.clear();
+            g.overflowed = false;
+            g.dropped_ops = 0;
+            g.consecutive_failures = 0;
+            g.last_error = None;
+            g.draining = false;
+            g.state = HealthState::Up;
+        }
+        ctx.errorlog.log(
+            ctx.gateway.inner().as_ref(),
+            0,
+            &format!(
+                "device {} offline -> up (recovered via full resynchronization: \
+                 {} added, {} repaired, {} cleared)",
+                runtime.name, report.added, report.repaired, report.cleared
+            ),
+            "device health transition",
+        );
+        return Ok(RecoveryOutcome::Resynchronized(report));
+    }
+    // Drain the journal FIFO. New coordinator traffic keeps queueing behind
+    // the drain (`should_journal` sees `draining`), so device-visible order
+    // is preserved.
+    let mut reapplied = 0usize;
+    loop {
+        let next = {
+            let mut g = runtime.inner.lock();
+            match g.journal.pop_front() {
+                Some(j) => Some(j),
+                None => {
+                    // Transition and flag-clear under the same lock as the
+                    // emptiness check: no op can slip in unjournaled.
+                    g.draining = false;
+                    g.consecutive_failures = 0;
+                    g.last_error = None;
+                    g.state = HealthState::Up;
+                    None
+                }
+            }
+        };
+        let Some(j) = next else { break };
+        // §5.4: reapplication is conditional — the op must tolerate already
+        // (or never) applying.
+        let mut op = j.op.clone();
+        op.conditional = true;
+        match apply_with_retry(filter, &op, &ctx.retry, &ctx.stats) {
+            Ok(outcome) => {
+                reapplied += 1;
+                ctx.stats.device_ops.fetch_add(1, Ordering::Relaxed);
+                if outcome.reapplied {
+                    ctx.stats.reapplied.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(gen) = outcome.generated {
+                    fold_generated(ctx, &j.dn, &gen);
+                }
+            }
+            Err(e) if e.is_transient() => {
+                // Mid-drain relapse: requeue at the front and go back
+                // offline; the next probe retries from here.
+                {
+                    let mut g = runtime.inner.lock();
+                    g.journal.push_front(j);
+                    g.draining = false;
+                    g.consecutive_failures += 1;
+                    g.last_error = Some(e.to_string());
+                    g.state = HealthState::Offline;
+                }
+                ctx.stats
+                    .journal_drained
+                    .fetch_add(reapplied, Ordering::Relaxed);
+                ctx.errorlog.log(
+                    ctx.gateway.inner().as_ref(),
+                    0,
+                    &format!(
+                        "device {} relapsed mid-drain after {reapplied} ops: {e}",
+                        runtime.name
+                    ),
+                    "device health transition",
+                );
+                return Ok(RecoveryOutcome::StillDown);
+            }
+            Err(e) => {
+                // Semantic rejection of a queued op: the client saw success
+                // long ago, so all that remains is §4.4 log-and-alert.
+                ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                ctx.errorlog.log(
+                    ctx.gateway.inner().as_ref(),
+                    0,
+                    &format!(
+                        "device {} rejected queued op during journal drain: {e}",
+                        runtime.name
+                    ),
+                    &format!("{:?}", j.op),
+                );
+            }
+        }
+    }
+    ctx.stats
+        .journal_drained
+        .fetch_add(reapplied, Ordering::Relaxed);
+    ctx.errorlog.log(
+        ctx.gateway.inner().as_ref(),
+        0,
+        &format!(
+            "device {} offline -> up (journal drained, {reapplied} ops reapplied)",
+            runtime.name
+        ),
+        "device health transition",
+    );
+    Ok(RecoveryOutcome::Drained(reapplied))
+}
+
+/// Fold device-generated information from a drained op back into the
+/// directory (§5.5) — written directly to the server, exactly as the UM
+/// coordinator does after a live apply.
+fn fold_generated(ctx: &RecoveryCtx, dn: &Option<Dn>, gen: &lexpress::Image) {
+    let Some(dn) = dn else { return };
+    let dir = ctx.gateway.inner();
+    let Ok(Some(entry)) = dir.get(dn) else { return };
+    let mut mods = crate::um::aux_class_mods(&entry, gen);
+    for (name, values) in gen.iter() {
+        if entry.values(name) != values {
+            mods.push(ldap::entry::Modification::replace(
+                name.to_string(),
+                values.to_vec(),
+            ));
+        }
+    }
+    if !mods.is_empty() && dir.modify(dn, &mods).is_ok() {
+        ctx.stats.generated_merges.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Handle to the background recovery monitor.
+pub(crate) struct MonitorHandle {
+    pub shutdown: crossbeam::channel::Sender<()>,
+    pub thread: std::thread::JoinHandle<()>,
+}
+
+/// Spawn the recovery monitor: every probe interval, attempt recovery of
+/// any device that is not `Up` (or has a backlog).
+pub(crate) fn spawn_monitor(
+    ctx: RecoveryCtx,
+    devices: Vec<(Arc<dyn DeviceFilter>, Arc<DeviceRuntime>)>,
+    interval: Duration,
+) -> MonitorHandle {
+    let (tx, rx) = crossbeam::channel::unbounded::<()>();
+    let thread = std::thread::Builder::new()
+        .name("device-recovery-monitor".into())
+        .spawn(move || loop {
+            match rx.recv_timeout(interval) {
+                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    for (filter, runtime) in &devices {
+                        let _ = attempt_recovery(&ctx, filter, runtime);
+                    }
+                }
+            }
+        })
+        .expect("spawn recovery monitor");
+    MonitorHandle {
+        shutdown: tx,
+        thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_grows() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(4),
+            max_delay: Duration::from_millis(20),
+            deadline: Duration::from_secs(1),
+        };
+        for attempt in 1..=8 {
+            let d = p.backoff(attempt);
+            // ±50% jitter around the capped exponential.
+            assert!(d <= Duration::from_millis(30), "attempt {attempt}: {d:?}");
+            assert!(d >= Duration::from_millis(2), "attempt {attempt}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn health_state_display() {
+        assert_eq!(HealthState::Up.to_string(), "up");
+        assert_eq!(HealthState::Degraded.to_string(), "degraded");
+        assert_eq!(HealthState::Offline.to_string(), "offline");
+    }
+}

@@ -76,7 +76,9 @@ pub fn integrated_schema() -> Schema {
         AttributeType::string("metacommErrorId").single(),
         AttributeType::string("metacommErrorText"),
         AttributeType::string("metacommFailedOp"),
-        AttributeType::string("metacommErrorSeq").single().syntax(Syntax::Integer),
+        AttributeType::string("metacommErrorSeq")
+            .single()
+            .syntax(Syntax::Integer),
     ] {
         s.add_attribute(at).expect("error attrs");
     }
@@ -158,7 +160,9 @@ mod tests {
 
     #[test]
     fn integrated_entry_validates() {
-        integrated_schema().validate_entry(&person_with_devices()).unwrap();
+        integrated_schema()
+            .validate_entry(&person_with_devices())
+            .unwrap();
     }
 
     #[test]

@@ -12,10 +12,10 @@ use crate::filter::DeviceFilter;
 use crate::image::{diff_mods, image_to_entry};
 use crate::schema::LAST_UPDATER;
 use crate::um::aux_class_mods;
-use lexpress::{Engine, OpKind, UpdateDescriptor};
 use ldap::dn::Dn;
 use ldap::entry::Modification;
 use ldap::{Filter, Scope};
+use lexpress::{Engine, Image, OpKind, TargetOp, UpdateDescriptor};
 use ltap::Gateway;
 use std::sync::Arc;
 
@@ -60,13 +60,11 @@ pub fn synchronize_device(
     let mapping = filter.mapping_to_ldap();
     let mut device_keys: Vec<String> = Vec::new();
     // key → normalized DN of the entry that canonically owns the record.
-    let mut canonical: std::collections::HashMap<String, String> =
-        std::collections::HashMap::new();
+    let mut canonical: std::collections::HashMap<String, String> = std::collections::HashMap::new();
     for record in filter.dump() {
         // Translate the device record exactly as a DDU add would be.
         let key = record
-            .first("Extension")
-            .or_else(|| record.first("Mailbox"))
+            .first(filter.key_attr())
             .unwrap_or_default()
             .to_string();
         device_keys.push(key.clone());
@@ -195,4 +193,137 @@ pub fn synchronize_all(
         total.merge(&r);
     }
     Ok(total)
+}
+
+/// The inverse direction: reapply the directory's current materialization
+/// onto a device that missed updates while its circuit breaker was open and
+/// whose outage journal overflowed. Here the *directory* is authoritative —
+/// the device was unreachable the whole time, so its records are stale, not
+/// ahead. Report fields read device-side: `added`/`repaired`/`cleared`
+/// count device records created/corrected/removed.
+pub fn resynchronize_device_from_directory(
+    gateway: &Arc<Gateway>,
+    engine: &Engine,
+    filter: &Arc<dyn DeviceFilter>,
+    suffix: &Dn,
+    errorlog: Option<&ErrorLog>,
+    retry: &crate::resilience::RetryPolicy,
+    stats: &crate::um::UmStats,
+) -> crate::error::Result<SyncReport> {
+    let mut report = SyncReport::default();
+    let dir = gateway.inner();
+    let presence = filter.ldap_presence_attr();
+    let holders = dir.search(
+        suffix,
+        Scope::Sub,
+        &Filter::parse(&format!("({presence}=*)")).expect("valid filter"),
+        &[],
+        0,
+    )?;
+    // Current device state, keyed the way the device keys it.
+    let mut device: std::collections::HashMap<String, Image> = filter
+        .dump()
+        .into_iter()
+        .filter_map(|r| {
+            let key = r.first(filter.key_attr())?.to_string();
+            Some((key, r))
+        })
+        .collect();
+    for entry in holders {
+        let d = UpdateDescriptor::add(
+            entry.dn().to_string(),
+            crate::image::entry_to_image(&entry),
+            filter.name(),
+        );
+        let mut top = match engine.translate(&filter.mapping_from_ldap(), &d) {
+            Ok(t) => t,
+            Err(_) => {
+                report.failed += 1;
+                continue;
+            }
+        };
+        if top.kind == OpKind::Skip {
+            continue; // another device's partition
+        }
+        let Some(key) = top.new_key.clone() else {
+            report.failed += 1;
+            continue;
+        };
+        let existing = device.remove(&key);
+        if let Some(rec) = &existing {
+            // The device may carry generated fields the directory never set
+            // (defaults filled in at add time) — only the attrs the
+            // directory materializes need to match.
+            let consistent = top
+                .attrs
+                .iter()
+                .all(|(name, values)| rec.first(name) == values.first().map(String::as_str));
+            if consistent {
+                report.unchanged += 1;
+                continue;
+            }
+        }
+        // §5.4 conditional add: modify-then-add, i.e. an upsert. Retried —
+        // a still-flaky link must not silently shrink the resync.
+        top.conditional = true;
+        match crate::resilience::apply_with_retry(filter, &top, retry, stats) {
+            Ok(outcome) => {
+                if existing.is_some() {
+                    report.repaired += 1;
+                } else {
+                    report.added += 1;
+                }
+                // Fold device-generated info back into the directory.
+                if let Some(gen) = outcome.generated {
+                    let mut mods = aux_class_mods(&entry, &gen);
+                    for (name, values) in gen.iter() {
+                        if entry.values(name) != values {
+                            mods.push(Modification::replace(name.to_string(), values.to_vec()));
+                        }
+                    }
+                    if !mods.is_empty() {
+                        let _ = dir.modify(entry.dn(), &mods);
+                    }
+                }
+            }
+            Err(e) => {
+                report.failed += 1;
+                if let Some(log) = errorlog {
+                    log.log(
+                        dir.as_ref(),
+                        0,
+                        &format!("resync of {key} to {} failed: {e}", filter.name()),
+                        &format!("{top:?}"),
+                    );
+                }
+            }
+        }
+    }
+    // Device records no directory entry claims: the person (or their claim
+    // to this device) was removed while the device was unreachable.
+    for key in device.into_keys() {
+        let top = TargetOp {
+            kind: OpKind::Delete,
+            conditional: true,
+            old_key: Some(key.clone()),
+            new_key: None,
+            attrs: Image::new(),
+            old_attrs: Image::new(),
+        };
+        match crate::resilience::apply_with_retry(filter, &top, retry, stats) {
+            Ok(_) => report.cleared += 1,
+            Err(e) => {
+                report.failed += 1;
+                if let Some(log) = errorlog {
+                    log.log(
+                        dir.as_ref(),
+                        0,
+                        &format!("resync removal of {key} at {} failed: {e}", filter.name()),
+                        &format!("{top:?}"),
+                    );
+                }
+            }
+        }
+    }
+    Ok(report)
 }

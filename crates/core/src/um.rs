@@ -14,15 +14,19 @@
 use crate::errorlog::ErrorLog;
 use crate::filter::DeviceFilter;
 use crate::image::{diff_mods_full, entry_to_image, image_to_entry};
+use crate::resilience::{apply_with_retry, DeviceRuntime, RetryPolicy};
 use crate::schema::LAST_UPDATER;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use lexpress::{Closure, Engine, Image, OpKind, TargetOp, UpdateDescriptor};
+use ldap::dn::Dn;
 use ldap::entry::{Entry, Modification};
 use ldap::{Directory, LdapError, ResultCode};
+use lexpress::{Closure, Engine, Image, OpKind, TargetOp, UpdateDescriptor};
 use ltap::{Disposition, LtapOp, TriggerContext, TriggerHandler};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A per-update trace record: what the coordinator did with one trapped
 /// operation (kept in a bounded ring; see [`UpdateManager`]). This is the
@@ -62,6 +66,16 @@ pub struct UmStats {
     /// Saga-style compensating operations applied (our extension of §4.4's
     /// "later version" plan).
     pub undone: AtomicUsize,
+    /// Transient device faults masked by retry (each retry attempt counts).
+    pub retried: AtomicUsize,
+    /// Device operations queued in an outage journal instead of applied.
+    pub queued: AtomicUsize,
+    /// Circuit-breaker openings (a device going `Offline`).
+    pub breaker_trips: AtomicUsize,
+    /// Journaled operations reapplied during recovery drains.
+    pub journal_drained: AtomicUsize,
+    /// Full resynchronizations run because an outage journal overflowed.
+    pub full_resyncs: AtomicUsize,
 }
 
 enum Request {
@@ -86,6 +100,13 @@ pub(crate) struct Shared {
     pub saga: bool,
     /// Bounded ring of recent update traces.
     pub traces: Arc<parking_lot::Mutex<std::collections::VecDeque<UpdateTrace>>>,
+    /// Retry policy for transient device faults.
+    pub retry: RetryPolicy,
+    /// Per-device breaker/journal state, keyed by filter name.
+    pub runtimes: HashMap<String, Arc<DeviceRuntime>>,
+    /// Coordinator sequence counter, shared with the DDU relays so error-log
+    /// entries carry real monotonic sequence numbers.
+    pub seq: Arc<AtomicU64>,
 }
 
 /// Capacity of the trace ring.
@@ -97,6 +118,9 @@ pub struct UpdateManager {
     stats: Arc<UmStats>,
     traces: Arc<parking_lot::Mutex<std::collections::VecDeque<UpdateTrace>>>,
     worker: Option<JoinHandle<()>>,
+    /// Set before the Shutdown request goes out, so triggers that race a
+    /// shutdown get a clean "shut down" error instead of "crashed".
+    closing: Arc<AtomicBool>,
 }
 
 impl UpdateManager {
@@ -114,6 +138,7 @@ impl UpdateManager {
             stats,
             traces,
             worker: Some(worker),
+            closing: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -130,7 +155,14 @@ impl UpdateManager {
     /// global queue.
     pub(crate) fn handler(&self) -> Arc<dyn TriggerHandler> {
         let tx = self.tx.clone();
+        let closing = self.closing.clone();
         Arc::new(move |ctx: &TriggerContext<'_>| {
+            if closing.load(Ordering::SeqCst) {
+                return Err(LdapError::new(
+                    ResultCode::Unavailable,
+                    "update manager is shut down",
+                ));
+            }
             let (rtx, rrx) = bounded(1);
             let req = Request::Process {
                 op: ctx.op.clone(),
@@ -147,6 +179,10 @@ impl UpdateManager {
             match rrx.recv() {
                 Ok(Ok(())) => Ok(Disposition::Handled),
                 Ok(Err(e)) => Err(e),
+                Err(_) if closing.load(Ordering::SeqCst) => Err(LdapError::new(
+                    ResultCode::Unavailable,
+                    "update manager is shut down",
+                )),
                 Err(_) => Err(LdapError::new(
                     ResultCode::Unavailable,
                     "update manager crashed while processing",
@@ -157,6 +193,7 @@ impl UpdateManager {
 
     pub fn shutdown(&mut self) {
         if let Some(w) = self.worker.take() {
+            self.closing.store(true, Ordering::SeqCst);
             let _ = self.tx.send(Request::Shutdown);
             let _ = w.join();
         }
@@ -170,10 +207,29 @@ impl Drop for UpdateManager {
 }
 
 fn coordinator_loop(rx: Receiver<Request>, shared: Shared) {
-    let seq = AtomicU64::new(1);
-    for req in rx {
+    let seq = shared.seq.clone();
+    while let Ok(req) = rx.recv() {
         match req {
-            Request::Shutdown => break,
+            Request::Shutdown => {
+                // Drain requests that were already in the queue (or racing
+                // the shutdown send): their triggers are blocked in
+                // `rrx.recv()` and must get replies, not a hangup.
+                while let Ok(req) = rx.recv_timeout(Duration::from_millis(10)) {
+                    match req {
+                        Request::Shutdown => continue,
+                        Request::Process {
+                            op,
+                            pre,
+                            origin,
+                            reply,
+                        } => {
+                            let result = process(&shared, &seq, op, pre, origin);
+                            let _ = reply.send(result.map_err(crate::error::MetaError::into_ldap));
+                        }
+                    }
+                }
+                break;
+            }
             Request::Process {
                 op,
                 pre,
@@ -183,7 +239,6 @@ fn coordinator_loop(rx: Receiver<Request>, shared: Shared) {
                 let result = process(&shared, &seq, op, pre, origin);
                 let _ = reply.send(result.map_err(crate::error::MetaError::into_ldap));
             }
-
         }
     }
 }
@@ -214,13 +269,10 @@ fn descriptor_for(
     origin: &str,
 ) -> crate::error::Result<UpdateDescriptor> {
     let d = match op {
-        LtapOp::Add(e) => {
-            UpdateDescriptor::add(e.dn().to_string(), entry_to_image(e), origin)
-        }
+        LtapOp::Add(e) => UpdateDescriptor::add(e.dn().to_string(), entry_to_image(e), origin),
         LtapOp::Modify(dn, mods) => {
-            let pre = pre.ok_or_else(|| {
-                crate::error::MetaError::Ldap(LdapError::no_such_object(dn))
-            })?;
+            let pre =
+                pre.ok_or_else(|| crate::error::MetaError::Ldap(LdapError::no_such_object(dn)))?;
             let mut post = pre.clone();
             post.apply_modifications(mods)
                 .map_err(crate::error::MetaError::Ldap)?;
@@ -232,9 +284,8 @@ fn descriptor_for(
             )
         }
         LtapOp::Delete(dn) => {
-            let pre = pre.ok_or_else(|| {
-                crate::error::MetaError::Ldap(LdapError::no_such_object(dn))
-            })?;
+            let pre =
+                pre.ok_or_else(|| crate::error::MetaError::Ldap(LdapError::no_such_object(dn)))?;
             UpdateDescriptor::delete(dn.to_string(), entry_to_image(pre), origin)
         }
         LtapOp::ModifyRdn {
@@ -243,9 +294,8 @@ fn descriptor_for(
             delete_old,
             new_superior,
         } => {
-            let pre = pre.ok_or_else(|| {
-                crate::error::MetaError::Ldap(LdapError::no_such_object(dn))
-            })?;
+            let pre =
+                pre.ok_or_else(|| crate::error::MetaError::Ldap(LdapError::no_such_object(dn)))?;
             let mut post = pre.clone();
             if *delete_old {
                 if let Some(old_rdn) = dn.rdn() {
@@ -261,7 +311,9 @@ fn descriptor_for(
             }
             let new_dn = match new_superior {
                 Some(sup) => sup.child(new_rdn.clone()),
-                None => dn.with_rdn(new_rdn.clone()).map_err(crate::error::MetaError::Ldap)?,
+                None => dn
+                    .with_rdn(new_rdn.clone())
+                    .map_err(crate::error::MetaError::Ldap)?,
             };
             post.set_dn(new_dn);
             UpdateDescriptor::modify(
@@ -391,8 +443,27 @@ fn process_inner(
         return Err(e.into());
     }
     trace.derived_attrs = before_closure.changed_attrs(&d.new);
+    // The directory DN the entry will live at after this update — attached
+    // to journaled ops so device-generated info can still be folded back
+    // when they finally apply during a recovery drain.
+    let post_dn: Option<Dn> = match op {
+        LtapOp::Delete(_) => None,
+        LtapOp::ModifyRdn {
+            dn,
+            new_rdn,
+            new_superior,
+            ..
+        } => match new_superior {
+            Some(sup) => Some(sup.child(new_rdn.clone())),
+            None => dn.with_rdn(new_rdn.clone()).ok(),
+        },
+        other => Some(other.dn().clone()),
+    };
     // Fan out to every device filter; fold generated info back in.
     let mut undo: Vec<(Arc<dyn DeviceFilter>, TargetOp)> = Vec::new();
+    // Journal tickets issued for this update — withdrawn if it later aborts
+    // (the directory never sees the update, so reapplying would diverge).
+    let mut tickets: Vec<(Arc<DeviceRuntime>, u64)> = Vec::new();
     let mut failure: Option<crate::error::MetaError> = None;
     for f in &shared.filters {
         let top = match shared.engine.translate(&f.mapping_from_ldap(), &d) {
@@ -409,8 +480,29 @@ fn process_inner(
                 .push((f.name().to_string(), "Skip".into(), top.conditional, false));
             continue;
         }
-        match f.apply(&top) {
+        let runtime = shared.runtimes.get(f.name());
+        // Breaker open (or a drain in progress): store-and-forward. The op
+        // queues behind everything already journaled so the device sees
+        // updates in directory order once it reconnects.
+        if let Some(rt) = runtime {
+            if rt.should_journal() {
+                if let Some(t) = rt.journal(top.clone(), post_dn.clone()) {
+                    tickets.push((rt.clone(), t));
+                }
+                trace.device_ops.push((
+                    f.name().to_string(),
+                    format!("{:?} (queued)", top.kind),
+                    top.conditional,
+                    false,
+                ));
+                continue;
+            }
+        }
+        match apply_with_retry(f, &top, &shared.retry, &shared.stats) {
             Ok(outcome) => {
+                if let Some(rt) = runtime {
+                    rt.record_success();
+                }
                 shared.stats.device_ops.fetch_add(1, Ordering::Relaxed);
                 trace.device_ops.push((
                     f.name().to_string(),
@@ -440,13 +532,42 @@ fn process_inner(
                     undo.push((f.clone(), inverse_of(&top)));
                 }
             }
+            Err(e) if e.is_transient() => {
+                // The device never saw the op. Advance the breaker; if that
+                // (or an earlier trip) opened it, queue the op and let the
+                // update proceed — the directory stays authoritative.
+                if let Some(rt) = runtime {
+                    rt.record_failure(my_seq, &e);
+                    if rt.should_journal() {
+                        if let Some(t) = rt.journal(top.clone(), post_dn.clone()) {
+                            tickets.push((rt.clone(), t));
+                        }
+                        trace.device_ops.push((
+                            f.name().to_string(),
+                            format!("{:?} (queued)", top.kind),
+                            top.conditional,
+                            false,
+                        ));
+                        continue;
+                    }
+                }
+                failure = Some(e);
+                break;
+            }
             Err(e) => {
+                // Semantic rejection: the device is reachable and judged the
+                // op invalid — abort the update (§4.4), breaker untouched.
                 failure = Some(e);
                 break;
             }
         }
     }
     if let Some(e) = failure {
+        // Withdraw ops journaled on behalf of this update: it is aborting,
+        // so the directory will never reflect it.
+        for (rt, t) in &tickets {
+            rt.discard_tickets(&[*t]);
+        }
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         shared.errorlog.log(
             shared.inner.as_ref(),
@@ -507,6 +628,9 @@ fn process_inner(
             }),
     };
     if let Err(e) = ldap_result {
+        for (rt, t) in &tickets {
+            rt.discard_tickets(&[*t]);
+        }
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         shared.errorlog.log(
             shared.inner.as_ref(),
@@ -573,12 +697,7 @@ mod tests {
     fn descriptor_for_modify_builds_old_and_new_images() {
         let pre = person();
         let mods = vec![Modification::set("roomNumber", "9Z-999")];
-        let d = descriptor_for(
-            &LtapOp::Modify(pre.dn().clone(), mods),
-            Some(&pre),
-            "wba",
-        )
-        .unwrap();
+        let d = descriptor_for(&LtapOp::Modify(pre.dn().clone(), mods), Some(&pre), "wba").unwrap();
         assert_eq!(d.kind, UpdateKind::Modify);
         assert_eq!(d.old.first("roomNumber"), Some("2B-401"));
         assert_eq!(d.new.first("roomNumber"), Some("9Z-999"));
@@ -673,10 +792,7 @@ mod tests {
         let pre = person();
         let img = entry_to_image(&Entry::with_attrs(
             pre.dn().clone(),
-            [
-                ("definityExtension", "9123"),
-                ("mpMailbox", "9123"),
-            ],
+            [("definityExtension", "9123"), ("mpMailbox", "9123")],
         ));
         let mods = aux_class_mods(&pre, &img);
         assert_eq!(mods.len(), 2);

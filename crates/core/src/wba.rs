@@ -262,7 +262,10 @@ mod tests {
         // Second call must not try to re-add the class.
         w.set_extension("Plain Person", "9300").unwrap();
         assert_eq!(
-            w.person("Plain Person").unwrap().unwrap().first("definityExtension"),
+            w.person("Plain Person")
+                .unwrap()
+                .unwrap()
+                .first("definityExtension"),
             Some("9300")
         );
     }
@@ -292,8 +295,10 @@ mod tests {
     #[test]
     fn find_composes_filters() {
         let w = wba();
-        w.add_person_with_extension("John Doe", "Doe", "9100", "2B").unwrap();
-        w.add_person_with_extension("Pat Smith", "Smith", "9200", "2C").unwrap();
+        w.add_person_with_extension("John Doe", "Doe", "9100", "2B")
+            .unwrap();
+        w.add_person_with_extension("Pat Smith", "Smith", "9200", "2C")
+            .unwrap();
         let hits = w.find("(definityExtension=91*)").unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].first("cn"), Some("John Doe"));
@@ -343,7 +348,13 @@ mod location_tests {
 
         w.add_person("John Doe", "Doe").unwrap();
         let mh = w
-            .add_person_location("John Doe", "Doe", "Murray Hill", "+1 908 582 9123", "2B-401")
+            .add_person_location(
+                "John Doe",
+                "Doe",
+                "Murray Hill",
+                "+1 908 582 9123",
+                "2B-401",
+            )
             .unwrap();
         let wm = w
             .add_person_location("John Doe", "Doe", "Westminster", "+1 303 538 1000", "W-100")
@@ -354,10 +365,16 @@ mod location_tests {
         // phone with its own room — impossible with set-valued attributes.
         let all = w.person_locations("John Doe").unwrap();
         assert_eq!(all.len(), 3);
-        let mh_entry = all.iter().find(|e| e.first("l") == Some("Murray Hill")).unwrap();
+        let mh_entry = all
+            .iter()
+            .find(|e| e.first("l") == Some("Murray Hill"))
+            .unwrap();
         assert_eq!(mh_entry.first("telephoneNumber"), Some("+1 908 582 9123"));
         assert_eq!(mh_entry.first("roomNumber"), Some("2B-401"));
-        let wm_entry = all.iter().find(|e| e.first("l") == Some("Westminster")).unwrap();
+        let wm_entry = all
+            .iter()
+            .find(|e| e.first("l") == Some("Westminster"))
+            .unwrap();
         assert_eq!(wm_entry.first("telephoneNumber"), Some("+1 303 538 1000"));
 
         // Multi-AVA RDN is order-insensitive: both spellings address it.

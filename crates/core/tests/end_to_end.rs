@@ -94,11 +94,7 @@ fn ddu_station_add_materializes_in_directory() {
 #[test]
 fn ddu_console_mailbox_add_flows_to_directory_with_id() {
     let r = rig();
-    msgplat::admin::execute(
-        &r.mp,
-        r#"add subscriber 9333 name "Lu, Jill" cos standard"#,
-    )
-    .unwrap();
+    msgplat::admin::execute(&r.mp, r#"add subscriber 9333 name "Lu, Jill" cos standard"#).unwrap();
     r.system.settle();
     let wba = r.system.wba();
     let entry = wba.person("Jill Lu").unwrap().expect("materialized");
@@ -303,9 +299,7 @@ fn saga_undo_compensates_partial_failure() {
         .build()
         .unwrap();
     let wba = system.wba();
-    let mut entry = ldap::Entry::new(
-        Dn::parse("cn=John Doe,o=Lucent").unwrap(),
-    );
+    let mut entry = ldap::Entry::new(Dn::parse("cn=John Doe,o=Lucent").unwrap());
     for (k, v) in [
         ("objectClass", "top"),
         ("objectClass", "person"),
@@ -341,7 +335,11 @@ fn initial_load_synchronizes_preexisting_devices() {
     // Paper §4.4: synchronization populates the directory initially.
     let west = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("9", 4)));
     let mp = Arc::new(MpStore::new("mp"));
-    for (ext, name) in [("9100", "Doe, John"), ("9200", "Smith, Pat"), ("9300", "Lu, Jill")] {
+    for (ext, name) in [
+        ("9100", "Doe, John"),
+        ("9200", "Smith, Pat"),
+        ("9300", "Lu, Jill"),
+    ] {
         west.add(
             pbx::Record::from_pairs([("Extension", ext), ("Name", name), ("CoveragePath", "1")]),
             pbx::Channel::Metacomm, // pre-existing data, not DDUs
@@ -452,7 +450,10 @@ fn network_gateway_deployment_end_to_end() {
         .unwrap();
     r.system.settle();
     assert!(r.west.get("9777").is_none());
-    assert!(r.east.get("3777").is_some(), "migrated via closure + partition");
+    assert!(
+        r.east.get("3777").is_some(),
+        "migrated via closure + partition"
+    );
 }
 
 #[test]

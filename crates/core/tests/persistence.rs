@@ -9,10 +9,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 fn tmpdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "metacomm-persist-{name}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("metacomm-persist-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("mkdir");
     dir

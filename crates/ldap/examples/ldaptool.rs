@@ -23,8 +23,7 @@ fn main() {
     match args[1].as_str() {
         "search" if args.len() >= 3 => {
             let filter = Filter::parse(&args[2]).expect("filter");
-            let base = Dn::parse(args.get(3).map(String::as_str).unwrap_or(""))
-                .expect("base DN");
+            let base = Dn::parse(args.get(3).map(String::as_str).unwrap_or("")).expect("base DN");
             let attrs: Vec<String> = args.iter().skip(4).cloned().collect();
             let hits = dir
                 .search(&base, Scope::Sub, &filter, &attrs, 0)
@@ -55,7 +54,8 @@ fn main() {
             eprintln!("# applied {applied} change records");
         }
         "delete" if args.len() == 3 => {
-            dir.delete(&Dn::parse(&args[2]).expect("dn")).expect("delete");
+            dir.delete(&Dn::parse(&args[2]).expect("dn"))
+                .expect("delete");
             eprintln!("# deleted {}", args[2]);
         }
         "compare" if args.len() == 5 => {

@@ -36,7 +36,10 @@ fn main() {
     }
     let server = Server::start(dit, &addr).expect("bind");
     eprintln!("ldap server listening on {}", server.addr());
-    eprintln!("try: cargo run -p ldap --example ldaptool -- {} search '(objectClass=person)'", server.addr());
+    eprintln!(
+        "try: cargo run -p ldap --example ldaptool -- {} search '(objectClass=person)'",
+        server.addr()
+    );
     loop {
         std::thread::park();
     }

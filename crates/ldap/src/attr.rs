@@ -178,14 +178,21 @@ mod tests {
 
     #[test]
     fn name_case_insensitive() {
-        assert_eq!(AttrName::new("telephoneNumber"), AttrName::new("TELEPHONENUMBER"));
+        assert_eq!(
+            AttrName::new("telephoneNumber"),
+            AttrName::new("TELEPHONENUMBER")
+        );
         assert_eq!(AttrName::new("cn").norm(), "cn");
         assert_eq!(AttrName::new("CN").as_str(), "CN");
     }
 
     #[test]
     fn name_ordering_is_normalized() {
-        let mut names = [AttrName::new("SN"), AttrName::new("cn"), AttrName::new("OU")];
+        let mut names = [
+            AttrName::new("SN"),
+            AttrName::new("cn"),
+            AttrName::new("OU"),
+        ];
         names.sort();
         let order: Vec<&str> = names.iter().map(|n| n.norm()).collect();
         assert_eq!(order, vec!["cn", "ou", "sn"]);

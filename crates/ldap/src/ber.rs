@@ -88,8 +88,8 @@ impl Writer {
         while bytes.len() > 1 {
             let first = bytes[0];
             let second = bytes[1];
-            let redundant = (first == 0x00 && second & 0x80 == 0)
-                || (first == 0xFF && second & 0x80 != 0);
+            let redundant =
+                (first == 0x00 && second & 0x80 == 0) || (first == 0xFF && second & 0x80 != 0);
             if redundant {
                 bytes.remove(0);
             } else {
@@ -224,8 +224,7 @@ impl<'a> Reader<'a> {
 
     pub fn string(&mut self) -> Result<String> {
         let body = self.octet_string()?;
-        String::from_utf8(body.to_vec())
-            .map_err(|_| LdapError::protocol("non-UTF-8 LDAPString"))
+        String::from_utf8(body.to_vec()).map_err(|_| LdapError::protocol("non-UTF-8 LDAPString"))
     }
 
     /// Read a constructed value and return a reader over its body.
@@ -264,7 +263,20 @@ mod tests {
 
     #[test]
     fn integer_round_trips() {
-        for v in [0, 1, -1, 127, 128, 255, 256, -128, -129, 65535, i64::MAX, i64::MIN] {
+        for v in [
+            0,
+            1,
+            -1,
+            127,
+            128,
+            255,
+            256,
+            -128,
+            -129,
+            65535,
+            i64::MAX,
+            i64::MIN,
+        ] {
             round_trip_int(v);
         }
     }

@@ -7,9 +7,7 @@ use crate::dn::{Dn, Rdn};
 use crate::entry::{Entry, Modification};
 use crate::error::{LdapError, Result, ResultCode};
 use crate::filter::Filter;
-use crate::proto::{
-    entry_from_wire, entry_to_wire, read_frame, LdapMessage, ProtocolOp,
-};
+use crate::proto::{entry_from_wire, entry_to_wire, read_frame, LdapMessage, ProtocolOp};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::net::TcpStream;

@@ -137,7 +137,10 @@ mod tests {
         let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
         let e = dir.get(&john).unwrap().unwrap();
         assert_eq!(e.first("sn"), Some("Doe"));
-        assert_eq!(dir.get(&Dn::parse("cn=ghost,o=Lucent").unwrap()).unwrap(), None);
+        assert_eq!(
+            dir.get(&Dn::parse("cn=ghost,o=Lucent").unwrap()).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -575,15 +575,21 @@ mod tests {
         let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
         dit.delete(&john).unwrap();
         assert!(!dit.exists(&john));
-        assert_eq!(dit.delete(&john).unwrap_err().code, ResultCode::NoSuchObject);
+        assert_eq!(
+            dit.delete(&john).unwrap_err().code,
+            ResultCode::NoSuchObject
+        );
     }
 
     #[test]
     fn modify_updates_entry() {
         let dit = tree();
         let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
-        dit.modify(&john, &[Modification::set("telephoneNumber", "+1 908 582 9123")])
-            .unwrap();
+        dit.modify(
+            &john,
+            &[Modification::set("telephoneNumber", "+1 908 582 9123")],
+        )
+        .unwrap();
         assert_eq!(
             dit.get(&john).unwrap().first("telephoneNumber"),
             Some("+1 908 582 9123")
@@ -667,12 +673,25 @@ mod tests {
         let dit = tree();
         let lucent = Dn::parse("o=Lucent").unwrap();
         let all = Filter::match_all();
-        assert_eq!(dit.search(&lucent, Scope::Base, &all, &[], 0).unwrap().len(), 1);
-        assert_eq!(dit.search(&lucent, Scope::One, &all, &[], 0).unwrap().len(), 4);
-        assert_eq!(dit.search(&lucent, Scope::Sub, &all, &[], 0).unwrap().len(), 9);
+        assert_eq!(
+            dit.search(&lucent, Scope::Base, &all, &[], 0)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            dit.search(&lucent, Scope::One, &all, &[], 0).unwrap().len(),
+            4
+        );
+        assert_eq!(
+            dit.search(&lucent, Scope::Sub, &all, &[], 0).unwrap().len(),
+            9
+        );
         // root-based search sees everything
         assert_eq!(
-            dit.search(&Dn::root(), Scope::Sub, &all, &[], 0).unwrap().len(),
+            dit.search(&Dn::root(), Scope::Sub, &all, &[], 0)
+                .unwrap()
+                .len(),
             9
         );
     }
@@ -771,7 +790,11 @@ mod tests {
         // Missing sn → rejected
         let bad = Entry::with_attrs(
             Dn::parse("cn=X,o=Lucent").unwrap(),
-            [("objectClass", "top"), ("objectClass", "person"), ("cn", "X")],
+            [
+                ("objectClass", "top"),
+                ("objectClass", "person"),
+                ("cn", "X"),
+            ],
         );
         assert_eq!(
             dit.add(bad).unwrap_err().code,

@@ -162,11 +162,7 @@ impl Rdn {
 impl PartialEq for Rdn {
     fn eq(&self, other: &Self) -> bool {
         self.avas.len() == other.avas.len()
-            && self
-                .avas
-                .iter()
-                .zip(&other.avas)
-                .all(|(a, b)| a.matches(b))
+            && self.avas.iter().zip(&other.avas).all(|(a, b)| a.matches(b))
     }
 }
 
@@ -261,17 +257,14 @@ impl Dn {
                             escaped_end = value.len();
                         }
                         Some(h1) if h1.is_ascii_hexdigit() => {
-                            let h2 = chars.next().ok_or_else(|| {
-                                LdapError::invalid_dn("truncated hex escape")
-                            })?;
+                            let h2 = chars
+                                .next()
+                                .ok_or_else(|| LdapError::invalid_dn("truncated hex escape"))?;
                             if !h2.is_ascii_hexdigit() {
                                 return Err(LdapError::invalid_dn("bad hex escape"));
                             }
-                            let byte = u8::from_str_radix(
-                                &format!("{h1}{h2}"),
-                                16,
-                            )
-                            .expect("checked hex digits");
+                            let byte = u8::from_str_radix(&format!("{h1}{h2}"), 16)
+                                .expect("checked hex digits");
                             value.push(byte as char);
                             escaped_end = value.len();
                         }
@@ -280,9 +273,7 @@ impl Dn {
                                 "invalid escape `\\{other}`"
                             )))
                         }
-                        None => {
-                            return Err(LdapError::invalid_dn("trailing backslash"))
-                        }
+                        None => return Err(LdapError::invalid_dn("trailing backslash")),
                     },
                     ',' | ';' | '+' => {
                         terminator = Some(if c == ';' { ',' } else { c });
@@ -419,7 +410,10 @@ impl std::str::FromStr for Dn {
 }
 
 fn is_special(c: char) -> bool {
-    matches!(c, ',' | '+' | '"' | '\\' | '<' | '>' | ';' | '=' | '#' | ' ')
+    matches!(
+        c,
+        ',' | '+' | '"' | '\\' | '<' | '>' | ';' | '=' | '#' | ' '
+    )
 }
 
 /// Escape a value for RFC 2253 output.
@@ -519,10 +513,7 @@ mod tests {
         assert!(!root.is_within(&child));
         assert!(grandchild.is_within(&grandchild));
         assert_eq!(grandchild.parent().unwrap(), child);
-        assert_eq!(
-            root.child(Rdn::new("o", "Marketing")),
-            child
-        );
+        assert_eq!(root.child(Rdn::new("o", "Marketing")), child);
     }
 
     #[test]
@@ -560,7 +551,15 @@ mod tests {
 
     #[test]
     fn escape_value_round_trip() {
-        for v in ["plain", "a,b", "a+b", " leading", "trailing ", "#hash", r"back\slash"] {
+        for v in [
+            "plain",
+            "a,b",
+            "a+b",
+            " leading",
+            "trailing ",
+            "#hash",
+            r"back\slash",
+        ] {
             let dn = Dn::root().child(Rdn::new("cn", v));
             let parsed = Dn::parse(&dn.to_string()).unwrap();
             assert_eq!(parsed.rdn().unwrap().first().value(), v, "value {v:?}");

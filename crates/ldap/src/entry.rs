@@ -101,7 +101,8 @@ impl Entry {
         if values.is_empty() {
             self.attrs.remove(name.norm());
         } else {
-            self.attrs.insert(name.clone(), Attribute::new(name, values));
+            self.attrs
+                .insert(name.clone(), Attribute::new(name, values));
         }
     }
 
@@ -368,9 +369,11 @@ mod tests {
     #[test]
     fn modify_replace_and_remove_by_empty_replace() {
         let mut e = person();
-        e.apply_modifications(&[Modification::set("sn", "Smith")]).unwrap();
+        e.apply_modifications(&[Modification::set("sn", "Smith")])
+            .unwrap();
         assert_eq!(e.first("sn"), Some("Smith"));
-        e.apply_modifications(&[Modification::replace("sn", vec![])]).unwrap();
+        e.apply_modifications(&[Modification::replace("sn", vec![])])
+            .unwrap();
         assert!(!e.has_attr("sn"));
     }
 

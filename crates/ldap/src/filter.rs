@@ -64,10 +64,9 @@ impl Filter {
             Filter::And(fs) => fs.iter().all(|f| f.matches(entry)),
             Filter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
             Filter::Not(f) => !f.matches(entry),
-            Filter::Equality(attr, value) => entry
-                .values(attr)
-                .iter()
-                .any(|v| value_eq_ci(v, value)),
+            Filter::Equality(attr, value) => {
+                entry.values(attr).iter().any(|v| value_eq_ci(v, value))
+            }
             Filter::Substring {
                 attr,
                 initial,
@@ -86,10 +85,7 @@ impl Filter {
                 .iter()
                 .any(|v| ordering_cmp(v, value) != std::cmp::Ordering::Greater),
             Filter::Present(attr) => entry.has_attr(attr),
-            Filter::Approx(attr, value) => entry
-                .values(attr)
-                .iter()
-                .any(|v| approx_eq(v, value)),
+            Filter::Approx(attr, value) => entry.values(attr).iter().any(|v| approx_eq(v, value)),
         }
     }
 }
@@ -270,8 +266,7 @@ impl<'a> Parser<'a> {
                         (Some((_, a)), Some((_, b)))
                             if a.is_ascii_hexdigit() && b.is_ascii_hexdigit() =>
                         {
-                            let byte =
-                                u8::from_str_radix(&format!("{a}{b}"), 16).expect("hex");
+                            let byte = u8::from_str_radix(&format!("{a}{b}"), 16).expect("hex");
                             parts.last_mut().unwrap().push(byte as char);
                         }
                         _ => return Err(LdapError::protocol("bad filter escape")),
@@ -415,9 +410,14 @@ mod tests {
 
     #[test]
     fn presence() {
-        assert!(Filter::parse("(telephoneNumber=*)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(telephoneNumber=*)")
+            .unwrap()
+            .matches(&entry()));
         assert!(!Filter::parse("(mail=*)").unwrap().matches(&entry()));
-        assert_eq!(Filter::parse("(cn=*)").unwrap(), Filter::Present("cn".into()));
+        assert_eq!(
+            Filter::parse("(cn=*)").unwrap(),
+            Filter::Present("cn".into())
+        );
     }
 
     #[test]
@@ -445,9 +445,15 @@ mod tests {
 
     #[test]
     fn numeric_ordering() {
-        assert!(Filter::parse("(definityExtension>=9000)").unwrap().matches(&entry()));
-        assert!(Filter::parse("(definityExtension<=9123)").unwrap().matches(&entry()));
-        assert!(!Filter::parse("(definityExtension>=9124)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(definityExtension>=9000)")
+            .unwrap()
+            .matches(&entry()));
+        assert!(Filter::parse("(definityExtension<=9123)")
+            .unwrap()
+            .matches(&entry()));
+        assert!(!Filter::parse("(definityExtension>=9124)")
+            .unwrap()
+            .matches(&entry()));
     }
 
     #[test]
@@ -459,7 +465,9 @@ mod tests {
     #[test]
     fn approx() {
         assert!(Filter::parse("(cn~=JOHN-DOE)").unwrap().matches(&entry()));
-        assert!(Filter::parse("(cn~=j.o.h.n doe)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(cn~=j.o.h.n doe)")
+            .unwrap()
+            .matches(&entry()));
         assert!(!Filter::parse("(cn~=jon doe)").unwrap().matches(&entry()));
     }
 

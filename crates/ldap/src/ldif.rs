@@ -138,16 +138,15 @@ fn parse_block(block: &[(String, String)]) -> Result<Record> {
                     "delete" => ModOp::Delete,
                     "replace" => ModOp::Replace,
                     other => {
-                        return Err(LdapError::protocol(format!(
-                            "unknown modify op `{other}`"
-                        )))
+                        return Err(LdapError::protocol(format!("unknown modify op `{other}`")))
                     }
                 };
                 i += 1;
                 let mut values = Vec::new();
                 while i < items.len() {
                     let (k, v) = items[i];
-                    if k == "-" || k.eq_ignore_ascii_case("add")
+                    if k == "-"
+                        || k.eq_ignore_ascii_case("add")
                         || k.eq_ignore_ascii_case("delete")
                         || k.eq_ignore_ascii_case("replace")
                     {
@@ -179,9 +178,10 @@ fn parse_block(block: &[(String, String)]) -> Result<Record> {
                     .find(|(k, _)| k.eq_ignore_ascii_case(key))
                     .map(|(_, v)| v.clone())
             };
-            let new_rdn = Rdn::parse(&find("newrdn").ok_or_else(|| {
-                LdapError::protocol("modrdn record missing newrdn")
-            })?)?;
+            let new_rdn = Rdn::parse(
+                &find("newrdn")
+                    .ok_or_else(|| LdapError::protocol("modrdn record missing newrdn"))?,
+            )?;
             let delete_old = find("deleteoldrdn")
                 .map(|v| v.trim() == "1" || v.eq_ignore_ascii_case("true"))
                 .unwrap_or(false);
@@ -196,9 +196,7 @@ fn parse_block(block: &[(String, String)]) -> Result<Record> {
                 new_superior,
             })
         }
-        Some(other) => Err(LdapError::protocol(format!(
-            "unknown changetype `{other}`"
-        ))),
+        Some(other) => Err(LdapError::protocol(format!("unknown changetype `{other}`"))),
     }
 }
 
@@ -250,8 +248,7 @@ pub fn change_to_ldif(record: &Record) -> String {
             writeln!(out, "dn: {dn}").expect("write");
             writeln!(out, "changetype: modrdn").expect("write");
             writeln!(out, "newrdn: {new_rdn}").expect("write");
-            writeln!(out, "deleteoldrdn: {}", if *delete_old { 1 } else { 0 })
-                .expect("write");
+            writeln!(out, "deleteoldrdn: {}", if *delete_old { 1 } else { 0 }).expect("write");
             if let Some(sup) = new_superior {
                 writeln!(out, "newsuperior: {sup}").expect("write");
             }
@@ -332,10 +329,7 @@ pub fn b64_encode(data: &[u8]) -> String {
 /// Minimal base64 decode; `None` on malformed input.
 pub fn b64_decode(s: &str) -> Option<Vec<u8>> {
     let mut out = Vec::with_capacity(s.len() / 4 * 3);
-    let vals: Vec<u8> = s
-        .bytes()
-        .filter(|b| !b.is_ascii_whitespace())
-        .collect();
+    let vals: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
     if !vals.len().is_multiple_of(4) {
         return None;
     }

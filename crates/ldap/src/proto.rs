@@ -207,48 +207,44 @@ fn encode_op(w: &mut Writer, op: &ProtocolOp) {
             })
         }
         ProtocolOp::SearchResultDone(r) => encode_result(w, OP_SEARCH_DONE, r),
-        ProtocolOp::ModifyRequest { dn, mods } => {
-            w.constructed(ber::app(OP_MODIFY_REQ), |w| {
-                w.str(dn);
-                w.sequence(|w| {
-                    for m in mods {
-                        w.sequence(|w| {
-                            w.enumerated(match m.op {
-                                ModOp::Add => 0,
-                                ModOp::Delete => 1,
-                                ModOp::Replace => 2,
-                            });
-                            w.sequence(|w| {
-                                w.str(m.attr.as_str());
-                                w.set(|w| {
-                                    for v in &m.values {
-                                        w.str(v);
-                                    }
-                                });
-                            });
+        ProtocolOp::ModifyRequest { dn, mods } => w.constructed(ber::app(OP_MODIFY_REQ), |w| {
+            w.str(dn);
+            w.sequence(|w| {
+                for m in mods {
+                    w.sequence(|w| {
+                        w.enumerated(match m.op {
+                            ModOp::Add => 0,
+                            ModOp::Delete => 1,
+                            ModOp::Replace => 2,
                         });
-                    }
-                });
-            })
-        }
-        ProtocolOp::ModifyResponse(r) => encode_result(w, OP_MODIFY_RESP, r),
-        ProtocolOp::AddRequest { dn, attrs } => {
-            w.constructed(ber::app(OP_ADD_REQ), |w| {
-                w.str(dn);
-                w.sequence(|w| {
-                    for (name, values) in attrs {
                         w.sequence(|w| {
-                            w.str(name);
+                            w.str(m.attr.as_str());
                             w.set(|w| {
-                                for v in values {
+                                for v in &m.values {
                                     w.str(v);
                                 }
                             });
                         });
-                    }
-                });
-            })
-        }
+                    });
+                }
+            });
+        }),
+        ProtocolOp::ModifyResponse(r) => encode_result(w, OP_MODIFY_RESP, r),
+        ProtocolOp::AddRequest { dn, attrs } => w.constructed(ber::app(OP_ADD_REQ), |w| {
+            w.str(dn);
+            w.sequence(|w| {
+                for (name, values) in attrs {
+                    w.sequence(|w| {
+                        w.str(name);
+                        w.set(|w| {
+                            for v in values {
+                                w.str(v);
+                            }
+                        });
+                    });
+                }
+            });
+        }),
         ProtocolOp::AddResponse(r) => encode_result(w, OP_ADD_RESP, r),
         ProtocolOp::DelRequest { dn } => {
             w.octet_string_tagged(ber::app_prim(OP_DEL_REQ), dn.as_bytes());
@@ -318,10 +314,8 @@ fn decode_op(r: &mut Reader) -> Result<ProtocolOp> {
             let version = b.integer()?;
             let dn = b.string()?;
             let password = match b.peek_tag() {
-                Some(t) if t == ber::ctx_prim(0) => {
-                    String::from_utf8(b.expect(t)?.to_vec())
-                        .map_err(|_| LdapError::protocol("non-UTF-8 password"))?
-                }
+                Some(t) if t == ber::ctx_prim(0) => String::from_utf8(b.expect(t)?.to_vec())
+                    .map_err(|_| LdapError::protocol("non-UTF-8 password"))?,
                 _ => String::new(),
             };
             Ok(ProtocolOp::BindRequest {
@@ -369,9 +363,7 @@ fn decode_op(r: &mut Reader) -> Result<ProtocolOp> {
                     0 => ModOp::Add,
                     1 => ModOp::Delete,
                     2 => ModOp::Replace,
-                    other => {
-                        return Err(LdapError::protocol(format!("bad mod op {other}")))
-                    }
+                    other => return Err(LdapError::protocol(format!("bad mod op {other}"))),
                 };
                 let mut ava = item.sequence()?;
                 let attr = ava.string()?;
@@ -654,8 +646,10 @@ mod tests {
             base: "o=Lucent".into(),
             scope: Scope::Sub,
             size_limit: 100,
-            filter: Filter::parse("(&(objectClass=person)(|(cn=J*n)(sn>=A))(!(mail=*))(cn~=jd)(x<=9))")
-                .unwrap(),
+            filter: Filter::parse(
+                "(&(objectClass=person)(|(cn=J*n)(sn>=A))(!(mail=*))(cn~=jd)(x<=9))",
+            )
+            .unwrap(),
             attrs: vec!["cn".into(), "sn".into()],
         });
         round_trip(ProtocolOp::SearchResultEntry {

@@ -124,8 +124,7 @@ impl Replica {
         let key = dn.norm_key();
         match s.entries.get_mut(&key) {
             Some(e) if e.is_visible() => {
-                e.attrs
-                    .insert(attr.name.norm().to_string(), (attr, stamp));
+                e.attrs.insert(attr.name.norm().to_string(), (attr, stamp));
                 Ok(())
             }
             _ => Err(LdapError::no_such_object(dn)),
@@ -162,7 +161,12 @@ impl Replica {
 
     /// Number of visible entries.
     pub fn len(&self) -> usize {
-        self.state.lock().entries.values().filter(|e| e.is_visible()).count()
+        self.state
+            .lock()
+            .entries
+            .values()
+            .filter(|e| e.is_visible())
+            .count()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -318,10 +322,7 @@ mod tests {
         a.sync_with(&b);
         assert_eq!(a.digest(), b.digest(), "replicas must converge");
         // Winner is deterministic: equal times tie-break on replica id "b" > "a".
-        assert_eq!(
-            a.get(&dn).unwrap().first("telephoneNumber"),
-            Some("from-b")
-        );
+        assert_eq!(a.get(&dn).unwrap().first("telephoneNumber"), Some("from-b"));
     }
 
     #[test]
@@ -331,8 +332,10 @@ mod tests {
         a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
         a.sync_with(&b);
         let dn = Dn::parse("cn=J,o=L").unwrap();
-        a.set_attr(&dn, Attribute::single("mail", "j@l.com")).unwrap();
-        b.set_attr(&dn, Attribute::single("roomNumber", "2B-401")).unwrap();
+        a.set_attr(&dn, Attribute::single("mail", "j@l.com"))
+            .unwrap();
+        b.set_attr(&dn, Attribute::single("roomNumber", "2B-401"))
+            .unwrap();
         a.sync_with(&b);
         let merged = a.get(&dn).unwrap();
         assert_eq!(merged.first("mail"), Some("j@l.com"));
@@ -368,8 +371,10 @@ mod tests {
         b.sync_with(&c);
         let dn_j = Dn::parse("cn=J,o=L").unwrap();
         let dn_k = Dn::parse("cn=K,o=L").unwrap();
-        a.set_attr(&dn_j, Attribute::single("telephoneNumber", "11")).unwrap();
-        b.set_attr(&dn_k, Attribute::single("telephoneNumber", "22")).unwrap();
+        a.set_attr(&dn_j, Attribute::single("telephoneNumber", "11"))
+            .unwrap();
+        b.set_attr(&dn_k, Attribute::single("telephoneNumber", "22"))
+            .unwrap();
         c.delete_entry(&dn_j).unwrap();
         // Chain topology: a<->b, b<->c, a<->b again.
         a.sync_with(&b);
@@ -398,7 +403,8 @@ mod tests {
         let dn = Dn::parse("cn=J,o=L").unwrap();
         a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
         let s1 = a.attr_stamp(&dn, "telephoneNumber").unwrap();
-        a.set_attr(&dn, Attribute::single("telephoneNumber", "2")).unwrap();
+        a.set_attr(&dn, Attribute::single("telephoneNumber", "2"))
+            .unwrap();
         let s2 = a.attr_stamp(&dn, "telephoneNumber").unwrap();
         assert!(s2 > s1);
     }

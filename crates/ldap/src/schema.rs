@@ -38,9 +38,9 @@ impl Syntax {
             Syntax::DirectoryString => true,
             Syntax::TelephoneNumber => {
                 !value.trim().is_empty()
-                    && value
-                        .chars()
-                        .all(|c| c.is_ascii_digit() || matches!(c, '+' | ' ' | '-' | '(' | ')' | '.'))
+                    && value.chars().all(|c| {
+                        c.is_ascii_digit() || matches!(c, '+' | ' ' | '-' | '(' | ')' | '.')
+                    })
             }
             Syntax::Integer => {
                 let v = value.trim();
@@ -386,10 +386,7 @@ impl Schema {
                     format!("unknown attribute type `{}`", attr.name),
                 )
             })?;
-            if self.strict
-                && !allowed.contains(norm)
-                && !self.operational.contains(norm)
-            {
+            if self.strict && !allowed.contains(norm) && !self.operational.contains(norm) {
                 return Err(LdapError::new(
                     ResultCode::ObjectClassViolation,
                     format!(
@@ -596,7 +593,8 @@ mod tests {
     #[test]
     fn single_valued_enforced() {
         let mut s = Schema::x500_core();
-        s.add_attribute(AttributeType::string("mbid").single()).unwrap();
+        s.add_attribute(AttributeType::string("mbid").single())
+            .unwrap();
         s.add_class(ObjectClass {
             name: "mbAux".into(),
             kind: ClassKind::Auxiliary,
@@ -633,10 +631,7 @@ mod tests {
     #[test]
     fn permissive_schema_accepts_anything() {
         let s = Schema::permissive();
-        let e = Entry::with_attrs(
-            Dn::parse("x=y").unwrap(),
-            [("whatever", "value")],
-        );
+        let e = Entry::with_attrs(Dn::parse("x=y").unwrap(), [("whatever", "value")]);
         s.validate_entry(&e).unwrap();
     }
 

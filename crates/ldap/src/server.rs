@@ -11,8 +11,7 @@ use crate::dn::Dn;
 use crate::error::{LdapError, Result, ResultCode};
 use crate::filter::Filter;
 use crate::proto::{
-    entry_from_wire, entry_to_wire, parse_rdn, read_frame, LdapMessage, LdapResult,
-    ProtocolOp,
+    entry_from_wire, entry_to_wire, parse_rdn, read_frame, LdapMessage, LdapResult, ProtocolOp,
 };
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
@@ -220,9 +219,8 @@ fn search_responses(
     filter: &Filter,
     attrs: &[String],
 ) -> Vec<ProtocolOp> {
-    let result = Dn::parse(base).and_then(|b| {
-        dir.search(&b, scope, filter, attrs, size_limit.max(0) as usize)
-    });
+    let result = Dn::parse(base)
+        .and_then(|b| dir.search(&b, scope, filter, attrs, size_limit.max(0) as usize));
     match result {
         Ok(entries) => {
             let mut out: Vec<ProtocolOp> = entries

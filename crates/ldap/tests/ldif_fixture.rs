@@ -75,9 +75,9 @@ fn fixture_matches_programmatic_builder() {
     figure2_tree(&built).unwrap();
     assert_eq!(from_ldif.len(), built.len());
     for e in built.export() {
-        let other = from_ldif.get(e.dn()).unwrap_or_else(|| {
-            panic!("fixture missing {}", e.dn())
-        });
+        let other = from_ldif
+            .get(e.dn())
+            .unwrap_or_else(|| panic!("fixture missing {}", e.dn()));
         assert_eq!(other, e, "entry {} differs", e.dn());
     }
 }

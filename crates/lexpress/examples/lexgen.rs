@@ -17,9 +17,7 @@ use lexpress::{library, Closure, Engine};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let src = match args.first().map(String::as_str) {
-        Some("pbx") if args.len() == 4 => {
-            library::pbx_mappings(&args[1], &args[2], &args[3])
-        }
+        Some("pbx") if args.len() == 4 => library::pbx_mappings(&args[1], &args[2], &args[3]),
         Some("msgplat") if args.len() == 4 => {
             library::msgplat_mappings(&args[1], &args[2], &args[3])
         }

@@ -71,7 +71,10 @@ pub enum Expr {
     /// `a || b` — alternate mapping.
     OrElse(Box<Expr>, Box<Expr>),
     /// Function or transform call.
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `match scrutinee { pat => expr; … ; _ => expr; }`
     Match {
         scrutinee: Box<Expr>,

@@ -147,7 +147,10 @@ impl Bundle {
 
     /// Mappings whose source repository is `source`.
     pub fn mappings_from(&self, source: &str) -> Vec<&CompiledMapping> {
-        self.mappings.iter().filter(|m| m.source == source).collect()
+        self.mappings
+            .iter()
+            .filter(|m| m.source == source)
+            .collect()
     }
 
     /// Merge another bundle into this one (dynamic loading into a running

@@ -141,10 +141,8 @@ impl Closure {
         seed_dirty: &[String],
         max_passes: usize,
     ) -> Result<(), RuntimeError> {
-        let mut dirty: std::collections::BTreeSet<String> = seed_dirty
-            .iter()
-            .map(|s| s.to_ascii_lowercase())
-            .collect();
+        let mut dirty: std::collections::BTreeSet<String> =
+            seed_dirty.iter().map(|s| s.to_ascii_lowercase()).collect();
         for _pass in 0..max_passes {
             let mut changed = false;
             for rule in &self.rules {
@@ -335,7 +333,10 @@ mapping bad {
 }
 "#;
         let err = Closure::from_source(src).unwrap_err();
-        assert!(matches!(err, CompileError::NonConvergentCycle { .. }), "{err}");
+        assert!(
+            matches!(err, CompileError::NonConvergentCycle { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -367,7 +368,10 @@ mapping tricky {
         new.set("c", vec!["T0".into()]);
         let mut d = UpdateDescriptor::modify("k", old, new, "wba");
         let err = c.augment(&mut d).unwrap_err();
-        assert!(matches!(err, RuntimeError::FixpointNotReached { .. }), "{err:?}");
+        assert!(
+            matches!(err, RuntimeError::FixpointNotReached { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! `match` desugars into test/branch chains.
 
 use crate::ast::{Expr, File, MappingDef, Pattern, TransformDef};
-use crate::bytecode::{
-    Bundle, CompiledMapping, CompiledRule, CompiledTable, Instr, Program,
-};
+use crate::bytecode::{Bundle, CompiledMapping, CompiledRule, CompiledTable, Instr, Program};
 use crate::error::CompileError;
 use crate::parser::parse;
 use std::collections::BTreeMap;
@@ -132,11 +130,7 @@ fn compile_mapping(ctx: &Ctx, m: &MappingDef) -> Result<CompiledMapping, Compile
 }
 
 /// Replace transform calls with their bodies (param substituted).
-fn inline_transforms(
-    ctx: &Ctx,
-    e: &Expr,
-    stack: &mut Vec<String>,
-) -> Result<Expr, CompileError> {
+fn inline_transforms(ctx: &Ctx, e: &Expr, stack: &mut Vec<String>) -> Result<Expr, CompileError> {
     Ok(match e {
         Expr::Lit(_) | Expr::Int(_) | Expr::Attr(_) => e.clone(),
         Expr::OrElse(a, b) => Expr::OrElse(
@@ -460,7 +454,8 @@ mapping m {
 
     #[test]
     fn unknown_function_rejected() {
-        let src = "mapping m { source a; target b; key source K; key target T; map K -> T : frob(K); }";
+        let src =
+            "mapping m { source a; target b; key source K; key target T; map K -> T : frob(K); }";
         let err = compile(src).unwrap_err();
         assert!(err.to_string().contains("frob"));
     }
@@ -480,7 +475,8 @@ mapping m {
 
     #[test]
     fn arity_checked() {
-        let src = "mapping m { source a; target b; key source K; key target T; map K -> T : substr(K); }";
+        let src =
+            "mapping m { source a; target b; key source K; key target T; map K -> T : substr(K); }";
         assert!(compile(src).is_err());
     }
 

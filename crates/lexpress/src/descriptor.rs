@@ -77,16 +77,12 @@ impl Image {
     }
 
     pub fn remove(&mut self, name: &str) -> Option<Vec<String>> {
-        self.map
-            .remove(&name.to_ascii_lowercase())
-            .map(|(_, v)| v)
+        self.map.remove(&name.to_ascii_lowercase()).map(|(_, v)| v)
     }
 
     /// Iterate `(display-name, values)` in normalized order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[String])> {
-        self.map
-            .values()
-            .map(|(n, v)| (n.as_str(), v.as_slice()))
+        self.map.values().map(|(n, v)| (n.as_str(), v.as_slice()))
     }
 
     /// lexpress [`Value`] view of an attribute.

@@ -80,7 +80,11 @@ pub fn describe_mapping(m: &CompiledMapping) -> String {
             "  rule {i}: [{}] -> {}{}{}",
             rule.inputs.join(", "),
             rule.target,
-            if rule.guard.is_some() { " when <guard>" } else { "" },
+            if rule.guard.is_some() {
+                " when <guard>"
+            } else {
+                ""
+            },
             rule.default
                 .as_ref()
                 .map(|d| format!(" default {d:?}"))
@@ -166,7 +170,9 @@ mapping m {
         }"#;
         let bundle = compile(src).unwrap();
         let text = disassemble(&bundle.mapping("d").unwrap().rules[0].prog);
-        for needle in ["match", "jf", "jmp", "join", "select", "pad-left", "before", "after"] {
+        for needle in [
+            "match", "jf", "jmp", "join", "select", "pad-left", "before", "after",
+        ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
         // Line numbers are sequential from 0.

@@ -359,13 +359,19 @@ mapping ldap_to_pbx_west {
         ]);
         // old out, new in → ADD
         let d = UpdateDescriptor::modify("cn=J", out_of_range.clone(), in_range.clone(), "wba");
-        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Add);
+        assert_eq!(
+            e.translate("ldap_to_pbx_west", &d).unwrap().kind,
+            OpKind::Add
+        );
         // old in, new in → MODIFY
         let mut renumbered = in_range.clone();
         renumbered.set("telephoneNumber", vec!["+1 908 582 9200".into()]);
         renumbered.set("definityExtension", vec!["9200".into()]);
         let d = UpdateDescriptor::modify("cn=J", in_range.clone(), renumbered, "wba");
-        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Modify);
+        assert_eq!(
+            e.translate("ldap_to_pbx_west", &d).unwrap().kind,
+            OpKind::Modify
+        );
         // old in, new out → DELETE
         let d = UpdateDescriptor::modify("cn=J", in_range.clone(), out_of_range.clone(), "wba");
         let op = e.translate("ldap_to_pbx_west", &d).unwrap();
@@ -376,7 +382,10 @@ mapping ldap_to_pbx_west {
         other.set("telephoneNumber", vec!["+1 908 582 3999".into()]);
         other.set("definityExtension", vec!["3999".into()]);
         let d = UpdateDescriptor::modify("cn=J", out_of_range, other, "wba");
-        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Skip);
+        assert_eq!(
+            e.translate("ldap_to_pbx_west", &d).unwrap().kind,
+            OpKind::Skip
+        );
     }
 
     #[test]
@@ -388,9 +397,15 @@ mapping ldap_to_pbx_west {
             ("cn", "J"),
         ]);
         let d = UpdateDescriptor::add("cn=J", out_of_range.clone(), "wba");
-        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Skip);
+        assert_eq!(
+            e.translate("ldap_to_pbx_west", &d).unwrap().kind,
+            OpKind::Skip
+        );
         let d = UpdateDescriptor::delete("cn=J", out_of_range, "wba");
-        assert_eq!(e.translate("ldap_to_pbx_west", &d).unwrap().kind, OpKind::Skip);
+        assert_eq!(
+            e.translate("ldap_to_pbx_west", &d).unwrap().kind,
+            OpKind::Skip
+        );
         let in_range = Image::from_pairs([
             ("telephoneNumber", "+1 908 582 9123"),
             ("definityExtension", "9123"),
@@ -427,7 +442,11 @@ mapping m {
     fn missing_key_is_an_error() {
         let e = engine();
         // No Name → key expression yields null.
-        let d = UpdateDescriptor::add("9123", Image::from_pairs([("Extension", "9123")]), "pbx-west");
+        let d = UpdateDescriptor::add(
+            "9123",
+            Image::from_pairs([("Extension", "9123")]),
+            "pbx-west",
+        );
         let err = e.translate("pbx_to_ldap", &d).unwrap_err();
         assert!(matches!(err, RuntimeError::MissingKey { .. }));
     }

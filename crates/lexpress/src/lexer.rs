@@ -16,9 +16,9 @@ pub enum Tok {
     Comma,
     Semi,
     Colon,
-    Arrow,     // ->
-    FatArrow,  // =>
-    OrElse,    // ||
+    Arrow,    // ->
+    FatArrow, // =>
+    OrElse,   // ||
     Underscore,
     Dash, // bare `-` (LDIF-style separators never appear, but negative ints do)
     Eof,
@@ -55,38 +55,62 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 }
             }
             '{' => {
-                out.push(Token { tok: Tok::LBrace, line });
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    line,
+                });
                 chars.next();
             }
             '}' => {
-                out.push(Token { tok: Tok::RBrace, line });
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    line,
+                });
                 chars.next();
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, line });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    line,
+                });
                 chars.next();
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, line });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    line,
+                });
                 chars.next();
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, line });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    line,
+                });
                 chars.next();
             }
             ';' => {
-                out.push(Token { tok: Tok::Semi, line });
+                out.push(Token {
+                    tok: Tok::Semi,
+                    line,
+                });
                 chars.next();
             }
             ':' => {
-                out.push(Token { tok: Tok::Colon, line });
+                out.push(Token {
+                    tok: Tok::Colon,
+                    line,
+                });
                 chars.next();
             }
             '|' => {
                 chars.next();
                 if chars.peek() == Some(&'|') {
                     chars.next();
-                    out.push(Token { tok: Tok::OrElse, line });
+                    out.push(Token {
+                        tok: Tok::OrElse,
+                        line,
+                    });
                 } else {
                     return Err(CompileError::Lex {
                         line,
@@ -99,7 +123,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 match chars.peek() {
                     Some('>') => {
                         chars.next();
-                        out.push(Token { tok: Tok::Arrow, line });
+                        out.push(Token {
+                            tok: Tok::Arrow,
+                            line,
+                        });
                     }
                     Some(d) if d.is_ascii_digit() => {
                         let mut n = String::from("-");
@@ -116,14 +143,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                             line,
                         });
                     }
-                    _ => out.push(Token { tok: Tok::Dash, line }),
+                    _ => out.push(Token {
+                        tok: Tok::Dash,
+                        line,
+                    }),
                 }
             }
             '=' => {
                 chars.next();
                 if chars.peek() == Some(&'>') {
                     chars.next();
-                    out.push(Token { tok: Tok::FatArrow, line });
+                    out.push(Token {
+                        tok: Tok::FatArrow,
+                        line,
+                    });
                 } else {
                     return Err(CompileError::Lex {
                         line,
@@ -169,7 +202,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         message: "unterminated string".into(),
                     });
                 }
-                out.push(Token { tok: Tok::Str(s), line });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut n = String::new();
@@ -202,9 +238,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                             break;
                         }
                     }
-                    out.push(Token { tok: Tok::Ident(id), line });
+                    out.push(Token {
+                        tok: Tok::Ident(id),
+                        line,
+                    });
                 } else {
-                    out.push(Token { tok: Tok::Underscore, line });
+                    out.push(Token {
+                        tok: Tok::Underscore,
+                        line,
+                    });
                 }
             }
             c if c.is_alphabetic() => {
@@ -217,7 +259,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         break;
                     }
                 }
-                out.push(Token { tok: Tok::Ident(id), line });
+                out.push(Token {
+                    tok: Tok::Ident(id),
+                    line,
+                });
             }
             other => {
                 return Err(CompileError::Lex {
@@ -227,7 +272,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, line });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -270,7 +318,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("0 42 -1"), vec![Tok::Int(0), Tok::Int(42), Tok::Int(-1), Tok::Eof]);
+        assert_eq!(
+            kinds("0 42 -1"),
+            vec![Tok::Int(0), Tok::Int(42), Tok::Int(-1), Tok::Eof]
+        );
     }
 
     #[test]

@@ -242,8 +242,8 @@ mod tests {
     fn two_pbx_partitions_coexist() {
         // Mapping names embed the pbx name, so loading two partitions into
         // one engine must work (the paper's multi-PBX deployment).
-        let mut e = Engine::from_source(&pbx_mappings("pbx-west", "9???", "o=Lucent"))
-            .expect("west");
+        let mut e =
+            Engine::from_source(&pbx_mappings("pbx-west", "9???", "o=Lucent")).expect("west");
         // Second load: duplicate transform names are a compile error within
         // one file but the second file is separate — the engine absorbs it.
         let east = pbx_mappings("pbx-east", "3???", "o=Lucent");
@@ -254,7 +254,13 @@ mod tests {
             ("cn", "Jill Lu"),
         ]);
         let d = UpdateDescriptor::add("cn=Jill Lu,o=Lucent", img, "wba");
-        assert_eq!(e.translate("ldap_to_pbx-west", &d).unwrap().kind, OpKind::Skip);
-        assert_eq!(e.translate("ldap_to_pbx-east", &d).unwrap().kind, OpKind::Add);
+        assert_eq!(
+            e.translate("ldap_to_pbx-west", &d).unwrap().kind,
+            OpKind::Skip
+        );
+        assert_eq!(
+            e.translate("ldap_to_pbx-east", &d).unwrap().kind,
+            OpKind::Add
+        );
     }
 }

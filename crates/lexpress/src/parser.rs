@@ -196,9 +196,8 @@ impl Parser {
                                 self.expect(Tok::Semi, "`;`")?;
                             }
                             other => {
-                                return Err(self.err(format!(
-                                    "key side must be source/target, got `{other}`"
-                                )))
+                                return Err(self
+                                    .err(format!("key side must be source/target, got `{other}`")))
                             }
                         }
                     }
@@ -257,21 +256,19 @@ impl Parser {
                         partition = Some(self.parse_expr()?);
                         self.expect(Tok::Semi, "`;`")?;
                     }
-                    other => {
-                        return Err(self.err(format!(
-                            "unknown mapping item `{other}`"
-                        )))
-                    }
+                    other => return Err(self.err(format!("unknown mapping item `{other}`"))),
                 },
                 other => return Err(self.err(format!("bad mapping item: {other:?}"))),
             }
         }
         Ok(MappingDef {
             name: name.clone(),
-            source: source
-                .ok_or_else(|| CompileError::Semantic(format!("mapping `{name}` missing `source`")))?,
-            target: target
-                .ok_or_else(|| CompileError::Semantic(format!("mapping `{name}` missing `target`")))?,
+            source: source.ok_or_else(|| {
+                CompileError::Semantic(format!("mapping `{name}` missing `source`"))
+            })?,
+            target: target.ok_or_else(|| {
+                CompileError::Semantic(format!("mapping `{name}` missing `target`"))
+            })?,
             source_key: source_key.ok_or_else(|| {
                 CompileError::Semantic(format!("mapping `{name}` missing `key source`"))
             })?,
@@ -337,9 +334,7 @@ impl Parser {
                             self.expect(Tok::Semi, "`;`")?;
                             arms.push((Pattern::Glob(pat), e));
                         }
-                        other => {
-                            return Err(self.err(format!("bad match arm: {other:?}")))
-                        }
+                        other => return Err(self.err(format!("bad match arm: {other:?}"))),
                     }
                 }
                 if arms.is_empty() {

@@ -18,7 +18,9 @@ pub fn eval(bundle: &Bundle, prog: &Program, frame: &Image) -> Result<Value, Run
     while pc < prog.instrs.len() {
         fuel += 1;
         if fuel > fuel_limit {
-            return Err(RuntimeError::BadBytecode("instruction budget exceeded".into()));
+            return Err(RuntimeError::BadBytecode(
+                "instruction budget exceeded".into(),
+            ));
         }
         let instr = &prog.instrs[pc];
         pc += 1;
@@ -88,7 +90,11 @@ pub fn eval(bundle: &Bundle, prog: &Program, frame: &Image) -> Result<Value, Run
                     Some(s) => {
                         let chars: Vec<char> = s.chars().collect();
                         let n = chars.len() as i64;
-                        let start = if start < 0 { (n + start).max(0) } else { start.min(n) };
+                        let start = if start < 0 {
+                            (n + start).max(0)
+                        } else {
+                            start.min(n)
+                        };
                         let end = (start + len.max(0)).min(n);
                         Value::Str(chars[start as usize..end as usize].iter().collect())
                     }
@@ -128,9 +134,9 @@ pub fn eval(bundle: &Bundle, prog: &Program, frame: &Image) -> Result<Value, Run
             Instr::Upper => unary_str(&mut stack, |s| s.to_uppercase())?,
             Instr::Lower => unary_str(&mut stack, |s| s.to_lowercase())?,
             Instr::Trim => unary_str(&mut stack, |s| s.trim().to_string())?,
-            Instr::Digits => {
-                unary_str(&mut stack, |s| s.chars().filter(char::is_ascii_digit).collect())?
-            }
+            Instr::Digits => unary_str(&mut stack, |s| {
+                s.chars().filter(char::is_ascii_digit).collect()
+            })?,
             Instr::Replace => {
                 let to = pop(&mut stack)?;
                 let from = pop(&mut stack)?;
@@ -162,9 +168,10 @@ pub fn eval(bundle: &Bundle, prog: &Program, frame: &Image) -> Result<Value, Run
             }
             Instr::TableLookup(idx) => {
                 let key = pop(&mut stack)?;
-                let table = bundle.tables.get(*idx).ok_or_else(|| {
-                    RuntimeError::BadBytecode(format!("no table at index {idx}"))
-                })?;
+                let table = bundle
+                    .tables
+                    .get(*idx)
+                    .ok_or_else(|| RuntimeError::BadBytecode(format!("no table at index {idx}")))?;
                 stack.push(match key.as_str() {
                     Some(k) => match table.lookup(&k) {
                         Some(v) => Value::Str(v.to_string()),
@@ -283,10 +290,7 @@ fn int_arg(v: Value) -> Result<i64, RuntimeError> {
 }
 
 /// Helper for unary string ops (null-propagating).
-fn unary_str(
-    stack: &mut Vec<Value>,
-    f: impl FnOnce(String) -> String,
-) -> Result<(), RuntimeError> {
+fn unary_str(stack: &mut Vec<Value>, f: impl FnOnce(String) -> String) -> Result<(), RuntimeError> {
     let v = pop(stack)?;
     stack.push(match v.as_str() {
         Some(s) => Value::Str(f(s)),
@@ -472,7 +476,10 @@ mod tests {
             eval_expr(r#"first(values(ou))"#, &f).unwrap(),
             Value::Str("a".into())
         );
-        assert_eq!(eval_expr(r#"count(Missing)"#, &f).unwrap(), Value::Str("0".into()));
+        assert_eq!(
+            eval_expr(r#"count(Missing)"#, &f).unwrap(),
+            Value::Str("0".into())
+        );
     }
 
     #[test]
@@ -518,25 +525,40 @@ mapping m { source a; target b; key source K; key target T;
             Value::Str("John".into())
         );
         // Separator absent → Null (feeds the || alternate-mapping operator).
-        assert_eq!(eval_expr(r#"before(Extension, "-")"#, &f).unwrap(), Value::Null);
+        assert_eq!(
+            eval_expr(r#"before(Extension, "-")"#, &f).unwrap(),
+            Value::Null
+        );
         assert_eq!(
             eval_expr(r#"before(Extension, "-") || Extension"#, &f).unwrap(),
             Value::Str("9123".into())
         );
         // Null input propagates; empty separator is Null.
-        assert_eq!(eval_expr(r#"after(Missing, "-")"#, &f).unwrap(), Value::Null);
+        assert_eq!(
+            eval_expr(r#"after(Missing, "-")"#, &f).unwrap(),
+            Value::Null
+        );
         assert_eq!(eval_expr(r#"after(Name, "")"#, &f).unwrap(), Value::Null);
         // First occurrence wins.
         let mut f2 = Image::new();
         f2.set("X", vec!["a-b-c".into()]);
-        assert_eq!(eval_expr(r#"before(X, "-")"#, &f2).unwrap(), Value::Str("a".into()));
-        assert_eq!(eval_expr(r#"after(X, "-")"#, &f2).unwrap(), Value::Str("b-c".into()));
+        assert_eq!(
+            eval_expr(r#"before(X, "-")"#, &f2).unwrap(),
+            Value::Str("a".into())
+        );
+        assert_eq!(
+            eval_expr(r#"after(X, "-")"#, &f2).unwrap(),
+            Value::Str("b-c".into())
+        );
     }
 
     #[test]
     fn split_edge_cases() {
         let f = frame();
-        assert_eq!(eval_expr(r#"split(Name, ",", 5)"#, &f).unwrap(), Value::Null);
+        assert_eq!(
+            eval_expr(r#"split(Name, ",", 5)"#, &f).unwrap(),
+            Value::Null
+        );
         assert_eq!(eval_expr(r#"split(Name, "", 0)"#, &f).unwrap(), Value::Null);
         assert_eq!(
             eval_expr(r#"split(Missing, ",", 0)"#, &f).unwrap(),

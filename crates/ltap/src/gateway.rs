@@ -83,11 +83,7 @@ impl Gateway {
     }
 
     /// Register a trigger; triggers fire in registration order.
-    pub fn register(
-        &self,
-        spec: TriggerSpec,
-        handler: Arc<dyn TriggerHandler>,
-    ) -> TriggerId {
+    pub fn register(&self, spec: TriggerSpec, handler: Arc<dyn TriggerHandler>) -> TriggerId {
         let id = TriggerId(self.next_id.fetch_add(1, Ordering::SeqCst));
         self.triggers.write().push(Registered { id, spec, handler });
         id
@@ -309,7 +305,10 @@ mod tests {
         let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
         gw.modify(&john, &[Modification::set("telephoneNumber", "9123")])
             .unwrap();
-        assert_eq!(dit.get(&john).unwrap().unwrap().first("telephoneNumber"), Some("9123"));
+        assert_eq!(
+            dit.get(&john).unwrap().unwrap().first("telephoneNumber"),
+            Some("9123")
+        );
         assert_eq!(seen.lock().as_slice(), &["Modify:Doe".to_string()]);
     }
 
@@ -329,7 +328,10 @@ mod tests {
         let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
         let err = gw.delete(&john).unwrap_err();
         assert_eq!(err.code, ResultCode::UnwillingToPerform);
-        assert!(ldap::Dit::exists(&dit, &john), "delete must not have been applied");
+        assert!(
+            ldap::Dit::exists(&dit, &john),
+            "delete must not have been applied"
+        );
         assert_eq!(gw.stats().vetoed.load(Ordering::Relaxed), 1);
     }
 
@@ -405,10 +407,12 @@ mod tests {
             }),
         );
         let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
-        gw.modify(&john, &[Modification::set("description", "a")]).unwrap();
+        gw.modify(&john, &[Modification::set("description", "a")])
+            .unwrap();
         assert!(gw.unregister(id));
         assert!(!gw.unregister(id));
-        gw.modify(&john, &[Modification::set("description", "b")]).unwrap();
+        gw.modify(&john, &[Modification::set("description", "b")])
+            .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 1);
     }
 
@@ -427,13 +431,15 @@ mod tests {
             }),
         );
         let server = ldap::server::Server::start(gw, "127.0.0.1:0").unwrap();
-        let client =
-            ldap::client::TcpDirectory::connect(&server.addr().to_string()).unwrap();
+        let client = ldap::client::TcpDirectory::connect(&server.addr().to_string()).unwrap();
         let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
         client
             .modify(&john, &[Modification::set("telephoneNumber", "9123")])
             .unwrap();
         assert_eq!(fired.load(Ordering::SeqCst), 1);
-        assert_eq!(dit.get(&john).unwrap().unwrap().first("telephoneNumber"), Some("9123"));
+        assert_eq!(
+            dit.get(&john).unwrap().unwrap().first("telephoneNumber"),
+            Some("9123")
+        );
     }
 }

@@ -128,12 +128,20 @@ mod tests {
                 ur2.store(1, Ordering::SeqCst);
             });
             std::thread::sleep(Duration::from_millis(50));
-            assert_eq!(ur.load(Ordering::SeqCst), 0, "update leaked through quiesce");
+            assert_eq!(
+                ur.load(Ordering::SeqCst),
+                0,
+                "update leaked through quiesce"
+            );
             drop(_q);
             prober.join().unwrap();
         });
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(in_quiesce.load(Ordering::SeqCst), 0, "quiesce should wait for drain");
+        assert_eq!(
+            in_quiesce.load(Ordering::SeqCst),
+            0,
+            "quiesce should wait for drain"
+        );
         drop(pass);
         quiescer.join().unwrap();
         assert_eq!(update_ran_during_quiesce.load(Ordering::SeqCst), 1);

@@ -78,9 +78,7 @@ impl SecurityPolicy {
         }
         match ctx.op {
             LtapOp::Delete(_) if self.deny_delete => Self::deny("deletes are disabled"),
-            LtapOp::ModifyRdn { .. } if self.deny_rename => {
-                Self::deny("renames are disabled")
-            }
+            LtapOp::ModifyRdn { .. } if self.deny_rename => Self::deny("renames are disabled"),
             LtapOp::Add(e) => {
                 for attr in &self.readonly_attrs {
                     if e.has_attr(attr) {
@@ -102,10 +100,7 @@ impl SecurityPolicy {
                                 cur == m.values.as_slice()
                             });
                         if !unchanged {
-                            return Self::deny(format_args!(
-                                "attribute {} is read-only",
-                                m.attr
-                            ));
+                            return Self::deny(format_args!("attribute {} is read-only", m.attr));
                         }
                     }
                 }
@@ -205,8 +200,8 @@ mod tests {
 
     #[test]
     fn protected_subtree() {
-        let policy = SecurityPolicy::new()
-            .protect_subtree(Dn::parse("o=Accounting,o=Lucent").unwrap());
+        let policy =
+            SecurityPolicy::new().protect_subtree(Dn::parse("o=Accounting,o=Lucent").unwrap());
         let (gw, _dit) = secured(policy);
         let tim = Dn::parse("cn=Tim Dickens,o=Accounting,o=Lucent").unwrap();
         assert_eq!(

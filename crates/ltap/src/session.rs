@@ -72,7 +72,8 @@ impl SyncSession {
         delete_old: bool,
         new_superior: Option<&Dn>,
     ) -> Result<()> {
-        self.dir().modify_rdn(dn, new_rdn, delete_old, new_superior)?;
+        self.dir()
+            .modify_rdn(dn, new_rdn, delete_old, new_superior)?;
         self.ops_applied += 1;
         Ok(())
     }
@@ -126,10 +127,14 @@ mod tests {
             .unwrap();
         assert_eq!(session.ops_applied(), 2);
         assert_eq!(fired.load(Ordering::SeqCst), 0, "sync must not re-trigger");
-        assert_eq!(session.get(&john).unwrap().unwrap().first("roomNumber"), Some("2B-401"));
+        assert_eq!(
+            session.get(&john).unwrap().unwrap().first("roomNumber"),
+            Some("2B-401")
+        );
         drop(session);
         // Ordinary updates trigger again afterwards.
-        gw.modify(&john, &[Modification::set("description", "x")]).unwrap();
+        gw.modify(&john, &[Modification::set("description", "x")])
+            .unwrap();
         assert_eq!(fired.load(Ordering::SeqCst), 1);
     }
 
@@ -149,7 +154,11 @@ mod tests {
             d2.store(1, Ordering::SeqCst);
         });
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(done.load(Ordering::SeqCst), 0, "update ran during sync isolation");
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            0,
+            "update ran during sync isolation"
+        );
         drop(session);
         updater.join().unwrap();
         assert_eq!(done.load(Ordering::SeqCst), 1);

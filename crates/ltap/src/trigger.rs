@@ -89,7 +89,12 @@ impl TriggerSpec {
         TriggerSpec {
             name: name.into(),
             timing: Timing::Before,
-            ops: vec![OpKind::Add, OpKind::Modify, OpKind::Delete, OpKind::ModifyRdn],
+            ops: vec![
+                OpKind::Add,
+                OpKind::Modify,
+                OpKind::Delete,
+                OpKind::ModifyRdn,
+            ],
             base,
             filter: None,
         }

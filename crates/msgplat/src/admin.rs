@@ -133,7 +133,9 @@ fn tokenize(line: &str) -> Result<Vec<String>> {
                 s.push(c);
             }
             if !closed {
-                return Err(MpError::BadCommand(format!("unterminated quote in `{line}`")));
+                return Err(MpError::BadCommand(format!(
+                    "unterminated quote in `{line}`"
+                )));
             }
             out.push(s);
         } else {

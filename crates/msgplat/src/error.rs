@@ -6,7 +6,10 @@ use std::fmt;
 pub enum MpError {
     NoSuchMailbox(String),
     DuplicateMailbox(String),
-    InvalidField { field: String, detail: String },
+    InvalidField {
+        field: String,
+        detail: String,
+    },
     BadCommand(String),
     /// Attempt to change the platform-generated mailbox id.
     ImmutableField(String),

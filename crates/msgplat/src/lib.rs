@@ -59,7 +59,8 @@ mod tests {
     #[test]
     fn doc_example() {
         let mp = MsgPlat::new("mp");
-        mp.console(r#"add subscriber 9123 name "Doe, John""#).unwrap();
+        mp.console(r#"add subscriber 9123 name "Doe, John""#)
+            .unwrap();
         assert_eq!(mp.store().len(), 1);
         assert_eq!(mp.name(), "mp");
     }

@@ -27,9 +27,7 @@ pub mod fields {
 pub type Record = BTreeMap<String, String>;
 
 /// Build a record from pairs.
-pub fn record<K: Into<String>, V: Into<String>>(
-    pairs: impl IntoIterator<Item = (K, V)>,
-) -> Record {
+pub fn record<K: Into<String>, V: Into<String>>(pairs: impl IntoIterator<Item = (K, V)>) -> Record {
     pairs
         .into_iter()
         .map(|(k, v)| (k.into(), v.into()))
@@ -106,7 +104,9 @@ impl Store {
     }
 
     fn notify(inner: &mut Inner, event: MpEvent) {
-        inner.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+        inner
+            .subscribers
+            .retain(|tx| tx.send(event.clone()).is_ok());
     }
 
     pub fn get(&self, mailbox: &str) -> Option<Record> {
@@ -232,10 +232,19 @@ mod tests {
     fn add_generates_unique_immutable_id() {
         let s = Store::new("mp");
         let r1 = s
-            .add(record([(fields::MAILBOX, "9123"), (fields::SUBSCRIBER, "Doe, John")]), Channel::Console)
+            .add(
+                record([(fields::MAILBOX, "9123"), (fields::SUBSCRIBER, "Doe, John")]),
+                Channel::Console,
+            )
             .unwrap();
         let r2 = s
-            .add(record([(fields::MAILBOX, "9124"), (fields::SUBSCRIBER, "Smith, Pat")]), Channel::Console)
+            .add(
+                record([
+                    (fields::MAILBOX, "9124"),
+                    (fields::SUBSCRIBER, "Smith, Pat"),
+                ]),
+                Channel::Console,
+            )
             .unwrap();
         let id1 = r1.get(fields::MBID).unwrap();
         let id2 = r2.get(fields::MBID).unwrap();
@@ -251,12 +260,20 @@ mod tests {
         assert_ne!(r3.get(fields::MBID).unwrap(), "MB-999999");
         // Changing the id is rejected…
         let err = s
-            .change("9123", record([(fields::MBID, "MB-000777")]), Channel::Console)
+            .change(
+                "9123",
+                record([(fields::MBID, "MB-000777")]),
+                Channel::Console,
+            )
             .unwrap_err();
         assert_eq!(err, MpError::ImmutableField(fields::MBID.into()));
         // …but echoing the same id back (a reapplied update) is fine.
-        s.change("9123", record([(fields::MBID, id1.as_str())]), Channel::Console)
-            .unwrap();
+        s.change(
+            "9123",
+            record([(fields::MBID, id1.as_str())]),
+            Channel::Console,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -279,7 +296,11 @@ mod tests {
         )
         .unwrap();
         let new = s
-            .change("9123", record([(fields::COS, "executive")]), Channel::Console)
+            .change(
+                "9123",
+                record([(fields::COS, "executive")]),
+                Channel::Console,
+            )
             .unwrap();
         assert_eq!(new.get(fields::COS).map(String::as_str), Some("executive"));
         // blanking
@@ -312,7 +333,11 @@ mod tests {
             Err(MpError::DuplicateMailbox(_))
         ));
         assert!(matches!(
-            s.change("9123", record([(fields::MAILBOX, "9200")]), Channel::Console),
+            s.change(
+                "9123",
+                record([(fields::MAILBOX, "9200")]),
+                Channel::Console
+            ),
             Err(MpError::InvalidField { .. })
         ));
     }
@@ -320,8 +345,10 @@ mod tests {
     #[test]
     fn dump_ordered() {
         let s = Store::new("mp");
-        s.add(record([(fields::MAILBOX, "9200")]), Channel::Console).unwrap();
-        s.add(record([(fields::MAILBOX, "9100")]), Channel::Console).unwrap();
+        s.add(record([(fields::MAILBOX, "9200")]), Channel::Console)
+            .unwrap();
+        s.add(record([(fields::MAILBOX, "9100")]), Channel::Console)
+            .unwrap();
         assert_eq!(s.mailboxes(), vec!["9100", "9200"]);
         assert_eq!(s.dump().len(), 2);
     }
@@ -365,7 +392,8 @@ mod concurrency_tests {
     fn events_chain_gaplessly() {
         let s = Store::new("mp");
         let rx = s.subscribe();
-        s.add(record([(fields::MAILBOX, "9123")]), Channel::Console).unwrap();
+        s.add(record([(fields::MAILBOX, "9123")]), Channel::Console)
+            .unwrap();
         for i in 0..10 {
             s.change(
                 "9123",

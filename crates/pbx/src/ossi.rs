@@ -46,12 +46,11 @@ pub fn execute(store: &Store, line: &str) -> Result<String> {
                 rec.set(fields::EXTENSION, ext.clone());
             }
             while let Some(kw) = it.next() {
-                let field = field_for(kw).ok_or_else(|| PbxError::BadCommand(format!(
-                    "unknown field `{kw}`"
-                )))?;
-                let value = it.next().ok_or_else(|| {
-                    PbxError::BadCommand(format!("missing value for `{kw}`"))
-                })?;
+                let field = field_for(kw)
+                    .ok_or_else(|| PbxError::BadCommand(format!("unknown field `{kw}`")))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| PbxError::BadCommand(format!("missing value for `{kw}`")))?;
                 validate_field(field, value)?;
                 rec.set(field, value.clone());
             }
@@ -128,9 +127,7 @@ fn validate_field(field: &str, value: &str) -> Result<()> {
             })
         }
         // board-slot-port like 01A0101; accept alphanumeric only
-        fields::PORT
-            if !value.is_empty() && !value.chars().all(|c| c.is_ascii_alphanumeric()) =>
-        {
+        fields::PORT if !value.is_empty() && !value.chars().all(|c| c.is_ascii_alphanumeric()) => {
             Err(PbxError::InvalidField {
                 field: field.into(),
                 detail: format!("`{value}` is not a port designator"),
@@ -140,11 +137,7 @@ fn validate_field(field: &str, value: &str) -> Result<()> {
     }
 }
 
-fn expect_kw<'a>(
-    it: &mut impl Iterator<Item = &'a String>,
-    kw: &str,
-    line: &str,
-) -> Result<()> {
+fn expect_kw<'a>(it: &mut impl Iterator<Item = &'a String>, kw: &str, line: &str) -> Result<()> {
     match it.next() {
         Some(t) if t == kw => Ok(()),
         _ => Err(PbxError::BadCommand(format!("expected `{kw}` in `{line}`"))),

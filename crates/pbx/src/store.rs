@@ -96,7 +96,9 @@ impl Store {
 
     fn notify(inner: &mut Inner, event: DeviceEvent) {
         inner.commits += 1;
-        inner.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+        inner
+            .subscribers
+            .retain(|tx| tx.send(event.clone()).is_ok());
     }
 
     pub fn get(&self, extension: &str) -> Option<Record> {

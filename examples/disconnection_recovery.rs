@@ -72,11 +72,19 @@ fn main() {
     println!(
         "Directory says John's room = {:?} (device says {:?})",
         john.first("roomNumber").unwrap_or("-"),
-        switch.store().get("9100").unwrap().get("Room").unwrap_or("-"),
+        switch
+            .store()
+            .get("9100")
+            .unwrap()
+            .get("Room")
+            .unwrap_or("-"),
     );
     println!(
         "Directory still shows Jill's extension: {}",
-        wba.person("Jill Lu").unwrap().unwrap().has_attr("definityExtension")
+        wba.person("Jill Lu")
+            .unwrap()
+            .unwrap()
+            .has_attr("definityExtension")
     );
     println!(
         "Directory knows Tim Dickens: {}\n",
@@ -95,7 +103,10 @@ fn main() {
     println!("John's room now: {:?}", john.first("roomNumber").unwrap());
     println!(
         "Jill's stale extension cleared: {}",
-        !wba.person("Jill Lu").unwrap().unwrap().has_attr("definityExtension")
+        !wba.person("Jill Lu")
+            .unwrap()
+            .unwrap()
+            .has_attr("definityExtension")
     );
     println!(
         "Tim Dickens materialized: {}\n",
@@ -109,18 +120,27 @@ fn main() {
         .craft(r#"change station 9200 name "Smith, Patricia" room 5A-100"#)
         .unwrap();
     system.settle();
-    let renamed = wba.person("Patricia Smith").unwrap().expect("rename half applied");
+    let renamed = wba
+        .person("Patricia Smith")
+        .unwrap()
+        .expect("rename half applied");
     println!(
         "   entry renamed to Patricia Smith but room still {:?} — inconsistent for readers",
         renamed.first("roomNumber").unwrap()
     );
     println!("   (writers are blocked only while the lock is held; an error was logged)");
     for e in system.browse_errors().unwrap() {
-        println!("   error log: {}", e.first("metacommErrorText").unwrap_or("?"));
+        println!(
+            "   error log: {}",
+            e.first("metacommErrorText").unwrap_or("?")
+        );
     }
 
     let report = system.synchronize_device("pbx-west").expect("resync 2");
-    println!("\n-- UM 'restarts' and resynchronizes: repaired={} --", report.repaired);
+    println!(
+        "\n-- UM 'restarts' and resynchronizes: repaired={} --",
+        report.repaired
+    );
     let patricia = wba.person("Patricia Smith").unwrap().unwrap();
     println!(
         "Patricia's room now: {:?} — inconsistency eliminated.",

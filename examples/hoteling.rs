@@ -102,17 +102,18 @@ fn main() {
         .build()
         .expect("assemble");
     let wba = system.wba();
-    for (cn, sn, ext) in [
-        ("John Doe", "Doe", "9100"),
-        ("Pat Smith", "Smith", "9200"),
-    ] {
+    for (cn, sn, ext) in [("John Doe", "Doe", "9100"), ("Pat Smith", "Smith", "9200")] {
         wba.add_person_with_extension(cn, sn, ext, "HOME").unwrap();
     }
     system.settle();
 
     let hotel = Hoteling::new(
         &system,
-        &[("HOT-101", "01A0101"), ("HOT-102", "01A0102"), ("HOT-103", "01A0103")],
+        &[
+            ("HOT-101", "01A0101"),
+            ("HOT-102", "01A0102"),
+            ("HOT-103", "01A0103"),
+        ],
     );
 
     // John reserves HOT-101.
@@ -120,7 +121,10 @@ fn main() {
     println!("John Doe reserved HOT-101.");
     println!(
         "  switch sees: {}",
-        switch.craft("display station 9100").unwrap().replace('\n', " | ")
+        switch
+            .craft("display station 9100")
+            .unwrap()
+            .replace('\n', " | ")
     );
 
     // Pat tries the same room: refused by the *application*, not the device.
@@ -132,7 +136,10 @@ fn main() {
     println!("Pat Smith reserved HOT-102.");
     println!(
         "  switch sees: {}",
-        switch.craft("display station 9200").unwrap().replace('\n', " | ")
+        switch
+            .craft("display station 9200")
+            .unwrap()
+            .replace('\n', " | ")
     );
 
     // John checks out; the room frees up and the switch port is cleared.
@@ -141,7 +148,10 @@ fn main() {
     assert!(hotel.occupant("HOT-101").is_none());
     println!(
         "  switch sees: {}",
-        switch.craft("display station 9100").unwrap().replace('\n', " | ")
+        switch
+            .craft("display station 9100")
+            .unwrap()
+            .replace('\n', " | ")
     );
 
     // Now Pat can move to the corner office.

@@ -34,9 +34,7 @@ fn main() {
     // Build the paper's Figure 2 organizational tree around the people.
     let dir = system.directory();
     for unit in ["Marketing", "Accounting", "R&D", "DEN Group"] {
-        let mut e = ldap::Entry::new(
-            ldap::Dn::parse(&format!("ou={unit},o=Lucent")).unwrap(),
-        );
+        let mut e = ldap::Entry::new(ldap::Dn::parse(&format!("ou={unit},o=Lucent")).unwrap());
         e.add_value("objectClass", "top");
         e.add_value("objectClass", "organizationalUnit");
         e.add_value("ou", unit);
@@ -52,8 +50,14 @@ fn main() {
         .expect("mailbox");
     system.settle();
     println!("WBA added John Doe with extension 9123 + mailbox:");
-    println!("  pbx-west: {}", west.craft("display station 9123").unwrap().trim_end());
-    println!("  mp      : {}", mp.console("display subscriber 9123").unwrap().trim_end());
+    println!(
+        "  pbx-west: {}",
+        west.craft("display station 9123").unwrap().trim_end()
+    );
+    println!(
+        "  mp      : {}",
+        mp.console("display subscriber 9123").unwrap().trim_end()
+    );
 
     // --- Path 2: a direct device update (craft terminal → filter → UM) -
     east.craft(r#"add station 3456 name "Smith, Pat" room 2C-115"#)
@@ -66,7 +70,8 @@ fn main() {
     // --- The flagship update: a phone-number change --------------------
     // The transitive closure recomputes the extension; the partitioning
     // constraint turns the modify into delete@west + add@east.
-    wba.set_phone("John Doe", "+1 908 582 3999").expect("renumber");
+    wba.set_phone("John Doe", "+1 908 582 3999")
+        .expect("renumber");
     system.settle();
     println!("Changed John's phone to +1 908 582 3999:");
     println!(
@@ -81,7 +86,11 @@ fn main() {
             system.suffix(),
             Scope::Sub,
             &Filter::parse("(&(objectClass=person)(telephoneNumber=*))").unwrap(),
-            &["cn".into(), "telephoneNumber".into(), "definityExtension".into()],
+            &[
+                "cn".into(),
+                "telephoneNumber".into(),
+                "definityExtension".into(),
+            ],
             0,
         )
         .unwrap();

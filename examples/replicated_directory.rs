@@ -55,9 +55,12 @@ fn main() {
 
     // --- WAN partition: both sites keep taking writes. -------------------
     println!("\n-- partition: concurrent writes at both sites --");
-    mh.set_attr(&dn, Attribute::single("roomNumber", "3F-100")).unwrap();
-    mh.set_attr(&dn, Attribute::single("mail", "jdoe@lucent.com")).unwrap();
-    wm.set_attr(&dn, Attribute::single("roomNumber", "WM-205")).unwrap();
+    mh.set_attr(&dn, Attribute::single("roomNumber", "3F-100"))
+        .unwrap();
+    mh.set_attr(&dn, Attribute::single("mail", "jdoe@lucent.com"))
+        .unwrap();
+    wm.set_attr(&dn, Attribute::single("roomNumber", "WM-205"))
+        .unwrap();
     wm.set_attr(&dn, Attribute::single("telephoneNumber", "+1 303 538 1000"))
         .unwrap();
     println!("During the partition (divergent):");
@@ -74,7 +77,8 @@ fn main() {
     // Conflicting delete vs. update.
     println!("\n-- partition again: delete at one site, update at the other --");
     wm.delete_entry(&dn).unwrap();
-    mh.set_attr(&dn, Attribute::single("roomNumber", "4A-001")).unwrap();
+    mh.set_attr(&dn, Attribute::single("roomNumber", "4A-001"))
+        .unwrap();
     mh.sync_with(&wm);
     println!("After healing (the delete was stamped later, so it wins):");
     show(&mh, "murray-hill", &dn);

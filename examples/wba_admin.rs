@@ -44,12 +44,7 @@ fn main() {
     system.shutdown();
 }
 
-fn script(
-    client: &TcpDirectory,
-    system: &metacomm::MetaComm,
-    west: &Pbx,
-    mp: &MsgPlat,
-) {
+fn script(client: &TcpDirectory, system: &metacomm::MetaComm, west: &Pbx, mp: &MsgPlat) {
     // 1. Create a person with a phone, exactly as an LDAP browser would.
     let dn = Dn::parse("cn=Jill Lu,o=Lucent").unwrap();
     let mut e = Entry::new(dn.clone());
@@ -93,7 +88,11 @@ fn script(
             &Dn::parse("o=Lucent").unwrap(),
             Scope::Sub,
             &Filter::parse("(&(objectClass=person)(definityExtension>=9000))").unwrap(),
-            &["cn".into(), "definityExtension".into(), "mpMailboxId".into()],
+            &[
+                "cn".into(),
+                "definityExtension".into(),
+                "mpMailboxId".into(),
+            ],
             0,
         )
         .expect("LDAP search");
@@ -138,9 +137,7 @@ fn shell(client: &TcpDirectory, system: &metacomm::MetaComm, west: &Pbx, mp: &Ms
                 let mut it = rest.split(' ');
                 let sn = it.next().unwrap_or(cn);
                 let ext = it.next().unwrap_or("9000");
-                let mut e = Entry::new(
-                    Dn::parse(&format!("cn={cn},o=Lucent")).unwrap(),
-                );
+                let mut e = Entry::new(Dn::parse(&format!("cn={cn},o=Lucent")).unwrap());
                 for (k, v) in [
                     ("objectClass", "top"),
                     ("objectClass", "person"),
@@ -185,9 +182,9 @@ fn shell(client: &TcpDirectory, system: &metacomm::MetaComm, west: &Pbx, mp: &Ms
                     })
                     .map_err(|e| e.to_string())
             }
-            ["mappings"] | ["mappings", ..] => Ok(lexpress::disasm::describe(
-                system.engine().bundle(),
-            )),
+            ["mappings"] | ["mappings", ..] => {
+                Ok(lexpress::disasm::describe(system.engine().bundle()))
+            }
             ["trace"] | ["trace", ..] => Ok(system
                 .recent_traces()
                 .iter()
@@ -213,12 +210,8 @@ fn shell(client: &TcpDirectory, system: &metacomm::MetaComm, west: &Pbx, mp: &Ms
                 })
                 .collect::<Vec<_>>()
                 .join("\n")),
-            ["craft", rest @ ..] => west
-                .craft(&rest.join(" "))
-                .map_err(|e| e.to_string()),
-            ["console", rest @ ..] => mp
-                .console(&rest.join(" "))
-                .map_err(|e| e.to_string()),
+            ["craft", rest @ ..] => west.craft(&rest.join(" ")).map_err(|e| e.to_string()),
+            ["console", rest @ ..] => mp.console(&rest.join(" ")).map_err(|e| e.to_string()),
             other => Err(format!("unknown command {other:?}")),
         };
         system.settle();

@@ -36,10 +36,7 @@ fn live(dit: &Dit) -> Vec<Dn> {
 }
 
 fn person(dn: Dn, cn: &str) -> Entry {
-    Entry::with_attrs(
-        dn,
-        [("objectClass", "person"), ("cn", cn), ("sn", "p")],
-    )
+    Entry::with_attrs(dn, [("objectClass", "person"), ("cn", cn), ("sn", "p")])
 }
 
 proptest! {

@@ -13,7 +13,12 @@ enum Op {
     /// Put entry `e` at replica `r`.
     Put { r: usize, e: usize, phone: String },
     /// Set one attribute at replica `r`.
-    Set { r: usize, e: usize, attr: String, val: String },
+    Set {
+        r: usize,
+        e: usize,
+        attr: String,
+        val: String,
+    },
     /// Delete entry at replica `r`.
     Del { r: usize, e: usize },
     /// Anti-entropy between two replicas.
@@ -28,10 +33,13 @@ fn op_strategy(n_replicas: usize, n_entries: usize) -> impl Strategy<Value = Op>
         Just("mail".to_string()),
     ];
     prop_oneof![
-        (0..n_replicas, 0..n_entries, val())
-            .prop_map(|(r, e, phone)| Op::Put { r, e, phone }),
-        (0..n_replicas, 0..n_entries, attr, val())
-            .prop_map(|(r, e, attr, val)| Op::Set { r, e, attr, val }),
+        (0..n_replicas, 0..n_entries, val()).prop_map(|(r, e, phone)| Op::Put { r, e, phone }),
+        (0..n_replicas, 0..n_entries, attr, val()).prop_map(|(r, e, attr, val)| Op::Set {
+            r,
+            e,
+            attr,
+            val
+        }),
         (0..n_replicas, 0..n_entries).prop_map(|(r, e)| Op::Del { r, e }),
         (0..n_replicas, 0..n_replicas).prop_map(|(a, b)| Op::Sync { a, b }),
     ]

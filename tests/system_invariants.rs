@@ -45,7 +45,11 @@ fn check_invariant(s: &Sys) -> Result<(), String> {
     // Directory → devices.
     for p in &people {
         if let Some(ext) = p.first("definityExtension") {
-            let store = if ext.starts_with('1') { &s.west } else { &s.east };
+            let store = if ext.starts_with('1') {
+                &s.west
+            } else {
+                &s.east
+            };
             let rec = store
                 .get(ext)
                 .ok_or_else(|| format!("{}: station {ext} missing at device", p.dn()))?;
@@ -60,10 +64,9 @@ fn check_invariant(s: &Sys) -> Result<(), String> {
             }
         }
         if let Some(mbx) = p.first("mpMailbox") {
-            let rec = s
-                .mp
-                .get(mbx)
-                .ok_or_else(|| format!("{}: mailbox {mbx} missing at platform", p.dn()))?;
+            let rec =
+                s.mp.get(mbx)
+                    .ok_or_else(|| format!("{}: mailbox {mbx} missing at platform", p.dn()))?;
             let dir_id = p.first("mpMailboxId");
             if rec.get("MbId").map(String::as_str) != dir_id {
                 return Err(format!(
@@ -82,8 +85,7 @@ fn check_invariant(s: &Sys) -> Result<(), String> {
     };
     for store in [&s.west, &s.east] {
         for ext in store.extensions() {
-            find_by_ext(&ext)
-                .ok_or_else(|| format!("station {ext} has no directory entry"))?;
+            find_by_ext(&ext).ok_or_else(|| format!("station {ext} has no directory entry"))?;
         }
     }
     for mbx in s.mp.mailboxes() {
@@ -132,11 +134,12 @@ fn random_run(seed: u64, rounds: usize) {
             // device reports and we tolerate.
             6..=7 if !created.is_empty() => {
                 let (_, ext) = &created[rng.gen_range(0..created.len())];
-                let store = if ext.starts_with('1') { &s.west } else { &s.east };
-                match pbx::ossi::execute(
-                    store,
-                    &format!("change station {ext} room D{round:03}"),
-                ) {
+                let store = if ext.starts_with('1') {
+                    &s.west
+                } else {
+                    &s.east
+                };
+                match pbx::ossi::execute(store, &format!("change station {ext} room D{round:03}")) {
                     Ok(_) => {}
                     Err(pbx::PbxError::NoSuchStation(_)) => {}
                     Err(e) => panic!("craft: {e}"),
@@ -206,13 +209,10 @@ fn tcp_clients_and_craft_terminals_converge() {
     // The same invariant with updates arriving over the wire.
     let s = sys();
     let server = s.system.serve("127.0.0.1:0").expect("serve");
-    let client =
-        ldap::client::TcpDirectory::connect(&server.addr().to_string()).expect("connect");
+    let client = ldap::client::TcpDirectory::connect(&server.addr().to_string()).expect("connect");
     for i in 0..10 {
         let cn = format!("Wire Person {i:02}");
-        let mut e = ldap::Entry::new(
-            ldap::Dn::parse(&format!("cn={cn},o=Lucent")).unwrap(),
-        );
+        let mut e = ldap::Entry::new(ldap::Dn::parse(&format!("cn={cn},o=Lucent")).unwrap());
         for (k, v) in [
             ("objectClass", "top"),
             ("objectClass", "person"),
@@ -227,11 +227,8 @@ fn tcp_clients_and_craft_terminals_converge() {
         client.add(e).expect("wire add");
     }
     for i in 0..10 {
-        pbx::ossi::execute(
-            &s.west,
-            &format!("change station 1{i:03} room W{i:02}"),
-        )
-        .expect("craft");
+        pbx::ossi::execute(&s.west, &format!("change station 1{i:03} room W{i:02}"))
+            .expect("craft");
     }
     s.system.settle();
     check_invariant(&s).expect("invariant");
@@ -265,11 +262,8 @@ fn parallel_clients_and_craft_terminals_converge() {
         handles.push(std::thread::spawn(move || {
             for round in 0..25 {
                 let i = (t * 7 + round) % 12;
-                wba.assign_room(
-                    &format!("Par Person {i:02}"),
-                    &format!("W{t}{round:02}"),
-                )
-                .expect("wba room");
+                wba.assign_room(&format!("Par Person {i:02}"), &format!("W{t}{round:02}"))
+                    .expect("wba room");
             }
         }));
     }
@@ -301,6 +295,166 @@ fn parallel_clients_and_craft_terminals_converge() {
     let report = s.system.synchronize_all().expect("resync");
     assert_eq!((report.added, report.cleared), (0, 0), "{report:?}");
     s.system.shutdown();
+}
+
+/// Convergence under injected device faults: run a randomized directory
+/// workload while `pbx-west` misbehaves per a randomized [`FaultPlan`]
+/// (mid-run outages, flaky errors, dropped ops, latency). Individual client
+/// updates may fail transiently — but once the faults clear and recovery
+/// runs, the materialization invariant must hold with nothing lost.
+fn faulty_run(seed: u64, rounds: usize) {
+    use metacomm::{BreakerPolicy, FaultPlan, RecoveryOutcome, RetryPolicy};
+    use std::time::Duration;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = FaultPlan {
+        start_down: rng.gen_bool(0.2),
+        down_after: rng.gen_bool(0.7).then(|| rng.gen_range(5..30)),
+        error_every: rng.gen_bool(0.5).then(|| rng.gen_range(2..7)),
+        drop_nth: rng.gen_bool(0.5).then(|| rng.gen_range(1..20)),
+        latency: rng.gen_bool(0.3).then(|| Duration::from_micros(200)),
+    };
+    let west = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("1", 4)));
+    let east = Arc::new(PbxStore::new("pbx-east", DialPlan::with_prefix("2", 4)));
+    let mp = Arc::new(MpStore::new("mp"));
+    let system = MetaCommBuilder::new("o=Lucent")
+        .add_pbx(west.clone(), "1???")
+        .add_pbx(east.clone(), "2???")
+        .add_msgplat(mp.clone(), "*")
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            deadline: Duration::from_millis(100),
+        })
+        .with_breaker_policy(BreakerPolicy {
+            degraded_after: 1,
+            offline_after: 2,
+            journal_cap: 16, // small enough that long outages overflow
+            probe_interval: Duration::from_secs(3600), // recovery driven below
+        })
+        .with_fault_plan("pbx-west", plan)
+        .build()
+        .expect("build");
+    let s = Sys {
+        system,
+        west,
+        east,
+        mp,
+    };
+    let wba = s.system.wba();
+    let mut created: Vec<(String, String)> = Vec::new();
+    let mut serial = 0usize;
+    for round in 0..rounds {
+        // Every op may fail transiently while the fault plan bites (before
+        // the breaker opens) — an aborted update leaves directory and
+        // devices consistent, so tolerate and move on.
+        match rng.gen_range(0..10) {
+            0..=2 => {
+                let n = serial;
+                serial += 1;
+                let prefix = if rng.gen_bool(0.5) { 1 } else { 2 };
+                let ext = format!("{prefix}{n:03}");
+                let cn = format!("Faulty {seed}-{n:03}");
+                if wba
+                    .add_person_with_extension(&cn, "Person", &ext, "2B")
+                    .is_ok()
+                {
+                    created.push((cn, ext));
+                }
+            }
+            3..=5 if !created.is_empty() => {
+                let (cn, _) = &created[rng.gen_range(0..created.len())];
+                let _ = wba.assign_room(cn, &format!("R{round:03}"));
+            }
+            6 if !created.is_empty() => {
+                let (cn, ext) = &created[rng.gen_range(0..created.len())];
+                let _ = wba.assign_mailbox(cn, ext, "standard");
+            }
+            // Craft updates on the healthy switch only — the faulty one is
+            // legitimately unreachable to its craft terminal mid-outage.
+            7 if !created.is_empty() => {
+                let (_, ext) = &created[rng.gen_range(0..created.len())];
+                if ext.starts_with('2') {
+                    match pbx::ossi::execute(
+                        &s.east,
+                        &format!("change station {ext} room D{round:03}"),
+                    ) {
+                        Ok(_) | Err(pbx::PbxError::NoSuchStation(_)) => {}
+                        Err(e) => panic!("craft: {e}"),
+                    }
+                }
+            }
+            8 if !created.is_empty() => {
+                let i = rng.gen_range(0..created.len());
+                let (cn, old_ext) = created[i].clone();
+                let flipped = if old_ext.starts_with('1') { "2" } else { "1" };
+                let new_ext = format!("{flipped}{}", &old_ext[1..]);
+                if wba.set_phone(&cn, &format!("+1 908 582 {new_ext}")).is_ok() {
+                    created[i] = (cn, new_ext);
+                }
+            }
+            9 if created.len() > 2 => {
+                let i = rng.gen_range(0..created.len());
+                let (cn, _) = created[i].clone();
+                if wba.remove_person(&cn).is_ok() {
+                    created.remove(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    s.system.settle();
+    // Faults clear; drive recovery until the device reports healthy. A
+    // still-flaky link can re-trip the breaker mid-drain (error_every keeps
+    // firing) — each probe then drains further; retry masks the rest.
+    let handle = s.system.fault_handle("pbx-west").expect("fault handle");
+    handle.set_down(false);
+    let mut recovered = false;
+    for _ in 0..200 {
+        match s.system.probe_device("pbx-west").expect("probe") {
+            RecoveryOutcome::Healthy => {
+                recovered = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    assert!(
+        recovered,
+        "seed {seed}: device never recovered: plan was not clearable"
+    );
+    s.system.settle();
+    if let Err(e) = check_invariant(&s) {
+        panic!("seed {seed}: invariant violated after faults cleared: {e}");
+    }
+    let report = s.system.synchronize_all().expect("resync");
+    assert_eq!(
+        (report.added, report.cleared),
+        (0, 0),
+        "seed {seed}: recovery lost updates: {report:?}"
+    );
+    s.system.shutdown();
+}
+
+#[test]
+fn faulty_device_workload_converges_seed_11() {
+    faulty_run(11, 80);
+}
+
+#[test]
+fn faulty_device_workload_converges_seed_12() {
+    faulty_run(12, 80);
+}
+
+#[test]
+fn faulty_device_workload_converges_seed_13() {
+    faulty_run(13, 120);
+}
+
+#[test]
+fn faulty_device_workload_converges_seed_14() {
+    faulty_run(14, 120);
 }
 
 #[test]
@@ -336,10 +490,8 @@ fn chaos_with_crash_injection_recovers_by_resync() {
                 );
             }
             1 => {
-                let _ = pbx::ossi::execute(
-                    &s.west,
-                    &format!("change station {ext} room Y{round:02}"),
-                );
+                let _ =
+                    pbx::ossi::execute(&s.west, &format!("change station {ext} room Y{round:02}"));
             }
             2 => {
                 // Directory updates keyed by extension (names churn under

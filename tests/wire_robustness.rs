@@ -67,7 +67,8 @@ fn oversized_frame_is_rejected() {
     let (_server, addr) = server();
     let mut bad = TcpStream::connect(&addr).unwrap();
     // Claim a 1 GiB body.
-    bad.write_all(&[0x30, 0x84, 0x40, 0x00, 0x00, 0x00]).unwrap();
+    bad.write_all(&[0x30, 0x84, 0x40, 0x00, 0x00, 0x00])
+        .unwrap();
     bad.flush().unwrap();
     bad.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
     let mut buf = [0u8; 16];

@@ -63,16 +63,9 @@ impl Default for Settings {
     }
 }
 
+#[derive(Default)]
 pub struct Criterion {
     settings: Settings,
-}
-
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion {
-            settings: Settings::default(),
-        }
-    }
 }
 
 impl Criterion {
@@ -211,8 +204,8 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, settings: &Settings, mut f: F)
 
     let samples = settings.sample_size.max(1) as u64;
     let budget_per_sample = settings.measurement_time / samples as u32;
-    let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
-        .clamp(1, 1_000_000) as u64;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
 
     let mut total = Duration::ZERO;
     let mut total_iters: u64 = 0;

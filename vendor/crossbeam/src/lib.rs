@@ -113,10 +113,7 @@ pub mod channel {
             }),
             cv: Condvar::new(),
         });
-        (
-            Sender { core: core.clone() },
-            Receiver { core },
-        )
+        (Sender { core: core.clone() }, Receiver { core })
     }
 
     /// A bounded channel. This stand-in does not enforce the capacity
@@ -169,11 +166,7 @@ pub mod channel {
                 if s.senders == 0 {
                     return Err(RecvError);
                 }
-                s = self
-                    .core
-                    .cv
-                    .wait(s)
-                    .unwrap_or_else(PoisonError::into_inner);
+                s = self.core.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
             }
         }
 
@@ -351,9 +344,7 @@ pub mod channel {
                 match rx.try_recv() {
                     Ok(v) => return Ok(v),
                     Err(TryRecvError::Disconnected) => return Err(RecvError),
-                    Err(TryRecvError::Empty) => {
-                        std::thread::sleep(Duration::from_micros(100))
-                    }
+                    Err(TryRecvError::Empty) => std::thread::sleep(Duration::from_micros(100)),
                 }
             }
         }

@@ -159,7 +159,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter `{}` rejected {MAX_REJECTS} inputs in a row", self.whence);
+        panic!(
+            "prop_filter `{}` rejected {MAX_REJECTS} inputs in a row",
+            self.whence
+        );
     }
 }
 

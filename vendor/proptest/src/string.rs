@@ -55,7 +55,10 @@ pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy<String>, Err
     let mut pos = 0;
     let alts = parse_alternation(&chars, &mut pos)?;
     if pos != chars.len() {
-        return Err(Error(format!("unexpected `{}` at offset {pos}", chars[pos])));
+        return Err(Error(format!(
+            "unexpected `{}` at offset {pos}",
+            chars[pos]
+        )));
     }
     let nodes = if alts.len() == 1 {
         alts.into_iter().next().unwrap()
@@ -117,9 +120,9 @@ fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
             *pos += 1;
             Ok(Node::Class(vec![(' ', '~')]))
         }
-        c @ (')' | '|' | '?' | '*' | '+') => {
-            Err(Error(format!("unexpected `{c}` where an atom was expected")))
-        }
+        c @ (')' | '|' | '?' | '*' | '+') => Err(Error(format!(
+            "unexpected `{c}` where an atom was expected"
+        ))),
         c => {
             *pos += 1;
             Ok(Node::Literal(c))
@@ -306,8 +309,7 @@ mod tests {
     #[test]
     fn workspace_patterns_generate_matching_strings() {
         check("[ -~]{1,24}", |s| {
-            (1..=24).contains(&s.chars().count())
-                && s.chars().all(|c| (' '..='~').contains(&c))
+            (1..=24).contains(&s.chars().count()) && s.chars().all(|c| (' '..='~').contains(&c))
         });
         check("[a-zA-Z][a-zA-Z0-9-]{0,14}", |s| {
             let mut it = s.chars();
@@ -337,7 +339,9 @@ mod tests {
     fn alternation_and_quantifiers() {
         check("(foo|ba+r){2}", |s| !s.is_empty());
         check("a?b*c", |s| s.ends_with('c'));
-        check("\\d{2,}", |s| s.len() >= 2 && s.chars().all(|c| c.is_ascii_digit()));
+        check("\\d{2,}", |s| {
+            s.len() >= 2 && s.chars().all(|c| c.is_ascii_digit())
+        });
     }
 
     #[test]
