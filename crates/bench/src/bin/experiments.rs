@@ -6,12 +6,13 @@
 //! cargo run --release -p bench --bin experiments -- --exp e5
 //! ```
 
-use bench::experiments::{run_all, run_one, Scale};
+use bench::experiments::{bench_json, run_all, run_one, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut exp: Option<String> = None;
+    let mut out_path = String::from("BENCH_metacomm.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,8 +22,14 @@ fn main() {
                 i += 1;
                 exp = args.get(i).cloned();
             }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or(out_path);
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick|--full] [--exp e1..e12]");
+                eprintln!(
+                    "usage: experiments [--quick|--full] [--exp e1..e12] [--out BENCH_metacomm.json]"
+                );
                 return;
             }
             other => {
@@ -36,18 +43,27 @@ fn main() {
         "MetaComm experiment harness — scale: {:?}\n(see EXPERIMENTS.md for the recorded results and DESIGN.md §3 for the\nclaim-to-experiment mapping)\n",
         scale
     );
-    match exp {
+    let reports = match exp {
         Some(id) => match run_one(&id, scale) {
-            Some(r) => r.print(),
+            Some(r) => vec![r],
             None => {
                 eprintln!("no experiment `{id}` (e1..e12)");
                 std::process::exit(2);
             }
         },
-        None => {
-            for r in run_all(scale) {
-                r.print();
-            }
+        None => run_all(scale),
+    };
+    for r in &reports {
+        r.print();
+    }
+    // Machine-readable artifact: report summaries + a live metrics snapshot
+    // from an instrumented deployment (CI uploads this file).
+    let json = bench_json(scale, &reports);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path} ({} bytes)", json.len()),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -88,6 +88,76 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
     })
 }
 
+/// The machine-readable artifact the harness writes next to its tables:
+/// every report's id/title/observations plus a live metrics snapshot from
+/// an instrumented deployment run (CI uploads this as `BENCH_metacomm.json`).
+pub fn bench_json(scale: Scale, reports: &[Report]) -> String {
+    let mut out = String::from("{\"bench\":\"metacomm\"");
+    out.push_str(&format!(
+        ",\"scale\":{}",
+        jstr(match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        })
+    ));
+    out.push_str(",\"experiments\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"title\":{},\"observations\":[{}]}}",
+            jstr(r.id),
+            jstr(r.title),
+            r.observations
+                .iter()
+                .map(|o| jstr(o))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    out.push_str("],\"metrics\":");
+    out.push_str(&metrics_workload_snapshot());
+    out.push('}');
+    out
+}
+
+/// Run a small scripted workload on an instrumented deployment and return
+/// its whole-registry snapshot as JSON — the per-component counters and
+/// latency percentiles half of the artifact.
+fn metrics_workload_snapshot() -> String {
+    let r = crate::rig(1, true);
+    let wba = r.system.wba();
+    let mut w = crate::workload::Workload::new(7);
+    let people = w.people(25, 1);
+    for p in &people {
+        wba.add_person_with_extension(&p.cn, &p.sn, &p.extension, &p.room)
+            .expect("add");
+    }
+    for p in people.iter().take(10) {
+        wba.assign_room(&p.cn, "9Z-999").expect("modify");
+    }
+    r.system.settle();
+    let json = r.system.metrics_snapshot().to_json();
+    r.system.shutdown();
+    json
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Mean of a duration sample in microseconds.
 pub(crate) fn mean_us(samples: &[std::time::Duration]) -> f64 {
     if samples.is_empty() {

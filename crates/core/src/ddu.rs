@@ -59,8 +59,13 @@ pub(crate) fn spawn_relays(
     crash_between_pair: Arc<AtomicBool>,
     seq: Arc<AtomicU64>,
     retry: RetryPolicy,
+    registry: Arc<crate::obs::Registry>,
 ) -> RelayHandles {
     let (shutdown_tx, shutdown_rx) = crossbeam::channel::unbounded::<()>();
+    // End-to-end latency of one relayed DDU (translate + gateway trips),
+    // shared by every relay thread.
+    let ddu_hist = registry.component("relay").histogram("ddu");
+    let clock = registry.clock();
     let mut threads = Vec::new();
     for f in filters {
         let rx = f.subscribe();
@@ -75,6 +80,8 @@ pub(crate) fn spawn_relays(
         let owned_attrs = f.ldap_owned_attrs();
         let sq = seq.clone();
         let rt = retry.clone();
+        let hist = ddu_hist.clone();
+        let clk = clock.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("ddu-relay-{name}"))
@@ -89,6 +96,8 @@ pub(crate) fn spawn_relays(
                         crash,
                         sq,
                         rt,
+                        hist,
+                        clk,
                         &name,
                         &mapping,
                         &owned_attrs,
@@ -114,6 +123,8 @@ fn relay_loop(
     crash: Arc<AtomicBool>,
     seq: Arc<AtomicU64>,
     retry: RetryPolicy,
+    ddu_hist: Arc<crate::obs::Histogram>,
+    clock: Arc<dyn crate::obs::Clock>,
     origin: &str,
     mapping: &str,
     owned_attrs: &[String],
@@ -127,7 +138,8 @@ fn relay_loop(
             i if i == op_idx => match oper.recv(&rx) {
                 Ok(d) => {
                     stats.ddus.fetch_add(1, Ordering::Relaxed);
-                    if let Err(e) = relay_one(
+                    let t0 = clock.now_ns();
+                    let relayed = relay_one(
                         &gateway,
                         &engine,
                         &stats,
@@ -137,7 +149,9 @@ fn relay_loop(
                         mapping,
                         owned_attrs,
                         &d,
-                    ) {
+                    );
+                    ddu_hist.record(clock.now_ns().saturating_sub(t0));
+                    if let Err(e) = relayed {
                         stats.errors.fetch_add(1, Ordering::Relaxed);
                         errorlog.log(
                             gateway.inner().as_ref(),

@@ -91,6 +91,7 @@ pub struct FaultInjector {
     inner: Arc<dyn DeviceFilter>,
     plan: FaultPlan,
     handle: Arc<FaultHandle>,
+    clock: Arc<dyn crate::obs::Clock>,
     dropped_once: AtomicBool,
     down_tripped: AtomicBool,
 }
@@ -103,9 +104,18 @@ impl FaultInjector {
             inner,
             plan,
             handle,
+            clock: crate::obs::SystemClock::new(),
             dropped_once: AtomicBool::new(false),
             down_tripped: AtomicBool::new(false),
         }
+    }
+
+    /// Use `clock` for injected latency: on a [`crate::obs::ManualClock`]
+    /// the `latency` fault advances virtual time instead of really sleeping,
+    /// so latency-fault tests run instantly and deterministically.
+    pub fn with_clock(mut self, clock: Arc<dyn crate::obs::Clock>) -> FaultInjector {
+        self.clock = clock;
+        self
     }
 
     /// The control/observation handle (clone it out before boxing the
@@ -135,7 +145,7 @@ impl DeviceFilter for FaultInjector {
     fn apply(&self, op: &TargetOp) -> Result<ApplyOutcome> {
         let n = self.handle.ops_seen.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(d) = self.plan.latency {
-            std::thread::sleep(d);
+            self.clock.sleep(d);
         }
         if self.handle.is_down() {
             return Err(self.unreachable("link down"));

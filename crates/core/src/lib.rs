@@ -41,6 +41,7 @@ pub mod error;
 pub mod errorlog;
 pub mod filter;
 pub mod image;
+pub mod obs;
 pub mod resilience;
 pub mod schema;
 pub mod sync;
@@ -51,6 +52,10 @@ pub use error::{MetaError, Result};
 pub use errorlog::{AdminAlert, ErrorLog};
 pub use filter::fault::{FaultHandle, FaultInjector, FaultPlan};
 pub use filter::{ApplyOutcome, DeviceFilter};
+pub use obs::{
+    Clock, HistogramSnapshot, ManualClock, MonitorDirectory, Registry, RegistrySnapshot,
+    SystemClock, MONITOR_BASE,
+};
 pub use resilience::{BreakerPolicy, DeviceHealth, HealthState, RecoveryOutcome, RetryPolicy};
 pub use sync::SyncReport;
 pub use um::{UmStats, UpdateTrace};
@@ -84,6 +89,7 @@ pub struct MetaCommBuilder {
     retry: RetryPolicy,
     breaker: BreakerPolicy,
     fault_plans: HashMap<String, FaultPlan>,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl MetaCommBuilder {
@@ -102,7 +108,17 @@ impl MetaCommBuilder {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             fault_plans: HashMap::new(),
+            clock: None,
         }
+    }
+
+    /// Use `clock` for every latency measurement (span stages, histograms)
+    /// and for injected fault latency. Defaults to the real monotonic
+    /// [`SystemClock`]; tests pass a [`ManualClock`] for deterministic
+    /// timings.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
     }
 
     /// Integrate a PBX owning the extensions matched by `ext_glob`
@@ -248,6 +264,13 @@ impl MetaCommBuilder {
         // Error log lives in the directory itself.
         let errorlog = Arc::new(ErrorLog::install(dit.as_ref(), &suffix)?);
 
+        // The metrics registry every component reports into, on the
+        // deployment clock.
+        let registry = Registry::new(
+            self.clock
+                .unwrap_or_else(|| SystemClock::new() as Arc<dyn Clock>),
+        );
+
         // Filters: protocol converter + mapper per repository. A filter
         // with a fault plan gets the FaultInjector decorator.
         let mut filters: Vec<Arc<dyn DeviceFilter>> = Vec::new();
@@ -256,7 +279,7 @@ impl MetaCommBuilder {
             let mut wrap = |f: Arc<dyn DeviceFilter>| -> Arc<dyn DeviceFilter> {
                 match self.fault_plans.get(f.name()) {
                     Some(plan) => {
-                        let inj = FaultInjector::new(f, plan.clone());
+                        let inj = FaultInjector::new(f, plan.clone()).with_clock(registry.clock());
                         fault_handles.insert(inj.name().to_string(), inj.handle());
                         Arc::new(inj)
                     }
@@ -284,6 +307,8 @@ impl MetaCommBuilder {
 
         // The Update Manager: trap every person update under the suffix.
         let um_stats = Arc::new(UmStats::default());
+        // Pre-resolve the coordinator's and devices' metrics once.
+        let um_obs = obs::UmObs::install(&registry, filters.iter().map(|f| f.name().to_string()));
         // Per-device breaker/journal runtimes, shared between the
         // coordinator (records outcomes, journals during outages) and the
         // recovery monitor (probes and drains).
@@ -297,9 +322,23 @@ impl MetaCommBuilder {
                     errorlog.clone(),
                     dit.clone() as Arc<dyn Directory>,
                     um_stats.clone(),
+                    um_obs.devices[f.name()].clone(),
                 ),
             );
         }
+        // Live per-device gauges read straight off the runtimes.
+        for (name, rt) in &runtimes {
+            let comp = registry.component(&format!("device-{name}"));
+            let r = rt.clone();
+            comp.gauge_callback("journalDepth", move || r.health().queued_ops as i64);
+            let r = rt.clone();
+            comp.gauge_callback("consecutiveFailures", move || {
+                r.health().consecutive_failures as i64
+            });
+            let r = rt.clone();
+            comp.gauge_callback("droppedOps", move || r.health().dropped_ops as i64);
+        }
+        obs::mirror_um_stats(&registry, &um_stats);
         // Coordinator sequence counter, shared with the relays so every
         // error-log entry carries a real monotonic sequence number.
         let seq = Arc::new(AtomicU64::new(1));
@@ -315,6 +354,7 @@ impl MetaCommBuilder {
             retry: self.retry.clone(),
             runtimes: runtimes.clone(),
             seq: seq.clone(),
+            obs: um_obs,
         });
         gateway.register(
             TriggerSpec::all_updates("metacomm-um", suffix.clone())
@@ -334,7 +374,10 @@ impl MetaCommBuilder {
             crash_between_pair.clone(),
             seq.clone(),
             self.retry.clone(),
+            registry.clone(),
         );
+        obs::mirror_relay_stats(&registry, &relay_stats);
+        obs::mirror_gateway_stats(&registry, &gateway);
 
         // Recovery monitor: probes non-Up devices and reapplies their
         // backlog (journal drain, or full resync after overflow).
@@ -372,6 +415,7 @@ impl MetaCommBuilder {
             runtimes,
             fault_handles,
             monitor: Mutex::new(Some(monitor)),
+            registry,
         })
     }
 }
@@ -395,6 +439,7 @@ pub struct MetaComm {
     runtimes: HashMap<String, Arc<DeviceRuntime>>,
     fault_handles: HashMap<String, Arc<FaultHandle>>,
     monitor: Mutex<Option<MonitorHandle>>,
+    registry: Arc<Registry>,
 }
 
 impl MetaComm {
@@ -421,9 +466,25 @@ impl MetaComm {
     }
 
     /// Serve the gateway over TCP (the §5.5 network-gateway deployment);
-    /// any LDAP client can now administer the telecom devices.
+    /// any LDAP client can now administer the telecom devices — and browse
+    /// live metrics under the read-only `cn=monitor` subtree. The wire
+    /// server's own per-operation metrics register as the `server`
+    /// component.
     pub fn serve(&self, addr: &str) -> ldap::Result<ldap::server::Server> {
-        ldap::server::Server::start(self.gateway.clone(), addr)
+        let fronted = MonitorDirectory::new(self.gateway.clone(), self.registry.clone());
+        let server = ldap::server::Server::start(fronted, addr)?;
+        obs::mirror_server_metrics(&self.registry, &server.metrics());
+        Ok(server)
+    }
+
+    /// The live metrics registry (also served as `cn=monitor`).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every metric in the deployment.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
     }
 
     /// Filters, in registration order.

@@ -203,6 +203,7 @@ pub struct DeviceRuntime {
     errorlog: Arc<ErrorLog>,
     dir: Arc<dyn Directory>,
     stats: Arc<UmStats>,
+    obs: Arc<crate::obs::DeviceObs>,
     next_ticket: AtomicU64,
     inner: Mutex<RuntimeInner>,
 }
@@ -214,6 +215,7 @@ impl DeviceRuntime {
         errorlog: Arc<ErrorLog>,
         dir: Arc<dyn Directory>,
         stats: Arc<UmStats>,
+        obs: Arc<crate::obs::DeviceObs>,
     ) -> Arc<DeviceRuntime> {
         Arc::new(DeviceRuntime {
             name: name.to_string(),
@@ -221,6 +223,7 @@ impl DeviceRuntime {
             errorlog,
             dir,
             stats,
+            obs,
             next_ticket: AtomicU64::new(1),
             inner: Mutex::new(RuntimeInner {
                 state: HealthState::Up,
@@ -289,6 +292,7 @@ impl DeviceRuntime {
         let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
         g.journal.push_back(JournaledOp { ticket, op, dn });
         self.stats.queued.fetch_add(1, Ordering::Relaxed);
+        self.obs.queued.inc();
         Some(ticket)
     }
 
@@ -327,6 +331,7 @@ impl DeviceRuntime {
         if let Some((prev, next, failures)) = transition {
             if next == HealthState::Offline {
                 self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                self.obs.breaker_trips.inc();
             }
             self.errorlog.log(
                 self.dir.as_ref(),
@@ -466,6 +471,7 @@ pub(crate) fn attempt_recovery(
             }
         };
         ctx.stats.full_resyncs.fetch_add(1, Ordering::Relaxed);
+        runtime.obs.resyncs.inc();
         {
             let mut g = runtime.inner.lock();
             g.journal.clear();
@@ -513,9 +519,16 @@ pub(crate) fn attempt_recovery(
         // (or never) applying.
         let mut op = j.op.clone();
         op.conditional = true;
-        match apply_with_retry(filter, &op, &ctx.retry, &ctx.stats) {
+        let t0 = runtime.obs.clock.now_ns();
+        let outcome = apply_with_retry(filter, &op, &ctx.retry, &ctx.stats);
+        runtime
+            .obs
+            .reapply
+            .record(runtime.obs.clock.now_ns().saturating_sub(t0));
+        match outcome {
             Ok(outcome) => {
                 reapplied += 1;
+                runtime.obs.drained.inc();
                 ctx.stats.device_ops.fetch_add(1, Ordering::Relaxed);
                 if outcome.reapplied {
                     ctx.stats.reapplied.fetch_add(1, Ordering::Relaxed);

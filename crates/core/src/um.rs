@@ -46,6 +46,12 @@ pub struct UpdateTrace {
     pub device_ops: Vec<(String, String, bool, bool)>,
     /// `Ok` or the error message the client received.
     pub outcome: String,
+    /// Stage durations from the coordinator's span, in first-marked order:
+    /// `acquire` (queue wait), `closure`, `translate`, `apply`, `commit`.
+    /// Repeated stages (one `translate`/`apply` per device) accumulate.
+    pub stage_ns: Vec<(String, u64)>,
+    /// Total coordinator latency (enqueue → reply), nanoseconds.
+    pub total_ns: u64,
 }
 
 /// Update Manager statistics (fed into the experiment harness).
@@ -83,6 +89,9 @@ enum Request {
         op: LtapOp,
         pre: Option<Entry>,
         origin: Option<String>,
+        /// Clock reading when the trigger enqueued the request — the span's
+        /// `acquire` stage measures from here to coordinator pickup.
+        enqueued_ns: u64,
         reply: Sender<ldap::Result<()>>,
     },
     Shutdown,
@@ -107,6 +116,8 @@ pub(crate) struct Shared {
     /// Coordinator sequence counter, shared with the DDU relays so error-log
     /// entries carry real monotonic sequence numbers.
     pub seq: Arc<AtomicU64>,
+    /// Pre-resolved histograms/counters for the coordinator's hot path.
+    pub obs: Arc<crate::obs::UmObs>,
 }
 
 /// Capacity of the trace ring.
@@ -117,6 +128,8 @@ pub struct UpdateManager {
     tx: Sender<Request>,
     stats: Arc<UmStats>,
     traces: Arc<parking_lot::Mutex<std::collections::VecDeque<UpdateTrace>>>,
+    /// The deployment clock, for stamping enqueue times in the handler.
+    clock: Arc<dyn crate::obs::Clock>,
     worker: Option<JoinHandle<()>>,
     /// Set before the Shutdown request goes out, so triggers that race a
     /// shutdown get a clean "shut down" error instead of "crashed".
@@ -129,6 +142,7 @@ impl UpdateManager {
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
         let stats = shared.stats.clone();
         let traces = shared.traces.clone();
+        let clock = shared.obs.clock.clone();
         let worker = std::thread::Builder::new()
             .name("um-coordinator".into())
             .spawn(move || coordinator_loop(rx, shared))
@@ -137,6 +151,7 @@ impl UpdateManager {
             tx,
             stats,
             traces,
+            clock,
             worker: Some(worker),
             closing: Arc::new(AtomicBool::new(false)),
         }
@@ -156,6 +171,7 @@ impl UpdateManager {
     pub(crate) fn handler(&self) -> Arc<dyn TriggerHandler> {
         let tx = self.tx.clone();
         let closing = self.closing.clone();
+        let clock = self.clock.clone();
         Arc::new(move |ctx: &TriggerContext<'_>| {
             if closing.load(Ordering::SeqCst) {
                 return Err(LdapError::new(
@@ -168,6 +184,7 @@ impl UpdateManager {
                 op: ctx.op.clone(),
                 pre: ctx.pre_image.cloned(),
                 origin: ctx.origin.map(str::to_string),
+                enqueued_ns: clock.now_ns(),
                 reply: rtx,
             };
             if tx.send(req).is_err() {
@@ -221,9 +238,10 @@ fn coordinator_loop(rx: Receiver<Request>, shared: Shared) {
                             op,
                             pre,
                             origin,
+                            enqueued_ns,
                             reply,
                         } => {
-                            let result = process(&shared, &seq, op, pre, origin);
+                            let result = process(&shared, &seq, op, pre, origin, enqueued_ns);
                             let _ = reply.send(result.map_err(crate::error::MetaError::into_ldap));
                         }
                     }
@@ -234,9 +252,10 @@ fn coordinator_loop(rx: Receiver<Request>, shared: Shared) {
                 op,
                 pre,
                 origin,
+                enqueued_ns,
                 reply,
             } => {
-                let result = process(&shared, &seq, op, pre, origin);
+                let result = process(&shared, &seq, op, pre, origin, enqueued_ns);
                 let _ = reply.send(result.map_err(crate::error::MetaError::into_ldap));
             }
         }
@@ -390,10 +409,17 @@ fn process(
     op: LtapOp,
     pre: Option<Entry>,
     tagged_origin: Option<String>,
+    enqueued_ns: u64,
 ) -> crate::error::Result<()> {
     let my_seq = seq.fetch_add(1, Ordering::SeqCst);
     shared.stats.updates.fetch_add(1, Ordering::Relaxed);
     let origin = resolve_origin(&op, tagged_origin);
+    // The span's first stage is the queue wait (acquisition): trigger
+    // enqueue → coordinator pickup, i.e. right now.
+    let mut span = crate::obs::Span::start_from(shared.obs.clock.clone(), enqueued_ns, "acquire");
+    if let Some((_, wait)) = span.stages().first() {
+        shared.obs.acquire.record(*wait);
+    }
     let mut trace = UpdateTrace {
         seq: my_seq,
         origin: origin.clone(),
@@ -401,8 +427,18 @@ fn process(
         derived_attrs: Vec::new(),
         device_ops: Vec::new(),
         outcome: String::new(),
+        stage_ns: Vec::new(),
+        total_ns: 0,
     };
-    let result = process_inner(shared, my_seq, &op, pre, &origin, &mut trace);
+    let result = process_inner(shared, my_seq, &op, pre, &origin, &mut trace, &mut span);
+    let (stages, total) = span.finish();
+    if result.is_ok() {
+        shared.obs.update.record(total);
+    } else {
+        shared.obs.abort.record(total);
+    }
+    trace.stage_ns = stages;
+    trace.total_ns = total;
     trace.outcome = match &result {
         Ok(()) => "ok".to_string(),
         Err(e) => e.to_string(),
@@ -422,6 +458,7 @@ fn process_inner(
     pre: Option<Entry>,
     origin: &str,
     trace: &mut UpdateTrace,
+    span: &mut crate::obs::Span,
 ) -> crate::error::Result<()> {
     let origin = origin.to_string();
     let mut d = descriptor_for(op, pre.as_ref(), &origin)?;
@@ -432,7 +469,9 @@ fn process_inner(
     }
     // Transitive closure over the integrated schema (§4.2).
     let before_closure = d.new.clone();
-    if let Err(e) = shared.closure.augment(&mut d) {
+    let augmented = shared.closure.augment(&mut d);
+    shared.obs.closure.record(span.mark("closure"));
+    if let Err(e) = augmented {
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         shared.errorlog.log(
             shared.inner.as_ref(),
@@ -466,7 +505,9 @@ fn process_inner(
     let mut tickets: Vec<(Arc<DeviceRuntime>, u64)> = Vec::new();
     let mut failure: Option<crate::error::MetaError> = None;
     for f in &shared.filters {
-        let top = match shared.engine.translate(&f.mapping_from_ldap(), &d) {
+        let translated = shared.engine.translate(&f.mapping_from_ldap(), &d);
+        shared.obs.translate.record(span.mark("translate"));
+        let top = match translated {
             Ok(t) => t,
             Err(e) => {
                 failure = Some(e.into());
@@ -498,8 +539,18 @@ fn process_inner(
                 continue;
             }
         }
-        match apply_with_retry(f, &top, &shared.retry, &shared.stats) {
+        let applied = apply_with_retry(f, &top, &shared.retry, &shared.stats);
+        let dev_obs = shared.obs.devices.get(f.name());
+        if let Some(o) = dev_obs {
+            o.apply.record(span.mark("apply"));
+        } else {
+            span.mark("apply");
+        }
+        match applied {
             Ok(outcome) => {
+                if let Some(o) = dev_obs {
+                    o.applies.inc();
+                }
                 if let Some(rt) = runtime {
                     rt.record_success();
                 }
@@ -536,6 +587,9 @@ fn process_inner(
                 // The device never saw the op. Advance the breaker; if that
                 // (or an earlier trip) opened it, queue the op and let the
                 // update proceed — the directory stays authoritative.
+                if let Some(o) = dev_obs {
+                    o.failures.inc();
+                }
                 if let Some(rt) = runtime {
                     rt.record_failure(my_seq, &e);
                     if rt.should_journal() {
@@ -557,6 +611,9 @@ fn process_inner(
             Err(e) => {
                 // Semantic rejection: the device is reachable and judged the
                 // op invalid — abort the update (§4.4), breaker untouched.
+                if let Some(o) = dev_obs {
+                    o.failures.inc();
+                }
                 failure = Some(e);
                 break;
             }
@@ -627,6 +684,7 @@ fn process_inner(
                 Ok(())
             }),
     };
+    shared.obs.commit.record(span.mark("commit"));
     if let Err(e) = ldap_result {
         for (rt, t) in &tickets {
             rt.discard_tickets(&[*t]);

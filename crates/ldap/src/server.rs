@@ -13,17 +13,71 @@ use crate::filter::Filter;
 use crate::proto::{
     entry_from_wire, entry_to_wire, parse_rdn, read_frame, LdapMessage, LdapResult, ProtocolOp,
 };
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Per-operation wire metrics: request counts by operation, BER decode
+/// failures, entries streamed back, and a tally of every result code sent.
+/// Plain atomics — cheap enough to be always on.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    pub binds: AtomicU64,
+    pub searches: AtomicU64,
+    pub compares: AtomicU64,
+    pub adds: AtomicU64,
+    pub modifies: AtomicU64,
+    pub modify_dns: AtomicU64,
+    pub deletes: AtomicU64,
+    pub unbinds: AtomicU64,
+    /// Frames that failed BER decoding (the connection is then dropped).
+    pub decode_failures: AtomicU64,
+    /// SearchResultEntry messages sent.
+    pub entries_returned: AtomicU64,
+    /// result code → times sent (any operation).
+    result_codes: Mutex<BTreeMap<u32, u64>>,
+}
+
+impl ServerMetrics {
+    fn record_result(&self, code: ResultCode) {
+        *self.result_codes.lock().entry(code.code()).or_insert(0) += 1;
+    }
+
+    /// How many results carried `code`.
+    pub fn result_code_count(&self, code: u32) -> u64 {
+        self.result_codes.lock().get(&code).copied().unwrap_or(0)
+    }
+
+    /// Results whose code is not in `tallied` (the long tail).
+    pub fn result_code_other(&self, tallied: &[u32]) -> u64 {
+        self.result_codes
+            .lock()
+            .iter()
+            .filter(|(c, _)| !tallied.contains(c))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// All `(code, count)` pairs sent so far, sorted by code.
+    pub fn result_code_counts(&self) -> Vec<(u32, u64)> {
+        self.result_codes
+            .lock()
+            .iter()
+            .map(|(c, n)| (*c, *n))
+            .collect()
+    }
+}
 
 /// A running LDAP server. Shuts down when dropped.
 pub struct Server {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl Server {
@@ -33,6 +87,8 @@ impl Server {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let metrics = Arc::new(ServerMetrics::default());
+        let m2 = metrics.clone();
         let accept_thread = std::thread::Builder::new()
             .name("ldap-accept".into())
             .spawn(move || {
@@ -44,9 +100,10 @@ impl Server {
                         Ok(stream) => {
                             stream.set_nodelay(true).ok();
                             let dir = dir.clone();
+                            let m = m2.clone();
                             let _ = std::thread::Builder::new()
                                 .name("ldap-conn".into())
-                                .spawn(move || serve_connection(stream, dir));
+                                .spawn(move || serve_connection(stream, dir, m));
                         }
                         Err(_) => break,
                     }
@@ -57,12 +114,18 @@ impl Server {
             addr: local,
             stop,
             accept_thread: Some(accept_thread),
+            metrics,
         })
     }
 
     /// The bound address (useful with ephemeral ports).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
+    }
+
+    /// Live per-operation wire metrics.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        self.metrics.clone()
     }
 
     /// Stop accepting connections.
@@ -83,7 +146,7 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, dir: Arc<dyn Directory>) {
+fn serve_connection(mut stream: TcpStream, dir: Arc<dyn Directory>, metrics: Arc<ServerMetrics>) {
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(Some(f)) => f,
@@ -91,12 +154,18 @@ fn serve_connection(mut stream: TcpStream, dir: Arc<dyn Directory>) {
         };
         let msg = match LdapMessage::decode(&frame) {
             Ok(m) => m,
-            Err(_) => return,
+            Err(_) => {
+                metrics.decode_failures.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         };
         let id = msg.id;
         let responses = match msg.op {
-            ProtocolOp::UnbindRequest => return,
-            op => handle_op(op, &dir),
+            ProtocolOp::UnbindRequest => {
+                metrics.unbinds.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            op => handle_op(op, &dir, &metrics),
         };
         // One write per request: search results can be hundreds of
         // messages, and per-message syscalls dominate otherwise.
@@ -111,17 +180,22 @@ fn serve_connection(mut stream: TcpStream, dir: Arc<dyn Directory>) {
     }
 }
 
-fn result_of(r: Result<()>) -> LdapResult {
-    match r {
+fn result_of(r: Result<()>, metrics: &ServerMetrics) -> LdapResult {
+    let lr = match r {
         Ok(()) => LdapResult::success(),
         Err(e) => LdapResult::error(&e),
-    }
+    };
+    metrics.record_result(lr.code);
+    lr
 }
 
-fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>) -> Vec<ProtocolOp> {
+fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>, metrics: &ServerMetrics) -> Vec<ProtocolOp> {
     match op {
         ProtocolOp::BindRequest { dn, password, .. } => {
-            vec![ProtocolOp::BindResponse(bind_result(dir, &dn, &password))]
+            metrics.binds.fetch_add(1, Ordering::Relaxed);
+            let lr = bind_result(dir, &dn, &password);
+            metrics.record_result(lr.code);
+            vec![ProtocolOp::BindResponse(lr)]
         }
         ProtocolOp::SearchRequest {
             base,
@@ -129,18 +203,24 @@ fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>) -> Vec<ProtocolOp> {
             size_limit,
             filter,
             attrs,
-        } => search_responses(dir, &base, scope, size_limit, &filter, &attrs),
+        } => {
+            metrics.searches.fetch_add(1, Ordering::Relaxed);
+            search_responses(dir, &base, scope, size_limit, &filter, &attrs, metrics)
+        }
         ProtocolOp::AddRequest { dn, attrs } => {
+            metrics.adds.fetch_add(1, Ordering::Relaxed);
             let r = entry_from_wire(&dn, &attrs).and_then(|e| dir.add(e));
-            vec![ProtocolOp::AddResponse(result_of(r))]
+            vec![ProtocolOp::AddResponse(result_of(r, metrics))]
         }
         ProtocolOp::DelRequest { dn } => {
+            metrics.deletes.fetch_add(1, Ordering::Relaxed);
             let r = Dn::parse(&dn).and_then(|d| dir.delete(&d));
-            vec![ProtocolOp::DelResponse(result_of(r))]
+            vec![ProtocolOp::DelResponse(result_of(r, metrics))]
         }
         ProtocolOp::ModifyRequest { dn, mods } => {
+            metrics.modifies.fetch_add(1, Ordering::Relaxed);
             let r = Dn::parse(&dn).and_then(|d| dir.modify(&d, &mods));
-            vec![ProtocolOp::ModifyResponse(result_of(r))]
+            vec![ProtocolOp::ModifyResponse(result_of(r, metrics))]
         }
         ProtocolOp::ModifyDnRequest {
             dn,
@@ -148,6 +228,7 @@ fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>) -> Vec<ProtocolOp> {
             delete_old,
             new_superior,
         } => {
+            metrics.modify_dns.fetch_add(1, Ordering::Relaxed);
             let r = (|| {
                 let d = Dn::parse(&dn)?;
                 let rdn = parse_rdn(&new_rdn)?;
@@ -157,9 +238,10 @@ fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>) -> Vec<ProtocolOp> {
                 };
                 dir.modify_rdn(&d, &rdn, delete_old, sup.as_ref())
             })();
-            vec![ProtocolOp::ModifyDnResponse(result_of(r))]
+            vec![ProtocolOp::ModifyDnResponse(result_of(r, metrics))]
         }
         ProtocolOp::CompareRequest { dn, attr, value } => {
+            metrics.compares.fetch_add(1, Ordering::Relaxed);
             let res = Dn::parse(&dn).and_then(|d| dir.compare(&d, &attr, &value));
             let lr = match res {
                 Ok(true) => LdapResult {
@@ -174,12 +256,15 @@ fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>) -> Vec<ProtocolOp> {
                 },
                 Err(e) => LdapResult::error(&e),
             };
+            metrics.record_result(lr.code);
             vec![ProtocolOp::CompareResponse(lr)]
         }
         // Requests a server never receives (responses, unbind handled above).
-        _ => vec![ProtocolOp::SearchResultDone(LdapResult::error(
-            &LdapError::protocol("unexpected protocol op"),
-        ))],
+        _ => {
+            let lr = LdapResult::error(&LdapError::protocol("unexpected protocol op"));
+            metrics.record_result(lr.code);
+            vec![ProtocolOp::SearchResultDone(lr)]
+        }
     }
 }
 
@@ -218,11 +303,15 @@ fn search_responses(
     size_limit: i64,
     filter: &Filter,
     attrs: &[String],
+    metrics: &ServerMetrics,
 ) -> Vec<ProtocolOp> {
     let result = Dn::parse(base)
         .and_then(|b| dir.search(&b, scope, filter, attrs, size_limit.max(0) as usize));
     match result {
         Ok(entries) => {
+            metrics
+                .entries_returned
+                .fetch_add(entries.len() as u64, Ordering::Relaxed);
             let mut out: Vec<ProtocolOp> = entries
                 .iter()
                 .map(|e| {
@@ -230,10 +319,14 @@ fn search_responses(
                     ProtocolOp::SearchResultEntry { dn, attrs }
                 })
                 .collect();
+            metrics.record_result(ResultCode::Success);
             out.push(ProtocolOp::SearchResultDone(LdapResult::success()));
             out
         }
-        Err(e) => vec![ProtocolOp::SearchResultDone(LdapResult::error(&e))],
+        Err(e) => {
+            metrics.record_result(e.code);
+            vec![ProtocolOp::SearchResultDone(LdapResult::error(&e))]
+        }
     }
 }
 

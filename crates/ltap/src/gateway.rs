@@ -45,6 +45,11 @@ pub struct Stats {
     pub triggers_fired: AtomicUsize,
     pub vetoed: AtomicUsize,
     pub handled_by_trigger: AtomicUsize,
+    /// Cumulative wall time inside [`Gateway::trap`] (quiesce + lock +
+    /// triggers + apply), nanoseconds. Counted for failed trips too.
+    pub update_ns: AtomicU64,
+    /// Cumulative wall time inside pass-through reads, nanoseconds.
+    pub read_ns: AtomicU64,
 }
 
 /// The trigger gateway.
@@ -121,7 +126,18 @@ impl Gateway {
     }
 
     /// The trapped update path shared by all four update operations.
+    /// Wall time is accumulated into [`Stats::update_ns`] whether the trip
+    /// succeeds, is vetoed, or fails downstream.
     fn trap(&self, op: LtapOp, origin: Option<&str>) -> Result<()> {
+        let t0 = std::time::Instant::now();
+        let r = self.trap_inner(op, origin);
+        self.stats
+            .update_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        r
+    }
+
+    fn trap_inner(&self, op: LtapOp, origin: Option<&str>) -> Result<()> {
         let _pass = self.quiesce.enter_update();
         self.stats.updates.fetch_add(1, Ordering::Relaxed);
         let key = op.dn().norm_key();
@@ -247,12 +263,22 @@ impl Directory for Gateway {
     ) -> Result<Vec<Entry>> {
         // Reads pass through untouched — no locks, no quiesce.
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.inner.search(base, scope, filter, attrs, size_limit)
+        let t0 = std::time::Instant::now();
+        let r = self.inner.search(base, scope, filter, attrs, size_limit);
+        self.stats
+            .read_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        r
     }
 
     fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.inner.compare(dn, attr, value)
+        let t0 = std::time::Instant::now();
+        let r = self.inner.compare(dn, attr, value);
+        self.stats
+            .read_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        r
     }
 }
 

@@ -55,6 +55,22 @@ fn room_at(switch: &PbxStore, ext: &str) -> Option<String> {
     switch.get(ext)?.get("Room").map(str::to_string)
 }
 
+/// A `device-pbx-west` metric out of the live registry snapshot.
+fn dev_metric(system: &metacomm::MetaComm, name: &str) -> u64 {
+    system
+        .metrics_snapshot()
+        .value("device-pbx-west", name)
+        .unwrap_or_else(|| panic!("device-pbx-west has no metric `{name}`"))
+}
+
+/// A `um` metric out of the live registry snapshot.
+fn um_metric(system: &metacomm::MetaComm, name: &str) -> u64 {
+    system
+        .metrics_snapshot()
+        .value("um", name)
+        .unwrap_or_else(|| panic!("um has no metric `{name}`"))
+}
+
 /// Poll until `cond` holds (the monitor/relay threads run asynchronously).
 fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
     let deadline = Instant::now() + Duration::from_secs(5);
@@ -76,6 +92,12 @@ fn outage_journals_updates_and_drain_converges_with_zero_loss() {
         .expect("seed");
     r.system.settle();
     assert_eq!(room_at(&r.switch, "1100").as_deref(), Some("R0"));
+
+    // Healthy phase: the monitor shows live applies, no outage machinery.
+    assert!(dev_metric(&r.system, "applies") >= 1);
+    assert_eq!(dev_metric(&r.system, "breakerTrips"), 0);
+    assert_eq!(dev_metric(&r.system, "queuedTotal"), 0);
+    assert_eq!(dev_metric(&r.system, "journalDepth"), 0);
 
     // Cut the link. The first client update trips the breaker (offline
     // after 1 failure) and is journaled — the client still sees success.
@@ -100,6 +122,17 @@ fn outage_journals_updates_and_drain_converges_with_zero_loss() {
     assert_eq!(health.queued_ops, 10);
     assert!(!health.journal_overflowed);
     assert!(health.last_error.is_some());
+
+    // Outage phase, as the metrics tell it: one breaker trip, ten ops
+    // journaled (the `journalDepth` gauge reads the live queue), at least
+    // one post-retry apply failure, and the mirrored UM totals agree.
+    assert_eq!(dev_metric(&r.system, "breakerTrips"), 1);
+    assert_eq!(dev_metric(&r.system, "queuedTotal"), 10);
+    assert_eq!(dev_metric(&r.system, "journalDepth"), 10);
+    assert!(dev_metric(&r.system, "failures") >= 1);
+    assert_eq!(um_metric(&r.system, "queued"), 10);
+    assert_eq!(um_metric(&r.system, "breakerTrips"), 1);
+    assert_eq!(um_metric(&r.system, "journalDrained"), 0);
 
     // While down, a probe finds the device still unreachable.
     assert!(matches!(
@@ -126,6 +159,20 @@ fn outage_journals_updates_and_drain_converges_with_zero_loss() {
         (0, 0),
         "drain left nothing for resync to fix: {resync:?}"
     );
+
+    // Recovery phase: all ten journaled ops drained (each timed by the
+    // reapply histogram), the depth gauge fell back to zero, and the
+    // journal never overflowed into a full resynchronization.
+    assert_eq!(dev_metric(&r.system, "drainedTotal"), 10);
+    assert_eq!(dev_metric(&r.system, "journalDepth"), 0);
+    assert_eq!(dev_metric(&r.system, "fullResyncs"), 0);
+    assert_eq!(um_metric(&r.system, "journalDrained"), 10);
+    let snap = r.system.metrics_snapshot();
+    let reapply = snap
+        .component("device-pbx-west")
+        .and_then(|c| c.histogram("reapply"))
+        .expect("reapply histogram");
+    assert_eq!(reapply.count, 10, "every drained op must be timed");
 
     // §4.4 alerts at the transitions: up -> offline, then offline -> up.
     let texts: Vec<String> = alerts.try_iter().map(|a| a.text).collect();
@@ -162,6 +209,14 @@ fn journal_overflow_falls_back_to_full_resynchronization() {
     assert_eq!(health.queued_ops, 0, "overflow abandons the journal");
     assert!(health.dropped_ops > 0);
 
+    // The overflow is visible on the monitor: drops exported live, no
+    // recovery yet.
+    assert_eq!(
+        dev_metric(&r.system, "droppedOps"),
+        health.dropped_ops as u64
+    );
+    assert_eq!(dev_metric(&r.system, "fullResyncs"), 0);
+
     handle.set_down(false);
     let outcome = r.system.probe_device("pbx-west").expect("recover");
     assert!(
@@ -174,6 +229,13 @@ fn journal_overflow_falls_back_to_full_resynchronization() {
     let health = r.system.device_health("pbx-west").expect("health");
     assert_eq!(health.state, HealthState::Up);
     assert_eq!(health.dropped_ops, 0);
+
+    // Metrics after recovery: exactly one full resynchronization, the
+    // dropped-ops gauge cleared with the journal, nothing drained.
+    assert_eq!(dev_metric(&r.system, "fullResyncs"), 1);
+    assert_eq!(dev_metric(&r.system, "droppedOps"), 0);
+    assert_eq!(dev_metric(&r.system, "drainedTotal"), 0);
+    assert_eq!(um_metric(&r.system, "fullResyncs"), 1);
     r.system.shutdown();
 }
 
@@ -248,6 +310,11 @@ fn retry_masks_flaky_device_faults() {
         system.um_stats().retried.load(Ordering::SeqCst) > 0,
         "retries must be recorded"
     );
+    // The mirrored gauge reads the same atomic the stats struct owns.
+    assert_eq!(
+        um_metric(&system, "retried"),
+        system.um_stats().retried.load(Ordering::SeqCst) as u64
+    );
     let health = system.device_health("pbx-west").expect("health");
     assert_eq!(
         health.state,
@@ -289,6 +356,11 @@ fn aborted_update_withdraws_journaled_ops() {
         before,
         "aborted update left its op in the journal"
     );
+    // `queuedTotal` is a monotonic counter — it remembers the withdrawn
+    // op (2 journaled) while the live `journalDepth` gauge shows only the
+    // one that survived the abort.
+    assert_eq!(dev_metric(&r.system, "queuedTotal"), 2);
+    assert_eq!(dev_metric(&r.system, "journalDepth"), before as u64);
 
     // Drain: only the room change replays; the rename never reaches the
     // device and both people survive with their original names.
