@@ -58,7 +58,7 @@ fn partial_failure_outcome(with_saga: bool) -> (bool, usize) {
     .unwrap();
     let mut builder = MetaCommBuilder::new("o=Lucent")
         .add_pbx(west.clone(), "9???")
-        .add_msgplat(mp.clone(), "*");
+        .add_msgplat(mp, "*");
     if with_saga {
         builder = builder.with_saga_undo();
     }
@@ -151,5 +151,6 @@ pub fn run(_scale: Scale) -> Report {
                  compensated ({undone_on} undo)"
             ),
         ],
+        extra: None,
     }
 }

@@ -27,7 +27,7 @@ pub fn run(scale: Scale) -> Report {
 
     // --- (a) filter-level: conditional add vs naive duplicate-add -------
     let store = Arc::new(Store::new("pbx-west", DialPlan::with_prefix("9", 4)));
-    let filter = PbxFilter::new(store.clone());
+    let filter = PbxFilter::new(store);
     let op = |conditional| TargetOp {
         kind: OpKind::Add,
         conditional,
@@ -144,5 +144,6 @@ pub fn run(scale: Scale) -> Report {
              at the originating switch"
                 .to_string(),
         ],
+        extra: None,
     }
 }

@@ -92,5 +92,6 @@ pub fn run(scale: Scale) -> Report {
             "initial load sustains ~{last_rate:.0} records/s at the largest size; \
              no-op resync is faster since nothing is written"
         )],
+        extra: None,
     }
 }

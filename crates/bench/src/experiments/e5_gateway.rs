@@ -153,5 +153,6 @@ pub fn run(scale: Scale) -> Report {
             ),
             "reads never reach the Update Manager in either deployment".to_string(),
         ],
+        extra: None,
     }
 }

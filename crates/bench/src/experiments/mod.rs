@@ -7,6 +7,7 @@
 pub mod e10_ldap;
 pub mod e11_ablations;
 pub mod e12_outage;
+pub mod e13_throughput;
 pub mod e1_propagation;
 pub mod e2_convergence;
 pub mod e3_reapply;
@@ -35,6 +36,10 @@ pub struct Report {
     pub table: String,
     /// One-line takeaways (recorded in EXPERIMENTS.md).
     pub observations: Vec<String>,
+    /// Optional machine-readable section spliced into `BENCH_metacomm.json`
+    /// as a top-level key: `(key, raw JSON value)`. E13 uses this to emit
+    /// the throughput trajectory CI tracks from PR to PR.
+    pub extra: Option<(&'static str, String)>,
 }
 
 impl Report {
@@ -66,10 +71,11 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e10_ldap::run(scale),
         e11_ablations::run(scale),
         e12_outage::run(scale),
+        e13_throughput::run(scale),
     ]
 }
 
-/// Run one experiment by id (`e1` … `e12`).
+/// Run one experiment by id (`e1` … `e13`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
     Some(match id {
         "e1" => e1_propagation::run(scale),
@@ -84,6 +90,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
         "e10" => e10_ldap::run(scale),
         "e11" => e11_ablations::run(scale),
         "e12" => e12_outage::run(scale),
+        "e13" => e13_throughput::run(scale),
         _ => return None,
     })
 }
@@ -116,7 +123,15 @@ pub fn bench_json(scale: Scale, reports: &[Report]) -> String {
                 .join(",")
         ));
     }
-    out.push_str("],\"metrics\":");
+    out.push(']');
+    // Machine-readable sections contributed by individual experiments
+    // (E13's `"throughput"` — the perf trajectory CI tracks across PRs).
+    for r in reports {
+        if let Some((key, json)) = &r.extra {
+            out.push_str(&format!(",\"{key}\":{json}"));
+        }
+    }
+    out.push_str(",\"metrics\":");
     out.push_str(&metrics_workload_snapshot());
     out.push('}');
     out
@@ -219,8 +234,41 @@ mod tests {
     }
 
     #[test]
+    fn quick_e13_throughput() {
+        let r = e13_throughput::run(Scale::Quick);
+        assert_eq!(r.id, "E13");
+        // Both ablation axes must appear in the table…
+        assert!(r.table.contains("search    scan"), "{}", r.table);
+        assert!(r.table.contains("search indexed"), "{}", r.table);
+        assert!(r.table.contains("update  w=1"), "{}", r.table);
+        assert!(r.table.contains("update  w=4"), "{}", r.table);
+        // …and the machine-readable section must carry the speedups CI
+        // tracks (the ≥3x / ≥1.5x acceptance gates run on the artifact,
+        // not here, to keep this test robust on loaded machines).
+        let (key, json) = r.extra.as_ref().expect("throughput section");
+        assert_eq!(*key, "throughput");
+        assert!(json.contains("\"search_speedup_t1\":"), "{json}");
+        assert!(json.contains("\"update_speedup\":"), "{json}");
+    }
+
+    #[test]
+    fn bench_json_splices_extra_sections() {
+        let r = Report {
+            id: "EX",
+            title: "t",
+            claim: "c",
+            table: String::new(),
+            observations: vec![],
+            extra: Some(("throughput", "{\"x\":1}".to_string())),
+        };
+        let json = bench_json(Scale::Quick, std::slice::from_ref(&r));
+        assert!(json.contains("\"throughput\":{\"x\":1}"), "{json}");
+        assert!(json.contains("\"metrics\":"), "{json}");
+    }
+
+    #[test]
     fn run_one_dispatches_every_id() {
-        for id in ["e7", "e9", "e12"] {
+        for id in ["e7", "e9", "e12", "e13"] {
             assert!(run_one(id, Scale::Quick).is_some());
         }
         assert!(run_one("e99", Scale::Quick).is_none());

@@ -26,6 +26,17 @@ pub struct Rig {
 /// Build a rig with `n_pbx` switches (partitioned `1xxx`, `2xxx`, …) and
 /// optionally a messaging platform.
 pub fn rig(n_pbx: usize, with_mp: bool) -> Rig {
+    rig_with(n_pbx, with_mp, |b| b)
+}
+
+/// Like [`rig`], but lets the caller customize the builder before it is
+/// assembled — used by ablation experiments to flip perf knobs
+/// (`with_indexed_attrs`, `with_um_workers`, fault-plan latency).
+pub fn rig_with(
+    n_pbx: usize,
+    with_mp: bool,
+    customize: impl FnOnce(MetaCommBuilder) -> MetaCommBuilder,
+) -> Rig {
     assert!(
         (1..=8).contains(&n_pbx),
         "extension prefixes support 1..=8 switches"
@@ -48,7 +59,7 @@ pub fn rig(n_pbx: usize, with_mp: bool) -> Rig {
     } else {
         None
     };
-    let system = builder.build().expect("assemble rig");
+    let system = customize(builder).build().expect("assemble rig");
     Rig { system, pbxes, mp }
 }
 

@@ -143,7 +143,7 @@ mod tests {
             ("mpMailbox", "9123"),
             (LAST_UPDATER, "pbx-west"),
         ]);
-        let e = image_to_entry(dn.clone(), &img);
+        let e = image_to_entry(dn, &img);
         assert!(e.has_object_class("person"));
         assert!(e.has_object_class(DEFINITY_USER));
         assert!(e.has_object_class(MESSAGING_USER));
@@ -231,7 +231,7 @@ mod full_diff_tests {
         assert!(mods
             .iter()
             .all(|m| matches!(m.op, ldap::ModOp::Delete) && m.values.is_empty()));
-        let mut e = current.clone();
+        let mut e = current;
         e.apply_modifications(&mods).unwrap();
         assert!(!e.has_attr("roomNumber"));
         assert!(!e.has_attr("definityExtension"));

@@ -90,6 +90,8 @@ pub struct MetaCommBuilder {
     breaker: BreakerPolicy,
     fault_plans: HashMap<String, FaultPlan>,
     clock: Option<Arc<dyn Clock>>,
+    indexed_attrs: Option<Vec<String>>,
+    um_workers: Option<usize>,
 }
 
 impl MetaCommBuilder {
@@ -109,7 +111,34 @@ impl MetaCommBuilder {
             breaker: BreakerPolicy::default(),
             fault_plans: HashMap::new(),
             clock: None,
+            indexed_attrs: None,
+            um_workers: None,
         }
+    }
+
+    /// Maintain equality indexes on the given attributes in the directory
+    /// server, serving equality (and AND-with-equality) searches without a
+    /// subtree scan. Defaults to [`ldap::dit::DEFAULT_INDEXED_ATTRS`]
+    /// (`objectClass`, `cn`, `telephoneNumber`, `lastUpdater`); pass an
+    /// empty list to disable indexing entirely (the scan-only ablation).
+    pub fn with_indexed_attrs<I, S>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.indexed_attrs = Some(attrs.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of Update Manager workers in the key-ordered executor.
+    /// Updates to the same post-update DN stay strictly FIFO on one worker;
+    /// distinct DNs may proceed concurrently, and with more than one worker
+    /// the per-update device fan-out also runs its legs in parallel.
+    /// Defaults to the available parallelism, capped at 4; `1` reproduces
+    /// the paper's single-coordinator schedule exactly.
+    pub fn with_um_workers(mut self, workers: usize) -> Self {
+        self.um_workers = Some(workers.max(1));
+        self
     }
 
     /// Use `clock` for every latency measurement (span stages, histograms)
@@ -214,8 +243,16 @@ impl MetaCommBuilder {
             return Err(MetaError::Unavailable(err.clone()));
         }
         let suffix = Dn::parse(&self.suffix)?;
-        // The directory server, schema-checked.
-        let dit = ldap::Dit::with_schema(Arc::new(schema::integrated_schema()));
+        // The directory server, schema-checked, with equality indexes on
+        // the hot search attributes (a knob for the scan-only ablation).
+        let schema = Arc::new(schema::integrated_schema());
+        let dit = match &self.indexed_attrs {
+            Some(attrs) => {
+                let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                ldap::Dit::with_schema_indexed(schema, &refs)
+            }
+            None => ldap::Dit::with_schema_indexed(schema, ldap::dit::DEFAULT_INDEXED_ATTRS),
+        };
         // Durable deployments recover the previous state before anything
         // else touches the tree, then checkpoint and re-attach the journal.
         let journal = match &self.persist_dir {
@@ -339,23 +376,38 @@ impl MetaCommBuilder {
             comp.gauge_callback("droppedOps", move || r.health().dropped_ops as i64);
         }
         obs::mirror_um_stats(&registry, &um_stats);
-        // Coordinator sequence counter, shared with the relays so every
+        // Global update sequence counter, shared with the relays so every
         // error-log entry carries a real monotonic sequence number.
         let seq = Arc::new(AtomicU64::new(1));
-        let um = UpdateManager::start(Shared {
-            inner: dit.clone() as Arc<dyn Directory>,
-            engine: engine.clone(),
-            closure: closure.clone(),
-            filters: filters.clone(),
-            errorlog: errorlog.clone(),
-            stats: um_stats.clone(),
-            saga: self.saga,
-            traces: Arc::new(Mutex::new(std::collections::VecDeque::new())),
-            retry: self.retry.clone(),
-            runtimes: runtimes.clone(),
-            seq: seq.clone(),
-            obs: um_obs,
-        });
+        let um_workers = self
+            .um_workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(4)
+            })
+            .max(1);
+        let um = UpdateManager::start(
+            Shared {
+                inner: dit.clone() as Arc<dyn Directory>,
+                engine: engine.clone(),
+                closure,
+                filters: filters.clone(),
+                errorlog: errorlog.clone(),
+                stats: um_stats.clone(),
+                saga: self.saga,
+                traces: Arc::new(Mutex::new(std::collections::VecDeque::with_capacity(
+                    um::TRACE_CAPACITY,
+                ))),
+                retry: self.retry.clone(),
+                runtimes: runtimes.clone(),
+                seq: seq.clone(),
+                obs: um_obs,
+                parallel_fanout: um_workers > 1,
+            },
+            um_workers,
+        );
         gateway.register(
             TriggerSpec::all_updates("metacomm-um", suffix.clone())
                 .with_filter(LdapFilter::eq("objectClass", "person")),
@@ -372,7 +424,7 @@ impl MetaCommBuilder {
             errorlog.clone(),
             relay_stats.clone(),
             crash_between_pair.clone(),
-            seq.clone(),
+            seq,
             self.retry.clone(),
             registry.clone(),
         );
@@ -499,6 +551,11 @@ impl MetaComm {
 
     pub fn um_stats(&self) -> &Arc<UmStats> {
         &self.um_stats
+    }
+
+    /// Number of Update Manager executor workers (0 after shutdown).
+    pub fn um_workers(&self) -> usize {
+        self.um.lock().as_ref().map(|um| um.workers()).unwrap_or(0)
     }
 
     /// Recent per-update traces from the coordinator (oldest first) —

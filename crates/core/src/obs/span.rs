@@ -58,6 +58,26 @@ impl Span {
         d
     }
 
+    /// Fold an externally measured duration into stage `name` without
+    /// moving the stage cursor — used when stages run on other threads
+    /// (the parallel device fan-out) and report their own timings. Folded
+    /// stages may overlap in wall time, so `Σ stage` can exceed `total`
+    /// the way CPU time exceeds wall time.
+    pub fn add_stage(&mut self, name: impl Into<String>, d: u64) {
+        let name = name.into();
+        if let Some(s) = self.stages.iter_mut().find(|(n, _)| *n == name) {
+            s.1 += d;
+        } else {
+            self.stages.push((name, d));
+        }
+    }
+
+    /// Advance the stage cursor to now without recording a stage — the
+    /// elapsed wall time was already accounted for by folded stages.
+    pub fn skip(&mut self) {
+        self.last_ns = self.clock.now_ns();
+    }
+
     /// Total elapsed nanoseconds since the span's origin.
     pub fn total_ns(&self) -> u64 {
         self.clock.now_ns().saturating_sub(self.started_ns)

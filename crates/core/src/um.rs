@@ -2,14 +2,30 @@
 //! it ensures that the data in the devices and in the LDAP server are
 //! consistent."
 //!
-//! The UM's main thread, the **coordinator**, serializes every update
-//! through a global queue. Updates enter through LTAP: the UM registers a
-//! before-trigger with the gateway; the trigger enqueues the trapped
-//! operation and waits; the coordinator translates it to every relevant
-//! device filter (conditional ops for the originating device), folds
-//! device-generated information back in, applies the augmented update to
-//! the LDAP server, and replies. The trigger then reports
-//! `Disposition::Handled`, so the gateway does not re-apply the original.
+//! Updates enter through LTAP: the UM registers a before-trigger with the
+//! gateway; the trigger enqueues the trapped operation and waits; a worker
+//! translates it to every relevant device filter (conditional ops for the
+//! originating device), folds device-generated information back in, applies
+//! the augmented update to the LDAP server, and replies. The trigger then
+//! reports `Disposition::Handled`, so the gateway does not re-apply the
+//! original.
+//!
+//! The paper describes a single coordinator thread. We keep its semantics
+//! but pipeline it as a **key-ordered executor**: updates are sharded onto
+//! N workers by the *post-closure* DN of the entry they touch, so updates
+//! to the same entry retain strict FIFO order (one shard = one channel =
+//! one worker draining it in order) while updates to distinct entries may
+//! proceed concurrently. The per-entry LTAP lock held by the gateway for
+//! the whole round trip already serializes racing writes to the same
+//! *pre*-update DN; sharding by the *post*-update DN additionally orders a
+//! rename into an entry against concurrent writes to that entry. A global
+//! `seq` counter is kept so traces and the ErrorLog stay monotonic.
+//!
+//! Within one update, the fan-out over `shared.filters` may itself run the
+//! per-device translate/apply legs concurrently (`parallel_fanout`); the
+//! outcomes are folded back **in filter order**, so generated-info merges,
+//! abort decisions, and ticket withdrawal are deterministic and identical
+//! to the sequential schedule.
 
 use crate::errorlog::ErrorLog;
 use crate::filter::DeviceFilter;
@@ -23,18 +39,19 @@ use ldap::{Directory, LdapError, ResultCode};
 use lexpress::{Closure, Engine, Image, OpKind, TargetOp, UpdateDescriptor};
 use ltap::{Disposition, LtapOp, TriggerContext, TriggerHandler};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A per-update trace record: what the coordinator did with one trapped
+/// A per-update trace record: what the Update Manager did with one trapped
 /// operation (kept in a bounded ring; see [`UpdateManager`]). This is the
 /// observability surface a deployment needs to answer "why did my update
 /// (not) reach the switch?".
 #[derive(Debug, Clone)]
 pub struct UpdateTrace {
-    /// Coordinator sequence number.
+    /// Global update sequence number.
     pub seq: u64,
     /// Resolved origin (`ldap`, `wba`, a device name, …).
     pub origin: String,
@@ -46,11 +63,13 @@ pub struct UpdateTrace {
     pub device_ops: Vec<(String, String, bool, bool)>,
     /// `Ok` or the error message the client received.
     pub outcome: String,
-    /// Stage durations from the coordinator's span, in first-marked order:
+    /// Stage durations from the worker's span, in first-marked order:
     /// `acquire` (queue wait), `closure`, `translate`, `apply`, `commit`.
-    /// Repeated stages (one `translate`/`apply` per device) accumulate.
+    /// Repeated stages (one `translate`/`apply` per device) accumulate; under
+    /// parallel fan-out they are summed device-leg durations, so `Σ stage`
+    /// can exceed `total` the way CPU time exceeds wall time.
     pub stage_ns: Vec<(String, u64)>,
-    /// Total coordinator latency (enqueue → reply), nanoseconds.
+    /// Total update latency (enqueue → reply), nanoseconds.
     pub total_ns: u64,
 }
 
@@ -113,48 +132,98 @@ pub(crate) struct Shared {
     pub retry: RetryPolicy,
     /// Per-device breaker/journal state, keyed by filter name.
     pub runtimes: HashMap<String, Arc<DeviceRuntime>>,
-    /// Coordinator sequence counter, shared with the DDU relays so error-log
-    /// entries carry real monotonic sequence numbers.
+    /// Global update sequence counter, shared with the DDU relays so
+    /// error-log entries carry real monotonic sequence numbers.
     pub seq: Arc<AtomicU64>,
-    /// Pre-resolved histograms/counters for the coordinator's hot path.
+    /// Pre-resolved histograms/counters for the workers' hot path.
     pub obs: Arc<crate::obs::UmObs>,
+    /// Run the per-update device fan-out legs concurrently (set when the
+    /// UM runs with more than one worker).
+    pub parallel_fanout: bool,
 }
 
 /// Capacity of the trace ring.
-const TRACE_CAPACITY: usize = 256;
+pub(crate) const TRACE_CAPACITY: usize = 256;
 
-/// The running Update Manager.
+/// Deterministically map a post-closure DN key to one of `n` shards.
+/// Exposed so tests (and operators reading traces) can predict which
+/// worker a given entry's updates serialize on.
+pub fn route_shard(norm_key: &str, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    norm_key.hash(&mut h);
+    (h.finish() % n as u64) as usize
+}
+
+/// The post-update DN that keys an operation's shard: for a rename, the
+/// entry's *new* DN (so a rename into an entry orders against concurrent
+/// writes to it); otherwise the target DN itself.
+fn route_key(op: &LtapOp) -> String {
+    match op {
+        LtapOp::ModifyRdn {
+            dn,
+            new_rdn,
+            new_superior,
+            ..
+        } => match new_superior {
+            Some(sup) => sup.child(new_rdn.clone()).norm_key(),
+            None => dn
+                .with_rdn(new_rdn.clone())
+                .map(|d| d.norm_key())
+                .unwrap_or_else(|_| dn.norm_key()),
+        },
+        other => other.dn().norm_key(),
+    }
+}
+
+/// The running Update Manager: a key-ordered executor over N workers.
 pub struct UpdateManager {
-    tx: Sender<Request>,
+    txs: Vec<Sender<Request>>,
     stats: Arc<UmStats>,
     traces: Arc<parking_lot::Mutex<std::collections::VecDeque<UpdateTrace>>>,
     /// The deployment clock, for stamping enqueue times in the handler.
     clock: Arc<dyn crate::obs::Clock>,
-    worker: Option<JoinHandle<()>>,
-    /// Set before the Shutdown request goes out, so triggers that race a
+    workers: Vec<JoinHandle<()>>,
+    /// Set before the Shutdown requests go out, so triggers that race a
     /// shutdown get a clean "shut down" error instead of "crashed".
     closing: Arc<AtomicBool>,
 }
 
 impl UpdateManager {
-    /// Start the coordinator thread.
-    pub(crate) fn start(shared: Shared) -> UpdateManager {
-        let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+    /// Start `workers` executor threads, each owning one shard queue.
+    pub(crate) fn start(shared: Shared, workers: usize) -> UpdateManager {
+        let workers = workers.max(1);
+        let shared = Arc::new(shared);
         let stats = shared.stats.clone();
         let traces = shared.traces.clone();
         let clock = shared.obs.clock.clone();
-        let worker = std::thread::Builder::new()
-            .name("um-coordinator".into())
-            .spawn(move || coordinator_loop(rx, shared))
-            .expect("spawn coordinator");
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+            let sh = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name(format!("um-worker-{i}"))
+                .spawn(move || worker_loop(rx, sh))
+                .expect("spawn um worker");
+            txs.push(tx);
+            handles.push(h);
+        }
         UpdateManager {
-            tx,
+            txs,
             stats,
             traces,
             clock,
-            worker: Some(worker),
+            workers: handles,
             closing: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Number of executor workers (shards).
+    pub fn workers(&self) -> usize {
+        self.txs.len()
     }
 
     /// Most recent update traces, oldest first.
@@ -167,9 +236,9 @@ impl UpdateManager {
     }
 
     /// The LTAP trigger handler funneling trapped operations into the
-    /// global queue.
+    /// shard queues: same post-update DN → same shard → FIFO.
     pub(crate) fn handler(&self) -> Arc<dyn TriggerHandler> {
-        let tx = self.tx.clone();
+        let txs = self.txs.clone();
         let closing = self.closing.clone();
         let clock = self.clock.clone();
         Arc::new(move |ctx: &TriggerContext<'_>| {
@@ -180,6 +249,7 @@ impl UpdateManager {
                 ));
             }
             let (rtx, rrx) = bounded(1);
+            let shard = route_shard(&route_key(ctx.op), txs.len());
             let req = Request::Process {
                 op: ctx.op.clone(),
                 pre: ctx.pre_image.cloned(),
@@ -187,7 +257,7 @@ impl UpdateManager {
                 enqueued_ns: clock.now_ns(),
                 reply: rtx,
             };
-            if tx.send(req).is_err() {
+            if txs[shard].send(req).is_err() {
                 return Err(LdapError::new(
                     ResultCode::Unavailable,
                     "update manager is down",
@@ -209,9 +279,14 @@ impl UpdateManager {
     }
 
     pub fn shutdown(&mut self) {
-        if let Some(w) = self.worker.take() {
-            self.closing.store(true, Ordering::SeqCst);
-            let _ = self.tx.send(Request::Shutdown);
+        if self.workers.is_empty() {
+            return;
+        }
+        self.closing.store(true, Ordering::SeqCst);
+        for tx in &self.txs {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
@@ -223,13 +298,13 @@ impl Drop for UpdateManager {
     }
 }
 
-fn coordinator_loop(rx: Receiver<Request>, shared: Shared) {
+fn worker_loop(rx: Receiver<Request>, shared: Arc<Shared>) {
     let seq = shared.seq.clone();
     while let Ok(req) = rx.recv() {
         match req {
             Request::Shutdown => {
-                // Drain requests that were already in the queue (or racing
-                // the shutdown send): their triggers are blocked in
+                // Drain requests that were already in this shard's queue (or
+                // racing the shutdown send): their triggers are blocked in
                 // `rrx.recv()` and must get replies, not a hangup.
                 while let Ok(req) = rx.recv_timeout(Duration::from_millis(10)) {
                     match req {
@@ -443,12 +518,217 @@ fn process(
         Ok(()) => "ok".to_string(),
         Err(e) => e.to_string(),
     };
+    push_trace(shared, trace);
+    result
+}
+
+/// Insert a fully built trace into the bounded ring. All formatting happens
+/// before this call; the mutex covers only an O(1) evict and a push, so
+/// trace retention never serializes the workers' hot path.
+fn push_trace(shared: &Shared, trace: UpdateTrace) {
     let mut ring = shared.traces.lock();
     if ring.len() >= TRACE_CAPACITY {
         ring.pop_front();
     }
     ring.push_back(trace);
-    result
+}
+
+/// The outcome of one device filter's leg of the fan-out, produced by
+/// [`fan_one`] (possibly on a fan-out thread) and folded back into the
+/// update's state strictly in filter order by [`fold_outcome`].
+#[derive(Default)]
+struct DeviceOutcome {
+    /// Trace row for this device, if any.
+    row: Option<(String, String, bool, bool)>,
+    /// Journal ticket issued on behalf of this update.
+    ticket: Option<(Arc<DeviceRuntime>, u64)>,
+    /// Compensating op to run if the update later aborts.
+    undo: Option<(Arc<dyn DeviceFilter>, TargetOp)>,
+    /// Device-generated info to merge into the persistent image (§5.5).
+    generated: Option<Image>,
+    /// Abort the update: translate error, semantic rejection, or a
+    /// transient fault that did not open the breaker.
+    failure: Option<crate::error::MetaError>,
+    /// Whether `apply_with_retry` actually ran (vs. Skip/journal legs).
+    ran_apply: bool,
+    translate_ns: u64,
+    apply_ns: u64,
+}
+
+/// Mutable update state the fold threads through the fan-out.
+#[derive(Default)]
+struct FanState {
+    /// Compensating ops for already-applied device ops, in apply order.
+    undo: Vec<(Arc<dyn DeviceFilter>, TargetOp)>,
+    /// Journal tickets issued for this update — withdrawn if it later
+    /// aborts (the directory never sees the update, so reapplying would
+    /// diverge).
+    tickets: Vec<(Arc<DeviceRuntime>, u64)>,
+    /// First failure in filter order, if any.
+    failure: Option<crate::error::MetaError>,
+}
+
+/// Run one device filter's leg of the fan-out: translate the descriptor,
+/// consult the breaker/journal, apply with retry. Safe to run concurrently
+/// with the other filters' legs — it touches only atomics, the per-device
+/// runtime, and histograms; every decision that must be deterministic
+/// (generated-info merges, the winning failure, ticket withdrawal) is
+/// deferred to the in-filter-order fold.
+fn fan_one(
+    shared: &Shared,
+    f: &Arc<dyn DeviceFilter>,
+    d: &UpdateDescriptor,
+    post_dn: &Option<Dn>,
+    my_seq: u64,
+) -> DeviceOutcome {
+    let clock = &shared.obs.clock;
+    let mut out = DeviceOutcome::default();
+    let t0 = clock.now_ns();
+    let translated = shared.engine.translate(&f.mapping_from_ldap(), d);
+    out.translate_ns = clock.now_ns().saturating_sub(t0);
+    shared.obs.translate.record(out.translate_ns);
+    let top = match translated {
+        Ok(t) => t,
+        Err(e) => {
+            out.failure = Some(e.into());
+            return out;
+        }
+    };
+    if top.kind == OpKind::Skip {
+        shared.stats.skipped.fetch_add(1, Ordering::Relaxed);
+        out.row = Some((f.name().to_string(), "Skip".into(), top.conditional, false));
+        return out;
+    }
+    let runtime = shared.runtimes.get(f.name());
+    // Breaker open (or a drain in progress): store-and-forward. The op
+    // queues behind everything already journaled so the device sees
+    // updates in directory order once it reconnects.
+    if let Some(rt) = runtime {
+        if rt.should_journal() {
+            if let Some(t) = rt.journal(top.clone(), post_dn.clone()) {
+                out.ticket = Some((rt.clone(), t));
+            }
+            out.row = Some((
+                f.name().to_string(),
+                format!("{:?} (queued)", top.kind),
+                top.conditional,
+                false,
+            ));
+            return out;
+        }
+    }
+    let t1 = clock.now_ns();
+    let applied = apply_with_retry(f, &top, &shared.retry, &shared.stats);
+    out.apply_ns = clock.now_ns().saturating_sub(t1);
+    out.ran_apply = true;
+    let dev_obs = shared.obs.devices.get(f.name());
+    if let Some(o) = dev_obs {
+        o.apply.record(out.apply_ns);
+    }
+    match applied {
+        Ok(outcome) => {
+            if let Some(o) = dev_obs {
+                o.applies.inc();
+            }
+            if let Some(rt) = runtime {
+                rt.record_success();
+            }
+            shared.stats.device_ops.fetch_add(1, Ordering::Relaxed);
+            out.row = Some((
+                f.name().to_string(),
+                format!("{:?}", top.kind),
+                top.conditional,
+                outcome.applied,
+            ));
+            if outcome.reapplied {
+                shared.stats.reapplied.fetch_add(1, Ordering::Relaxed);
+            }
+            out.generated = outcome.generated;
+            if outcome.applied {
+                out.undo = Some((f.clone(), inverse_of(&top)));
+            }
+        }
+        Err(e) if e.is_transient() => {
+            // The device never saw the op. Advance the breaker; if that
+            // (or an earlier trip) opened it, queue the op and let the
+            // update proceed — the directory stays authoritative.
+            if let Some(o) = dev_obs {
+                o.failures.inc();
+            }
+            if let Some(rt) = runtime {
+                rt.record_failure(my_seq, &e);
+                if rt.should_journal() {
+                    if let Some(t) = rt.journal(top.clone(), post_dn.clone()) {
+                        out.ticket = Some((rt.clone(), t));
+                    }
+                    out.row = Some((
+                        f.name().to_string(),
+                        format!("{:?} (queued)", top.kind),
+                        top.conditional,
+                        false,
+                    ));
+                    return out;
+                }
+            }
+            out.failure = Some(e);
+        }
+        Err(e) => {
+            // Semantic rejection: the device is reachable and judged the
+            // op invalid — abort the update (§4.4), breaker untouched.
+            if let Some(o) = dev_obs {
+                o.failures.inc();
+            }
+            out.failure = Some(e);
+        }
+    }
+    out
+}
+
+/// Fold one leg's outcome into the update's state. Called strictly in
+/// filter order in both fan-out modes, which is what makes the parallel
+/// schedule observably identical to the sequential one: generated info
+/// merges in filter order (later filters win conflicts), the first failure
+/// in filter order becomes the abort cause, and every issued ticket is
+/// collected so an abort withdraws all of them.
+fn fold_outcome(
+    shared: &Shared,
+    out: DeviceOutcome,
+    d: &mut UpdateDescriptor,
+    trace: &mut UpdateTrace,
+    span: &mut crate::obs::Span,
+    st: &mut FanState,
+) {
+    span.add_stage("translate", out.translate_ns);
+    if out.ran_apply {
+        span.add_stage("apply", out.apply_ns);
+    }
+    if let Some(row) = out.row {
+        trace.device_ops.push(row);
+    }
+    if let Some(t) = out.ticket {
+        st.tickets.push(t);
+    }
+    if let Some(gen) = out.generated {
+        let mut merged = false;
+        for (name, values) in gen.iter() {
+            if d.new.values(name) != values {
+                d.new.set(name.to_string(), values.to_vec());
+                merged = true;
+            }
+        }
+        if merged {
+            shared
+                .stats
+                .generated_merges
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if let Some(u) = out.undo {
+        st.undo.push(u);
+    }
+    if st.failure.is_none() {
+        st.failure = out.failure;
+    }
 }
 
 fn process_inner(
@@ -465,7 +745,7 @@ fn process_inner(
     // Stamp the originator on the persistent image (the lexpress
     // LastUpdater mechanism, §5.4).
     if !d.new.is_empty() {
-        d.new.set(LAST_UPDATER, vec![origin.clone()]);
+        d.new.set(LAST_UPDATER, vec![origin]);
     }
     // Transitive closure over the integrated schema (§4.2).
     let before_closure = d.new.clone();
@@ -499,126 +779,48 @@ fn process_inner(
         other => Some(other.dn().clone()),
     };
     // Fan out to every device filter; fold generated info back in.
-    let mut undo: Vec<(Arc<dyn DeviceFilter>, TargetOp)> = Vec::new();
-    // Journal tickets issued for this update — withdrawn if it later aborts
-    // (the directory never sees the update, so reapplying would diverge).
-    let mut tickets: Vec<(Arc<DeviceRuntime>, u64)> = Vec::new();
-    let mut failure: Option<crate::error::MetaError> = None;
-    for f in &shared.filters {
-        let translated = shared.engine.translate(&f.mapping_from_ldap(), &d);
-        shared.obs.translate.record(span.mark("translate"));
-        let top = match translated {
-            Ok(t) => t,
-            Err(e) => {
-                failure = Some(e.into());
-                break;
+    let mut st = FanState::default();
+    if shared.parallel_fanout && shared.filters.len() > 1 {
+        // All legs run concurrently against the same post-closure image;
+        // outcomes fold back strictly in filter order, so generated-info
+        // merges, the winning failure, and ticket bookkeeping are
+        // deterministic and independent of leg completion order.
+        let outcomes: Vec<DeviceOutcome> = std::thread::scope(|sc| {
+            let d_ref = &d;
+            let post_ref = &post_dn;
+            // Spawn every leg before joining any (collecting lazily would
+            // serialize them).
+            let mut handles = Vec::with_capacity(shared.filters.len());
+            for f in &shared.filters {
+                handles.push(sc.spawn(move || fan_one(shared, f, d_ref, post_ref, my_seq)));
             }
-        };
-        if top.kind == OpKind::Skip {
-            shared.stats.skipped.fetch_add(1, Ordering::Relaxed);
-            trace
-                .device_ops
-                .push((f.name().to_string(), "Skip".into(), top.conditional, false));
-            continue;
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device fan-out leg panicked"))
+                .collect()
+        });
+        for out in outcomes {
+            fold_outcome(shared, out, &mut d, trace, span, &mut st);
         }
-        let runtime = shared.runtimes.get(f.name());
-        // Breaker open (or a drain in progress): store-and-forward. The op
-        // queues behind everything already journaled so the device sees
-        // updates in directory order once it reconnects.
-        if let Some(rt) = runtime {
-            if rt.should_journal() {
-                if let Some(t) = rt.journal(top.clone(), post_dn.clone()) {
-                    tickets.push((rt.clone(), t));
-                }
-                trace.device_ops.push((
-                    f.name().to_string(),
-                    format!("{:?} (queued)", top.kind),
-                    top.conditional,
-                    false,
-                ));
-                continue;
-            }
-        }
-        let applied = apply_with_retry(f, &top, &shared.retry, &shared.stats);
-        let dev_obs = shared.obs.devices.get(f.name());
-        if let Some(o) = dev_obs {
-            o.apply.record(span.mark("apply"));
-        } else {
-            span.mark("apply");
-        }
-        match applied {
-            Ok(outcome) => {
-                if let Some(o) = dev_obs {
-                    o.applies.inc();
-                }
-                if let Some(rt) = runtime {
-                    rt.record_success();
-                }
-                shared.stats.device_ops.fetch_add(1, Ordering::Relaxed);
-                trace.device_ops.push((
-                    f.name().to_string(),
-                    format!("{:?}", top.kind),
-                    top.conditional,
-                    outcome.applied,
-                ));
-                if outcome.reapplied {
-                    shared.stats.reapplied.fetch_add(1, Ordering::Relaxed);
-                }
-                if let Some(gen) = outcome.generated {
-                    let mut merged = false;
-                    for (name, values) in gen.iter() {
-                        if d.new.values(name) != values {
-                            d.new.set(name.to_string(), values.to_vec());
-                            merged = true;
-                        }
-                    }
-                    if merged {
-                        shared
-                            .stats
-                            .generated_merges
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                if outcome.applied {
-                    undo.push((f.clone(), inverse_of(&top)));
-                }
-            }
-            Err(e) if e.is_transient() => {
-                // The device never saw the op. Advance the breaker; if that
-                // (or an earlier trip) opened it, queue the op and let the
-                // update proceed — the directory stays authoritative.
-                if let Some(o) = dev_obs {
-                    o.failures.inc();
-                }
-                if let Some(rt) = runtime {
-                    rt.record_failure(my_seq, &e);
-                    if rt.should_journal() {
-                        if let Some(t) = rt.journal(top.clone(), post_dn.clone()) {
-                            tickets.push((rt.clone(), t));
-                        }
-                        trace.device_ops.push((
-                            f.name().to_string(),
-                            format!("{:?} (queued)", top.kind),
-                            top.conditional,
-                            false,
-                        ));
-                        continue;
-                    }
-                }
-                failure = Some(e);
-                break;
-            }
-            Err(e) => {
-                // Semantic rejection: the device is reachable and judged the
-                // op invalid — abort the update (§4.4), breaker untouched.
-                if let Some(o) = dev_obs {
-                    o.failures.inc();
-                }
-                failure = Some(e);
+    } else {
+        // One leg at a time: a leg's generated info is visible to the next
+        // leg's translation, and the first failure stops the fan-out.
+        for f in &shared.filters {
+            let out = fan_one(shared, f, &d, &post_dn, my_seq);
+            fold_outcome(shared, out, &mut d, trace, span, &mut st);
+            if st.failure.is_some() {
                 break;
             }
         }
     }
+    // The fan-out's wall time is accounted for by the folded
+    // translate/apply stages; restart the cursor for the commit stage.
+    span.skip();
+    let FanState {
+        undo,
+        tickets,
+        failure,
+    } = st;
     if let Some(e) = failure {
         // Withdraw ops journaled on behalf of this update: it is aborting,
         // so the directory will never reflect it.
@@ -727,6 +929,51 @@ mod tests {
                 ("roomNumber", "2B-401"),
             ],
         )
+    }
+
+    #[test]
+    fn route_shard_is_deterministic_and_in_range() {
+        for n in 1..=8usize {
+            for key in ["cn=a,o=l", "cn=b,o=l", "cn=c,ou=x,o=l", ""] {
+                let s = route_shard(key, n);
+                assert!(s < n);
+                assert_eq!(s, route_shard(key, n), "same key must re-route identically");
+            }
+        }
+        // One worker degenerates to the single-coordinator schedule.
+        assert_eq!(route_shard("anything", 1), 0);
+        assert_eq!(route_shard("anything", 0), 0);
+    }
+
+    #[test]
+    fn route_key_uses_post_rename_dn() {
+        let dn = Dn::parse("cn=John Doe,o=Lucent").unwrap();
+        // A rename shards on the entry's NEW dn, so it orders against
+        // concurrent writes to the entry it becomes.
+        let rename = LtapOp::ModifyRdn {
+            dn: dn.clone(),
+            new_rdn: Rdn::new("cn", "Jack Doe"),
+            delete_old: true,
+            new_superior: None,
+        };
+        assert_eq!(
+            route_key(&rename),
+            Dn::parse("cn=Jack Doe,o=Lucent").unwrap().norm_key()
+        );
+        // Everything else shards on the target dn itself.
+        assert_eq!(route_key(&LtapOp::Delete(dn.clone())), dn.norm_key());
+        let moved = LtapOp::ModifyRdn {
+            dn,
+            new_rdn: Rdn::new("cn", "Jack Doe"),
+            delete_old: true,
+            new_superior: Some(Dn::parse("ou=Sales,o=Lucent").unwrap()),
+        };
+        assert_eq!(
+            route_key(&moved),
+            Dn::parse("cn=Jack Doe,ou=Sales,o=Lucent")
+                .unwrap()
+                .norm_key()
+        );
     }
 
     #[test]
@@ -855,7 +1102,7 @@ mod tests {
         let mods = aux_class_mods(&pre, &img);
         assert_eq!(mods.len(), 2);
         // Applying them yields a schema-valid entry.
-        let mut e = pre.clone();
+        let mut e = pre;
         e.add_value("objectClass", "organizationalPerson");
         e.apply_modifications(&mods).unwrap();
         e.add_value("definityExtension", "9123");

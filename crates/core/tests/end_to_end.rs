@@ -294,7 +294,7 @@ fn saga_undo_compensates_partial_failure() {
     .unwrap();
     let system = MetaCommBuilder::new("o=Lucent")
         .add_pbx(west.clone(), "9???")
-        .add_msgplat(mp.clone(), "*")
+        .add_msgplat(mp, "*")
         .with_saga_undo()
         .build()
         .unwrap();
@@ -352,8 +352,8 @@ fn initial_load_synchronizes_preexisting_devices() {
     )
     .unwrap();
     let system = MetaCommBuilder::new("o=Lucent")
-        .add_pbx(west.clone(), "9???")
-        .add_msgplat(mp.clone(), "*")
+        .add_pbx(west, "9???")
+        .add_msgplat(mp, "*")
         .build()
         .unwrap();
     let report = system.synchronize_all().unwrap();
@@ -497,7 +497,7 @@ fn security_policy_blocks_clients_but_not_relays() {
     let west = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("9", 4)));
     let mp = Arc::new(MpStore::new("mp"));
     let system = MetaCommBuilder::new("o=Lucent")
-        .add_pbx(west.clone(), "9???")
+        .add_pbx(west, "9???")
         .add_msgplat(mp.clone(), "*")
         .with_security(
             ltap::SecurityPolicy::new()
@@ -615,7 +615,7 @@ fn duplicate_device_names_surface_as_sync_conflicts() {
         .unwrap();
     }
     let system = MetaCommBuilder::new("o=Lucent")
-        .add_pbx(west.clone(), "9???")
+        .add_pbx(west, "9???")
         .build()
         .unwrap();
     let report = system.synchronize_all().unwrap();
@@ -647,7 +647,7 @@ fn mapping_files_load_from_disk() {
     .unwrap();
     let west = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("9", 4)));
     let system = MetaCommBuilder::new("o=Lucent")
-        .add_pbx(west.clone(), "9???")
+        .add_pbx(west, "9???")
         .with_mapping_file(&path)
         .build()
         .unwrap();

@@ -7,14 +7,26 @@
 //!   ModifyRDN+Modify pair is two separately observable steps (§5.1);
 //! - deletes apply to leaves only;
 //! - RDN uniqueness among siblings is enforced.
+//!
+//! ## Equality indexes
+//!
+//! Searches over equality (and AND-with-equality) filters are served from
+//! per-attribute equality indexes instead of a full subtree scan. The
+//! indexes are maintained inside the same write lock as every update, so
+//! they are always consistent with the entry map, and the planner re-runs
+//! the full filter over each candidate — results are bit-identical to the
+//! scan path, in the same (BFS, parents-first) order, including size-limit
+//! behavior. See [`DEFAULT_INDEXED_ATTRS`] and [`Dit::with_schema_indexed`].
 
+use crate::attr::norm_value;
 use crate::dn::{Dn, Rdn};
 use crate::entry::{Entry, Modification};
 use crate::error::{LdapError, Result, ResultCode};
 use crate::filter::Filter;
 use crate::schema::{Schema, SchemaRef};
 use parking_lot::RwLock;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Search scopes (RFC 2251 §4.5.1).
@@ -72,21 +84,143 @@ pub struct ChangeRecord {
 
 type Observer = Box<dyn Fn(&ChangeRecord) + Send + Sync>;
 
+/// Attributes indexed by default: the hot lookups in a MetaComm deployment
+/// (person searches by class/name/extension, plus the lexpress
+/// `lastUpdater` origin attribute).
+pub const DEFAULT_INDEXED_ATTRS: &[&str] = &["objectClass", "cn", "telephoneNumber", "lastUpdater"];
+
+/// Per-attribute equality index: for each indexed attribute, a map from
+/// normalized value to the normalized DN keys of every entry carrying it.
+/// Lives inside [`Store`] so maintenance shares the update ops' write lock.
+struct AttrIndex {
+    /// norm attr name → norm value → posting list of norm entry keys.
+    postings: HashMap<String, HashMap<String, BTreeSet<String>>>,
+}
+
+/// What the filter planner decided for one search.
+enum Plan<'a> {
+    /// Serve from this posting list (smallest among the filter's indexed
+    /// equality conjuncts); every candidate is re-verified with the full
+    /// filter.
+    Candidates(&'a BTreeSet<String>),
+    /// An indexed equality conjunct matches no entry at all: the result is
+    /// provably empty, no traversal needed.
+    Empty,
+    /// No indexed equality conjunct applies: fall back to the scan.
+    Scan,
+}
+
+impl AttrIndex {
+    fn new(attrs: &[String]) -> AttrIndex {
+        let mut postings = HashMap::new();
+        for a in attrs {
+            postings.insert(a.to_ascii_lowercase(), HashMap::new());
+        }
+        AttrIndex { postings }
+    }
+
+    fn enabled(&self) -> bool {
+        !self.postings.is_empty()
+    }
+
+    fn insert_entry(&mut self, key: &str, e: &Entry) {
+        if !self.enabled() {
+            return;
+        }
+        for attr in e.attributes() {
+            if let Some(m) = self.postings.get_mut(attr.name.norm()) {
+                for v in &attr.values {
+                    m.entry(norm_value(v)).or_default().insert(key.to_string());
+                }
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, key: &str, e: &Entry) {
+        if !self.enabled() {
+            return;
+        }
+        for attr in e.attributes() {
+            if let Some(m) = self.postings.get_mut(attr.name.norm()) {
+                for v in &attr.values {
+                    let nv = norm_value(v);
+                    if let Some(set) = m.get_mut(&nv) {
+                        set.remove(key);
+                        if set.is_empty() {
+                            m.remove(&nv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walk the filter for indexed equality conjuncts and pick the smallest
+    /// posting list. Applicability rules (DESIGN.md §10): a top-level
+    /// equality on an indexed attribute, or an `&` whose conjuncts (nested
+    /// `&`s flatten) include one — anything else scans. A missing posting
+    /// for an indexed conjunct proves the result empty.
+    fn plan(&self, filter: &Filter) -> Plan<'_> {
+        if !self.enabled() {
+            return Plan::Scan;
+        }
+        let mut conjuncts: Vec<(&str, &str)> = Vec::new();
+        match filter {
+            Filter::Equality(..) | Filter::And(_) => collect_eq(filter, &mut conjuncts),
+            _ => return Plan::Scan,
+        }
+        let mut best: Option<&BTreeSet<String>> = None;
+        for (attr, value) in conjuncts {
+            let Some(m) = self.postings.get(&attr.to_ascii_lowercase()) else {
+                continue;
+            };
+            match m.get(&norm_value(value)) {
+                None => return Plan::Empty,
+                Some(set) => {
+                    if best.is_none_or(|b| set.len() < b.len()) {
+                        best = Some(set);
+                    }
+                }
+            }
+        }
+        match best {
+            Some(set) => Plan::Candidates(set),
+            None => Plan::Scan,
+        }
+    }
+}
+
+/// Equality conjuncts of a filter: the filter itself, or — through nested
+/// `&`s, which are conjunctive — every equality child.
+fn collect_eq<'f>(f: &'f Filter, out: &mut Vec<(&'f str, &'f str)>) {
+    match f {
+        Filter::Equality(a, v) => out.push((a, v)),
+        Filter::And(fs) => {
+            for c in fs {
+                collect_eq(c, out);
+            }
+        }
+        _ => {}
+    }
+}
+
 struct Store {
     /// norm DN key → entry
     entries: HashMap<String, Entry>,
     /// norm parent key → norm child keys ("" is the DIT root)
     children: HashMap<String, BTreeSet<String>>,
+    index: AttrIndex,
     seq: u64,
 }
 
 impl Store {
-    fn new() -> Store {
+    fn new(indexed_attrs: &[String]) -> Store {
         let mut children = HashMap::new();
         children.insert(String::new(), BTreeSet::new());
         Store {
             entries: HashMap::new(),
             children,
+            index: AttrIndex::new(indexed_attrs),
             seq: 0,
         }
     }
@@ -98,25 +232,58 @@ pub struct Dit {
     store: RwLock<Store>,
     schema: SchemaRef,
     observers: RwLock<Vec<Observer>>,
+    /// One/Sub searches answered from the equality index (incl. provably
+    /// empty results).
+    index_served: AtomicU64,
+    /// One/Sub searches that fell back to the scan.
+    index_scanned: AtomicU64,
 }
 
 impl Dit {
-    /// DIT with schema checking off.
+    /// DIT with schema checking off and the default equality indexes.
     pub fn new() -> Arc<Dit> {
         Dit::with_schema(Arc::new(Schema::permissive()))
     }
 
-    /// DIT validating every write against `schema`.
+    /// DIT validating every write against `schema`, with the
+    /// [`DEFAULT_INDEXED_ATTRS`] equality indexes.
     pub fn with_schema(schema: SchemaRef) -> Arc<Dit> {
+        Dit::with_schema_indexed(schema, DEFAULT_INDEXED_ATTRS)
+    }
+
+    /// DIT with an explicit equality-index attribute set. An empty slice
+    /// disables indexing entirely (every search scans — the ablation
+    /// baseline for benchmarks).
+    pub fn with_schema_indexed(schema: SchemaRef, indexed_attrs: &[&str]) -> Arc<Dit> {
+        let attrs: Vec<String> = indexed_attrs.iter().map(|s| s.to_string()).collect();
         Arc::new(Dit {
-            store: RwLock::new(Store::new()),
+            store: RwLock::new(Store::new(&attrs)),
             schema,
             observers: RwLock::new(Vec::new()),
+            index_served: AtomicU64::new(0),
+            index_scanned: AtomicU64::new(0),
         })
     }
 
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The attributes carrying an equality index, normalized and sorted.
+    pub fn indexed_attrs(&self) -> Vec<String> {
+        let s = self.store.read();
+        let mut attrs: Vec<String> = s.index.postings.keys().cloned().collect();
+        attrs.sort();
+        attrs
+    }
+
+    /// `(served, scanned)`: One/Sub searches answered from the equality
+    /// index vs. by subtree scan, since construction.
+    pub fn index_stats(&self) -> (u64, u64) {
+        (
+            self.index_served.load(Ordering::Relaxed),
+            self.index_scanned.load(Ordering::Relaxed),
+        )
     }
 
     /// Register a commit observer (replication, LTAP library mode, tests).
@@ -164,7 +331,8 @@ impl Dit {
         let key = entry.dn().norm_key();
         let parent = entry.dn().parent().expect("non-root");
         let parent_key = parent.norm_key();
-        let mut s = self.store.write();
+        let mut guard = self.store.write();
+        let s = &mut *guard;
         if s.entries.contains_key(&key) {
             return Err(LdapError::already_exists(entry.dn()));
         }
@@ -179,6 +347,7 @@ impl Dit {
             .or_default()
             .insert(key.clone());
         s.children.entry(key.clone()).or_default();
+        s.index.insert_entry(&key, &entry);
         s.entries.insert(key, entry.clone());
         s.seq += 1;
         let rec = ChangeRecord {
@@ -186,7 +355,7 @@ impl Dit {
             dn: entry.dn().clone(),
             op: ChangeOp::Add(entry),
         };
-        drop(s);
+        drop(guard);
         self.emit(rec);
         Ok(())
     }
@@ -194,7 +363,8 @@ impl Dit {
     /// Delete a leaf entry.
     pub fn delete(&self, dn: &Dn) -> Result<()> {
         let key = dn.norm_key();
-        let mut s = self.store.write();
+        let mut guard = self.store.write();
+        let s = &mut *guard;
         if !s.entries.contains_key(&key) {
             return Err(LdapError::no_such_object(dn));
         }
@@ -204,7 +374,8 @@ impl Dit {
                 format!("`{dn}` has children"),
             ));
         }
-        s.entries.remove(&key);
+        let removed = s.entries.remove(&key).expect("checked");
+        s.index.remove_entry(&key, &removed);
         s.children.remove(&key);
         let parent_key = dn.parent().map(|p| p.norm_key()).unwrap_or_default();
         if let Some(siblings) = s.children.get_mut(&parent_key) {
@@ -216,7 +387,7 @@ impl Dit {
             dn: dn.clone(),
             op: ChangeOp::Delete,
         };
-        drop(s);
+        drop(guard);
         self.emit(rec);
         Ok(())
     }
@@ -225,7 +396,8 @@ impl Dit {
     /// attribute values cannot be removed (use [`Dit::modify_rdn`]).
     pub fn modify(&self, dn: &Dn, mods: &[Modification]) -> Result<()> {
         let key = dn.norm_key();
-        let mut s = self.store.write();
+        let mut guard = self.store.write();
+        let s = &mut *guard;
         let entry = s
             .entries
             .get(&key)
@@ -248,6 +420,8 @@ impl Dit {
             }
         }
         self.schema.validate_entry(&updated)?;
+        s.index.remove_entry(&key, entry);
+        s.index.insert_entry(&key, &updated);
         s.entries.insert(key, updated);
         s.seq += 1;
         let rec = ChangeRecord {
@@ -255,7 +429,7 @@ impl Dit {
             dn: dn.clone(),
             op: ChangeOp::Modify(mods.to_vec()),
         };
-        drop(s);
+        drop(guard);
         self.emit(rec);
         Ok(())
     }
@@ -280,7 +454,8 @@ impl Dit {
             None => dn.with_rdn(new_rdn.clone())?,
         };
         let new_key = new_dn.norm_key();
-        let mut s = self.store.write();
+        let mut guard = self.store.write();
+        let s = &mut *guard;
         if !s.entries.contains_key(&old_key) {
             return Err(LdapError::no_such_object(dn));
         }
@@ -315,13 +490,15 @@ impl Dit {
         entry.set_dn(new_dn.clone());
         self.schema.validate_entry(&entry)?;
 
-        // Re-key the whole subtree.
-        let descendants = collect_subtree(&s, &old_key);
+        // Re-key the whole subtree (indexes follow: every moved entry is
+        // unindexed under its old key and reindexed under the new one).
+        let descendants = collect_subtree(s, &old_key);
         let old_depth = dn.depth();
         for desc_key in &descendants {
             let old_entry = s.entries.remove(desc_key).expect("subtree member");
+            s.index.remove_entry(desc_key, &old_entry);
             let children = s.children.remove(desc_key).unwrap_or_default();
-            let mut e = if *desc_key == old_key {
+            let e = if *desc_key == old_key {
                 entry.clone()
             } else {
                 let mut e = old_entry;
@@ -337,9 +514,7 @@ impl Dit {
                 .map(|c| rewrite_key(c, &old_key, &new_key))
                 .collect();
             let new_desc_key = e.dn().norm_key();
-            if *desc_key == old_key {
-                e = entry.clone();
-            }
+            s.index.insert_entry(&new_desc_key, &e);
             s.children.insert(new_desc_key.clone(), rewritten_children);
             s.entries.insert(new_desc_key, e);
         }
@@ -363,7 +538,7 @@ impl Dit {
                 new_superior: new_superior.cloned(),
             },
         };
-        drop(s);
+        drop(guard);
         self.emit(rec);
         Ok(())
     }
@@ -380,6 +555,9 @@ impl Dit {
 
     /// Search. `attrs` selects returned attributes (empty = all);
     /// `size_limit` of 0 means unlimited, otherwise exceeding it is an error.
+    ///
+    /// One/Sub searches go through the filter planner first; indexed
+    /// results are produced in the same order the scan would produce them.
     pub fn search(
         &self,
         base: &Dn,
@@ -388,7 +566,8 @@ impl Dit {
         attrs: &[String],
         size_limit: usize,
     ) -> Result<Vec<Entry>> {
-        let s = self.store.read();
+        let guard = self.store.read();
+        let s = &*guard;
         let base_key = base.norm_key();
         if !base.is_root() && !s.entries.contains_key(&base_key) {
             return Err(LdapError::no_such_object(base));
@@ -412,33 +591,84 @@ impl Dit {
                     push(e)?;
                 }
             }
-            Scope::One => {
-                if let Some(kids) = s.children.get(&base_key) {
-                    for k in kids {
-                        push(&s.entries[k])?;
+            Scope::One => match s.index.plan(filter) {
+                Plan::Empty => {
+                    self.index_served.fetch_add(1, Ordering::Relaxed);
+                }
+                Plan::Candidates(keys) => {
+                    self.index_served.fetch_add(1, Ordering::Relaxed);
+                    if let Some(kids) = s.children.get(&base_key) {
+                        // Both sets iterate in norm-key order; siblings
+                        // share a suffix, so this is exactly the scan order.
+                        for k in keys {
+                            if kids.contains(k) {
+                                push(&s.entries[k])?;
+                            }
+                        }
                     }
                 }
-            }
-            Scope::Sub => {
-                for k in collect_subtree(&s, &base_key) {
-                    if k.is_empty() {
-                        continue; // virtual root
+                Plan::Scan => {
+                    self.index_scanned.fetch_add(1, Ordering::Relaxed);
+                    if let Some(kids) = s.children.get(&base_key) {
+                        for k in kids {
+                            push(&s.entries[k])?;
+                        }
                     }
-                    push(&s.entries[&k])?;
                 }
-            }
+            },
+            Scope::Sub => match s.index.plan(filter) {
+                Plan::Empty => {
+                    self.index_served.fetch_add(1, Ordering::Relaxed);
+                }
+                Plan::Candidates(keys) => {
+                    self.index_served.fetch_add(1, Ordering::Relaxed);
+                    // Restrict candidates to the subtree, then emit in BFS
+                    // order: by depth, then by the chain of ancestor keys
+                    // (BTreeSet sibling order at every level) — the exact
+                    // order the scan's queue produces.
+                    let mut cands: Vec<(usize, Vec<String>, &String)> = keys
+                        .iter()
+                        .filter_map(|k| {
+                            let e = s.entries.get(k)?;
+                            if !base.is_root() && !e.dn().is_within(base) {
+                                return None;
+                            }
+                            let chain = ancestor_chain(e.dn());
+                            Some((chain.len(), chain, k))
+                        })
+                        .collect();
+                    cands.sort();
+                    for (_, _, k) in &cands {
+                        push(&s.entries[*k])?;
+                    }
+                }
+                Plan::Scan => {
+                    self.index_scanned.fetch_add(1, Ordering::Relaxed);
+                    visit_subtree(s, &base_key, &mut |k| {
+                        if k.is_empty() {
+                            return Ok(()); // virtual root
+                        }
+                        push(&s.entries[k])
+                    })?;
+                }
+            },
         }
         Ok(out)
     }
 
     /// Every entry, parents before children (for export / sync dumps).
     pub fn export(&self) -> Vec<Entry> {
-        let s = self.store.read();
-        collect_subtree(&s, "")
-            .into_iter()
-            .filter(|k| !k.is_empty())
-            .map(|k| s.entries[&k].clone())
-            .collect()
+        let guard = self.store.read();
+        let s = &*guard;
+        let mut out = Vec::new();
+        visit_subtree(s, "", &mut |k| {
+            if !k.is_empty() {
+                out.push(s.entries[k].clone());
+            }
+            Ok(())
+        })
+        .expect("infallible visitor");
+        out
     }
 
     /// Remove everything (used by resynchronization).
@@ -447,21 +677,62 @@ impl Dit {
         s.entries.clear();
         s.children.clear();
         s.children.insert(String::new(), BTreeSet::new());
+        for postings in s.index.postings.values_mut() {
+            postings.clear();
+        }
     }
 }
 
-/// BFS over the subtree rooted at `root_key` (inclusive), parents first.
-fn collect_subtree(s: &Store, root_key: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut queue = std::collections::VecDeque::new();
-    queue.push_back(root_key.to_string());
+/// BFS over the subtree rooted at `root_key` (inclusive), parents first,
+/// borrowing keys from the store — O(depth) queue of `&str`, no per-entry
+/// `String` allocation.
+fn visit_subtree<'a>(
+    s: &'a Store,
+    root_key: &'a str,
+    visit: &mut dyn FnMut(&'a str) -> Result<()>,
+) -> Result<()> {
+    let mut queue: VecDeque<&'a str> = VecDeque::new();
+    queue.push_back(root_key);
     while let Some(k) = queue.pop_front() {
-        if let Some(kids) = s.children.get(&k) {
+        if let Some(kids) = s.children.get(k) {
             for c in kids {
-                queue.push_back(c.clone());
+                queue.push_back(c);
             }
         }
-        out.push(k);
+        visit(k)?;
+    }
+    Ok(())
+}
+
+/// Owned-key BFS — only for `modify_rdn`, which mutates the maps while
+/// walking the collected keys.
+fn collect_subtree(s: &Store, root_key: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    visit_subtree(s, root_key, &mut |k| {
+        out.push(k.to_string());
+        Ok(())
+    })
+    .expect("infallible visitor");
+    out
+}
+
+/// Full norm keys of `dn`'s ancestors, topmost (depth 1) first, ending with
+/// `dn`'s own key. Comparing `(len, chain)` tuples reproduces the scan's
+/// BFS emission order: depth level by level, and within a level the
+/// `BTreeSet` sibling order at the first diverging ancestor.
+fn ancestor_chain(dn: &Dn) -> Vec<String> {
+    let rdns = dn.rdns();
+    let mut out = Vec::with_capacity(rdns.len());
+    let mut cur = String::new();
+    for rdn in rdns.iter().rev() {
+        let rk = rdn.norm_key();
+        let full = if cur.is_empty() {
+            rk
+        } else {
+            format!("{rk},{cur}")
+        };
+        out.push(full.clone());
+        cur = full;
     }
     out
 }
@@ -533,6 +804,13 @@ mod tests {
 
     fn tree() -> Arc<Dit> {
         let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        dit
+    }
+
+    /// Same tree, indexing disabled — the scan reference.
+    fn scan_tree() -> Arc<Dit> {
+        let dit = Dit::with_schema_indexed(Arc::new(Schema::permissive()), &[]);
         figure2_tree(&dit).unwrap();
         dit
     }
@@ -824,8 +1102,181 @@ mod tests {
         let dit = tree();
         dit.clear();
         assert!(dit.is_empty());
-        // Can rebuild after clear.
+        // Can rebuild after clear (indexes too).
         figure2_tree(&dit).unwrap();
         assert_eq!(dit.len(), 9);
+        let hits = dit
+            .search(
+                &Dn::root(),
+                Scope::Sub,
+                &Filter::eq("cn", "John Doe"),
+                &[],
+                0,
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    // ---- equality-index tests -------------------------------------------
+
+    /// Every search below must agree, entry-for-entry and in order, with
+    /// the index-free reference DIT.
+    fn assert_same_results(indexed: &Dit, scan: &Dit, base: &str, scope: Scope, filter: &str) {
+        let base = Dn::parse(base).unwrap();
+        let f = Filter::parse(filter).unwrap();
+        let a = indexed.search(&base, scope, &f, &[], 0).unwrap();
+        let b = scan.search(&base, scope, &f, &[], 0).unwrap();
+        assert_eq!(a, b, "divergence on {filter} at {base} ({scope:?})");
+    }
+
+    #[test]
+    fn default_indexes_installed_and_listed() {
+        let dit = Dit::new();
+        assert_eq!(
+            dit.indexed_attrs(),
+            vec!["cn", "lastupdater", "objectclass", "telephonenumber"]
+        );
+        // And can be disabled entirely.
+        let off = Dit::with_schema_indexed(Arc::new(Schema::permissive()), &[]);
+        assert!(off.indexed_attrs().is_empty());
+    }
+
+    #[test]
+    fn indexed_search_matches_scan_in_content_and_order() {
+        let indexed = tree();
+        let scan = scan_tree();
+        for filter in [
+            "(objectClass=person)",
+            "(objectClass=organization)",
+            "(cn=John Doe)",
+            "(cn=JOHN   doe)", // caseIgnoreMatch + whitespace squeeze
+            "(&(objectClass=person)(cn=Jill Lu))",
+            "(&(objectClass=person)(cn=J*))", // AND with one indexed conjunct
+            "(|(cn=John Doe)(cn=Pat Smith))", // OR falls back to scan
+            "(cn=nobody)",
+            "(sn=Doe)", // unindexed attr falls back
+        ] {
+            assert_same_results(&indexed, &scan, "o=Lucent", Scope::Sub, filter);
+            assert_same_results(&indexed, &scan, "o=Marketing,o=Lucent", Scope::Sub, filter);
+            assert_same_results(&indexed, &scan, "o=Lucent", Scope::One, filter);
+        }
+        let (served, _) = indexed.index_stats();
+        assert!(served > 0, "indexed paths must actually run");
+        let (served_off, scanned_off) = scan.index_stats();
+        assert_eq!(served_off, 0);
+        assert!(scanned_off > 0);
+    }
+
+    #[test]
+    fn planner_applicability() {
+        let dit = tree();
+        let lucent = Dn::parse("o=Lucent").unwrap();
+        let probe = |f: &str| {
+            let before = dit.index_stats();
+            dit.search(&lucent, Scope::Sub, &Filter::parse(f).unwrap(), &[], 0)
+                .unwrap();
+            let after = dit.index_stats();
+            (after.0 - before.0, after.1 - before.1)
+        };
+        assert_eq!(probe("(cn=John Doe)"), (1, 0), "indexed equality");
+        assert_eq!(probe("(cn=nobody)"), (1, 0), "provably empty");
+        assert_eq!(
+            probe("(&(objectClass=person)(sn=Doe))"),
+            (1, 0),
+            "AND with one indexed conjunct"
+        );
+        assert_eq!(probe("(sn=Doe)"), (0, 1), "unindexed attr scans");
+        assert_eq!(probe("(cn=J*)"), (0, 1), "substring scans");
+        assert_eq!(probe("(!(cn=John Doe))"), (0, 1), "negation scans");
+        assert_eq!(probe("(objectClass=*)"), (0, 1), "presence scans");
+    }
+
+    #[test]
+    fn index_follows_modify_delete_and_rename() {
+        let indexed = tree();
+        let scan = scan_tree();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        for d in [&indexed, &scan] {
+            d.modify(&john, &[Modification::set("telephoneNumber", "9123")])
+                .unwrap();
+        }
+        assert_same_results(
+            &indexed,
+            &scan,
+            "o=Lucent",
+            Scope::Sub,
+            "(telephoneNumber=9123)",
+        );
+        // Rename: the old cn posting must go, the new one appear.
+        for d in [&indexed, &scan] {
+            d.modify_rdn(&john, &Rdn::new("cn", "Jack Doe"), true, None)
+                .unwrap();
+        }
+        assert_same_results(&indexed, &scan, "o=Lucent", Scope::Sub, "(cn=John Doe)");
+        assert_same_results(&indexed, &scan, "o=Lucent", Scope::Sub, "(cn=Jack Doe)");
+        // Subtree move: descendants reindex under their new keys.
+        let marketing = Dn::parse("o=Marketing,o=Lucent").unwrap();
+        let rd = Dn::parse("o=R&D,o=Lucent").unwrap();
+        for d in [&indexed, &scan] {
+            d.modify_rdn(&marketing, &Rdn::new("o", "Marketing"), false, Some(&rd))
+                .unwrap();
+        }
+        assert_same_results(&indexed, &scan, "o=Lucent", Scope::Sub, "(cn=Jack Doe)");
+        assert_same_results(
+            &indexed,
+            &scan,
+            "o=R&D,o=Lucent",
+            Scope::Sub,
+            "(cn=Jack Doe)",
+        );
+        // Delete drops the posting.
+        let jack = Dn::parse("cn=Jack Doe,o=Marketing,o=R&D,o=Lucent").unwrap();
+        for d in [&indexed, &scan] {
+            d.delete(&jack).unwrap();
+        }
+        assert_same_results(&indexed, &scan, "o=Lucent", Scope::Sub, "(cn=Jack Doe)");
+    }
+
+    #[test]
+    fn indexed_size_limit_matches_scan() {
+        let indexed = tree();
+        let scan = scan_tree();
+        let base = Dn::parse("o=Lucent").unwrap();
+        let f = Filter::eq("objectClass", "person");
+        let a = indexed.search(&base, Scope::Sub, &f, &[], 2).unwrap_err();
+        let b = scan.search(&base, Scope::Sub, &f, &[], 2).unwrap_err();
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.code, ResultCode::SizeLimitExceeded);
+    }
+
+    #[test]
+    fn custom_indexed_attrs() {
+        let dit = Dit::with_schema_indexed(Arc::new(Schema::permissive()), &["roomNumber"]);
+        figure2_tree(&dit).unwrap();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("roomNumber", "2B-401")])
+            .unwrap();
+        let before = dit.index_stats();
+        let hits = dit
+            .search(
+                &Dn::root(),
+                Scope::Sub,
+                &Filter::eq("roomNumber", "2b-401"),
+                &[],
+                0,
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(dit.index_stats().0, before.0 + 1);
+        // cn is NOT indexed in this configuration → scan.
+        dit.search(
+            &Dn::root(),
+            Scope::Sub,
+            &Filter::eq("cn", "John Doe"),
+            &[],
+            0,
+        )
+        .unwrap();
+        assert_eq!(dit.index_stats().1, before.1 + 1);
     }
 }

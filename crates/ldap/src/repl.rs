@@ -97,7 +97,7 @@ impl Replica {
         }
         match s.entries.get_mut(&key) {
             Some(existing) => {
-                existing.created = stamp.clone();
+                existing.created = stamp;
                 for (k, v) in attrs {
                     existing.attrs.insert(k, v);
                 }

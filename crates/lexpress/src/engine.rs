@@ -373,7 +373,7 @@ mapping ldap_to_pbx_west {
             OpKind::Modify
         );
         // old in, new out → DELETE
-        let d = UpdateDescriptor::modify("cn=J", in_range.clone(), out_of_range.clone(), "wba");
+        let d = UpdateDescriptor::modify("cn=J", in_range, out_of_range.clone(), "wba");
         let op = e.translate("ldap_to_pbx_west", &d).unwrap();
         assert_eq!(op.kind, OpKind::Delete);
         assert_eq!(op.old_key.as_deref(), Some("9123"));

@@ -199,7 +199,7 @@ mod tests {
         assert_eq!(op.attrs.first("sn"), Some("Doe"));
 
         // …and back: LDAP image → PBX record
-        let mut img = op.attrs.clone();
+        let mut img = op.attrs;
         img.set("dn", vec!["cn=John Doe,o=Lucent".into()]);
         let d2 = UpdateDescriptor::add("cn=John Doe,o=Lucent", img, "ldap");
         let op2 = e.translate("ldap_to_pbx-west", &d2).unwrap();

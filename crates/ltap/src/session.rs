@@ -107,7 +107,7 @@ mod tests {
     fn session_applies_without_triggering() {
         let dit = Dit::new();
         figure2_tree(&dit).unwrap();
-        let gw = Gateway::new(dit.clone());
+        let gw = Gateway::new(dit);
         let fired = Arc::new(AtomicUsize::new(0));
         let f2 = fired.clone();
         gw.register(
@@ -144,7 +144,7 @@ mod tests {
         figure2_tree(&dit).unwrap();
         let gw = Gateway::new(dit);
         let session = gw.begin_sync();
-        let gw2 = gw.clone();
+        let gw2 = gw;
         let done = Arc::new(AtomicUsize::new(0));
         let d2 = done.clone();
         let updater = std::thread::spawn(move || {

@@ -220,6 +220,6 @@ mod tests {
             .dn(),
             &dn
         );
-        assert_eq!(LtapOp::Modify(dn.clone(), vec![]).kind(), OpKind::Modify);
+        assert_eq!(LtapOp::Modify(dn, vec![]).kind(), OpKind::Modify);
     }
 }

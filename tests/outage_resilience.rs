@@ -379,6 +379,105 @@ fn aborted_update_withdraws_journaled_ops() {
 }
 
 #[test]
+fn parallel_fanout_preserves_outage_semantics() {
+    // The whole outage story again, but on a 4-worker UM whose device legs
+    // fan out in parallel threads: a dead switch must journal without
+    // aborting updates or poisoning its live sibling (the messaging
+    // platform), aborted updates must withdraw tickets from the journal,
+    // and the reconnect drain must lose nothing — identical semantics to
+    // the sequential coordinator the other tests exercise.
+    let switch = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("1", 4)));
+    let mp = Arc::new(msgplat::Store::new("mp"));
+    let system = MetaCommBuilder::new("o=Lucent")
+        .add_pbx(switch.clone(), "1???")
+        .add_msgplat(mp.clone(), "*")
+        .with_um_workers(4)
+        .with_retry_policy(test_retry())
+        .with_breaker_policy(manual_breaker(512))
+        .with_fault_plan("pbx-west", FaultPlan::default())
+        .build()
+        .expect("build");
+    assert_eq!(system.um_workers(), 4);
+    let wba = system.wba();
+    for i in 0..8 {
+        wba.add_person_with_extension(
+            &format!("Fan Person {i}"),
+            "Person",
+            &format!("1{i:03}"),
+            "R0",
+        )
+        .expect("seed");
+        wba.assign_mailbox(&format!("Fan Person {i}"), &format!("9{i:03}"), "standard")
+            .expect("seed mailbox");
+    }
+    system.settle();
+    assert_eq!(switch.len(), 8);
+    assert_eq!(mp.len(), 8, "every person gets a mailbox on the live leg");
+
+    // Cut the switch and update all eight people concurrently (the DNs
+    // spread over the worker shards). Every update must still succeed
+    // against the directory, journaling only its pbx leg.
+    let handle = system.fault_handle("pbx-west").expect("fault handle");
+    handle.set_down(true);
+    std::thread::scope(|sc| {
+        for i in 0..8 {
+            let wba = system.wba();
+            sc.spawn(move || {
+                wba.assign_room(&format!("Fan Person {i}"), "R9")
+                    .expect("update during outage must succeed");
+            });
+        }
+    });
+    system.settle();
+
+    let health = system.device_health("pbx-west").expect("health");
+    assert_eq!(health.state, HealthState::Offline);
+    assert_eq!(health.queued_ops, 8, "one journaled pbx op per update");
+    assert!(dev_metric(&system, "breakerTrips") >= 1);
+    assert_eq!(um_metric(&system, "queued"), 8);
+    for i in 0..8 {
+        assert_eq!(
+            room_at(&switch, &format!("1{i:03}")).as_deref(),
+            Some("R0"),
+            "dead device must not see outage updates"
+        );
+    }
+
+    // An aborted update (rename onto an existing person) journals its pbx
+    // op on one fan-out leg, then the directory rejects the ModifyRDN —
+    // the parallel legs' tickets must all be withdrawn.
+    let err = wba
+        .rename_person("Fan Person 0", "Fan Person 1")
+        .expect_err("rename onto an existing entry must fail");
+    assert_eq!(err.code, ldap::ResultCode::EntryAlreadyExists);
+    assert_eq!(
+        system.device_health("pbx-west").unwrap().queued_ops,
+        8,
+        "aborted update left a ticket in the journal"
+    );
+
+    // Reconnect: exactly the eight surviving ops drain, both devices
+    // converge, nothing is lost.
+    handle.set_down(false);
+    let outcome = system.probe_device("pbx-west").expect("recover");
+    assert!(
+        matches!(outcome, RecoveryOutcome::Drained(8)),
+        "expected Drained(8), got {outcome:?}"
+    );
+    for i in 0..8 {
+        assert_eq!(room_at(&switch, &format!("1{i:03}")).as_deref(), Some("R9"));
+    }
+    assert_eq!(mp.len(), 8);
+    let resync = system.synchronize_device("pbx-west").expect("resync");
+    assert_eq!((resync.added, resync.cleared), (0, 0), "{resync:?}");
+    assert_eq!(
+        system.device_health("pbx-west").unwrap().state,
+        HealthState::Up
+    );
+    system.shutdown();
+}
+
+#[test]
 fn shutdown_drains_inflight_updates_cleanly() {
     // Regression: a trigger blocked in its reply channel during shutdown
     // used to observe "update manager crashed while processing". Shutdown

@@ -47,7 +47,7 @@ proptest! {
         // parent/child are inverses.
         let rdn = dn.rdn().expect("non-root").clone();
         let parent = dn.parent().expect("non-root");
-        prop_assert_eq!(parent.child(rdn), dn.clone());
+        prop_assert_eq!(parent.child(rdn), dn);
         // is_within is reflexive and respects ancestry.
         prop_assert!(dn.is_within(&dn));
         prop_assert!(dn.is_within(&parent));

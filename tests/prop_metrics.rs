@@ -138,7 +138,7 @@ fn step() -> impl Strategy<Value = Step> {
 fn run_workload(steps: &[Step]) -> Result<(), TestCaseError> {
     let switch = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("1", 4)));
     let system = MetaCommBuilder::new("o=Lucent")
-        .add_pbx(switch.clone(), "1???")
+        .add_pbx(switch, "1???")
         .with_retry_policy(RetryPolicy {
             max_attempts: 2,
             base_delay: Duration::from_millis(1),
