@@ -8,6 +8,7 @@ pub mod e10_ldap;
 pub mod e11_ablations;
 pub mod e12_outage;
 pub mod e13_throughput;
+pub mod e14_wire;
 pub mod e1_propagation;
 pub mod e2_convergence;
 pub mod e3_reapply;
@@ -72,10 +73,11 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e11_ablations::run(scale),
         e12_outage::run(scale),
         e13_throughput::run(scale),
+        e14_wire::run(scale),
     ]
 }
 
-/// Run one experiment by id (`e1` … `e13`).
+/// Run one experiment by id (`e1` … `e14`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
     Some(match id {
         "e1" => e1_propagation::run(scale),
@@ -91,6 +93,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
         "e11" => e11_ablations::run(scale),
         "e12" => e12_outage::run(scale),
         "e13" => e13_throughput::run(scale),
+        "e14" => e14_wire::run(scale),
         _ => return None,
     })
 }
@@ -252,6 +255,27 @@ mod tests {
     }
 
     #[test]
+    fn quick_e14_wire() {
+        let r = e14_wire::run(Scale::Quick);
+        assert_eq!(r.id, "E14");
+        // All three ablation axes must appear in the table…
+        assert!(r.table.contains("stream     legacy"), "{}", r.table);
+        assert!(r.table.contains("stream  streaming"), "{}", r.table);
+        assert!(r.table.contains("pipe   w=1"), "{}", r.table);
+        assert!(r.table.contains("pipe   w=4"), "{}", r.table);
+        assert!(r.table.contains("sync   full"), "{}", r.table);
+        assert!(r.table.contains("sync   delta"), "{}", r.table);
+        // …and the machine-readable section must carry the numbers CI
+        // gates on (the ≥2x / ≤10% acceptance checks run on the artifact,
+        // not here, to keep this test robust on loaded machines).
+        let (key, json) = r.extra.as_ref().expect("wire section");
+        assert_eq!(*key, "wire");
+        assert!(json.contains("\"streaming_speedup\":"), "{json}");
+        assert!(json.contains("\"pipeline_speedup\":"), "{json}");
+        assert!(json.contains("\"delta_ratio\":"), "{json}");
+    }
+
+    #[test]
     fn bench_json_splices_extra_sections() {
         let r = Report {
             id: "EX",
@@ -268,7 +292,7 @@ mod tests {
 
     #[test]
     fn run_one_dispatches_every_id() {
-        for id in ["e7", "e9", "e12", "e13"] {
+        for id in ["e7", "e9", "e12", "e13", "e14"] {
             assert!(run_one(id, Scale::Quick).is_some());
         }
         assert!(run_one("e99", Scale::Quick).is_none());

@@ -92,6 +92,7 @@ pub struct MetaCommBuilder {
     clock: Option<Arc<dyn Clock>>,
     indexed_attrs: Option<Vec<String>>,
     um_workers: Option<usize>,
+    wire_workers: Option<usize>,
 }
 
 impl MetaCommBuilder {
@@ -113,6 +114,7 @@ impl MetaCommBuilder {
             clock: None,
             indexed_attrs: None,
             um_workers: None,
+            wire_workers: None,
         }
     }
 
@@ -138,6 +140,17 @@ impl MetaCommBuilder {
     /// the paper's single-coordinator schedule exactly.
     pub fn with_um_workers(mut self, workers: usize) -> Self {
         self.um_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Number of wire-protocol workers per LDAP connection when this
+    /// deployment is [served over TCP](MetaComm::serve). Workers decode
+    /// ahead and prepare responses concurrently while responses still go
+    /// out in request order; `1` reproduces the strictly serial
+    /// read-execute-write loop. Defaults to the available parallelism,
+    /// capped at 4.
+    pub fn with_wire_workers(mut self, workers: usize) -> Self {
+        self.wire_workers = Some(workers.max(1));
         self
     }
 
@@ -468,6 +481,7 @@ impl MetaCommBuilder {
             fault_handles,
             monitor: Mutex::new(Some(monitor)),
             registry,
+            wire_workers: self.wire_workers,
         })
     }
 }
@@ -492,6 +506,7 @@ pub struct MetaComm {
     fault_handles: HashMap<String, Arc<FaultHandle>>,
     monitor: Mutex<Option<MonitorHandle>>,
     registry: Arc<Registry>,
+    wire_workers: Option<usize>,
 }
 
 impl MetaComm {
@@ -524,7 +539,11 @@ impl MetaComm {
     /// component.
     pub fn serve(&self, addr: &str) -> ldap::Result<ldap::server::Server> {
         let fronted = MonitorDirectory::new(self.gateway.clone(), self.registry.clone());
-        let server = ldap::server::Server::start(fronted, addr)?;
+        let mut builder = ldap::server::Server::builder();
+        if let Some(w) = self.wire_workers {
+            builder = builder.with_wire_workers(w);
+        }
+        let server = builder.start(fronted, addr)?;
         obs::mirror_server_metrics(&self.registry, &server.metrics());
         Ok(server)
     }

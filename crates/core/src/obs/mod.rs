@@ -213,6 +213,9 @@ pub(crate) fn mirror_server_metrics(
     mirror!("unbinds", unbinds);
     mirror!("decodeFailures", decode_failures);
     mirror!("entriesReturned", entries_returned);
+    mirror!("connectionsOpen", connections_open);
+    mirror!("connectionsTotal", connections_total);
+    mirror!("disconnectNotices", disconnect_notices);
     for &code in TALLIED_RESULT_CODES {
         let m = metrics.clone();
         comp.gauge_callback(&format!("resultCode{code}"), move || {

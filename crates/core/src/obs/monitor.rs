@@ -162,6 +162,65 @@ impl Directory for MonitorDirectory {
         Ok(out)
     }
 
+    fn search_capped(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<(Vec<Entry>, bool)> {
+        if !base.is_within(&self.base) {
+            // Forward so a capped inner directory keeps its single-pass path.
+            return self
+                .inner
+                .search_capped(base, scope, filter, attrs, size_limit);
+        }
+        let entries = self.materialize();
+        let base_key = base.norm_key();
+        if !entries.iter().any(|e| e.dn().norm_key() == base_key) {
+            return Err(LdapError::no_such_object(base));
+        }
+        let mut out = Vec::new();
+        for e in &entries {
+            let in_scope = match scope {
+                Scope::Base => e.dn().norm_key() == base_key,
+                Scope::One => e.dn().parent().is_some_and(|p| p.norm_key() == base_key),
+                Scope::Sub => e.dn().is_within(base),
+            };
+            if !in_scope || !filter.matches(e) {
+                continue;
+            }
+            if size_limit != 0 && out.len() >= size_limit {
+                return Ok((out, true));
+            }
+            out.push(e.project(attrs));
+        }
+        Ok((out, false))
+    }
+
+    fn search_visit(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<(usize, bool)> {
+        if !base.is_within(&self.base) {
+            // Forward so the inner directory's zero-copy path stays intact.
+            return self
+                .inner
+                .search_visit(base, scope, filter, attrs, size_limit, visit);
+        }
+        let (entries, truncated) = self.search_capped(base, scope, filter, attrs, size_limit)?;
+        for e in &entries {
+            visit(e);
+        }
+        Ok((entries.len(), truncated))
+    }
+
     fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
         if !dn.is_within(&self.base) {
             return self.inner.compare(dn, attr, value);

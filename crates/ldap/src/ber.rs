@@ -5,7 +5,7 @@
 //! application- or context-tagged variants of those.
 
 use crate::error::{LdapError, Result};
-use bytes::{BufMut, BytesMut};
+use std::fmt;
 
 /// Universal tags.
 pub const TAG_BOOLEAN: u8 = 0x01;
@@ -35,10 +35,16 @@ pub const fn ctx_prim(tag: u8) -> u8 {
     0x80 | tag
 }
 
-/// Incremental BER writer.
+/// Incremental BER writer over a plain `Vec<u8>`.
+///
+/// Constructed values are encoded *in place*: the body is written directly
+/// after a one-byte length placeholder which is back-patched once the body
+/// size is known (spliced to long form when it exceeds 127 bytes). This
+/// keeps nested SEQUENCEs allocation-free and lets callers reuse one buffer
+/// across messages via [`Writer::wrap`].
 #[derive(Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
@@ -46,26 +52,49 @@ impl Writer {
         Writer::default()
     }
 
+    /// Continue writing into an existing buffer (appends after its current
+    /// contents); get it back with [`Writer::into_bytes`].
+    pub fn wrap(buf: Vec<u8>) -> Writer {
+        Writer { buf }
+    }
+
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Raw TLV.
     pub fn tlv(&mut self, tag: u8, body: &[u8]) {
-        self.buf.put_u8(tag);
+        self.buf.push(tag);
         self.write_len(body.len());
-        self.buf.put_slice(body);
+        self.buf.extend_from_slice(body);
     }
 
     fn write_len(&mut self, len: usize) {
         if len < 0x80 {
-            self.buf.put_u8(len as u8);
+            self.buf.push(len as u8);
         } else {
             let bytes = len.to_be_bytes();
             let skip = bytes.iter().take_while(|&&b| b == 0).count();
             let n = bytes.len() - skip;
-            self.buf.put_u8(0x80 | n as u8);
-            self.buf.put_slice(&bytes[skip..]);
+            self.buf.push(0x80 | n as u8);
+            self.buf.extend_from_slice(&bytes[skip..]);
+        }
+    }
+
+    /// Patch the one-byte length placeholder at `len_pos` to cover every
+    /// byte written after it, preserving minimal (definite-form) encoding.
+    fn patch_len(&mut self, len_pos: usize) {
+        let body_len = self.buf.len() - len_pos - 1;
+        if body_len < 0x80 {
+            self.buf[len_pos] = body_len as u8;
+        } else {
+            let bytes = body_len.to_be_bytes();
+            let skip = bytes.iter().take_while(|&&b| b == 0).count();
+            let n = bytes.len() - skip;
+            self.buf.splice(
+                len_pos..len_pos + 1,
+                std::iter::once(0x80 | n as u8).chain(bytes[skip..].iter().copied()),
+            );
         }
     }
 
@@ -80,6 +109,24 @@ impl Writer {
 
     pub fn str(&mut self, s: &str) {
         self.octet_string(s.as_bytes());
+    }
+
+    /// OCTET STRING formatted straight from a [`fmt::Display`] value —
+    /// skips the intermediate `to_string` allocation (used for DNs on the
+    /// search hot path).
+    pub fn str_display(&mut self, v: &dyn fmt::Display) {
+        struct VecWrite<'a>(&'a mut Vec<u8>);
+        impl fmt::Write for VecWrite<'_> {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                self.0.extend_from_slice(s.as_bytes());
+                Ok(())
+            }
+        }
+        self.buf.push(TAG_OCTET_STRING);
+        let len_pos = self.buf.len();
+        self.buf.push(0);
+        let _ = fmt::Write::write_fmt(&mut VecWrite(&mut self.buf), format_args!("{v}"));
+        self.patch_len(len_pos);
     }
 
     pub fn integer_tagged(&mut self, tag: u8, v: i64) {
@@ -112,10 +159,13 @@ impl Writer {
     }
 
     /// Constructed value: everything written by `f` becomes the body.
+    /// Encoded in place with a back-patched length — no nested allocation.
     pub fn constructed(&mut self, tag: u8, f: impl FnOnce(&mut Writer)) {
-        let mut inner = Writer::new();
-        f(&mut inner);
-        self.tlv(tag, &inner.buf);
+        self.buf.push(tag);
+        let len_pos = self.buf.len();
+        self.buf.push(0);
+        f(self);
+        self.patch_len(len_pos);
     }
 
     pub fn sequence(&mut self, f: impl FnOnce(&mut Writer)) {
@@ -341,6 +391,56 @@ mod tests {
         assert_eq!(r.expect(0x83).unwrap(), b"hello");
         let mut sub = r.sub(0x64).unwrap();
         assert_eq!(sub.integer().unwrap(), 1);
+    }
+
+    #[test]
+    fn long_form_constructed_is_backpatched() {
+        // A SEQUENCE whose body exceeds 127 bytes forces the placeholder
+        // length byte to be spliced to long form.
+        let big = "y".repeat(200);
+        let mut w = Writer::new();
+        w.sequence(|w| {
+            w.integer(1);
+            w.str(&big);
+        });
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], TAG_SEQUENCE);
+        assert_eq!(bytes[1], 0x81); // one length byte, long form
+        let mut r = Reader::new(&bytes);
+        let mut seq = r.sequence().unwrap();
+        assert_eq!(seq.integer().unwrap(), 1);
+        assert_eq!(seq.string().unwrap(), big);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn wrap_appends_to_existing_buffer() {
+        let mut w = Writer::new();
+        w.integer(1);
+        let buf = w.into_bytes();
+        let mut w = Writer::wrap(buf);
+        w.integer(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.integer().unwrap(), 1);
+        assert_eq!(r.integer().unwrap(), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn str_display_matches_str() {
+        let mut a = Writer::new();
+        a.str_display(&12345);
+        let mut b = Writer::new();
+        b.str("12345");
+        assert_eq!(a.into_bytes(), b.into_bytes());
+        // Long-form case too.
+        let long = "z".repeat(300);
+        let mut a = Writer::new();
+        a.str_display(&long);
+        let mut b = Writer::new();
+        b.str(&long);
+        assert_eq!(a.into_bytes(), b.into_bytes());
     }
 
     #[test]

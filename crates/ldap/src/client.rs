@@ -7,7 +7,9 @@ use crate::dn::{Dn, Rdn};
 use crate::entry::{Entry, Modification};
 use crate::error::{LdapError, Result, ResultCode};
 use crate::filter::Filter;
-use crate::proto::{entry_from_wire, entry_to_wire, read_frame, LdapMessage, ProtocolOp};
+use crate::proto::{
+    entry_from_wire, entry_to_wire, FrameReader, LdapMessage, LdapResult, ProtocolOp,
+};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::net::TcpStream;
@@ -15,15 +17,58 @@ use std::net::TcpStream;
 /// A connected LDAP client. All operations are synchronous; the connection
 /// is serialized with an internal lock so a `TcpDirectory` can be shared
 /// across threads.
-#[derive(Debug)]
 pub struct TcpDirectory {
     conn: Mutex<Conn>,
 }
 
-#[derive(Debug)]
+impl std::fmt::Debug for TcpDirectory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpDirectory").finish_non_exhaustive()
+    }
+}
+
 struct Conn {
+    /// Write half (the read half lives inside `frames`).
     stream: TcpStream,
+    /// Buffered incremental frame splitter over a clone of the stream.
+    frames: FrameReader<TcpStream>,
+    /// Reusable encode buffer.
+    out: Vec<u8>,
     next_id: i64,
+}
+
+impl Conn {
+    /// Send one message, reusing the encode buffer.
+    fn send(&mut self, msg: &LdapMessage) -> Result<()> {
+        self.out.clear();
+        msg.encode_into(&mut self.out);
+        self.stream.write_all(&self.out)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Read the next response for request `id`, surfacing an unsolicited
+    /// Notice of Disconnection (message ID 0) as a typed error.
+    fn recv(&mut self, id: i64) -> Result<ProtocolOp> {
+        let frame = self
+            .frames
+            .next_frame()?
+            .ok_or_else(|| LdapError::new(ResultCode::Unavailable, "server closed"))?;
+        let resp = LdapMessage::decode(frame)?;
+        if resp.id == 0 {
+            if let ProtocolOp::ExtendedResponse { result, .. } = resp.op {
+                return Err(LdapError::new(
+                    result.code,
+                    format!("server disconnected: {}", result.message),
+                ));
+            }
+            return Err(LdapError::protocol("unsolicited message id 0"));
+        }
+        if resp.id != id {
+            return Err(LdapError::protocol("response id mismatch"));
+        }
+        Ok(resp.op)
+    }
 }
 
 impl TcpDirectory {
@@ -31,8 +76,14 @@ impl TcpDirectory {
     pub fn connect(addr: &str) -> Result<TcpDirectory> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
         Ok(TcpDirectory {
-            conn: Mutex::new(Conn { stream, next_id: 1 }),
+            conn: Mutex::new(Conn {
+                stream,
+                frames: FrameReader::new(read_half),
+                out: Vec::with_capacity(256),
+                next_id: 1,
+            }),
         })
     }
 
@@ -58,44 +109,41 @@ impl TcpDirectory {
         let mut conn = self.conn.lock();
         let id = conn.next_id;
         conn.next_id += 1;
-        let msg = LdapMessage { id, op };
-        conn.stream.write_all(&msg.encode())?;
-        conn.stream.flush()?;
-        let frame = read_frame(&mut conn.stream)?
-            .ok_or_else(|| LdapError::new(ResultCode::Unavailable, "server closed"))?;
-        let resp = LdapMessage::decode(&frame)?;
-        if resp.id != id {
-            return Err(LdapError::protocol("response id mismatch"));
-        }
-        Ok(resp.op)
+        conn.send(&LdapMessage { id, op })?;
+        conn.recv(id)
     }
 
-    /// Send a search request and collect entries until SearchResultDone.
-    fn call_search(&self, op: ProtocolOp) -> Result<Vec<Entry>> {
+    /// Send a search request and collect entries plus the SearchResultDone.
+    fn call_search(&self, op: ProtocolOp) -> Result<(Vec<Entry>, LdapResult)> {
         let mut conn = self.conn.lock();
         let id = conn.next_id;
         conn.next_id += 1;
-        let msg = LdapMessage { id, op };
-        conn.stream.write_all(&msg.encode())?;
-        conn.stream.flush()?;
+        conn.send(&LdapMessage { id, op })?;
         let mut out = Vec::new();
         loop {
-            let frame = read_frame(&mut conn.stream)?
-                .ok_or_else(|| LdapError::new(ResultCode::Unavailable, "server closed"))?;
-            let resp = LdapMessage::decode(&frame)?;
-            if resp.id != id {
-                return Err(LdapError::protocol("response id mismatch"));
-            }
-            match resp.op {
+            match conn.recv(id)? {
                 ProtocolOp::SearchResultEntry { dn, attrs } => {
                     out.push(entry_from_wire(&dn, &attrs)?);
                 }
-                ProtocolOp::SearchResultDone(r) => {
-                    r.into_result()?;
-                    return Ok(out);
-                }
+                ProtocolOp::SearchResultDone(r) => return Ok((out, r)),
                 _ => return Err(LdapError::protocol("unexpected search response")),
             }
+        }
+    }
+
+    fn search_request(
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> ProtocolOp {
+        ProtocolOp::SearchRequest {
+            base: base.to_string(),
+            scope,
+            size_limit: size_limit as i64,
+            filter: filter.clone(),
+            attrs: attrs.to_vec(),
         }
     }
 
@@ -103,12 +151,10 @@ impl TcpDirectory {
     pub fn unbind(&self) {
         let mut conn = self.conn.lock();
         let id = conn.next_id;
-        let msg = LdapMessage {
+        let _ = conn.send(&LdapMessage {
             id,
             op: ProtocolOp::UnbindRequest,
-        };
-        let _ = conn.stream.write_all(&msg.encode());
-        let _ = conn.stream.flush();
+        });
     }
 }
 
@@ -164,13 +210,29 @@ impl Directory for TcpDirectory {
         attrs: &[String],
         size_limit: usize,
     ) -> Result<Vec<Entry>> {
-        self.call_search(ProtocolOp::SearchRequest {
-            base: base.to_string(),
-            scope,
-            size_limit: size_limit as i64,
-            filter: filter.clone(),
-            attrs: attrs.to_vec(),
-        })
+        let (entries, done) =
+            self.call_search(Self::search_request(base, scope, filter, attrs, size_limit))?;
+        done.into_result()?;
+        Ok(entries)
+    }
+
+    fn search_capped(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<(Vec<Entry>, bool)> {
+        let (entries, done) =
+            self.call_search(Self::search_request(base, scope, filter, attrs, size_limit))?;
+        match done.code {
+            ResultCode::SizeLimitExceeded => Ok((entries, true)),
+            _ => {
+                done.into_result()?;
+                Ok((entries, false))
+            }
+        }
     }
 
     fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {

@@ -39,6 +39,54 @@ pub trait Directory: Send + Sync {
 
     fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool>;
 
+    /// Like [`search`](Directory::search), but a size-limit overflow is not
+    /// an error: returns the entries up to the limit plus a "truncated"
+    /// flag, matching RFC 2251 `sizeLimitExceeded` semantics (the server
+    /// sends the partial result set, then a SearchResultDone with code 4).
+    ///
+    /// The default impl retries an over-limit search without the limit and
+    /// truncates; concrete directories override it with a single pass.
+    fn search_capped(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<(Vec<Entry>, bool)> {
+        match self.search(base, scope, filter, attrs, size_limit) {
+            Ok(v) => Ok((v, false)),
+            Err(e) if e.code == crate::error::ResultCode::SizeLimitExceeded && size_limit > 0 => {
+                let mut v = self.search(base, scope, filter, attrs, 0)?;
+                v.truncate(size_limit);
+                Ok((v, true))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Stream matching entries through `visit` instead of collecting them;
+    /// returns `(matches visited, truncated)`. Concrete directories close
+    /// to the data override this to yield borrowed entries without a
+    /// per-entry clone or a result vector — the wire server's streaming
+    /// response path is built on it. The default impl collects via
+    /// [`search_capped`](Directory::search_capped) and replays.
+    fn search_visit(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<(usize, bool)> {
+        let (entries, truncated) = self.search_capped(base, scope, filter, attrs, size_limit)?;
+        for e in &entries {
+            visit(e);
+        }
+        Ok((entries.len(), truncated))
+    }
+
     /// Convenience: fetch one entry by DN (`None` when absent).
     fn get(&self, dn: &Dn) -> Result<Option<Entry>> {
         match self.search(dn, Scope::Base, &Filter::match_all(), &[], 0) {
@@ -87,6 +135,29 @@ impl Directory for Dit {
     fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
         Dit::compare(self, dn, attr, value)
     }
+
+    fn search_capped(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<(Vec<Entry>, bool)> {
+        Dit::search_capped(self, base, scope, filter, attrs, size_limit)
+    }
+
+    fn search_visit(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<(usize, bool)> {
+        Dit::search_visit(self, base, scope, filter, attrs, size_limit, visit)
+    }
 }
 
 /// Blanket impl so `Arc<Dit>` (and `Arc<Gateway>` etc.) are Directories.
@@ -121,6 +192,27 @@ impl<T: Directory + ?Sized> Directory for Arc<T> {
     }
     fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
         (**self).compare(dn, attr, value)
+    }
+    fn search_capped(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<(Vec<Entry>, bool)> {
+        (**self).search_capped(base, scope, filter, attrs, size_limit)
+    }
+    fn search_visit(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<(usize, bool)> {
+        (**self).search_visit(base, scope, filter, attrs, size_limit, visit)
     }
 }
 

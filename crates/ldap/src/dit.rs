@@ -566,94 +566,173 @@ impl Dit {
         attrs: &[String],
         size_limit: usize,
     ) -> Result<Vec<Entry>> {
+        let (out, truncated) = self.search_capped(base, scope, filter, attrs, size_limit)?;
+        if truncated {
+            return Err(LdapError::new(
+                ResultCode::SizeLimitExceeded,
+                format!("more than {size_limit} entries match"),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Like [`Dit::search`], but a size-limit overflow is not an error:
+    /// the entries collected up to the limit are returned together with a
+    /// "truncated" flag — the RFC 2251 `sizeLimitExceeded` shape the wire
+    /// server needs.
+    pub fn search_capped(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<(Vec<Entry>, bool)> {
+        let mut out = Vec::new();
+        let (_, truncated) = self.walk(base, scope, filter, size_limit, &mut |e| {
+            out.push(e.project(attrs))
+        })?;
+        Ok((out, truncated))
+    }
+
+    /// Stream matching entries through `visit` instead of collecting them:
+    /// with an empty projection the visitor borrows entries straight out of
+    /// the store — no per-entry clone and no result vector. Returns
+    /// `(matches visited, truncated)`.
+    ///
+    /// The store's read lock is held while `visit` runs (concurrent
+    /// searches proceed; writers wait), so visitors must do bounded work —
+    /// the wire server's visitor only appends to its encode buffer.
+    pub fn search_visit(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<(usize, bool)> {
+        if attrs.is_empty() {
+            self.walk(base, scope, filter, size_limit, visit)
+        } else {
+            self.walk(base, scope, filter, size_limit, &mut |e| {
+                visit(&e.project(attrs))
+            })
+        }
+    }
+
+    /// The traversal core shared by the collecting and streaming searches:
+    /// scope dispatch, filter planning, size-limit truncation. `emit`
+    /// receives every post-filter match, pre-projection.
+    fn walk(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        size_limit: usize,
+        emit: &mut dyn FnMut(&Entry),
+    ) -> Result<(usize, bool)> {
         let guard = self.store.read();
         let s = &*guard;
         let base_key = base.norm_key();
         if !base.is_root() && !s.entries.contains_key(&base_key) {
             return Err(LdapError::no_such_object(base));
         }
-        let mut out = Vec::new();
+        let mut count = 0usize;
+        let mut truncated = false;
+        // The push closure signals "stop traversing" with a sentinel error
+        // once the limit is hit; the entries emitted so far are kept.
         let mut push = |e: &Entry| -> Result<()> {
             if filter.matches(e) {
-                if size_limit != 0 && out.len() >= size_limit {
+                if size_limit != 0 && count >= size_limit {
+                    truncated = true;
                     return Err(LdapError::new(
                         ResultCode::SizeLimitExceeded,
-                        format!("more than {size_limit} entries match"),
+                        "size limit reached",
                     ));
                 }
-                out.push(e.project(attrs));
+                count += 1;
+                emit(e);
             }
             Ok(())
         };
-        match scope {
-            Scope::Base => {
-                if let Some(e) = s.entries.get(&base_key) {
-                    push(e)?;
+        let walked = (|| -> Result<()> {
+            match scope {
+                Scope::Base => {
+                    if let Some(e) = s.entries.get(&base_key) {
+                        push(e)?;
+                    }
                 }
-            }
-            Scope::One => match s.index.plan(filter) {
-                Plan::Empty => {
-                    self.index_served.fetch_add(1, Ordering::Relaxed);
-                }
-                Plan::Candidates(keys) => {
-                    self.index_served.fetch_add(1, Ordering::Relaxed);
-                    if let Some(kids) = s.children.get(&base_key) {
-                        // Both sets iterate in norm-key order; siblings
-                        // share a suffix, so this is exactly the scan order.
-                        for k in keys {
-                            if kids.contains(k) {
+                Scope::One => match s.index.plan(filter) {
+                    Plan::Empty => {
+                        self.index_served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Plan::Candidates(keys) => {
+                        self.index_served.fetch_add(1, Ordering::Relaxed);
+                        if let Some(kids) = s.children.get(&base_key) {
+                            // Both sets iterate in norm-key order; siblings
+                            // share a suffix, so this is exactly the scan order.
+                            for k in keys {
+                                if kids.contains(k) {
+                                    push(&s.entries[k])?;
+                                }
+                            }
+                        }
+                    }
+                    Plan::Scan => {
+                        self.index_scanned.fetch_add(1, Ordering::Relaxed);
+                        if let Some(kids) = s.children.get(&base_key) {
+                            for k in kids {
                                 push(&s.entries[k])?;
                             }
                         }
                     }
-                }
-                Plan::Scan => {
-                    self.index_scanned.fetch_add(1, Ordering::Relaxed);
-                    if let Some(kids) = s.children.get(&base_key) {
-                        for k in kids {
-                            push(&s.entries[k])?;
+                },
+                Scope::Sub => match s.index.plan(filter) {
+                    Plan::Empty => {
+                        self.index_served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Plan::Candidates(keys) => {
+                        self.index_served.fetch_add(1, Ordering::Relaxed);
+                        // Restrict candidates to the subtree, then emit in BFS
+                        // order: by depth, then by the chain of ancestor keys
+                        // (BTreeSet sibling order at every level) — the exact
+                        // order the scan's queue produces.
+                        let mut cands: Vec<(usize, Vec<String>, &String)> = keys
+                            .iter()
+                            .filter_map(|k| {
+                                let e = s.entries.get(k)?;
+                                if !base.is_root() && !e.dn().is_within(base) {
+                                    return None;
+                                }
+                                let chain = ancestor_chain(e.dn());
+                                Some((chain.len(), chain, k))
+                            })
+                            .collect();
+                        cands.sort();
+                        for (_, _, k) in &cands {
+                            push(&s.entries[*k])?;
                         }
                     }
-                }
-            },
-            Scope::Sub => match s.index.plan(filter) {
-                Plan::Empty => {
-                    self.index_served.fetch_add(1, Ordering::Relaxed);
-                }
-                Plan::Candidates(keys) => {
-                    self.index_served.fetch_add(1, Ordering::Relaxed);
-                    // Restrict candidates to the subtree, then emit in BFS
-                    // order: by depth, then by the chain of ancestor keys
-                    // (BTreeSet sibling order at every level) — the exact
-                    // order the scan's queue produces.
-                    let mut cands: Vec<(usize, Vec<String>, &String)> = keys
-                        .iter()
-                        .filter_map(|k| {
-                            let e = s.entries.get(k)?;
-                            if !base.is_root() && !e.dn().is_within(base) {
-                                return None;
+                    Plan::Scan => {
+                        self.index_scanned.fetch_add(1, Ordering::Relaxed);
+                        visit_subtree(s, &base_key, &mut |k| {
+                            if k.is_empty() {
+                                return Ok(()); // virtual root
                             }
-                            let chain = ancestor_chain(e.dn());
-                            Some((chain.len(), chain, k))
-                        })
-                        .collect();
-                    cands.sort();
-                    for (_, _, k) in &cands {
-                        push(&s.entries[*k])?;
+                            push(&s.entries[k])
+                        })?;
                     }
-                }
-                Plan::Scan => {
-                    self.index_scanned.fetch_add(1, Ordering::Relaxed);
-                    visit_subtree(s, &base_key, &mut |k| {
-                        if k.is_empty() {
-                            return Ok(()); // virtual root
-                        }
-                        push(&s.entries[k])
-                    })?;
-                }
-            },
+                },
+            }
+            Ok(())
+        })();
+        match walked {
+            Ok(()) => {}
+            Err(e) if e.code == ResultCode::SizeLimitExceeded => {}
+            Err(e) => return Err(e),
         }
-        Ok(out)
+        Ok((count, truncated))
     }
 
     /// Every entry, parents before children (for export / sync dumps).

@@ -104,6 +104,12 @@ pub enum ProtocolOp {
         value: String,
     },
     CompareResponse(LdapResult),
+    /// Server-initiated ExtendedResponse — only the Notice of Disconnection
+    /// (RFC 2251 §4.4.1) is produced; `name` carries the response OID.
+    ExtendedResponse {
+        result: LdapResult,
+        name: Option<String>,
+    },
 }
 
 // Application tags (RFC 2251 §4).
@@ -123,16 +129,44 @@ const OP_MODDN_REQ: u8 = 12;
 const OP_MODDN_RESP: u8 = 13;
 const OP_COMPARE_REQ: u8 = 14;
 const OP_COMPARE_RESP: u8 = 15;
+const OP_EXTENDED_RESP: u8 = 24;
+
+/// The responseName of the unsolicited Notice of Disconnection.
+pub const NOTICE_OF_DISCONNECTION_OID: &str = "1.3.6.1.4.1.1466.20036";
+
+/// Build the unsolicited Notice of Disconnection (message ID 0) the server
+/// sends before dropping a misbehaving connection.
+pub fn notice_of_disconnection(code: ResultCode, message: impl Into<String>) -> LdapMessage {
+    LdapMessage {
+        id: 0,
+        op: ProtocolOp::ExtendedResponse {
+            result: LdapResult {
+                code,
+                matched_dn: String::new(),
+                message: message.into(),
+            },
+            name: Some(NOTICE_OF_DISCONNECTION_OID.to_string()),
+        },
+    }
+}
 
 impl LdapMessage {
     /// Encode to the wire form (a complete BER TLV).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode appending to `out` — lets a connection reuse one buffer for
+    /// many messages instead of allocating per message.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::wrap(std::mem::take(out));
         w.sequence(|w| {
             w.integer(self.id);
             encode_op(w, &self.op);
         });
-        w.into_bytes()
+        *out = w.into_bytes();
     }
 
     /// Decode one message from a complete frame.
@@ -274,7 +308,43 @@ fn encode_op(w: &mut Writer, op: &ProtocolOp) {
             })
         }
         ProtocolOp::CompareResponse(r) => encode_result(w, OP_COMPARE_RESP, r),
+        ProtocolOp::ExtendedResponse { result, name } => {
+            w.constructed(ber::app(OP_EXTENDED_RESP), |w| {
+                w.enumerated(i64::from(result.code.code()));
+                w.str(&result.matched_dn);
+                w.str(&result.message);
+                if let Some(oid) = name {
+                    w.octet_string_tagged(ber::ctx_prim(10), oid.as_bytes());
+                }
+            })
+        }
     }
+}
+
+/// Encode a SearchResultEntry message straight from an [`Entry`], appending
+/// to `out` — the streaming-search hot path. Skips the `entry_to_wire`
+/// DN/attribute clones entirely.
+pub fn encode_search_entry_into(out: &mut Vec<u8>, id: i64, e: &Entry) {
+    let mut w = Writer::wrap(std::mem::take(out));
+    w.sequence(|w| {
+        w.integer(id);
+        w.constructed(ber::app(OP_SEARCH_ENTRY), |w| {
+            w.str_display(e.dn());
+            w.sequence(|w| {
+                for a in e.attributes() {
+                    w.sequence(|w| {
+                        w.str(a.name.as_str());
+                        w.set(|w| {
+                            for v in &a.values {
+                                w.str(v);
+                            }
+                        });
+                    });
+                }
+            });
+        });
+    });
+    *out = w.into_bytes();
 }
 
 fn decode_result(body: &[u8]) -> Result<LdapResult> {
@@ -420,6 +490,26 @@ fn decode_op(r: &mut Reader) -> Result<ProtocolOp> {
             Ok(ProtocolOp::CompareRequest { dn, attr, value })
         }
         (0x60, OP_COMPARE_RESP) => Ok(ProtocolOp::CompareResponse(decode_result(body)?)),
+        (0x60, OP_EXTENDED_RESP) => {
+            let code = ResultCode::from_code(b.enumerated()? as u32);
+            let matched_dn = b.string()?;
+            let message = b.string()?;
+            let name = match b.peek_tag() {
+                Some(t) if t == ber::ctx_prim(10) => Some(
+                    String::from_utf8(b.expect(t)?.to_vec())
+                        .map_err(|_| LdapError::protocol("non-UTF-8 responseName"))?,
+                ),
+                _ => None,
+            };
+            Ok(ProtocolOp::ExtendedResponse {
+                result: LdapResult {
+                    code,
+                    matched_dn,
+                    message,
+                },
+                name,
+            })
+        }
         _ => Err(LdapError::protocol(format!(
             "unknown protocol op tag 0x{tag:02x}"
         ))),
@@ -538,6 +628,120 @@ fn decode_filter(r: &mut Reader) -> Result<Filter> {
     }
 }
 
+/// Hard cap on a single BER frame (tag + length + body).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Buffered incremental BER frame splitter.
+///
+/// Reads from the underlying stream in large chunks into one reusable
+/// scratch buffer and yields complete frames as slices into it — no
+/// per-frame allocation and no per-frame read syscalls, unlike
+/// [`read_frame`]. Consumed space is reclaimed by compaction before the
+/// buffer would otherwise grow.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Next complete frame, or `None` on clean EOF at a frame boundary.
+    /// Mid-frame EOF is `UnexpectedEof`; malformed or oversized headers are
+    /// `InvalidData`.
+    pub fn next_frame(&mut self) -> std::io::Result<Option<&[u8]>> {
+        let frame_len = loop {
+            match self.parse_header()? {
+                Some(len) if self.end - self.start >= len => break len,
+                _ => {
+                    if !self.fill()? {
+                        return if self.start == self.end {
+                            Ok(None)
+                        } else {
+                            Err(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "truncated BER frame",
+                            ))
+                        };
+                    }
+                }
+            }
+        };
+        let s = self.start;
+        self.start += frame_len;
+        Ok(Some(&self.buf[s..s + frame_len]))
+    }
+
+    /// Total frame length if the buffered bytes hold a complete header,
+    /// `None` if more bytes are needed.
+    fn parse_header(&self) -> std::io::Result<Option<usize>> {
+        let avail = &self.buf[self.start..self.end];
+        if avail.len() < 2 {
+            return Ok(None);
+        }
+        let (body_len, header_len) = if avail[1] < 0x80 {
+            (avail[1] as usize, 2)
+        } else {
+            let n = (avail[1] & 0x7F) as usize;
+            if n == 0 || n > 8 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "unsupported BER length",
+                ));
+            }
+            if avail.len() < 2 + n {
+                return Ok(None);
+            }
+            let mut len = 0usize;
+            for &b in &avail[2..2 + n] {
+                len = (len << 8) | b as usize;
+            }
+            (len, 2 + n)
+        };
+        if body_len > MAX_FRAME {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "BER frame too large",
+            ));
+        }
+        Ok(Some(header_len + body_len))
+    }
+
+    /// Read more bytes from the stream; `false` on EOF.
+    fn fill(&mut self) -> std::io::Result<bool> {
+        // Reclaim consumed space before growing the buffer.
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.start > 0 && self.end + READ_CHUNK > self.buf.len() {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < self.end + READ_CHUNK {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
+        let n = self.inner.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n > 0)
+    }
+}
+
 /// Read one complete BER frame (tag + length + body) from a stream.
 /// Returns `None` on clean EOF at a frame boundary.
 pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
@@ -576,7 +780,7 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
         frame.extend_from_slice(&ext);
         len
     };
-    if body_len > 64 * 1024 * 1024 {
+    if body_len > MAX_FRAME {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "BER frame too large",
@@ -753,6 +957,126 @@ mod tests {
         let bytes = m.encode();
         let mut cursor = std::io::Cursor::new(&bytes[..bytes.len() - 1]);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn extended_response_round_trip() {
+        round_trip(ProtocolOp::ExtendedResponse {
+            result: LdapResult {
+                code: ResultCode::ProtocolError,
+                matched_dn: String::new(),
+                message: "bad frame".into(),
+            },
+            name: Some(NOTICE_OF_DISCONNECTION_OID.into()),
+        });
+        round_trip(ProtocolOp::ExtendedResponse {
+            result: LdapResult::success(),
+            name: None,
+        });
+        let notice = notice_of_disconnection(ResultCode::ProtocolError, "x");
+        assert_eq!(notice.id, 0);
+    }
+
+    #[test]
+    fn frame_reader_splits_stream_incrementally() {
+        let m1 = LdapMessage {
+            id: 1,
+            op: ProtocolOp::DelRequest { dn: "cn=a".into() },
+        };
+        let m2 = LdapMessage {
+            id: 2,
+            op: ProtocolOp::SearchResultEntry {
+                dn: "cn=b".into(),
+                // Long-form length: body > 127 bytes.
+                attrs: vec![("description".into(), vec!["x".repeat(40_000)])],
+            },
+        };
+        let mut stream: Vec<u8> = Vec::new();
+        for _ in 0..3 {
+            stream.extend(m1.encode());
+            stream.extend(m2.encode());
+        }
+        // A reader that trickles one byte at a time exercises the
+        // partial-header / partial-body resume paths.
+        struct OneByte(std::io::Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = 1.min(buf.len());
+                self.0.read(&mut buf[..n])
+            }
+        }
+        let mut fr = FrameReader::new(std::io::Cursor::new(stream.clone()));
+        for _ in 0..3 {
+            let f1 = fr.next_frame().unwrap().unwrap();
+            assert_eq!(LdapMessage::decode(f1).unwrap(), m1);
+            let f2 = fr.next_frame().unwrap().unwrap();
+            assert_eq!(LdapMessage::decode(f2).unwrap(), m2);
+        }
+        assert!(fr.next_frame().unwrap().is_none());
+        let mut fr = FrameReader::new(OneByte(std::io::Cursor::new(stream)));
+        let f1 = fr.next_frame().unwrap().unwrap();
+        assert_eq!(LdapMessage::decode(f1).unwrap(), m1);
+        let f2 = fr.next_frame().unwrap().unwrap();
+        assert_eq!(LdapMessage::decode(f2).unwrap(), m2);
+    }
+
+    #[test]
+    fn frame_reader_rejects_bad_frames() {
+        // Mid-frame EOF.
+        let m = LdapMessage {
+            id: 1,
+            op: ProtocolOp::DelRequest { dn: "cn=a".into() },
+        };
+        let bytes = m.encode();
+        let mut fr = FrameReader::new(std::io::Cursor::new(bytes[..bytes.len() - 1].to_vec()));
+        let err = fr.next_frame().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // Oversized length claim.
+        let mut fr = FrameReader::new(std::io::Cursor::new(vec![
+            0x30, 0x84, 0x40, 0x00, 0x00, 0x00,
+        ]));
+        let err = fr.next_frame().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Garbage length form.
+        let mut fr = FrameReader::new(std::io::Cursor::new(vec![0xFF; 64]));
+        let err = fr.next_frame().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let m = LdapMessage {
+            id: 9,
+            op: ProtocolOp::CompareRequest {
+                dn: "cn=J,o=L".into(),
+                attr: "sn".into(),
+                value: "D".into(),
+            },
+        };
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        m.encode_into(&mut buf);
+        let one = m.encode();
+        assert_eq!(buf.len(), one.len() * 2);
+        assert_eq!(&buf[..one.len()], one.as_slice());
+        assert_eq!(&buf[one.len()..], one.as_slice());
+    }
+
+    #[test]
+    fn encode_search_entry_into_matches_legacy_path() {
+        let e = Entry::with_attrs(
+            Dn::parse("cn=J,o=L").unwrap(),
+            [("cn", "J"), ("sn", "D"), ("ou", "a"), ("ou", "b")],
+        );
+        let mut streamed = Vec::new();
+        encode_search_entry_into(&mut streamed, 7, &e);
+        let (dn, attrs) = entry_to_wire(&e);
+        let legacy = LdapMessage {
+            id: 7,
+            op: ProtocolOp::SearchResultEntry { dn, attrs },
+        }
+        .encode();
+        assert_eq!(streamed, legacy);
     }
 
     #[test]

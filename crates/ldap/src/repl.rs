@@ -29,6 +29,57 @@ pub struct Stamp {
     pub replica: String,
 }
 
+/// Per-origin high-water marks: replica id → highest Lamport time covered.
+///
+/// A replica's version vector summarizes *everything it has seen*: it covers
+/// stamp `s` iff `vv[s.replica] >= s.time`. Watermarks must be per-origin —
+/// a single scalar watermark is unsound under transitive propagation (a
+/// freshly-joined replica's low-numbered writes would hide behind another
+/// peer's high clock and never ship).
+pub type VersionVector = HashMap<String, u64>;
+
+fn vv_covers(vv: &VersionVector, s: &Stamp) -> bool {
+    vv.get(&s.replica).is_some_and(|t| *t >= s.time)
+}
+
+fn vv_note(vv: &mut VersionVector, s: &Stamp) {
+    let slot = vv.entry(s.replica.clone()).or_insert(0);
+    *slot = (*slot).max(s.time);
+}
+
+fn vv_join(into: &mut VersionVector, other: &VersionVector) {
+    for (origin, time) in other {
+        let slot = into.entry(origin.clone()).or_insert(0);
+        *slot = (*slot).max(*time);
+    }
+}
+
+/// Traffic accounting for one anti-entropy exchange (both directions).
+///
+/// `bytes_shipped` is a wire-size estimate — DN, attribute names and values
+/// at string length, plus `8 + origin-id length` per stamp — consistent
+/// between the delta and full paths so their ratio is meaningful.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    pub entries_shipped: usize,
+    pub attrs_shipped: usize,
+    pub bytes_shipped: usize,
+    /// True when no watermark was stored for the peer (first contact) and
+    /// the whole store was shipped.
+    pub full_exchange: bool,
+}
+
+/// One entry's worth of delta: only the attributes whose stamps the peer's
+/// watermark does not cover. Create/delete stamps ride along on every
+/// shipped entry — they are a few bytes and make application self-contained.
+struct DeltaEntry {
+    key: String,
+    dn: Dn,
+    created: Stamp,
+    deleted: Option<Stamp>,
+    attrs: Vec<(String, Attribute, Stamp)>,
+}
+
 /// Canonical digest form: `(normalized DN, sorted attribute/value sets)`.
 pub type Digest = Vec<(String, Vec<(String, Vec<String>)>)>;
 
@@ -61,6 +112,114 @@ pub struct Replica {
 struct State {
     clock: u64,
     entries: HashMap<String, ReplEntry>,
+    /// peer id → version vector the peer is known to cover. Conservative:
+    /// always ≤ the peer's true coverage, so over-shipping is the only
+    /// failure mode, and merges are idempotent.
+    watermarks: HashMap<String, VersionVector>,
+}
+
+impl State {
+    /// The version vector of everything in this store: every surviving
+    /// create/delete/attribute stamp, maxed per origin.
+    fn version_vector(&self) -> VersionVector {
+        let mut vv = VersionVector::new();
+        for e in self.entries.values() {
+            vv_note(&mut vv, &e.created);
+            if let Some(d) = &e.deleted {
+                vv_note(&mut vv, d);
+            }
+            for (_, stamp) in e.attrs.values() {
+                vv_note(&mut vv, stamp);
+            }
+        }
+        vv
+    }
+
+    /// Everything the given watermark does not cover. An entry ships iff
+    /// its create stamp, tombstone, or at least one attribute is new to
+    /// the peer; within a shipped entry only the uncovered attributes go.
+    fn delta_since(&self, wm: &VersionVector) -> Vec<DeltaEntry> {
+        let mut out = Vec::new();
+        for (key, e) in &self.entries {
+            let attrs: Vec<(String, Attribute, Stamp)> = e
+                .attrs
+                .iter()
+                .filter(|(_, (_, stamp))| !vv_covers(wm, stamp))
+                .map(|(n, (a, s))| (n.clone(), a.clone(), s.clone()))
+                .collect();
+            let fresh_created = !vv_covers(wm, &e.created);
+            let fresh_deleted = e.deleted.as_ref().is_some_and(|d| !vv_covers(wm, d));
+            if fresh_created || fresh_deleted || !attrs.is_empty() {
+                out.push(DeltaEntry {
+                    key: key.clone(),
+                    dn: e.dn.clone(),
+                    created: e.created.clone(),
+                    deleted: e.deleted.clone(),
+                    attrs,
+                });
+            }
+        }
+        out
+    }
+
+    /// LWW-merge a delta into this store. Same semantics as a full-state
+    /// merge; a partial entry can only arrive when its missing attributes
+    /// are already covered here (watermark invariant), so inserting it
+    /// verbatim on first sight is safe.
+    fn apply_delta(&mut self, delta: Vec<DeltaEntry>) {
+        for d in delta {
+            match self.entries.get_mut(&d.key) {
+                None => {
+                    self.entries.insert(
+                        d.key,
+                        ReplEntry {
+                            dn: d.dn,
+                            attrs: d.attrs.into_iter().map(|(n, a, s)| (n, (a, s))).collect(),
+                            created: d.created,
+                            deleted: d.deleted,
+                        },
+                    );
+                }
+                Some(mine) => {
+                    if d.created > mine.created {
+                        mine.created = d.created;
+                    }
+                    match (&mine.deleted, &d.deleted) {
+                        (None, Some(_)) => mine.deleted = d.deleted,
+                        (Some(m), Some(t)) if t > m => mine.deleted = d.deleted,
+                        _ => {}
+                    }
+                    for (attr_key, attr, stamp) in d.attrs {
+                        match mine.attrs.get(&attr_key) {
+                            Some((_, my_stamp)) if *my_stamp >= stamp => {}
+                            _ => {
+                                mine.attrs.insert(attr_key, (attr, stamp));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn stamp_bytes(s: &Stamp) -> usize {
+    8 + s.replica.len()
+}
+
+fn tally(stats: &mut SyncStats, delta: &[DeltaEntry]) {
+    for d in delta {
+        stats.entries_shipped += 1;
+        stats.bytes_shipped += d.dn.to_string().len() + stamp_bytes(&d.created);
+        if let Some(t) = &d.deleted {
+            stats.bytes_shipped += stamp_bytes(t);
+        }
+        for (name, attr, stamp) in &d.attrs {
+            stats.attrs_shipped += 1;
+            stats.bytes_shipped += name.len() + stamp_bytes(stamp);
+            stats.bytes_shipped += attr.values.iter().map(String::len).sum::<usize>();
+        }
+    }
 }
 
 impl Replica {
@@ -70,6 +229,7 @@ impl Replica {
             state: Mutex::new(State {
                 clock: 0,
                 entries: HashMap::new(),
+                watermarks: HashMap::new(),
             }),
         }
     }
@@ -173,39 +333,127 @@ impl Replica {
         self.len() == 0
     }
 
-    /// One round of anti-entropy: pull `other`'s state into `self`, then
-    /// push `self`'s merged state back. Afterwards both replicas agree.
+    /// One round of anti-entropy: exchange state with `other` in both
+    /// directions. Afterwards both replicas agree. Kept as the simple
+    /// entry point; [`Replica::anti_entropy`] returns traffic stats.
     pub fn sync_with(&self, other: &Replica) {
-        // Snapshot other's state.
-        let other_snapshot: Vec<(String, ReplEntry)> = {
-            let o = other.state.lock();
-            o.entries
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect()
+        let _ = self.anti_entropy(other);
+    }
+
+    /// Watermark-based delta anti-entropy (both directions).
+    ///
+    /// Each replica remembers, per peer, the version vector the peer is
+    /// known to cover, and ships only stamps above it. First contact (no
+    /// stored watermark) degenerates to a full exchange. LWW and tombstone
+    /// semantics are exactly those of a full merge — the delta is just the
+    /// subset of stamps the peer can't already have.
+    ///
+    /// Locking: one replica at a time, never both, so concurrent writers
+    /// and other exchanges can interleave freely.
+    pub fn anti_entropy(&self, other: &Replica) -> SyncStats {
+        self.exchange(other, true)
+    }
+
+    /// The pre-watermark baseline: ship the whole store both ways. Same
+    /// result as [`Replica::anti_entropy`]; exists so benchmarks can
+    /// measure delta savings against it.
+    pub fn full_sync_with(&self, other: &Replica) -> SyncStats {
+        self.exchange(other, false)
+    }
+
+    fn exchange(&self, other: &Replica, use_watermarks: bool) -> SyncStats {
+        // Phase 1 (lock self): outbound delta against the stored watermark.
+        let (out_delta, my_vv, my_clock, full) = {
+            let s = self.state.lock();
+            let stored = if use_watermarks {
+                s.watermarks.get(other.id())
+            } else {
+                None
+            };
+            let full = stored.is_none();
+            let empty = VersionVector::new();
+            let wm = stored.unwrap_or(&empty);
+            (s.delta_since(wm), s.version_vector(), s.clock, full)
         };
-        let other_clock = other.state.lock().clock;
+        let mut stats = SyncStats {
+            full_exchange: full,
+            ..SyncStats::default()
+        };
+        tally(&mut stats, &out_delta);
+
+        // Phase 2 (lock other): merge, then compute the return delta
+        // against everything self is known to cover — the watermark other
+        // stored for self, joined with the vector self just announced.
+        let (back_delta, joint_vv, other_clock) = {
+            let mut o = other.state.lock();
+            o.clock = o.clock.max(my_clock);
+            o.apply_delta(out_delta);
+            let mut known = if use_watermarks {
+                o.watermarks.get(self.id()).cloned().unwrap_or_default()
+            } else {
+                VersionVector::new()
+            };
+            vv_join(&mut known, &my_vv);
+            let back = o.delta_since(&known);
+            // Post-merge, other covers join(other, self); after self
+            // applies `back` below, so does self.
+            let joint = o.version_vector();
+            o.watermarks.insert(self.id.clone(), joint.clone());
+            (back, joint, o.clock)
+        };
+        tally(&mut stats, &back_delta);
+
+        // Phase 3 (lock self): apply the return delta, store the watermark.
         {
             let mut s = self.state.lock();
             s.clock = s.clock.max(other_clock);
-            for (key, theirs) in other_snapshot {
-                merge_entry(&mut s.entries, key, theirs);
-            }
+            s.apply_delta(back_delta);
+            s.watermarks.insert(other.id.clone(), joint_vv);
         }
-        // Push merged state back.
-        let my_snapshot: Vec<(String, ReplEntry)> = {
+        stats
+    }
+
+    /// One-directional delta push: ship `self`'s news to `other` without
+    /// pulling anything back.
+    pub fn push_to(&self, other: &Replica) -> SyncStats {
+        let (out_delta, my_vv, my_clock, full) = {
             let s = self.state.lock();
-            s.entries
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect()
+            let stored = s.watermarks.get(other.id());
+            let full = stored.is_none();
+            let empty = VersionVector::new();
+            let wm = stored.unwrap_or(&empty);
+            (s.delta_since(wm), s.version_vector(), s.clock, full)
         };
-        let my_clock = self.state.lock().clock;
-        let mut o = other.state.lock();
-        o.clock = o.clock.max(my_clock);
-        for (key, theirs) in my_snapshot {
-            merge_entry(&mut o.entries, key, theirs);
-        }
+        let mut stats = SyncStats {
+            full_exchange: full,
+            ..SyncStats::default()
+        };
+        tally(&mut stats, &out_delta);
+        let other_vv = {
+            let mut o = other.state.lock();
+            o.clock = o.clock.max(my_clock);
+            o.apply_delta(out_delta);
+            let mut known = o.watermarks.get(self.id()).cloned().unwrap_or_default();
+            vv_join(&mut known, &my_vv);
+            o.watermarks.insert(self.id.clone(), known);
+            o.version_vector()
+        };
+        self.state
+            .lock()
+            .watermarks
+            .insert(other.id.clone(), other_vv);
+        stats
+    }
+
+    /// The version vector covering everything this replica has seen
+    /// (exposed for tests and benchmarks).
+    pub fn version_vector(&self) -> VersionVector {
+        self.state.lock().version_vector()
+    }
+
+    /// The watermark stored for a peer, if any exchange has happened.
+    pub fn watermark_for(&self, peer: &str) -> Option<VersionVector> {
+        self.state.lock().watermarks.get(peer).cloned()
     }
 
     /// A canonical digest of the visible state — equal digests mean the
@@ -232,32 +480,6 @@ impl Replica {
             .collect();
         out.sort();
         out
-    }
-}
-
-fn merge_entry(entries: &mut HashMap<String, ReplEntry>, key: String, theirs: ReplEntry) {
-    match entries.get_mut(&key) {
-        None => {
-            entries.insert(key, theirs);
-        }
-        Some(mine) => {
-            if theirs.created > mine.created {
-                mine.created = theirs.created.clone();
-            }
-            match (&mine.deleted, &theirs.deleted) {
-                (None, Some(_)) => mine.deleted = theirs.deleted.clone(),
-                (Some(m), Some(t)) if t > m => mine.deleted = theirs.deleted.clone(),
-                _ => {}
-            }
-            for (attr_key, (attr, stamp)) in theirs.attrs {
-                match mine.attrs.get(&attr_key) {
-                    Some((_, my_stamp)) if *my_stamp >= stamp => {}
-                    _ => {
-                        mine.attrs.insert(attr_key, (attr, stamp));
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -395,6 +617,142 @@ mod tests {
         a.sync_with(&b);
         assert_eq!(a.digest(), d1);
         assert_eq!(b.digest(), d1);
+    }
+
+    #[test]
+    fn second_sync_ships_nothing() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        for i in 0..20 {
+            a.put_entry(&entry(&format!("cn=e{i},o=L"), "1")).unwrap();
+        }
+        let first = a.anti_entropy(&b);
+        assert!(first.full_exchange, "first contact is a full exchange");
+        assert_eq!(first.entries_shipped, 20);
+        let second = a.anti_entropy(&b);
+        assert!(!second.full_exchange);
+        assert_eq!(second.entries_shipped, 0, "nothing dirty, nothing shipped");
+        assert_eq!(second.bytes_shipped, 0);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn delta_ships_only_dirty_entries() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        for i in 0..100 {
+            a.put_entry(&entry(&format!("cn=e{i},o=L"), "1")).unwrap();
+        }
+        let full = a.anti_entropy(&b);
+        // Touch one entry out of a hundred.
+        a.set_attr(
+            &Dn::parse("cn=e42,o=L").unwrap(),
+            Attribute::single("telephoneNumber", "9"),
+        )
+        .unwrap();
+        let delta = a.anti_entropy(&b);
+        assert_eq!(delta.entries_shipped, 1);
+        assert_eq!(delta.attrs_shipped, 1);
+        assert!(
+            delta.bytes_shipped * 10 <= full.bytes_shipped,
+            "1% dirty must ship ≤10% of full bytes ({} vs {})",
+            delta.bytes_shipped,
+            full.bytes_shipped
+        );
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn transitive_old_stamp_propagates() {
+        // A and B exchange a lot, pumping their clocks high. C is a fresh
+        // replica whose writes carry low Lamport times. A scalar watermark
+        // would hide C's writes from B; per-origin vectors must not.
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        let c = Replica::new("c");
+        for i in 0..10 {
+            a.put_entry(&entry(&format!("cn=ab{i},o=L"), "1")).unwrap();
+            a.sync_with(&b);
+            b.set_attr(
+                &Dn::parse(&format!("cn=ab{i},o=L")).unwrap(),
+                Attribute::single("telephoneNumber", "2"),
+            )
+            .unwrap();
+            b.sync_with(&a);
+        }
+        // C's create carries time 1 — far below A/B's clocks.
+        c.put_entry(&entry("cn=late,o=L", "c-phone")).unwrap();
+        a.sync_with(&c);
+        a.sync_with(&b); // non-first contact: delta path
+        let dn = Dn::parse("cn=late,o=L").unwrap();
+        assert_eq!(
+            b.get(&dn)
+                .map(|e| e.first("telephoneNumber").map(String::from)),
+            Some(Some("c-phone".into())),
+            "old-stamped write from a third replica must survive the delta path"
+        );
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn delta_and_full_paths_agree() {
+        // Same script on two replica pairs; one pair syncs via deltas, the
+        // other via full exchanges. Digests must be bit-identical.
+        let run = |use_delta: bool| {
+            let a = Replica::new("a");
+            let b = Replica::new("b");
+            let sync = |x: &Replica, y: &Replica| {
+                if use_delta {
+                    x.anti_entropy(y);
+                } else {
+                    x.full_sync_with(y);
+                }
+            };
+            a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+            sync(&a, &b);
+            let dn = Dn::parse("cn=J,o=L").unwrap();
+            a.set_attr(&dn, Attribute::single("mail", "j@l.com"))
+                .unwrap();
+            b.delete_entry(&dn).unwrap();
+            sync(&b, &a);
+            b.put_entry(&entry("cn=K,o=L", "2")).unwrap();
+            sync(&a, &b);
+            (a.digest(), b.digest())
+        };
+        let (da, db) = run(true);
+        let (fa, fb) = run(false);
+        assert_eq!(da, db);
+        assert_eq!(da, fa);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn push_to_is_one_directional() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        b.put_entry(&entry("cn=K,o=L", "2")).unwrap();
+        let stats = a.push_to(&b);
+        assert_eq!(stats.entries_shipped, 1);
+        let dn_j = Dn::parse("cn=J,o=L").unwrap();
+        let dn_k = Dn::parse("cn=K,o=L").unwrap();
+        assert!(b.get(&dn_j).is_some(), "push delivers");
+        assert!(a.get(&dn_k).is_none(), "nothing flows back");
+        // The follow-up push ships nothing.
+        let again = a.push_to(&b);
+        assert_eq!(again.entries_shipped, 0);
+    }
+
+    #[test]
+    fn watermarks_are_recorded_per_peer() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        assert!(a.watermark_for("b").is_none());
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        a.anti_entropy(&b);
+        let wm = a.watermark_for("b").expect("watermark stored after sync");
+        assert_eq!(wm, a.version_vector());
+        assert_eq!(b.watermark_for("a").unwrap(), b.version_vector());
     }
 
     #[test]

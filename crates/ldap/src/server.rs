@@ -4,26 +4,40 @@
 //! Because the server fronts a `Directory` (not the DIT concretely), the
 //! same code serves both a plain directory server and the LTAP *gateway*
 //! deployment — LTAP's interceptor implements `Directory` too.
+//!
+//! ## Hot path
+//!
+//! Each connection reads through a buffered incremental [`FrameReader`]
+//! (one reusable scratch buffer, no per-frame allocation) and decodes ahead:
+//! requests are handed to a bounded per-connection worker pool
+//! ([`ServerBuilder::with_wire_workers`]) so multiple in-flight message IDs
+//! are served concurrently, while a turn-taking protocol writes responses
+//! in request order. Search results are streamed through one reusable
+//! encode buffer and flushed in bounded chunks — a 100k-entry search never
+//! materializes more than one chunk of encoded bytes.
 
 use crate::directory::Directory;
-use crate::dit::Scope;
 use crate::dn::Dn;
+use crate::entry::Entry;
 use crate::error::{LdapError, Result, ResultCode};
-use crate::filter::Filter;
 use crate::proto::{
-    entry_from_wire, entry_to_wire, parse_rdn, read_frame, LdapMessage, LdapResult, ProtocolOp,
+    encode_search_entry_into, entry_from_wire, entry_to_wire, notice_of_disconnection, parse_rdn,
+    FrameReader, LdapMessage, LdapResult, ProtocolOp,
 };
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Flush the streaming search buffer whenever it grows past this.
+const FLUSH_CHUNK: usize = 32 * 1024;
+
 /// Per-operation wire metrics: request counts by operation, BER decode
-/// failures, entries streamed back, and a tally of every result code sent.
-/// Plain atomics — cheap enough to be always on.
+/// failures, entries streamed back, connection gauges, and a tally of every
+/// result code sent. Plain atomics — cheap enough to be always on.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
     pub binds: AtomicU64,
@@ -34,10 +48,17 @@ pub struct ServerMetrics {
     pub modify_dns: AtomicU64,
     pub deletes: AtomicU64,
     pub unbinds: AtomicU64,
-    /// Frames that failed BER decoding (the connection is then dropped).
+    /// Frames that failed BER decoding (the connection is then dropped
+    /// after a Notice of Disconnection).
     pub decode_failures: AtomicU64,
     /// SearchResultEntry messages sent.
     pub entries_returned: AtomicU64,
+    /// Connections currently being served.
+    pub connections_open: AtomicU64,
+    /// Connections accepted since the server started.
+    pub connections_total: AtomicU64,
+    /// Notices of Disconnection sent to misbehaving clients.
+    pub disconnect_notices: AtomicU64,
     /// result code → times sent (any operation).
     result_codes: Mutex<BTreeMap<u32, u64>>,
 }
@@ -72,26 +93,73 @@ impl ServerMetrics {
     }
 }
 
-/// A running LDAP server. Shuts down when dropped.
-pub struct Server {
-    addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    metrics: Arc<ServerMetrics>,
+/// Per-connection pipeline configuration.
+#[derive(Clone, Copy)]
+struct WireConfig {
+    workers: usize,
+    streaming: bool,
 }
 
-impl Server {
+/// Builder for a [`Server`], exposing the wire performance knobs.
+#[derive(Clone, Copy)]
+pub struct ServerBuilder {
+    wire_workers: usize,
+    streaming: bool,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+}
+
+impl ServerBuilder {
+    pub fn new() -> ServerBuilder {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(4);
+        ServerBuilder {
+            wire_workers: workers,
+            streaming: true,
+        }
+    }
+
+    /// Size of the per-connection decode-ahead worker pool. `1` disables
+    /// pipelining (requests are served strictly one at a time). Defaults to
+    /// `min(available_parallelism, 4)`.
+    pub fn with_wire_workers(mut self, n: usize) -> ServerBuilder {
+        self.wire_workers = n.max(1);
+        self
+    }
+
+    /// Stream search responses through one reusable encode buffer, flushed
+    /// in bounded chunks (default). `false` restores the legacy
+    /// collect-all-then-concatenate path — kept as the E14 ablation
+    /// baseline.
+    pub fn with_streaming(mut self, on: bool) -> ServerBuilder {
+        self.streaming = on;
+        self
+    }
+
     /// Start serving `dir` on `addr` (use port 0 for an ephemeral port).
-    pub fn start(dir: Arc<dyn Directory>, addr: &str) -> Result<Server> {
+    pub fn start(self, dir: Arc<dyn Directory>, addr: &str) -> Result<Server> {
+        let cfg = WireConfig {
+            workers: self.wire_workers,
+            streaming: self.streaming,
+        };
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let metrics = Arc::new(ServerMetrics::default());
         let m2 = metrics.clone();
+        let conns: Arc<ConnRegistry> = Arc::new(Mutex::new(HashMap::new()));
+        let conns2 = conns.clone();
         let accept_thread = std::thread::Builder::new()
             .name("ldap-accept".into())
             .spawn(move || {
+                let mut next_conn: u64 = 0;
                 for conn in listener.incoming() {
                     if stop2.load(Ordering::SeqCst) {
                         break;
@@ -99,11 +167,42 @@ impl Server {
                     match conn {
                         Ok(stream) => {
                             stream.set_nodelay(true).ok();
+                            m2.connections_total.fetch_add(1, Ordering::Relaxed);
+                            // The registry keeps a second handle on the
+                            // socket so shutdown can force-close it.
+                            let registry_half = match stream.try_clone() {
+                                Ok(s) => s,
+                                Err(_) => continue,
+                            };
+                            m2.connections_open.fetch_add(1, Ordering::Relaxed);
                             let dir = dir.clone();
                             let m = m2.clone();
-                            let _ = std::thread::Builder::new()
+                            let spawned = std::thread::Builder::new()
                                 .name("ldap-conn".into())
-                                .spawn(move || serve_connection(stream, dir, m));
+                                .spawn(move || {
+                                    serve_connection(stream, dir, &m, cfg);
+                                    m.connections_open.fetch_sub(1, Ordering::Relaxed);
+                                });
+                            match spawned {
+                                Ok(handle) => {
+                                    let mut reg = conns2.lock();
+                                    // Sweep finished connections so the
+                                    // registry stays bounded by peak
+                                    // concurrency.
+                                    reg.retain(|_, slot| !slot.handle.is_finished());
+                                    reg.insert(
+                                        next_conn,
+                                        ConnSlot {
+                                            stream: registry_half,
+                                            handle,
+                                        },
+                                    );
+                                    next_conn += 1;
+                                }
+                                Err(_) => {
+                                    m2.connections_open.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         Err(_) => break,
                     }
@@ -115,7 +214,36 @@ impl Server {
             stop,
             accept_thread: Some(accept_thread),
             metrics,
+            conns,
         })
+    }
+}
+
+type ConnRegistry = Mutex<HashMap<u64, ConnSlot>>;
+
+struct ConnSlot {
+    stream: TcpStream,
+    handle: JoinHandle<()>,
+}
+
+/// A running LDAP server. Shuts down when dropped.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
+    conns: Arc<ConnRegistry>,
+}
+
+impl Server {
+    /// Start serving `dir` on `addr` with default knobs.
+    pub fn start(dir: Arc<dyn Directory>, addr: &str) -> Result<Server> {
+        ServerBuilder::new().start(dir, addr)
+    }
+
+    /// A builder exposing the wire performance knobs.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::new()
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -128,13 +256,26 @@ impl Server {
         self.metrics.clone()
     }
 
-    /// Stop accepting connections.
+    /// Stop accepting, force-close live connections, and join every
+    /// connection thread.
     pub fn shutdown(&mut self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
             // Unblock the accept loop.
             let _ = TcpStream::connect(self.addr);
             if let Some(t) = self.accept_thread.take() {
                 let _ = t.join();
+            }
+            // Drain the registry before joining so the lock is not held
+            // while connection threads wind down.
+            let drained: Vec<ConnSlot> = {
+                let mut reg = self.conns.lock();
+                reg.drain().map(|(_, slot)| slot).collect()
+            };
+            for slot in &drained {
+                let _ = slot.stream.shutdown(std::net::Shutdown::Both);
+            }
+            for slot in drained {
+                let _ = slot.handle.join();
             }
         }
     }
@@ -146,38 +287,303 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, dir: Arc<dyn Directory>, metrics: Arc<ServerMetrics>) {
-    loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(f)) => f,
-            _ => return,
-        };
-        let msg = match LdapMessage::decode(&frame) {
-            Ok(m) => m,
-            Err(_) => {
+/// What the reader saw on the wire.
+enum Inbound {
+    Msg(LdapMessage),
+    /// Undecodable bytes: framing violation or BER decode failure.
+    Malformed(String),
+    Closed,
+}
+
+fn read_inbound(frames: &mut FrameReader<TcpStream>, metrics: &ServerMetrics) -> Inbound {
+    match frames.next_frame() {
+        Ok(Some(frame)) => match LdapMessage::decode(frame) {
+            Ok(m) => Inbound::Msg(m),
+            Err(e) => {
                 metrics.decode_failures.fetch_add(1, Ordering::Relaxed);
-                return;
+                Inbound::Malformed(e.message)
             }
-        };
-        let id = msg.id;
-        let responses = match msg.op {
-            ProtocolOp::UnbindRequest => {
-                metrics.unbinds.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            op => handle_op(op, &dir, &metrics),
-        };
-        // One write per request: search results can be hundreds of
-        // messages, and per-message syscalls dominate otherwise.
-        let mut out = Vec::new();
-        for op in responses {
-            out.extend(LdapMessage { id, op }.encode());
+        },
+        Ok(None) => Inbound::Closed,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            metrics.decode_failures.fetch_add(1, Ordering::Relaxed);
+            Inbound::Malformed(e.to_string())
         }
-        if stream.write_all(&out).is_err() {
-            return;
-        }
-        let _ = stream.flush();
+        Err(_) => Inbound::Closed,
     }
+}
+
+/// Tell the client why it is being dropped (RFC 2251 Notice of
+/// Disconnection) so malformed-request is distinguishable from a crash.
+fn send_disconnect_notice(mut w: impl Write, metrics: &ServerMetrics, detail: &str) {
+    metrics.disconnect_notices.fetch_add(1, Ordering::Relaxed);
+    metrics.record_result(ResultCode::ProtocolError);
+    let msg = notice_of_disconnection(ResultCode::ProtocolError, detail);
+    let _ = w.write_all(&msg.encode());
+    let _ = w.flush();
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    dir: Arc<dyn Directory>,
+    metrics: &ServerMetrics,
+    cfg: WireConfig,
+) {
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut frames = FrameReader::new(read_half);
+    if cfg.workers <= 1 {
+        serve_serial(&mut frames, &stream, &dir, metrics, cfg.streaming);
+    } else {
+        serve_pipelined(&mut frames, &stream, &dir, metrics, cfg);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn serve_serial(
+    frames: &mut FrameReader<TcpStream>,
+    stream: &TcpStream,
+    dir: &Arc<dyn Directory>,
+    metrics: &ServerMetrics,
+    streaming: bool,
+) {
+    let mut buf = Vec::with_capacity(4096);
+    loop {
+        match read_inbound(frames, metrics) {
+            Inbound::Msg(msg) => match msg.op {
+                ProtocolOp::UnbindRequest => {
+                    metrics.unbinds.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                op => {
+                    let prepared = prepare_op(msg.id, op, dir, metrics, streaming, &mut buf);
+                    let mut w = stream;
+                    if write_response(&mut w, &mut buf, msg.id, prepared).is_err() {
+                        return;
+                    }
+                }
+            },
+            Inbound::Malformed(detail) => {
+                send_disconnect_notice(stream, metrics, &detail);
+                return;
+            }
+            Inbound::Closed => return,
+        }
+    }
+}
+
+/// One unit of decode-ahead work.
+enum Job {
+    Request {
+        seq: u64,
+        id: i64,
+        op: ProtocolOp,
+    },
+    /// Malformed input: write the Notice of Disconnection in turn order
+    /// (after every earlier response), then stop all further writes.
+    Disconnect {
+        seq: u64,
+        detail: String,
+    },
+}
+
+/// Per-connection pipeline shared between the reader and its workers: a
+/// bounded FIFO job queue (backpressure on the reader) plus a turn counter
+/// serializing response writes into request order.
+struct Pipeline {
+    queue: Mutex<JobQueue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+    turn: Mutex<u64>,
+    turn_cv: Condvar,
+    dead: AtomicBool,
+}
+
+struct JobQueue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl Pipeline {
+    fn new(cap: usize) -> Pipeline {
+        Pipeline {
+            queue: Mutex::new(JobQueue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+            turn: Mutex::new(0),
+            turn_cv: Condvar::new(),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Reader side: blocks while the queue is full (per-connection
+    /// backpressure). `false` once the pipeline died or closed.
+    fn push(&self, job: Job) -> bool {
+        let mut q = self.queue.lock();
+        while q.jobs.len() >= self.cap && !q.closed && !self.dead.load(Ordering::Relaxed) {
+            self.not_full.wait(&mut q);
+        }
+        if q.closed || self.dead.load(Ordering::Relaxed) {
+            return false;
+        }
+        q.jobs.push_back(job);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Worker side: `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(j) = q.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(j);
+            }
+            if q.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut q);
+        }
+    }
+
+    fn close(&self) {
+        let mut q = self.queue.lock();
+        q.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        // Wake a reader blocked on backpressure.
+        self.not_full.notify_all();
+    }
+
+    /// Wait for `seq`'s write turn. Jobs are popped FIFO, so the worker
+    /// holding the smallest outstanding seq has already left the queue and
+    /// will reach its turn — later seqs waiting here cannot deadlock.
+    fn begin_turn(&self, seq: u64) {
+        let mut t = self.turn.lock();
+        while *t != seq {
+            self.turn_cv.wait(&mut t);
+        }
+    }
+
+    fn end_turn(&self) {
+        let mut t = self.turn.lock();
+        *t += 1;
+        self.turn_cv.notify_all();
+    }
+}
+
+fn serve_pipelined(
+    frames: &mut FrameReader<TcpStream>,
+    stream: &TcpStream,
+    dir: &Arc<dyn Directory>,
+    metrics: &ServerMetrics,
+    cfg: WireConfig,
+) {
+    let pipe = Pipeline::new(cfg.workers * 2);
+    std::thread::scope(|s| {
+        for _ in 0..cfg.workers {
+            s.spawn(|| worker_loop(&pipe, stream, dir, metrics, cfg.streaming));
+        }
+        let mut seq: u64 = 0;
+        loop {
+            match read_inbound(frames, metrics) {
+                Inbound::Msg(msg) => match msg.op {
+                    ProtocolOp::UnbindRequest => {
+                        metrics.unbinds.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    op => {
+                        if !pipe.push(Job::Request {
+                            seq,
+                            id: msg.id,
+                            op,
+                        }) {
+                            break;
+                        }
+                        seq += 1;
+                    }
+                },
+                Inbound::Malformed(detail) => {
+                    pipe.push(Job::Disconnect { seq, detail });
+                    break;
+                }
+                Inbound::Closed => break,
+            }
+        }
+        pipe.close();
+        // Scope exit joins the workers: they drain the queue, writing
+        // pending responses in request order, then stop.
+    });
+}
+
+fn worker_loop(
+    pipe: &Pipeline,
+    stream: &TcpStream,
+    dir: &Arc<dyn Directory>,
+    metrics: &ServerMetrics,
+    streaming: bool,
+) {
+    let mut buf = Vec::with_capacity(4096);
+    while let Some(job) = pipe.pop() {
+        match job {
+            Job::Request { seq, id, op } => {
+                // Directory work runs concurrently across workers; only the
+                // write below is serialized. Once the connection is dead,
+                // just keep the turn counter moving.
+                let prepared = if pipe.dead.load(Ordering::Relaxed) {
+                    None
+                } else {
+                    // Streaming searches even encode here, before the turn:
+                    // only raw byte writes remain serialized.
+                    Some(prepare_op(id, op, dir, metrics, streaming, &mut buf))
+                };
+                pipe.begin_turn(seq);
+                if let Some(p) = prepared {
+                    if !pipe.dead.load(Ordering::Relaxed) {
+                        let mut w = stream;
+                        if write_response(&mut w, &mut buf, id, p).is_err() {
+                            pipe.kill();
+                        }
+                    }
+                }
+                pipe.end_turn();
+            }
+            Job::Disconnect { seq, detail } => {
+                pipe.begin_turn(seq);
+                if !pipe.dead.load(Ordering::Relaxed) {
+                    send_disconnect_notice(stream, metrics, &detail);
+                    pipe.kill();
+                }
+                pipe.end_turn();
+            }
+        }
+    }
+}
+
+/// A computed response, ready for its write turn.
+enum Prepared {
+    /// Streaming search: the whole response (entries + done) is already
+    /// BER in the connection's reusable scratch buffer — encoded straight
+    /// off borrowed store entries by [`Directory::search_visit`], no
+    /// per-entry clone, no result vector, no per-message allocation.
+    Encoded,
+    /// Legacy search outcome (the E14 ablation baseline): collected
+    /// entries plus the truncated flag, or a failure; encoded at write
+    /// time the way the pre-streaming server did it.
+    Search(Result<(Vec<Entry>, bool)>),
+    /// Any other operation: its single response op.
+    Op(ProtocolOp),
 }
 
 fn result_of(r: Result<()>, metrics: &ServerMetrics) -> LdapResult {
@@ -189,13 +595,24 @@ fn result_of(r: Result<()>, metrics: &ServerMetrics) -> LdapResult {
     lr
 }
 
-fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>, metrics: &ServerMetrics) -> Vec<ProtocolOp> {
+/// Run the directory work for one request and record its metrics.
+/// Streaming searches encode into `buf` right here (so the directory work
+/// AND the encoding overlap across pipeline workers); everything else is
+/// encoded later, under the connection's write turn.
+fn prepare_op(
+    id: i64,
+    op: ProtocolOp,
+    dir: &Arc<dyn Directory>,
+    metrics: &ServerMetrics,
+    streaming: bool,
+    buf: &mut Vec<u8>,
+) -> Prepared {
     match op {
         ProtocolOp::BindRequest { dn, password, .. } => {
             metrics.binds.fetch_add(1, Ordering::Relaxed);
             let lr = bind_result(dir, &dn, &password);
             metrics.record_result(lr.code);
-            vec![ProtocolOp::BindResponse(lr)]
+            Prepared::Op(ProtocolOp::BindResponse(lr))
         }
         ProtocolOp::SearchRequest {
             base,
@@ -205,22 +622,66 @@ fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>, metrics: &ServerMetrics) 
             attrs,
         } => {
             metrics.searches.fetch_add(1, Ordering::Relaxed);
-            search_responses(dir, &base, scope, size_limit, &filter, &attrs, metrics)
+            let limit = size_limit.max(0) as usize;
+            if streaming {
+                buf.clear();
+                let outcome = Dn::parse(&base).and_then(|b| {
+                    dir.search_visit(&b, scope, &filter, &attrs, limit, &mut |e| {
+                        encode_search_entry_into(buf, id, e);
+                    })
+                });
+                let done = match outcome {
+                    Ok((count, truncated)) => {
+                        metrics
+                            .entries_returned
+                            .fetch_add(count as u64, Ordering::Relaxed);
+                        metrics.record_result(if truncated {
+                            ResultCode::SizeLimitExceeded
+                        } else {
+                            ResultCode::Success
+                        });
+                        search_done(truncated)
+                    }
+                    Err(e) => {
+                        metrics.record_result(e.code);
+                        ProtocolOp::SearchResultDone(LdapResult::error(&e))
+                    }
+                };
+                LdapMessage { id, op: done }.encode_into(buf);
+                Prepared::Encoded
+            } else {
+                let outcome = Dn::parse(&base)
+                    .and_then(|b| dir.search_capped(&b, scope, &filter, &attrs, limit));
+                match &outcome {
+                    Ok((entries, truncated)) => {
+                        metrics
+                            .entries_returned
+                            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                        metrics.record_result(if *truncated {
+                            ResultCode::SizeLimitExceeded
+                        } else {
+                            ResultCode::Success
+                        });
+                    }
+                    Err(e) => metrics.record_result(e.code),
+                }
+                Prepared::Search(outcome)
+            }
         }
         ProtocolOp::AddRequest { dn, attrs } => {
             metrics.adds.fetch_add(1, Ordering::Relaxed);
             let r = entry_from_wire(&dn, &attrs).and_then(|e| dir.add(e));
-            vec![ProtocolOp::AddResponse(result_of(r, metrics))]
+            Prepared::Op(ProtocolOp::AddResponse(result_of(r, metrics)))
         }
         ProtocolOp::DelRequest { dn } => {
             metrics.deletes.fetch_add(1, Ordering::Relaxed);
             let r = Dn::parse(&dn).and_then(|d| dir.delete(&d));
-            vec![ProtocolOp::DelResponse(result_of(r, metrics))]
+            Prepared::Op(ProtocolOp::DelResponse(result_of(r, metrics)))
         }
         ProtocolOp::ModifyRequest { dn, mods } => {
             metrics.modifies.fetch_add(1, Ordering::Relaxed);
             let r = Dn::parse(&dn).and_then(|d| dir.modify(&d, &mods));
-            vec![ProtocolOp::ModifyResponse(result_of(r, metrics))]
+            Prepared::Op(ProtocolOp::ModifyResponse(result_of(r, metrics)))
         }
         ProtocolOp::ModifyDnRequest {
             dn,
@@ -238,7 +699,7 @@ fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>, metrics: &ServerMetrics) 
                 };
                 dir.modify_rdn(&d, &rdn, delete_old, sup.as_ref())
             })();
-            vec![ProtocolOp::ModifyDnResponse(result_of(r, metrics))]
+            Prepared::Op(ProtocolOp::ModifyDnResponse(result_of(r, metrics)))
         }
         ProtocolOp::CompareRequest { dn, attr, value } => {
             metrics.compares.fetch_add(1, Ordering::Relaxed);
@@ -257,15 +718,79 @@ fn handle_op(op: ProtocolOp, dir: &Arc<dyn Directory>, metrics: &ServerMetrics) 
                 Err(e) => LdapResult::error(&e),
             };
             metrics.record_result(lr.code);
-            vec![ProtocolOp::CompareResponse(lr)]
+            Prepared::Op(ProtocolOp::CompareResponse(lr))
         }
-        // Requests a server never receives (responses, unbind handled above).
+        // Requests a server never receives (responses, unbind handled by
+        // the reader).
         _ => {
             let lr = LdapResult::error(&LdapError::protocol("unexpected protocol op"));
             metrics.record_result(lr.code);
-            vec![ProtocolOp::SearchResultDone(lr)]
+            Prepared::Op(ProtocolOp::SearchResultDone(lr))
         }
     }
+}
+
+fn search_done(truncated: bool) -> ProtocolOp {
+    ProtocolOp::SearchResultDone(if truncated {
+        LdapResult {
+            code: ResultCode::SizeLimitExceeded,
+            matched_dn: String::new(),
+            message: "size limit exceeded".into(),
+        }
+    } else {
+        LdapResult::success()
+    })
+}
+
+/// Send one prepared response, reusing `buf` across calls. Pre-encoded
+/// (streaming) responses go out in [`FLUSH_CHUNK`]-sized writes so a huge
+/// result set never forces one giant syscall.
+fn write_response<W: Write>(
+    w: &mut W,
+    buf: &mut Vec<u8>,
+    id: i64,
+    prepared: Prepared,
+) -> std::io::Result<()> {
+    match prepared {
+        Prepared::Encoded => {
+            // `buf` was filled by prepare_op; don't clear it first.
+            for chunk in buf.chunks(FLUSH_CHUNK) {
+                w.write_all(chunk)?;
+            }
+            return w.flush();
+        }
+        Prepared::Op(op) => {
+            buf.clear();
+            LdapMessage { id, op }.encode_into(buf);
+        }
+        Prepared::Search(Err(e)) => {
+            buf.clear();
+            LdapMessage {
+                id,
+                op: ProtocolOp::SearchResultDone(LdapResult::error(&e)),
+            }
+            .encode_into(buf);
+        }
+        Prepared::Search(Ok((entries, truncated))) => {
+            // Legacy path (the E14 ablation baseline): materialize every
+            // ProtocolOp, encode each into a fresh per-message buffer,
+            // then concatenate.
+            buf.clear();
+            let ops: Vec<ProtocolOp> = entries
+                .iter()
+                .map(|e| {
+                    let (dn, attrs) = entry_to_wire(e);
+                    ProtocolOp::SearchResultEntry { dn, attrs }
+                })
+                .chain(std::iter::once(search_done(truncated)))
+                .collect();
+            for op in ops {
+                buf.extend(LdapMessage { id, op }.encode());
+            }
+        }
+    }
+    w.write_all(buf)?;
+    w.flush()
 }
 
 fn bind_result(dir: &Arc<dyn Directory>, dn: &str, password: &str) -> LdapResult {
@@ -296,44 +821,11 @@ fn bind_result(dir: &Arc<dyn Directory>, dn: &str, password: &str) -> LdapResult
     }
 }
 
-fn search_responses(
-    dir: &Arc<dyn Directory>,
-    base: &str,
-    scope: Scope,
-    size_limit: i64,
-    filter: &Filter,
-    attrs: &[String],
-    metrics: &ServerMetrics,
-) -> Vec<ProtocolOp> {
-    let result = Dn::parse(base)
-        .and_then(|b| dir.search(&b, scope, filter, attrs, size_limit.max(0) as usize));
-    match result {
-        Ok(entries) => {
-            metrics
-                .entries_returned
-                .fetch_add(entries.len() as u64, Ordering::Relaxed);
-            let mut out: Vec<ProtocolOp> = entries
-                .iter()
-                .map(|e| {
-                    let (dn, attrs) = entry_to_wire(e);
-                    ProtocolOp::SearchResultEntry { dn, attrs }
-                })
-                .collect();
-            metrics.record_result(ResultCode::Success);
-            out.push(ProtocolOp::SearchResultDone(LdapResult::success()));
-            out
-        }
-        Err(e) => {
-            metrics.record_result(e.code);
-            vec![ProtocolOp::SearchResultDone(LdapResult::error(&e))]
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dit::{figure2_tree, Dit};
+    use crate::client::TcpDirectory;
+    use crate::dit::{figure2_tree, Dit, Scope};
 
     #[test]
     fn server_starts_and_stops() {
@@ -344,5 +836,101 @@ mod tests {
         // Plain TCP connect works.
         let _c = TcpStream::connect(addr).unwrap();
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_live_connections() {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let mut server = Server::start(dit, "127.0.0.1:0").unwrap();
+        let metrics = server.metrics();
+        let addr = server.addr().to_string();
+        let clients: Vec<TcpDirectory> = (0..4)
+            .map(|_| TcpDirectory::connect(&addr).unwrap())
+            .collect();
+        for c in &clients {
+            assert!(c
+                .get(&Dn::parse("cn=Jill Lu,o=R&D,o=Lucent").unwrap())
+                .unwrap()
+                .is_some());
+        }
+        assert_eq!(metrics.connections_open.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.connections_total.load(Ordering::Relaxed), 4);
+        // Shutdown force-closes the live connections and joins their
+        // threads, so the gauge must read zero afterwards.
+        server.shutdown();
+        assert_eq!(metrics.connections_open.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn truncated_search_returns_partial_entries_and_code_4() {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let server = Server::start(dit, "127.0.0.1:0").unwrap();
+        let client = TcpDirectory::connect(&server.addr().to_string()).unwrap();
+        let (entries, truncated) = client
+            .search_capped(
+                &Dn::parse("o=Lucent").unwrap(),
+                Scope::Sub,
+                &crate::filter::Filter::match_all(),
+                &[],
+                3,
+            )
+            .unwrap();
+        assert!(truncated);
+        assert_eq!(entries.len(), 3, "entries up to the limit are delivered");
+        // The strict `search` still surfaces the error.
+        let err = client
+            .search(
+                &Dn::parse("o=Lucent").unwrap(),
+                Scope::Sub,
+                &crate::filter::Filter::match_all(),
+                &[],
+                3,
+            )
+            .unwrap_err();
+        assert_eq!(err.code, ResultCode::SizeLimitExceeded);
+    }
+
+    #[test]
+    fn serial_mode_still_serves() {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let server = Server::builder()
+            .with_wire_workers(1)
+            .start(dit, "127.0.0.1:0")
+            .unwrap();
+        let client = TcpDirectory::connect(&server.addr().to_string()).unwrap();
+        let hits = client
+            .search(
+                &Dn::parse("o=Lucent").unwrap(),
+                Scope::Sub,
+                &crate::filter::Filter::match_all(),
+                &[],
+                0,
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 9);
+    }
+
+    #[test]
+    fn legacy_encode_path_matches_streaming() {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let streaming = Server::builder()
+            .with_streaming(true)
+            .start(dit.clone(), "127.0.0.1:0")
+            .unwrap();
+        let legacy = Server::builder()
+            .with_streaming(false)
+            .start(dit, "127.0.0.1:0")
+            .unwrap();
+        let base = Dn::parse("o=Lucent").unwrap();
+        let f = crate::filter::Filter::match_all();
+        let a = TcpDirectory::connect(&streaming.addr().to_string()).unwrap();
+        let b = TcpDirectory::connect(&legacy.addr().to_string()).unwrap();
+        let ea = a.search(&base, Scope::Sub, &f, &[], 0).unwrap();
+        let eb = b.search(&base, Scope::Sub, &f, &[], 0).unwrap();
+        assert_eq!(ea, eb);
     }
 }

@@ -280,6 +280,45 @@ impl Directory for Gateway {
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         r
     }
+
+    fn search_capped(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+    ) -> Result<(Vec<Entry>, bool)> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
+        let r = self
+            .inner
+            .search_capped(base, scope, filter, attrs, size_limit);
+        self.stats
+            .read_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        r
+    }
+
+    fn search_visit(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<(usize, bool)> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
+        let r = self
+            .inner
+            .search_visit(base, scope, filter, attrs, size_limit, visit);
+        self.stats
+            .read_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        r
+    }
 }
 
 #[cfg(test)]

@@ -129,6 +129,59 @@ proptest! {
         prop_assert_eq!(b.digest(), db);
     }
 
+    /// Delta anti-entropy is *observationally identical* to the
+    /// full-snapshot exchange: replaying one randomized schedule through
+    /// two parallel universes — one syncing with watermark deltas, one
+    /// always shipping everything — ends with bit-identical digests on
+    /// every replica. The watermark optimization may never change what a
+    /// replica converges to, only how many bytes got there.
+    #[test]
+    fn delta_sync_matches_full_sync_bit_for_bit(
+        ops in proptest::collection::vec(op_strategy(3, 4), 1..60)
+    ) {
+        let delta_u = [Replica::new("a"), Replica::new("b"), Replica::new("c")];
+        let full_u = [Replica::new("a"), Replica::new("b"), Replica::new("c")];
+        for op in &ops {
+            match op {
+                Op::Put { r, e, phone } => {
+                    delta_u[*r].put_entry(&entry(*e, phone)).expect("put");
+                    full_u[*r].put_entry(&entry(*e, phone)).expect("put");
+                }
+                Op::Set { r, e, attr, val } => {
+                    let a = Attribute::single(attr.clone(), val.clone());
+                    let _ = delta_u[*r].set_attr(&dn(*e), a.clone());
+                    let _ = full_u[*r].set_attr(&dn(*e), a);
+                }
+                Op::Del { r, e } => {
+                    let _ = delta_u[*r].delete_entry(&dn(*e));
+                    let _ = full_u[*r].delete_entry(&dn(*e));
+                }
+                Op::Sync { a, b } => {
+                    if a != b {
+                        let d = delta_u[*a].anti_entropy(&delta_u[*b]);
+                        let f = full_u[*a].full_sync_with(&full_u[*b]);
+                        // The delta never ships more than the snapshot.
+                        prop_assert!(d.bytes_shipped <= f.bytes_shipped);
+                    }
+                }
+            }
+        }
+        for _ in 0..2 {
+            delta_u[0].anti_entropy(&delta_u[1]);
+            delta_u[1].anti_entropy(&delta_u[2]);
+            delta_u[2].anti_entropy(&delta_u[0]);
+            full_u[0].full_sync_with(&full_u[1]);
+            full_u[1].full_sync_with(&full_u[2]);
+            full_u[2].full_sync_with(&full_u[0]);
+        }
+        for (d, f) in delta_u.iter().zip(&full_u) {
+            prop_assert_eq!(d.digest(), f.digest());
+        }
+        let d0 = delta_u[0].digest();
+        prop_assert_eq!(&d0, &delta_u[1].digest());
+        prop_assert_eq!(&d0, &delta_u[2].digest());
+    }
+
     /// Convergence is order-insensitive for concurrent single-attribute
     /// writes: whatever the sync direction, both replicas agree.
     #[test]

@@ -1,0 +1,236 @@
+//! Stress tests for the pipelined wire path: many clients batching many
+//! pipelined requests over single connections must each get every response
+//! back, in request order, with nothing lost, dropped, or cross-wired —
+//! and the connection registry must drain to zero on shutdown.
+
+use ldap::dit::Dit;
+use ldap::dn::Dn;
+use ldap::entry::Entry;
+use ldap::proto::{FrameReader, LdapMessage, ProtocolOp};
+use ldap::server::Server;
+use ldap::{Filter, ResultCode, Scope};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const USERS: usize = 10;
+
+/// A small tree with predictable per-filter hit counts: `cn=user{i}`
+/// matches exactly one entry; `cn=nobody` matches none.
+fn test_dit() -> std::sync::Arc<Dit> {
+    let dit = Dit::new();
+    dit.add(Entry::with_attrs(
+        Dn::parse("o=Test").unwrap(),
+        [("objectClass", "organization"), ("o", "Test")],
+    ))
+    .unwrap();
+    for i in 0..USERS {
+        dit.add(Entry::with_attrs(
+            Dn::parse(&format!("cn=user{i},o=Test")).unwrap(),
+            [
+                ("objectClass", "person"),
+                ("cn", format!("user{i}").as_str()),
+                ("sn", "User"),
+                ("telephoneNumber", format!("x{i:04}").as_str()),
+            ],
+        ))
+        .unwrap();
+    }
+    dit
+}
+
+/// Pre-encode `batch` pipelined search requests with message IDs 1..=batch.
+/// Even IDs hit exactly one entry, odd IDs hit none — so the expected
+/// response stream is fully determined by the ID.
+fn search_blob(batch: usize) -> Vec<u8> {
+    let mut blob = Vec::new();
+    for i in 1..=batch {
+        let filter = if i % 2 == 0 {
+            format!("(cn=user{})", i % USERS)
+        } else {
+            "(cn=nobody)".to_string()
+        };
+        blob.extend_from_slice(
+            &LdapMessage {
+                id: i as i64,
+                op: ProtocolOp::SearchRequest {
+                    base: "o=Test".into(),
+                    scope: Scope::Sub,
+                    size_limit: 0,
+                    filter: Filter::parse(&filter).unwrap(),
+                    attrs: vec![],
+                },
+            }
+            .encode(),
+        );
+    }
+    blob
+}
+
+/// Drive one connection: write the whole batch in a single syscall, then
+/// read back every frame, asserting strict request-order responses and the
+/// exact per-request entry counts.
+fn drive_connection(addr: &str, batch: usize) {
+    let sock = TcpStream::connect(addr).expect("connect");
+    sock.set_nodelay(true).expect("nodelay");
+    sock.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut frames = FrameReader::new(sock.try_clone().expect("clone"));
+    (&sock).write_all(&search_blob(batch)).expect("batch write");
+    let mut next_done = 1i64;
+    let mut entries_for_current = 0usize;
+    while next_done <= batch as i64 {
+        let frame = frames
+            .next_frame()
+            .expect("frame readable")
+            .expect("server must not close mid-batch");
+        let msg = LdapMessage::decode(frame).expect("frame decodes");
+        match msg.op {
+            ProtocolOp::SearchResultEntry { dn, .. } => {
+                assert_eq!(
+                    msg.id, next_done,
+                    "entry for request {} arrived while {next_done} was pending",
+                    msg.id
+                );
+                assert_eq!(dn, format!("cn=user{},o=Test", msg.id % USERS as i64));
+                entries_for_current += 1;
+            }
+            ProtocolOp::SearchResultDone(r) => {
+                assert_eq!(msg.id, next_done, "done frames must be in request order");
+                assert_eq!(r.code, ResultCode::Success);
+                let expected = usize::from(next_done % 2 == 0);
+                assert_eq!(
+                    entries_for_current, expected,
+                    "request {next_done} returned the wrong number of entries"
+                );
+                entries_for_current = 0;
+                next_done += 1;
+            }
+            other => panic!("unexpected op in search response stream: {other:?}"),
+        }
+    }
+    // Clean unbind so the server sees an orderly close.
+    (&sock)
+        .write_all(
+            &LdapMessage {
+                id: batch as i64 + 1,
+                op: ProtocolOp::UnbindRequest,
+            }
+            .encode(),
+        )
+        .expect("unbind");
+}
+
+#[test]
+fn pipelined_clients_get_ordered_complete_responses() {
+    let mut server = Server::builder()
+        .with_wire_workers(4)
+        .start(test_dit(), "127.0.0.1:0")
+        .unwrap();
+    let addr = server.addr().to_string();
+    let metrics = server.metrics();
+
+    const CLIENTS: usize = 6;
+    const BATCH: usize = 50;
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let addr = addr.clone();
+            s.spawn(move || drive_connection(&addr, BATCH));
+        }
+    });
+
+    assert_eq!(
+        metrics.searches.load(Ordering::Relaxed),
+        (CLIENTS * BATCH) as u64,
+        "every pipelined request must be served exactly once"
+    );
+    server.shutdown();
+    assert_eq!(
+        metrics.connections_open.load(Ordering::Relaxed),
+        0,
+        "connection registry must drain on shutdown"
+    );
+}
+
+#[test]
+fn mixed_ops_pipeline_in_request_order() {
+    let mut server = Server::builder()
+        .with_wire_workers(3)
+        .start(test_dit(), "127.0.0.1:0")
+        .unwrap();
+    let addr = server.addr().to_string();
+
+    // Interleave binds, compares, and searches in one batched write; each
+    // op kind yields a distinct response tag so cross-wiring is detectable.
+    let mut blob = Vec::new();
+    let mut expected = Vec::new();
+    for i in 1..=30i64 {
+        let op = match i % 3 {
+            0 => {
+                expected.push("bind");
+                ProtocolOp::BindRequest {
+                    version: 3,
+                    dn: String::new(),
+                    password: String::new(),
+                }
+            }
+            1 => {
+                expected.push("compare");
+                ProtocolOp::CompareRequest {
+                    dn: "cn=user1,o=Test".into(),
+                    attr: "sn".into(),
+                    value: "User".into(),
+                }
+            }
+            _ => {
+                expected.push("search");
+                ProtocolOp::SearchRequest {
+                    base: "o=Test".into(),
+                    scope: Scope::Base,
+                    size_limit: 0,
+                    filter: Filter::match_all(),
+                    attrs: vec![],
+                }
+            }
+        };
+        blob.extend_from_slice(&LdapMessage { id: i, op }.encode());
+    }
+
+    let sock = TcpStream::connect(&addr).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut frames = FrameReader::new(sock.try_clone().unwrap());
+    (&sock).write_all(&blob).unwrap();
+
+    let mut id = 1i64;
+    while id <= 30 {
+        let frame = frames.next_frame().unwrap().expect("open");
+        let msg = LdapMessage::decode(frame).unwrap();
+        assert_eq!(msg.id, id, "responses must come back in request order");
+        let kind = expected[(id - 1) as usize];
+        match msg.op {
+            ProtocolOp::BindResponse(r) => {
+                assert_eq!(kind, "bind");
+                assert_eq!(r.code, ResultCode::Success);
+                id += 1;
+            }
+            ProtocolOp::CompareResponse(r) => {
+                assert_eq!(kind, "compare");
+                assert_eq!(r.code, ResultCode::CompareTrue);
+                id += 1;
+            }
+            ProtocolOp::SearchResultEntry { dn, .. } => {
+                assert_eq!(kind, "search");
+                assert_eq!(dn, "o=Test");
+            }
+            ProtocolOp::SearchResultDone(r) => {
+                assert_eq!(kind, "search");
+                assert_eq!(r.code, ResultCode::Success);
+                id += 1;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    server.shutdown();
+}

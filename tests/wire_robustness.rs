@@ -5,6 +5,7 @@
 use ldap::client::TcpDirectory;
 use ldap::dit::{figure2_tree, Dit};
 use ldap::dn::Dn;
+use ldap::proto::{read_frame, LdapMessage, ProtocolOp, NOTICE_OF_DISCONNECTION_OID};
 use ldap::server::Server;
 use ldap::{Directory, Filter, ResultCode, Scope};
 use std::io::{Read, Write};
@@ -19,18 +20,38 @@ fn server() -> (Server, String) {
     (server, addr)
 }
 
+/// Read the unsolicited Notice of Disconnection (message ID 0, protocolError,
+/// the RFC 2251 disconnection OID), then assert the connection closes.
+fn expect_disconnect_notice(stream: &mut TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let frame = read_frame(stream)
+        .expect("notice frame readable")
+        .expect("notice frame present");
+    let msg = LdapMessage::decode(&frame).expect("notice decodes");
+    assert_eq!(msg.id, 0, "unsolicited notices carry message ID 0");
+    match msg.op {
+        ProtocolOp::ExtendedResponse { result, name } => {
+            assert_eq!(result.code, ResultCode::ProtocolError);
+            assert_eq!(name.as_deref(), Some(NOTICE_OF_DISCONNECTION_OID));
+        }
+        other => panic!("expected ExtendedResponse, got {other:?}"),
+    }
+    let mut buf = [0u8; 16];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "connection closed after the notice");
+}
+
 #[test]
-fn garbage_bytes_close_connection_only() {
+fn garbage_bytes_get_disconnect_notice() {
     let (_server, addr) = server();
     // A client that speaks garbage.
     let mut bad = TcpStream::connect(&addr).unwrap();
     bad.write_all(&[0xFF; 64]).unwrap();
     bad.flush().unwrap();
-    // The server closes it.
-    bad.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
-    let mut buf = [0u8; 16];
-    let n = bad.read(&mut buf).unwrap_or(0);
-    assert_eq!(n, 0, "connection closed, no response to garbage");
+    // The server explains itself before closing.
+    expect_disconnect_notice(&mut bad);
     // A well-behaved client on the same server still works.
     let good = TcpDirectory::connect(&addr).unwrap();
     let hits = good
@@ -70,10 +91,7 @@ fn oversized_frame_is_rejected() {
     bad.write_all(&[0x30, 0x84, 0x40, 0x00, 0x00, 0x00])
         .unwrap();
     bad.flush().unwrap();
-    bad.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
-    let mut buf = [0u8; 16];
-    let n = bad.read(&mut buf).unwrap_or(0);
-    assert_eq!(n, 0, "oversized frame must close the connection");
+    expect_disconnect_notice(&mut bad);
 }
 
 #[test]
