@@ -9,6 +9,7 @@ pub mod e11_ablations;
 pub mod e12_outage;
 pub mod e13_throughput;
 pub mod e14_wire;
+pub mod e15_durability;
 pub mod e1_propagation;
 pub mod e2_convergence;
 pub mod e3_reapply;
@@ -74,10 +75,11 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e12_outage::run(scale),
         e13_throughput::run(scale),
         e14_wire::run(scale),
+        e15_durability::run(scale),
     ]
 }
 
-/// Run one experiment by id (`e1` … `e14`).
+/// Run one experiment by id (`e1` … `e15`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
     Some(match id {
         "e1" => e1_propagation::run(scale),
@@ -94,6 +96,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
         "e12" => e12_outage::run(scale),
         "e13" => e13_throughput::run(scale),
         "e14" => e14_wire::run(scale),
+        "e15" => e15_durability::run(scale),
         _ => return None,
     })
 }

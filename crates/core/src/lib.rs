@@ -37,6 +37,7 @@
 //! Direct device updates flow the other way through the [`ddu`] relay.
 
 pub mod ddu;
+pub mod durability;
 pub mod error;
 pub mod errorlog;
 pub mod filter;
@@ -48,10 +49,12 @@ pub mod sync;
 pub mod um;
 pub mod wba;
 
+pub use durability::RecoveryReport;
 pub use error::{MetaError, Result};
 pub use errorlog::{AdminAlert, ErrorLog};
 pub use filter::fault::{FaultHandle, FaultInjector, FaultPlan};
 pub use filter::{ApplyOutcome, DeviceFilter};
+pub use ldap::FsyncPolicy;
 pub use obs::{
     Clock, HistogramSnapshot, ManualClock, MonitorDirectory, Registry, RegistrySnapshot,
     SystemClock, MONITOR_BASE,
@@ -62,8 +65,9 @@ pub use um::{UmStats, UpdateTrace};
 pub use wba::Wba;
 
 use crate::ddu::{RelayHandles, RelayStats};
+use crate::durability::Durability;
 use crate::filter::{mp::MpFilter, pbx::PbxFilter};
-use crate::resilience::{DeviceRuntime, MonitorHandle, RecoveryCtx};
+use crate::resilience::{DeviceRuntime, JournalSink, MonitorHandle, RecoveryCtx};
 use crate::um::{Shared, UpdateManager};
 use ldap::dn::Dn;
 use ldap::entry::Entry;
@@ -84,6 +88,7 @@ pub struct MetaCommBuilder {
     hub_rules: bool,
     saga: bool,
     persist_dir: Option<std::path::PathBuf>,
+    fsync_policy: FsyncPolicy,
     security: Option<SecurityPolicy>,
     file_errors: Vec<String>,
     retry: RetryPolicy,
@@ -106,6 +111,7 @@ impl MetaCommBuilder {
             hub_rules: true,
             saga: false,
             persist_dir: None,
+            fsync_policy: FsyncPolicy::default(),
             security: None,
             file_errors: Vec::new(),
             retry: RetryPolicy::default(),
@@ -241,12 +247,31 @@ impl MetaCommBuilder {
         self
     }
 
-    /// Make the directory durable: recover state from `dir` at build time
-    /// (LDIF snapshot + change journal), checkpoint, and journal every
-    /// commit from then on — the "backups" half of the paper's §2
-    /// availability story.
-    pub fn with_persistence(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+    /// Make the whole deployment crash-safe: recover state from `dir` at
+    /// build time (newest valid snapshot + write-ahead log + outage
+    /// journals), checkpoint, and log every commit from then on — the
+    /// "backups" half of the paper's §2 availability story, extended to
+    /// survive `kill -9`. See [`MetaCommBuilder::with_fsync_policy`] for
+    /// the durability/throughput trade-off.
+    pub fn with_durability(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Older name for [`MetaCommBuilder::with_durability`]; deployments
+    /// persisted under the legacy LDIF snapshot + change-journal layout are
+    /// migrated on first boot.
+    pub fn with_persistence(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_durability(dir)
+    }
+
+    /// When (and how) write-ahead-log appends reach stable storage:
+    /// [`FsyncPolicy::Group`] (default) batches concurrent commits into
+    /// shared fsyncs, [`FsyncPolicy::Always`] fsyncs every append, and
+    /// [`FsyncPolicy::Never`] trades machine-crash safety for speed (the
+    /// ablation arm — a process crash still loses nothing).
+    pub fn with_fsync_policy(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync_policy = policy;
         self
     }
 
@@ -267,16 +292,13 @@ impl MetaCommBuilder {
             None => ldap::Dit::with_schema_indexed(schema, ldap::dit::DEFAULT_INDEXED_ATTRS),
         };
         // Durable deployments recover the previous state before anything
-        // else touches the tree, then checkpoint and re-attach the journal.
-        let journal = match &self.persist_dir {
+        // else touches the tree, then attach the WAL observer so every
+        // commit from here on (starting with the suffix entry) is logged.
+        let durability = match &self.persist_dir {
             Some(dir) => {
-                std::fs::create_dir_all(dir).map_err(|e| MetaError::Unavailable(e.to_string()))?;
-                let snap = dir.join("directory.ldif");
-                let jpath = dir.join("changes.ldif");
-                ldap::backup::recover(&dit, &snap, &jpath)?;
-                ldap::backup::snapshot(&dit, &snap)?;
-                std::fs::write(&jpath, "").map_err(|e| MetaError::Unavailable(e.to_string()))?;
-                Some(ldap::backup::Journal::attach(&dit, &jpath)?)
+                let (dur, journals) = Durability::open(dir, self.fsync_policy, &dit)?;
+                dur.attach(&dit);
+                Some((dur, journals))
             }
             None => None,
         };
@@ -320,6 +342,12 @@ impl MetaCommBuilder {
             self.clock
                 .unwrap_or_else(|| SystemClock::new() as Arc<dyn Clock>),
         );
+        if let Some((dur, _)) = &durability {
+            // WAL write failures now alert through the error log (§4.4) and
+            // the durability gauges appear under cn=monitor.
+            dur.set_error_log(errorlog.clone(), dit.clone() as Arc<dyn Directory>);
+            dur.register_metrics(&registry);
+        }
 
         // Filters: protocol converter + mapper per repository. A filter
         // with a fault plan gets the FaultInjector decorator.
@@ -376,6 +404,21 @@ impl MetaCommBuilder {
                 ),
             );
         }
+        if let Some((dur, journals)) = &durability {
+            // Hand each device its recovered outage backlog (the runtime
+            // restarts Offline and the monitor drains it), then mirror all
+            // further journal mutations into the log. The boot checkpoint
+            // makes the recovered state the new baseline: fresh segment
+            // with re-logged journal state, fresh snapshot, old generations
+            // pruned.
+            for (name, rt) in &runtimes {
+                if let Some(j) = journals.get(name) {
+                    rt.restore_journal(j.ops.clone(), j.overflowed);
+                }
+                rt.set_journal_sink(dur.clone() as Arc<dyn JournalSink>);
+            }
+            dur.checkpoint(&dit, &runtimes)?;
+        }
         // Live per-device gauges read straight off the runtimes.
         for (name, rt) in &runtimes {
             let comp = registry.component(&format!("device-{name}"));
@@ -426,6 +469,20 @@ impl MetaCommBuilder {
                 .with_filter(LdapFilter::eq("objectClass", "person")),
             um.handler(),
         );
+        // Group-commit barrier: WAL appends on the commit path are async
+        // (workers never park in fsync); this after-trigger makes the
+        // *client* wait until its records are on stable storage before its
+        // update call returns — every acknowledged update is durable.
+        if let Some((dur, _)) = &durability {
+            let dur = dur.clone();
+            gateway.register(
+                TriggerSpec::all_updates("metacomm-durability", suffix.clone()).after(),
+                Arc::new(move |_ctx: &ltap::TriggerContext<'_>| {
+                    dur.commit_barrier();
+                    Ok(ltap::Disposition::Proceed)
+                }),
+            );
+        }
 
         // DDU relays.
         let relay_stats = Arc::new(RelayStats::default());
@@ -474,8 +531,7 @@ impl MetaCommBuilder {
             relay_stats,
             suffix,
             crash_between_pair,
-            persist_dir: self.persist_dir,
-            _journal: journal,
+            durability: durability.map(|(dur, _)| dur),
             retry: self.retry,
             runtimes,
             fault_handles,
@@ -499,8 +555,7 @@ pub struct MetaComm {
     relay_stats: Arc<RelayStats>,
     suffix: Dn,
     crash_between_pair: Arc<AtomicBool>,
-    persist_dir: Option<std::path::PathBuf>,
-    _journal: Option<Arc<ldap::backup::Journal>>,
+    durability: Option<Arc<Durability>>,
     retry: RetryPolicy,
     runtimes: HashMap<String, Arc<DeviceRuntime>>,
     fault_handles: HashMap<String, Arc<FaultHandle>>,
@@ -706,16 +761,27 @@ impl MetaComm {
         resilience::attempt_recovery(&ctx, filter, runtime)
     }
 
-    /// Checkpoint a durable deployment: write a fresh snapshot and truncate
-    /// the change journal (bounding recovery time). No-op without
-    /// persistence.
+    /// Checkpoint a durable deployment: rotate to a fresh WAL segment,
+    /// re-log outage-journal state, write a new checksummed snapshot, and
+    /// prune old generations (bounding recovery time). No-op without
+    /// durability.
     pub fn checkpoint(&self) -> Result<()> {
-        if let Some(dir) = &self.persist_dir {
-            ldap::backup::snapshot(&self.dit, &dir.join("directory.ldif"))?;
-            std::fs::write(dir.join("changes.ldif"), "")
-                .map_err(|e| MetaError::Unavailable(e.to_string()))?;
+        if let Some(dur) = &self.durability {
+            dur.checkpoint(&self.dit, &self.runtimes)?;
         }
         Ok(())
+    }
+
+    /// What recovery-on-boot found and replayed, for a deployment built
+    /// with [`MetaCommBuilder::with_durability`] over an existing state
+    /// directory. `None` without durability.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.durability.as_ref().map(|d| d.report().clone())
+    }
+
+    /// The configured fsync policy (`None` without durability).
+    pub fn fsync_policy(&self) -> Option<FsyncPolicy> {
+        self.durability.as_ref().map(|d| d.policy())
     }
 
     /// Wait until the pipeline is quiescent (no DDUs in flight, the UM
@@ -771,6 +837,11 @@ impl MetaComm {
         }
         if let Some(mut um) = self.um.lock().take() {
             um.shutdown();
+        }
+        // Everything committed is already framed in the log; one last sync
+        // covers the Never-policy tail so a clean shutdown loses nothing.
+        if let Some(dur) = &self.durability {
+            dur.sync();
         }
     }
 }

@@ -183,6 +183,25 @@ struct JournaledOp {
     dn: Option<Dn>,
 }
 
+/// Observer of outage-journal mutations, implemented by the durability
+/// layer to mirror the journal into the write-ahead log. Callbacks are
+/// invoked OUTSIDE the runtime's inner lock (the WAL append may fsync and
+/// the checkpoint path takes locks of its own), so two racing mutations may
+/// reach the log out of order — recovery reconciles by ticket, which is
+/// unique per device and assigned in queue order.
+pub(crate) trait JournalSink: Send + Sync {
+    /// An op entered the journal under `ticket`.
+    fn pushed(&self, device: &str, ticket: u64, op: &TargetOp, dn: Option<&Dn>);
+    /// Tickets were withdrawn (client update aborted).
+    fn discarded(&self, device: &str, tickets: &[u64]);
+    /// A ticket drained: its op was reapplied to the device.
+    fn popped(&self, device: &str, ticket: u64);
+    /// The journal overflowed: queued ops abandoned pending full resync.
+    fn overflowed(&self, device: &str);
+    /// The backlog is fully resolved (drain or resynchronization done).
+    fn cleared(&self, device: &str);
+}
+
 #[derive(Debug)]
 struct RuntimeInner {
     state: HealthState,
@@ -206,6 +225,7 @@ pub struct DeviceRuntime {
     obs: Arc<crate::obs::DeviceObs>,
     next_ticket: AtomicU64,
     inner: Mutex<RuntimeInner>,
+    sink: Mutex<Option<Arc<dyn JournalSink>>>,
 }
 
 impl DeviceRuntime {
@@ -234,11 +254,68 @@ impl DeviceRuntime {
                 draining: false,
                 last_error: None,
             }),
+            sink: Mutex::new(None),
         })
     }
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Install the durability observer. At most one; later calls replace it.
+    pub(crate) fn set_journal_sink(&self, sink: Arc<dyn JournalSink>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    fn with_sink(&self, f: impl FnOnce(&dyn JournalSink)) {
+        let sink = self.sink.lock().clone();
+        if let Some(s) = sink {
+            f(s.as_ref());
+        }
+    }
+
+    /// A consistent copy of the queued backlog, for checkpointing:
+    /// `(ops in queue order, journal overflowed)`.
+    pub(crate) fn journal_snapshot(&self) -> (Vec<(u64, TargetOp, Option<Dn>)>, bool) {
+        let g = self.inner.lock();
+        (
+            g.journal
+                .iter()
+                .map(|j| (j.ticket, j.op.clone(), j.dn.clone()))
+                .collect(),
+            g.overflowed,
+        )
+    }
+
+    /// Reload the outage journal after a restart. Ops are sorted by ticket
+    /// (WAL record order can race; ticket order is queue order), the ticket
+    /// counter resumes above everything seen, and a device with a backlog
+    /// (or pending resync) restarts `Offline` so the recovery monitor
+    /// probes and drains it — the paper's reconnect flow, not a blind
+    /// assumption that the device is fine.
+    pub(crate) fn restore_journal(
+        &self,
+        mut ops: Vec<(u64, TargetOp, Option<Dn>)>,
+        overflowed: bool,
+    ) {
+        ops.sort_by_key(|(ticket, _, _)| *ticket);
+        // A checkpoint's STATE record can race an event for the same
+        // ticket into the log; replay then recovers the op twice.
+        ops.dedup_by_key(|(ticket, _, _)| *ticket);
+        let max_ticket = ops.last().map(|(t, _, _)| *t).unwrap_or(0);
+        let mut g = self.inner.lock();
+        self.next_ticket.fetch_max(max_ticket + 1, Ordering::SeqCst);
+        g.journal = ops
+            .into_iter()
+            .map(|(ticket, op, dn)| JournaledOp { ticket, op, dn })
+            .collect();
+        g.overflowed = overflowed;
+        if overflowed {
+            g.journal.clear();
+        }
+        if !g.journal.is_empty() || g.overflowed {
+            g.state = HealthState::Offline;
+        }
     }
 
     pub fn health(&self) -> DeviceHealth {
@@ -277,6 +354,7 @@ impl DeviceRuntime {
             g.dropped_ops += g.journal.len() + 1;
             g.journal.clear();
             drop(g);
+            self.with_sink(|s| s.overflowed(&self.name));
             self.errorlog.log(
                 self.dir.as_ref(),
                 0,
@@ -290,7 +368,13 @@ impl DeviceRuntime {
             return None;
         }
         let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
-        g.journal.push_back(JournaledOp { ticket, op, dn });
+        g.journal.push_back(JournaledOp {
+            ticket,
+            op: op.clone(),
+            dn: dn.clone(),
+        });
+        drop(g);
+        self.with_sink(|s| s.pushed(&self.name, ticket, &op, dn.as_ref()));
         self.stats.queued.fetch_add(1, Ordering::Relaxed);
         self.obs.queued.inc();
         Some(ticket)
@@ -302,8 +386,11 @@ impl DeviceRuntime {
         if tickets.is_empty() {
             return;
         }
-        let mut g = self.inner.lock();
-        g.journal.retain(|j| !tickets.contains(&j.ticket));
+        {
+            let mut g = self.inner.lock();
+            g.journal.retain(|j| !tickets.contains(&j.ticket));
+        }
+        self.with_sink(|s| s.discarded(&self.name, tickets));
     }
 
     /// Record a failed (post-retry) device apply; advances the breaker and
@@ -482,6 +569,7 @@ pub(crate) fn attempt_recovery(
             g.draining = false;
             g.state = HealthState::Up;
         }
+        runtime.with_sink(|s| s.cleared(&runtime.name));
         ctx.errorlog.log(
             ctx.gateway.inner().as_ref(),
             0,
@@ -529,6 +617,7 @@ pub(crate) fn attempt_recovery(
             Ok(outcome) => {
                 reapplied += 1;
                 runtime.obs.drained.inc();
+                runtime.with_sink(|s| s.popped(&runtime.name, j.ticket));
                 ctx.stats.device_ops.fetch_add(1, Ordering::Relaxed);
                 if outcome.reapplied {
                     ctx.stats.reapplied.fetch_add(1, Ordering::Relaxed);
@@ -564,7 +653,9 @@ pub(crate) fn attempt_recovery(
             }
             Err(e) => {
                 // Semantic rejection of a queued op: the client saw success
-                // long ago, so all that remains is §4.4 log-and-alert.
+                // long ago, so all that remains is §4.4 log-and-alert. The
+                // op leaves the journal permanently — pop it durably too.
+                runtime.with_sink(|s| s.popped(&runtime.name, j.ticket));
                 ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
                 ctx.errorlog.log(
                     ctx.gateway.inner().as_ref(),
@@ -578,6 +669,7 @@ pub(crate) fn attempt_recovery(
             }
         }
     }
+    runtime.with_sink(|s| s.cleared(&runtime.name));
     ctx.stats
         .journal_drained
         .fetch_add(reapplied, Ordering::Relaxed);

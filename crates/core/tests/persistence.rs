@@ -96,8 +96,19 @@ fn outage_changes_reconciled_after_recovery() {
     system.shutdown();
 }
 
+fn files_matching(dir: &Path, prefix: &str) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(String::from))
+        .filter(|n| n.starts_with(prefix))
+        .collect();
+    out.sort();
+    out
+}
+
 #[test]
-fn checkpoint_bounds_the_journal() {
+fn checkpoint_rotates_and_prunes() {
     let dir = tmpdir("checkpoint");
     let west = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("9", 4)));
     let system = build(&dir, &west);
@@ -107,16 +118,66 @@ fn checkpoint_bounds_the_journal() {
             .unwrap();
     }
     system.settle();
-    let journal_before = std::fs::metadata(dir.join("changes.ldif")).unwrap().len();
-    assert!(journal_before > 0, "journal grew");
+    let wal_before = files_matching(&dir, "wal-");
+    assert!(!wal_before.is_empty(), "commits framed into a wal segment");
     system.checkpoint().unwrap();
-    let journal_after = std::fs::metadata(dir.join("changes.ldif")).unwrap().len();
-    assert_eq!(journal_after, 0, "checkpoint truncates the journal");
+    system.checkpoint().unwrap();
+    // Rotation bounds the on-disk state: at most the newest two snapshots
+    // (the older is the torn-write fallback) plus their segments.
+    let snaps = files_matching(&dir, "snap-");
+    assert!(
+        (1..=2).contains(&snaps.len()),
+        "snapshots pruned to the newest two, got {snaps:?}"
+    );
+    assert!(
+        files_matching(&dir, "wal-").len() <= 3,
+        "old segments pruned"
+    );
     system.shutdown();
 
-    // Recovery from the checkpointed snapshot alone is complete.
+    // Recovery from the checkpointed state is complete.
     let system = build(&dir, &west);
     assert_eq!(system.wba().find("(cn=Person*)").unwrap().len(), 20);
+    let report = system.recovery_report().expect("durable deployment");
+    assert!(report.snapshot_entries > 0, "snapshot restored");
+    assert!(!report.legacy_migration);
+    system.shutdown();
+}
+
+#[test]
+fn legacy_ldif_layout_migrates_on_first_boot() {
+    let dir = tmpdir("legacy");
+    let west = Arc::new(PbxStore::new("pbx-west", DialPlan::with_prefix("9", 4)));
+    {
+        let system = build(&dir, &west);
+        system
+            .wba()
+            .add_person_with_extension("John Doe", "Doe", "9123", "2B-401")
+            .unwrap();
+        system.settle();
+        system.checkpoint().unwrap(); // snapshot now includes John
+        system.shutdown();
+    }
+    // Rewrite the state directory into the pre-WAL layout: the newest
+    // snapshot becomes `directory.ldif`, generations disappear.
+    let snaps = files_matching(&dir, "snap-");
+    std::fs::copy(dir.join(snaps.last().unwrap()), dir.join("directory.ldif")).unwrap();
+    for f in files_matching(&dir, "snap-")
+        .into_iter()
+        .chain(files_matching(&dir, "wal-"))
+    {
+        std::fs::remove_file(dir.join(f)).unwrap();
+    }
+
+    let system = build(&dir, &west);
+    let report = system.recovery_report().expect("durable deployment");
+    assert!(report.legacy_migration, "legacy files recognized");
+    assert!(
+        system.wba().person("John Doe").unwrap().is_some(),
+        "state carried over"
+    );
+    // The boot checkpoint re-established the generation layout.
+    assert!(!files_matching(&dir, "snap-").is_empty());
     system.shutdown();
 }
 

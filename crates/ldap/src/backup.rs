@@ -1,39 +1,136 @@
-//! Durable snapshots and a change journal for the DIT.
+//! Durable snapshots, the LDIF change journal, and the DIT side of the
+//! binary write-ahead log.
 //!
 //! Paper §2: "replication and backups are used to handle system and media
-//! failure". This module provides the backup half: an LDIF snapshot of the
-//! whole DIT plus an append-only journal of LDIF change records written at
-//! commit time (via the DIT's observer hook). Recovery loads the snapshot
-//! and replays the journal; a torn final record (crash mid-write) is
-//! detected and discarded.
+//! failure". Three layers live here:
+//!
+//! 1. **Snapshots** — full LDIF dumps with a `# seq` header recording the
+//!    commit sequence they reflect and a `# crc32` footer so a torn or
+//!    corrupted file is detected (and an older snapshot used instead). The
+//!    write path is crash-safe: tmp file, fsync, atomic rename, fsync of
+//!    the parent directory.
+//! 2. **The LDIF [`Journal`]** — the human-readable change log (one LDIF
+//!    change record per commit, `# commit`-terminated). Kept for exports
+//!    and debugging; write failures are counted and surfaced through an
+//!    error sink instead of being swallowed.
+//! 3. **WAL integration** — commits serialized as `[seq][LDIF change]`
+//!    frames in a [`crate::wal::Wal`], and the matching replay that sorts
+//!    by commit sequence and applies exactly the *committed prefix*: replay
+//!    stops at the first gap, because commit observers run outside the
+//!    store lock and two racing commits may reach the log out of order —
+//!    a missing sequence number means that commit's frame was torn.
+//!
+//! [`SnapshotStore`] ties 1 and 3 together into generation-numbered
+//! rotation (`snap-NNNNNN.ldif` + `wal-NNNNNN.log`), giving recovery the
+//! order the DESIGN doc specifies: newest valid snapshot, then the log.
 
 use crate::dit::{ChangeOp, ChangeRecord, Dit};
 use crate::dn::Dn;
 use crate::entry::Entry;
 use crate::error::{LdapError, Result, ResultCode};
 use crate::ldif;
+use crate::wal::{crc32, Wal};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Marker line terminating each journal record; a record without it was
 /// torn by a crash and is ignored at recovery.
 const COMMIT_MARK: &str = "# commit";
 
-/// Write a full LDIF snapshot of the DIT.
-pub fn snapshot(dit: &Dit, path: &Path) -> Result<()> {
-    let text = ldif::to_ldif(&dit.export());
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path)?;
+/// Snapshot header comment carrying the commit sequence of the export.
+const SEQ_PREFIX: &str = "# seq: ";
+
+/// Snapshot footer comment carrying the CRC of everything before it.
+const CRC_PREFIX: &str = "# crc32: ";
+
+/// WAL frame tag for a DIT commit (`[seq: u64 LE][LDIF change text]`).
+pub const TAG_DIT_CHANGE: u8 = 1;
+
+/// Fsync a directory so a rename inside it is on stable storage (the
+/// classic create-fsync-rename-fsyncdir sequence).
+fn sync_dir(dir: &Path) -> Result<()> {
+    // Directories cannot be opened for writing; a read handle suffices for
+    // fsync on the platforms we target.
+    std::fs::File::open(dir)?.sync_all()?;
     Ok(())
 }
 
-/// Load a snapshot into an empty DIT.
-pub fn restore_snapshot(dit: &Dit, path: &Path) -> Result<usize> {
+/// Crash-safe file replace: write to a tmp sibling, fsync it, rename over
+/// `path`, fsync the parent directory. A crash at any point leaves either
+/// the old file or the new one, never a torn mix.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            sync_dir(parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// Serialize a full export with the `# seq` header and `# crc32` footer,
+/// and write it crash-safely to `path`.
+fn write_snapshot_file(entries: &[Entry], seq: u64, path: &Path) -> Result<()> {
+    let mut text = format!("{SEQ_PREFIX}{seq}\n");
+    text.push_str(&ldif::to_ldif(entries));
+    let crc = crc32(text.as_bytes());
+    text.push_str(&format!("{CRC_PREFIX}{crc:08x}\n"));
+    atomic_write(path, text.as_bytes())
+}
+
+/// Read a snapshot file, verifying its checksum footer when present.
+/// Returns the LDIF text plus the recorded commit sequence (0 for legacy
+/// snapshots without a header). Fails on a missing/corrupt checksum so the
+/// caller can fall back to an older generation; `require_footer` is false
+/// only for legacy pre-WAL snapshots.
+fn read_snapshot_file(path: &Path, require_footer: bool) -> Result<(String, u64)> {
     let text = std::fs::read_to_string(path)?;
-    let records = ldif::parse(&text)?;
+    let footer_at = text.rfind(CRC_PREFIX);
+    let body = match footer_at {
+        Some(at) => {
+            // The footer must be the final line and must verify.
+            let footer = text[at..].trim_end();
+            let want = u32::from_str_radix(footer.trim_start_matches(CRC_PREFIX), 16)
+                .map_err(|_| snapshot_error(path, "unparseable checksum footer"))?;
+            let got = crc32(&text.as_bytes()[..at]);
+            if got != want {
+                return Err(snapshot_error(
+                    path,
+                    &format!("checksum mismatch (stored {want:08x}, computed {got:08x})"),
+                ));
+            }
+            &text[..at]
+        }
+        None if require_footer => return Err(snapshot_error(path, "missing checksum footer")),
+        None => &text[..],
+    };
+    let seq = body
+        .lines()
+        .find_map(|l| l.strip_prefix(SEQ_PREFIX))
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    Ok((body.to_string(), seq))
+}
+
+fn snapshot_error(path: &Path, what: &str) -> LdapError {
+    LdapError::new(
+        ResultCode::Other,
+        format!("snapshot {}: {what}", path.display()),
+    )
+}
+
+/// Load parsed snapshot text into an empty DIT. Content records only.
+fn load_snapshot_text(dit: &Dit, text: &str, path: &Path) -> Result<usize> {
+    let records = ldif::parse(text)?;
     let mut n = 0;
     for r in records {
         match r {
@@ -42,9 +139,9 @@ pub fn restore_snapshot(dit: &Dit, path: &Path) -> Result<usize> {
                 n += 1;
             }
             other => {
-                return Err(LdapError::new(
-                    ResultCode::Other,
-                    format!("snapshot contains a change record: {other:?}"),
+                return Err(snapshot_error(
+                    path,
+                    &format!("contains a change record: {other:?}"),
                 ))
             }
         }
@@ -52,10 +149,29 @@ pub fn restore_snapshot(dit: &Dit, path: &Path) -> Result<usize> {
     Ok(n)
 }
 
+/// Write a full LDIF snapshot of the DIT: checksummed, fsynced, and
+/// atomically renamed into place (a crash leaves either the old file or
+/// the new one, never a torn mix).
+pub fn snapshot(dit: &Dit, path: &Path) -> Result<()> {
+    let (entries, seq) = dit.export_with_seq();
+    write_snapshot_file(&entries, seq, path)
+}
+
+/// Load a snapshot into an empty DIT, verifying the checksum footer when
+/// one is present (snapshots written before the footer existed still load).
+pub fn restore_snapshot(dit: &Dit, path: &Path) -> Result<usize> {
+    let (text, _) = read_snapshot_file(path, false)?;
+    load_snapshot_text(dit, &text, path)
+}
+
+type ErrorSink = Box<dyn Fn(&str) + Send + Sync>;
+
 /// An append-only change journal attached to a DIT.
 pub struct Journal {
     path: PathBuf,
     file: Mutex<std::fs::File>,
+    write_errors: AtomicU64,
+    on_error: Mutex<Option<ErrorSink>>,
 }
 
 impl Journal {
@@ -69,6 +185,8 @@ impl Journal {
         let journal = Arc::new(Journal {
             path: path.to_path_buf(),
             file: Mutex::new(file),
+            write_errors: AtomicU64::new(0),
+            on_error: Mutex::new(None),
         });
         let j = journal.clone();
         dit.observe(move |rec| j.append(rec));
@@ -79,30 +197,39 @@ impl Journal {
         &self.path
     }
 
+    /// Failed journal appends since attach. Non-zero means the on-disk
+    /// change log is missing records (durability is degraded).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Install the write-failure sink (§4.4 log-and-alert). At most one;
+    /// later calls replace it.
+    pub fn set_error_sink(&self, f: impl Fn(&str) + Send + Sync + 'static) {
+        *self.on_error.lock() = Some(Box::new(f));
+    }
+
     fn append(&self, rec: &ChangeRecord) {
-        let ldif_rec = match &rec.op {
-            ChangeOp::Add(e) => ldif::Record::Add(e.clone()),
-            ChangeOp::Delete => ldif::Record::Delete(rec.dn.clone()),
-            ChangeOp::Modify(mods) => ldif::Record::Modify(rec.dn.clone(), mods.clone()),
-            ChangeOp::ModifyRdn {
-                new_rdn,
-                delete_old,
-                new_superior,
-            } => ldif::Record::ModRdn {
-                dn: rec.dn.clone(),
-                new_rdn: new_rdn.clone(),
-                delete_old: *delete_old,
-                new_superior: new_superior.clone(),
-            },
-        };
-        let mut text = ldif::change_to_ldif(&ldif_rec);
+        let mut text = ldif::change_to_ldif(&change_to_ldif_record(rec));
         text.push_str(COMMIT_MARK);
         text.push('\n');
-        let mut f = self.file.lock();
-        // Best effort: a failed journal write must not poison the commit
-        // (the paper's systems kept running when logging degraded).
-        let _ = f.write_all(text.as_bytes());
-        let _ = f.flush();
+        // A failed journal write must not poison the commit (the paper's
+        // systems kept running when logging degraded) — but it must not be
+        // invisible either: count it and alert the administrator (§4.4).
+        let res = {
+            let mut f = self.file.lock();
+            f.write_all(text.as_bytes()).and_then(|()| f.flush())
+        };
+        if let Err(e) = res {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(sink) = self.on_error.lock().as_ref() {
+                sink(&format!(
+                    "journal append failed on {} (commit seq {}): {e}",
+                    self.path.display(),
+                    rec.seq
+                ));
+            }
+        }
     }
 
     /// Replay a journal file into a DIT. Returns the number of applied
@@ -131,6 +258,25 @@ impl Journal {
             }
         }
         Ok(applied)
+    }
+}
+
+/// The LDIF change record equivalent of a commit observation.
+fn change_to_ldif_record(rec: &ChangeRecord) -> ldif::Record {
+    match &rec.op {
+        ChangeOp::Add(e) => ldif::Record::Add(e.clone()),
+        ChangeOp::Delete => ldif::Record::Delete(rec.dn.clone()),
+        ChangeOp::Modify(mods) => ldif::Record::Modify(rec.dn.clone(), mods.clone()),
+        ChangeOp::ModifyRdn {
+            new_rdn,
+            delete_old,
+            new_superior,
+        } => ldif::Record::ModRdn {
+            dn: rec.dn.clone(),
+            new_rdn: new_rdn.clone(),
+            delete_old: *delete_old,
+            new_superior: new_superior.clone(),
+        },
     }
 }
 
@@ -169,12 +315,212 @@ pub fn verify_entry(dit: &Dit, dn: &str) -> Result<Entry> {
     dit.get(&dn).ok_or_else(|| LdapError::no_such_object(&dn))
 }
 
+// ---------------------------------------------------------------------------
+// WAL integration
+// ---------------------------------------------------------------------------
+
+/// Serialize a commit observation as a WAL payload: `[seq: u64 LE][LDIF]`.
+pub fn wal_payload(rec: &ChangeRecord) -> Vec<u8> {
+    let text = ldif::change_to_ldif(&change_to_ldif_record(rec));
+    let mut buf = Vec::with_capacity(8 + text.len());
+    buf.extend_from_slice(&rec.seq.to_le_bytes());
+    buf.extend_from_slice(text.as_bytes());
+    buf
+}
+
+/// Decode a [`TAG_DIT_CHANGE`] payload back into `(seq, ldif text)`.
+pub fn decode_wal_payload(payload: &[u8]) -> Result<(u64, &str)> {
+    if payload.len() < 8 {
+        return Err(LdapError::new(
+            ResultCode::Other,
+            "short DIT wal record".to_string(),
+        ));
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let text = std::str::from_utf8(&payload[8..])
+        .map_err(|e| LdapError::new(ResultCode::Other, format!("non-UTF8 DIT wal record: {e}")))?;
+    Ok((seq, text))
+}
+
+/// Attach a WAL to a DIT: every commit appends (and, per the WAL's fsync
+/// policy, makes durable) one [`TAG_DIT_CHANGE`] frame before the commit
+/// returns to the caller. Append failures surface through the WAL's error
+/// sink — the commit itself stands (degraded durability, not an outage).
+pub fn attach_wal(dit: &Arc<Dit>, wal: Arc<Wal>) {
+    dit.observe(move |rec| {
+        let _ = wal.append(TAG_DIT_CHANGE, &wal_payload(rec));
+    });
+}
+
+/// Outcome of replaying collected DIT WAL records over a snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DitReplay {
+    /// Change records applied.
+    pub applied: usize,
+    /// Records skipped because the snapshot already covered them.
+    pub skipped: usize,
+    /// Records discarded past a sequence gap (a racing commit's frame was
+    /// torn; everything after it is not part of the committed prefix).
+    pub discarded: usize,
+    /// Highest commit sequence now reflected in the DIT.
+    pub max_seq: u64,
+}
+
+/// Apply collected `(seq, ldif)` WAL records over a DIT restored from a
+/// snapshot at commit sequence `snap_seq`.
+///
+/// Commit observers run outside the store lock, so two racing commits may
+/// have reached the log out of sequence order: records are sorted by
+/// commit sequence first. Records the snapshot already covers are skipped;
+/// application stops at the first *gap* in the sequence (the missing
+/// commit's frame was torn mid-write, so later records may depend on state
+/// that was never made durable). Afterwards the DIT's own commit counter is
+/// fast-forwarded so new commits continue the original numbering.
+pub fn apply_wal_records(
+    dit: &Dit,
+    mut records: Vec<(u64, String)>,
+    snap_seq: u64,
+) -> Result<DitReplay> {
+    records.sort_by_key(|(seq, _)| *seq);
+    let mut out = DitReplay {
+        max_seq: snap_seq,
+        ..DitReplay::default()
+    };
+    let mut expected = snap_seq + 1;
+    for (i, (seq, text)) in records.iter().enumerate() {
+        if *seq <= snap_seq {
+            out.skipped += 1;
+            continue;
+        }
+        if *seq != expected {
+            out.discarded = records.len() - i;
+            break;
+        }
+        for r in ldif::parse(text)? {
+            apply(dit, r)?;
+        }
+        out.applied += 1;
+        out.max_seq = *seq;
+        expected += 1;
+    }
+    dit.set_seq(out.max_seq);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Generation-numbered snapshot + WAL rotation
+// ---------------------------------------------------------------------------
+
+/// Names and rotates the durable files of one deployment directory:
+/// `snap-NNNNNN.ldif` snapshots and the matching `wal-NNNNNN.log` segments.
+/// Recovery picks the newest snapshot that verifies (falling back one
+/// generation on a torn footer) and replays every log segment over it;
+/// checkpointing opens generation N+1 and prunes everything older than N.
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    pub fn new(dir: impl Into<PathBuf>) -> SnapshotStore {
+        SnapshotStore { dir: dir.into() }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn snapshot_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("snap-{generation:06}.ldif"))
+    }
+
+    pub fn wal_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("wal-{generation:06}.log"))
+    }
+
+    fn generations_of(&self, prefix: &str, suffix: &str) -> Vec<u64> {
+        let mut out = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(mid) = name
+                    .strip_prefix(prefix)
+                    .and_then(|r| r.strip_suffix(suffix))
+                {
+                    if let Ok(n) = mid.parse() {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Snapshot generations on disk, ascending.
+    pub fn snapshot_generations(&self) -> Vec<u64> {
+        self.generations_of("snap-", ".ldif")
+    }
+
+    /// WAL segment generations on disk, ascending.
+    pub fn wal_generations(&self) -> Vec<u64> {
+        self.generations_of("wal-", ".log")
+    }
+
+    /// The newest generation present in any form (0 when the directory is
+    /// fresh).
+    pub fn latest_generation(&self) -> u64 {
+        self.snapshot_generations()
+            .last()
+            .copied()
+            .unwrap_or(0)
+            .max(self.wal_generations().last().copied().unwrap_or(0))
+    }
+
+    /// Write the snapshot for `generation` from a consistent export.
+    pub fn write_snapshot(&self, entries: &[Entry], seq: u64, generation: u64) -> Result<()> {
+        write_snapshot_file(entries, seq, &self.snapshot_path(generation))
+    }
+
+    /// Restore the newest snapshot that verifies into an empty DIT.
+    /// Returns `(generation, snapshot seq, entries loaded)`; a snapshot
+    /// with a torn or corrupt footer is skipped in favor of the previous
+    /// generation (and the DIT is cleared of any partial load).
+    pub fn restore_latest(&self, dit: &Dit) -> Result<Option<(u64, u64, usize)>> {
+        for generation in self.snapshot_generations().into_iter().rev() {
+            let path = self.snapshot_path(generation);
+            match read_snapshot_file(&path, true)
+                .and_then(|(text, seq)| Ok((load_snapshot_text(dit, &text, &path)?, seq)))
+            {
+                Ok((n, seq)) => return Ok(Some((generation, seq, n))),
+                Err(_) => dit.clear(),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Remove snapshots and WAL segments older than `keep_from`.
+    pub fn prune_below(&self, keep_from: u64) {
+        for generation in self.snapshot_generations() {
+            if generation < keep_from {
+                let _ = std::fs::remove_file(self.snapshot_path(generation));
+            }
+        }
+        for generation in self.wal_generations() {
+            if generation < keep_from {
+                let _ = std::fs::remove_file(self.wal_path(generation));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dit::figure2_tree;
     use crate::dn::Rdn;
     use crate::entry::Modification;
+    use crate::wal::FsyncPolicy;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir =
@@ -198,6 +544,33 @@ mod tests {
         for e in dit.export() {
             assert_eq!(restored.get(e.dn()).as_ref(), Some(&e));
         }
+    }
+
+    #[test]
+    fn snapshot_footer_detects_corruption() {
+        let dir = tmpdir("snapcrc");
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let path = dir.join("dit.ldif");
+        snapshot(&dit, &path).unwrap();
+        // Corrupt one byte in the body: restore must refuse.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = Dit::new();
+        assert!(restore_snapshot(&restored, &path).is_err());
+    }
+
+    #[test]
+    fn legacy_snapshot_without_footer_still_loads() {
+        let dir = tmpdir("snaplegacy");
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let path = dir.join("dit.ldif");
+        std::fs::write(&path, ldif::to_ldif(&dit.export())).unwrap();
+        let restored = Dit::new();
+        assert_eq!(restore_snapshot(&restored, &path).unwrap(), 9);
     }
 
     #[test]
@@ -257,6 +630,31 @@ mod tests {
     }
 
     #[test]
+    fn journal_write_failure_is_counted_and_alerted() {
+        let dir = tmpdir("jfail");
+        let jpath = dir.join("changes.ldif");
+        let dit = Dit::new();
+        let journal = Journal::attach(&dit, &jpath).unwrap();
+        let alerts = Arc::new(AtomicU64::new(0));
+        let a = alerts.clone();
+        journal.set_error_sink(move |_| {
+            a.fetch_add(1, Ordering::SeqCst);
+        });
+        // Swap the journal's file handle for a read-only one: appends fail.
+        {
+            let ro = std::fs::OpenOptions::new().read(true).open(&jpath).unwrap();
+            *journal.file.lock() = ro;
+        }
+        figure2_tree(&dit).unwrap();
+        assert_eq!(journal.write_errors(), 9, "every failed append is counted");
+        assert_eq!(
+            alerts.load(Ordering::SeqCst),
+            9,
+            "and surfaced via the sink"
+        );
+    }
+
+    #[test]
     fn snapshot_plus_journal_recovery() {
         let dir = tmpdir("full");
         let spath = dir.join("snap.ldif");
@@ -284,5 +682,144 @@ mod tests {
         let (s, j) = recover(&dit, &dir.join("nope.ldif"), &dir.join("nada.ldif")).unwrap();
         assert_eq!((s, j), (0, 0));
         assert!(dit.is_empty());
+    }
+
+    fn collect_dit_records(path: &Path) -> Vec<(u64, String)> {
+        let mut records = Vec::new();
+        crate::wal::replay(path, |tag, payload| {
+            assert_eq!(tag, TAG_DIT_CHANGE);
+            let (seq, text) = decode_wal_payload(payload)?;
+            records.push((seq, text.to_string()));
+            Ok(())
+        })
+        .unwrap();
+        records
+    }
+
+    #[test]
+    fn wal_attach_replay_round_trip() {
+        let dir = tmpdir("walrt");
+        let path = dir.join("wal-000001.log");
+        let dit = Dit::new();
+        let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        attach_wal(&dit, wal);
+        figure2_tree(&dit).unwrap();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("telephoneNumber", "9123")])
+            .unwrap();
+        dit.modify_rdn(&john, &Rdn::new("cn", "Jack Doe"), true, None)
+            .unwrap();
+        dit.delete(&Dn::parse("cn=Pat Smith,o=Marketing,o=Lucent").unwrap())
+            .unwrap();
+
+        let recovered = Dit::new();
+        let replay = apply_wal_records(&recovered, collect_dit_records(&path), 0).unwrap();
+        assert_eq!(replay.applied, 12);
+        assert_eq!(replay.discarded, 0);
+        assert_eq!(replay.max_seq, 12);
+        assert_eq!(recovered.seq(), dit.seq());
+        assert_eq!(
+            ldif::to_ldif(&recovered.export()),
+            ldif::to_ldif(&dit.export()),
+            "recovered export must be bit-for-bit equal"
+        );
+    }
+
+    #[test]
+    fn wal_replay_skips_records_covered_by_snapshot() {
+        let dir = tmpdir("walskip");
+        let path = dir.join("wal-000001.log");
+        let dit = Dit::new();
+        let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        attach_wal(&dit, wal);
+        figure2_tree(&dit).unwrap(); // seq 1..=9 in the wal
+        let (entries, snap_seq) = dit.export_with_seq();
+        let store = SnapshotStore::new(&dir);
+        store.write_snapshot(&entries, snap_seq, 1).unwrap();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("roomNumber", "9Z")])
+            .unwrap(); // seq 10
+
+        let recovered = Dit::new();
+        let (generation, seq, n) = store.restore_latest(&recovered).unwrap().unwrap();
+        assert_eq!((generation, seq, n), (1, 9, 9));
+        recovered.set_seq(seq);
+        let replay = apply_wal_records(&recovered, collect_dit_records(&path), seq).unwrap();
+        assert_eq!(replay.skipped, 9);
+        assert_eq!(replay.applied, 1);
+        assert_eq!(
+            verify_entry(&recovered, "cn=John Doe,o=Marketing,o=Lucent")
+                .unwrap()
+                .first("roomNumber"),
+            Some("9Z")
+        );
+    }
+
+    #[test]
+    fn wal_replay_stops_at_sequence_gap() {
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let mut records = Vec::new();
+        let capture: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let c = capture.clone();
+            dit.observe(move |rec| {
+                let payload = wal_payload(rec);
+                let (seq, text) = decode_wal_payload(&payload).unwrap();
+                c.lock().push((seq, text.to_string()));
+            });
+        }
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("roomNumber", "1")])
+            .unwrap(); // seq 10
+        dit.modify(&john, &[Modification::set("roomNumber", "2")])
+            .unwrap(); // seq 11
+        dit.modify(&john, &[Modification::set("roomNumber", "3")])
+            .unwrap(); // seq 12
+        records.extend(capture.lock().iter().cloned());
+        // Simulate a torn frame for seq 11: drop it (later records survive
+        // in the file but are not part of the committed prefix).
+        records.retain(|(seq, _)| *seq != 11);
+
+        // Rebuild a base dit equal to the figure2 tree.
+        let recovered = Dit::new();
+        figure2_tree(&recovered).unwrap();
+        let replay = apply_wal_records(&recovered, records, 9).unwrap();
+        assert_eq!(replay.applied, 1, "only seq 10 applies");
+        assert_eq!(replay.discarded, 1, "seq 12 is past the gap");
+        assert_eq!(replay.max_seq, 10);
+        assert_eq!(
+            verify_entry(&recovered, "cn=John Doe,o=Marketing,o=Lucent")
+                .unwrap()
+                .first("roomNumber"),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn snapshot_store_falls_back_on_torn_generation() {
+        let dir = tmpdir("rotation");
+        let store = SnapshotStore::new(&dir);
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let (entries, seq) = dit.export_with_seq();
+        store.write_snapshot(&entries, seq, 1).unwrap();
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("roomNumber", "X")])
+            .unwrap();
+        let (entries, seq) = dit.export_with_seq();
+        store.write_snapshot(&entries, seq, 2).unwrap();
+        // Tear generation 2 (truncate mid-file): recovery must fall back.
+        let snap2 = store.snapshot_path(2);
+        let bytes = std::fs::read(&snap2).unwrap();
+        std::fs::write(&snap2, &bytes[..bytes.len() / 2]).unwrap();
+        let recovered = Dit::new();
+        let (generation, snap_seq, n) = store.restore_latest(&recovered).unwrap().unwrap();
+        assert_eq!(generation, 1, "torn generation 2 skipped");
+        assert_eq!(snap_seq, 9);
+        assert_eq!(n, 9);
+        // Pruning below the latest keeps only generation 2's files.
+        store.prune_below(2);
+        assert_eq!(store.snapshot_generations(), vec![2]);
     }
 }

@@ -312,6 +312,15 @@ impl Dit {
         self.store.read().seq
     }
 
+    /// Fast-forward the commit sequence (recovery: replaying a snapshot and
+    /// log re-runs commits with fresh low sequence numbers, so the counter
+    /// must be restored to the pre-crash value before new commits continue
+    /// the original numbering). Only ever moves forward.
+    pub fn set_seq(&self, seq: u64) {
+        let mut s = self.store.write();
+        s.seq = s.seq.max(seq);
+    }
+
     /// Fetch a copy of one entry.
     pub fn get(&self, dn: &Dn) -> Option<Entry> {
         self.store.read().entries.get(&dn.norm_key()).cloned()
@@ -737,6 +746,12 @@ impl Dit {
 
     /// Every entry, parents before children (for export / sync dumps).
     pub fn export(&self) -> Vec<Entry> {
+        self.export_with_seq().0
+    }
+
+    /// [`Dit::export`] plus the commit sequence the export reflects, read
+    /// under one lock — the atomic cut a consistent snapshot needs.
+    pub fn export_with_seq(&self) -> (Vec<Entry>, u64) {
         let guard = self.store.read();
         let s = &*guard;
         let mut out = Vec::new();
@@ -747,7 +762,7 @@ impl Dit {
             Ok(())
         })
         .expect("infallible visitor");
-        out
+        (out, s.seq)
     }
 
     /// Remove everything (used by resynchronization).

@@ -37,6 +37,7 @@ pub mod proto;
 pub mod repl;
 pub mod schema;
 pub mod server;
+pub mod wal;
 
 pub use attr::{AttrName, Attribute};
 pub use directory::Directory;
@@ -46,3 +47,4 @@ pub use entry::{Entry, ModOp, Modification};
 pub use error::{LdapError, Result, ResultCode};
 pub use filter::Filter;
 pub use schema::{AttributeType, ClassKind, ObjectClass, Schema, SchemaRef, Syntax};
+pub use wal::{FsyncPolicy, Wal};

@@ -16,11 +16,14 @@
 //! `metacomm` crate).
 
 use crate::attr::Attribute;
+use crate::backup::atomic_write;
 use crate::dn::Dn;
 use crate::entry::Entry;
 use crate::error::{LdapError, Result, ResultCode};
+use crate::wal::crc32;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::path::Path;
 
 /// A replication stamp: Lamport time, tie-broken by replica id.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -483,6 +486,246 @@ impl Replica {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable replica state
+// ---------------------------------------------------------------------------
+//
+// A crashed replica that loses its watermarks (or tombstones) must fall back
+// to a full exchange on every peer — or worse, resurrect deleted entries. The
+// whole state (Lamport clock, per-attribute stamps, create/delete stamps,
+// per-peer watermarks) is therefore serialized to a single checksummed file.
+// Snapshot-style save/load rather than a WAL: anti-entropy merges import
+// peer-stamped state that cannot be re-derived by replaying local operations.
+
+const STATE_MAGIC: &[u8; 4] = b"MCRP";
+const STATE_VERSION: u8 = 1;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_stamp(buf: &mut Vec<u8>, s: &Stamp) {
+    buf.extend_from_slice(&s.time.to_le_bytes());
+    put_str(buf, &s.replica);
+}
+
+/// Byte-slice reader for the state codec; every read is bounds-checked so a
+/// truncated file fails cleanly instead of panicking.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|e| *e <= self.bytes.len());
+        let end = end.ok_or_else(|| state_error("truncated replica state"))?;
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| state_error("non-UTF8 string in replica state"))
+    }
+
+    fn stamp(&mut self) -> Result<Stamp> {
+        Ok(Stamp {
+            time: self.u64()?,
+            replica: self.str()?,
+        })
+    }
+}
+
+fn state_error(what: &str) -> LdapError {
+    LdapError::new(ResultCode::Other, format!("replica state: {what}"))
+}
+
+impl Replica {
+    /// Serialize the complete replica state (clock, stamped entries and
+    /// tombstones, per-peer watermarks) as a self-checksummed byte image.
+    /// Map iteration is sorted, so equal states produce equal bytes.
+    pub fn export_state(&self) -> Vec<u8> {
+        let s = self.state.lock();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STATE_MAGIC);
+        buf.push(STATE_VERSION);
+        put_str(&mut buf, &self.id);
+        buf.extend_from_slice(&s.clock.to_le_bytes());
+
+        let mut keys: Vec<&String> = s.entries.keys().collect();
+        keys.sort();
+        buf.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+        for key in keys {
+            let e = &s.entries[key];
+            put_str(&mut buf, key);
+            put_str(&mut buf, &e.dn.to_string());
+            put_stamp(&mut buf, &e.created);
+            match &e.deleted {
+                None => buf.push(0),
+                Some(d) => {
+                    buf.push(1);
+                    put_stamp(&mut buf, d);
+                }
+            }
+            let mut attr_keys: Vec<&String> = e.attrs.keys().collect();
+            attr_keys.sort();
+            buf.extend_from_slice(&(attr_keys.len() as u32).to_le_bytes());
+            for ak in attr_keys {
+                let (attr, stamp) = &e.attrs[ak];
+                put_str(&mut buf, ak);
+                put_str(&mut buf, attr.name.as_str());
+                buf.extend_from_slice(&(attr.values.len() as u32).to_le_bytes());
+                for v in &attr.values {
+                    put_str(&mut buf, v);
+                }
+                put_stamp(&mut buf, stamp);
+            }
+        }
+
+        let mut peers: Vec<&String> = s.watermarks.keys().collect();
+        peers.sort();
+        buf.extend_from_slice(&(peers.len() as u32).to_le_bytes());
+        for peer in peers {
+            let vv = &s.watermarks[peer];
+            put_str(&mut buf, peer);
+            let mut origins: Vec<&String> = vv.keys().collect();
+            origins.sort();
+            buf.extend_from_slice(&(origins.len() as u32).to_le_bytes());
+            for origin in origins {
+                put_str(&mut buf, origin);
+                buf.extend_from_slice(&vv[origin].to_le_bytes());
+            }
+        }
+
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Replace this replica's state with a previously exported image.
+    /// Verifies the checksum and the embedded replica id, so a corrupt file
+    /// or one belonging to a different replica is rejected wholesale (the
+    /// in-memory state is untouched on error).
+    pub fn import_state(&self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() < 4 {
+            return Err(state_error("too short for checksum"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let want = u32::from_le_bytes(tail.try_into().expect("4"));
+        let got = crc32(body);
+        if got != want {
+            return Err(state_error(&format!(
+                "checksum mismatch (stored {want:08x}, computed {got:08x})"
+            )));
+        }
+        let mut r = Reader { bytes: body, at: 0 };
+        if r.take(4)? != STATE_MAGIC {
+            return Err(state_error("bad magic"));
+        }
+        let version = r.u8()?;
+        if version != STATE_VERSION {
+            return Err(state_error(&format!("unknown version {version}")));
+        }
+        let id = r.str()?;
+        if id != self.id {
+            return Err(state_error(&format!(
+                "belongs to replica `{id}`, this is `{}`",
+                self.id
+            )));
+        }
+        let clock = r.u64()?;
+
+        let n_entries = r.u32()?;
+        let mut entries = HashMap::with_capacity(n_entries as usize);
+        for _ in 0..n_entries {
+            let key = r.str()?;
+            let dn = Dn::parse(&r.str()?)?;
+            let created = r.stamp()?;
+            let deleted = match r.u8()? {
+                0 => None,
+                _ => Some(r.stamp()?),
+            };
+            let n_attrs = r.u32()?;
+            let mut attrs = HashMap::with_capacity(n_attrs as usize);
+            for _ in 0..n_attrs {
+                let ak = r.str()?;
+                let name = r.str()?;
+                let n_values = r.u32()?;
+                let mut values = Vec::with_capacity(n_values as usize);
+                for _ in 0..n_values {
+                    values.push(r.str()?);
+                }
+                let stamp = r.stamp()?;
+                attrs.insert(ak, (Attribute::new(name, values), stamp));
+            }
+            entries.insert(
+                key,
+                ReplEntry {
+                    dn,
+                    attrs,
+                    created,
+                    deleted,
+                },
+            );
+        }
+
+        let n_peers = r.u32()?;
+        let mut watermarks = HashMap::with_capacity(n_peers as usize);
+        for _ in 0..n_peers {
+            let peer = r.str()?;
+            let n_origins = r.u32()?;
+            let mut vv = VersionVector::with_capacity(n_origins as usize);
+            for _ in 0..n_origins {
+                let origin = r.str()?;
+                vv.insert(origin, r.u64()?);
+            }
+            watermarks.insert(peer, vv);
+        }
+
+        *self.state.lock() = State {
+            clock,
+            entries,
+            watermarks,
+        };
+        Ok(())
+    }
+
+    /// Persist the state image crash-safely (tmp + fsync + atomic rename).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        atomic_write(path, &self.export_state())
+    }
+
+    /// Restore state from `path` if it exists and verifies. Returns `false`
+    /// when the file is absent (fresh replica); corrupt files are an error
+    /// so the caller can decide between failing and starting fresh.
+    pub fn restore(&self, path: &Path) -> Result<bool> {
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                self.import_state(&bytes)?;
+                Ok(true)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
 /// Error helper shared with the rest of the crate.
 impl Replica {
     /// Like [`Replica::set_attr`] but fails with `NoSuchAttribute`-style
@@ -753,6 +996,92 @@ mod tests {
         let wm = a.watermark_for("b").expect("watermark stored after sync");
         assert_eq!(wm, a.version_vector());
         assert_eq!(b.watermark_for("a").unwrap(), b.version_vector());
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("metacomm-repl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn state_round_trip_preserves_digest_and_clock() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        a.put_entry(&entry("cn=K,o=L", "2")).unwrap();
+        a.anti_entropy(&b);
+        let dn = Dn::parse("cn=K,o=L").unwrap();
+        b.delete_entry(&dn).unwrap(); // tombstone must survive
+        b.anti_entropy(&a);
+
+        let restored = Replica::new("a");
+        restored.import_state(&a.export_state()).unwrap();
+        assert_eq!(restored.digest(), a.digest());
+        assert_eq!(restored.version_vector(), a.version_vector());
+        assert_eq!(restored.watermark_for("b"), a.watermark_for("b"));
+        assert!(restored.get(&dn).is_none(), "tombstone survived");
+        // Clock survives: the next local write must stamp above everything.
+        restored
+            .set_attr(
+                &Dn::parse("cn=J,o=L").unwrap(),
+                Attribute::single("telephoneNumber", "99"),
+            )
+            .unwrap();
+        restored.anti_entropy(&b);
+        assert_eq!(
+            b.get(&Dn::parse("cn=J,o=L").unwrap())
+                .unwrap()
+                .first("telephoneNumber"),
+            Some("99"),
+            "post-restore write wins LWW because the clock was persisted"
+        );
+    }
+
+    #[test]
+    fn restarted_replica_resumes_delta_not_full() {
+        let a = Replica::new("a");
+        let b = Replica::new("b");
+        for i in 0..50 {
+            a.put_entry(&entry(&format!("cn=e{i},o=L"), "1")).unwrap();
+        }
+        a.anti_entropy(&b);
+        let path = tmpfile("repl-a.state");
+        a.save(&path).unwrap();
+
+        // "Restart": a fresh process-lifetime Replica restored from disk.
+        let a2 = Replica::new("a");
+        assert!(a2.restore(&path).unwrap());
+        a2.set_attr(
+            &Dn::parse("cn=e7,o=L").unwrap(),
+            Attribute::single("telephoneNumber", "9"),
+        )
+        .unwrap();
+        let stats = a2.anti_entropy(&b);
+        assert!(
+            !stats.full_exchange,
+            "persisted watermarks must avoid the full resync"
+        );
+        assert_eq!(stats.entries_shipped, 1, "only the dirty entry ships");
+        assert_eq!(a2.digest(), b.digest());
+    }
+
+    #[test]
+    fn corrupt_or_foreign_state_rejected() {
+        let a = Replica::new("a");
+        a.put_entry(&entry("cn=J,o=L", "1")).unwrap();
+        let mut bytes = a.export_state();
+        // Flip one byte in the middle: checksum must catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let fresh = Replica::new("a");
+        assert!(fresh.import_state(&bytes).is_err());
+        assert!(fresh.is_empty(), "failed import leaves state untouched");
+        // A valid image for a different replica id is also rejected.
+        let other = Replica::new("b");
+        assert!(other.import_state(&a.export_state()).is_err());
+        // Restoring a missing file is not an error — just a fresh start.
+        assert!(!fresh.restore(&tmpfile("absent.state")).unwrap());
     }
 
     #[test]

@@ -1,0 +1,538 @@
+//! A binary write-ahead log with group commit.
+//!
+//! Paper §2: "replication and backups are used to handle system and media
+//! failure". The LDIF journal in [`crate::backup`] gave the DIT a readable
+//! change log; this module is the production-shaped half: records are
+//! length-prefixed and CRC-framed so a crash mid-write tears at a record
+//! boundary, and an fsync batcher coalesces concurrent commits so the
+//! pipelined update path keeps its throughput while every acknowledged
+//! commit is durable.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [tag: u8] [payload: len-1 bytes]
+//! ```
+//!
+//! `len` counts the tag byte plus the payload; `crc32` (IEEE) covers the
+//! same bytes. Replay stops at the first frame that is short, zero-length,
+//! absurdly long, or fails its checksum — everything before it is the
+//! *committed prefix*, everything after is discarded as torn.
+//!
+//! ## Group commit
+//!
+//! [`FsyncPolicy::Group`] elects a *leader* among concurrent committers:
+//! appenders write their frame under the file lock (cheap — page cache),
+//! then wait for the log to be durable past their own frame. The first
+//! waiter to find no fsync in flight becomes the leader, syncs once, and
+//! wakes everyone whose frame that sync covered. While a sync is in flight,
+//! later appenders keep writing; the next leader's single fsync covers the
+//! whole batch. One fsync per *batch* instead of one per commit — the
+//! classical group-commit protocol.
+
+use crate::error::Result;
+use parking_lot::{Condvar, Mutex};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Frames longer than this are treated as corruption at replay.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// When (and how) appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// One fsync per append, under the write lock — the naive durable
+    /// baseline every textbook warns about.
+    Always,
+    /// Leader-elected batch fsync: every append is durable before it
+    /// returns, but concurrent commits share one fsync (see module docs).
+    #[default]
+    Group,
+    /// Never fsync: appended records survive a process crash (the OS holds
+    /// them) but not a machine crash. The ablation arm for benchmarks.
+    Never,
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Group => write!(f, "group"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Counters the monitor mirrors into `cn=monitor` (see the core crate).
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Frames appended.
+    pub appends: AtomicU64,
+    /// Bytes appended (frames, including headers).
+    pub bytes: AtomicU64,
+    /// fsync calls actually issued. `appends / fsyncs` is the group-commit
+    /// coalescing factor.
+    pub fsyncs: AtomicU64,
+    /// Append or fsync failures (degraded durability, surfaced via the
+    /// error sink).
+    pub write_errors: AtomicU64,
+}
+
+struct WalFile {
+    f: File,
+    /// Logical bytes appended since open (durability targets).
+    written: u64,
+}
+
+struct SyncState {
+    /// Everything up to this write offset is known durable.
+    durable: u64,
+    /// A leader's fsync is in flight.
+    in_flight: bool,
+}
+
+type ErrorSink = Box<dyn Fn(&str) + Send + Sync>;
+
+/// An append-only write-ahead log. Cheap to share (`Arc`); every public
+/// method takes `&self`.
+pub struct Wal {
+    path: PathBuf,
+    policy: FsyncPolicy,
+    file: Mutex<WalFile>,
+    /// Second handle to the same descriptor so the leader's fsync does not
+    /// block followers' appends.
+    sync_file: File,
+    sync: Mutex<SyncState>,
+    sync_cv: Condvar,
+    stats: Arc<WalStats>,
+    on_error: Mutex<Option<ErrorSink>>,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, appending after any committed
+    /// prefix already present.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<Arc<Wal>> {
+        Wal::open_with_stats(path, policy, Arc::new(WalStats::default()))
+    }
+
+    /// Like [`Wal::open`], but accounting into an existing [`WalStats`] —
+    /// used by segment rotation so counters stay cumulative across the
+    /// deployment's successive log files.
+    pub fn open_with_stats(
+        path: &Path,
+        policy: FsyncPolicy,
+        stats: Arc<WalStats>,
+    ) -> Result<Arc<Wal>> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)?;
+        let len = f.seek(SeekFrom::End(0))?;
+        let sync_file = f.try_clone()?;
+        Ok(Arc::new(Wal {
+            path: path.to_path_buf(),
+            policy,
+            file: Mutex::new(WalFile { f, written: len }),
+            sync_file,
+            sync: Mutex::new(SyncState {
+                durable: len,
+                in_flight: false,
+            }),
+            sync_cv: Condvar::new(),
+            stats,
+            on_error: Mutex::new(None),
+        }))
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    pub fn stats(&self) -> &Arc<WalStats> {
+        &self.stats
+    }
+
+    /// Bytes appended since open (close to the file size; exposed as a
+    /// gauge).
+    pub fn len_bytes(&self) -> u64 {
+        self.file.lock().written
+    }
+
+    /// Install the write-failure sink (§4.4 log-and-alert). At most one;
+    /// later calls replace it.
+    pub fn set_error_sink(&self, f: impl Fn(&str) + Send + Sync + 'static) {
+        *self.on_error.lock() = Some(Box::new(f));
+    }
+
+    fn report_error(&self, what: &str, e: &std::io::Error) {
+        self.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = self.on_error.lock().as_ref() {
+            sink(&format!(
+                "wal {what} failed on {}: {e}",
+                self.path.display()
+            ));
+        }
+    }
+
+    /// Append one record. When this returns `Ok` under [`FsyncPolicy::Always`]
+    /// or [`FsyncPolicy::Group`], the record is on stable storage.
+    pub fn append(&self, tag: u8, payload: &[u8]) -> Result<()> {
+        self.append_inner(tag, payload, true)
+    }
+
+    /// Append one record without waiting for durability under
+    /// [`FsyncPolicy::Group`] — the async half of group commit. The caller
+    /// must reach a [`Wal::sync`] barrier before acknowledging whatever the
+    /// record represents; until then the record is in the page cache only.
+    /// ([`FsyncPolicy::Always`] still syncs inline; this flag only moves
+    /// the *wait*, never weakens the policy.)
+    pub fn append_nowait(&self, tag: u8, payload: &[u8]) -> Result<()> {
+        self.append_inner(tag, payload, false)
+    }
+
+    fn append_inner(&self, tag: u8, payload: &[u8], wait: bool) -> Result<()> {
+        let len = (payload.len() + 1) as u32;
+        let mut frame = Vec::with_capacity(9 + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        let mut body = Vec::with_capacity(payload.len() + 1);
+        body.push(tag);
+        body.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+
+        let target = {
+            let mut g = self.file.lock();
+            if let Err(e) = g.f.write_all(&frame) {
+                self.report_error("append", &e);
+                return Err(e.into());
+            }
+            if self.policy == FsyncPolicy::Always {
+                if let Err(e) = g.f.sync_data() {
+                    self.report_error("fsync", &e);
+                    return Err(e.into());
+                }
+                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            g.written += frame.len() as u64;
+            g.written
+        };
+        self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        match self.policy {
+            FsyncPolicy::Always | FsyncPolicy::Never => Ok(()),
+            FsyncPolicy::Group if wait => self.ensure_durable(target),
+            FsyncPolicy::Group => Ok(()),
+        }
+    }
+
+    /// Block until the log is durable at least through `target` (group
+    /// commit: the first waiter with no sync in flight leads).
+    fn ensure_durable(&self, target: u64) -> Result<()> {
+        let mut st = self.sync.lock();
+        loop {
+            if st.durable >= target {
+                return Ok(());
+            }
+            if st.in_flight {
+                self.sync_cv.wait(&mut st);
+                continue;
+            }
+            st.in_flight = true;
+            drop(st);
+            // Brief leader pause before the sync (MySQL's
+            // binlog_group_commit_sync_delay, here just scheduler yields):
+            // on a loaded box this lets runnable committers finish their
+            // append and join this batch; on an idle one it costs ~nothing.
+            std::thread::yield_now();
+            std::thread::yield_now();
+            // Everything written before this read is in the page cache, so
+            // one sync covers the whole batch — including followers that
+            // appended while the previous leader was syncing.
+            let upto = self.file.lock().written;
+            let res = self.sync_file.sync_data();
+            st = self.sync.lock();
+            st.in_flight = false;
+            match res {
+                Ok(()) => {
+                    self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    st.durable = st.durable.max(upto);
+                    self.sync_cv.notify_all();
+                }
+                Err(e) => {
+                    self.sync_cv.notify_all();
+                    drop(st);
+                    self.report_error("fsync", &e);
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    /// Force everything appended so far to stable storage (used at
+    /// checkpoint boundaries regardless of policy).
+    pub fn sync(&self) -> Result<()> {
+        let upto = self.file.lock().written;
+        match self.policy {
+            FsyncPolicy::Group => self.ensure_durable(upto),
+            _ => {
+                self.sync_file
+                    .sync_data()
+                    .inspect_err(|e| self.report_error("fsync", e))?;
+                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Summary of one [`replay`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySummary {
+    /// Complete, checksum-valid frames delivered to the callback.
+    pub records: usize,
+    /// Bytes consumed by those frames.
+    pub bytes: u64,
+    /// A torn or corrupt frame stopped the scan before end-of-file.
+    pub torn: bool,
+}
+
+/// Scan a log file, delivering every frame of the committed prefix to
+/// `visit(tag, payload)`. Stops (without error) at the first torn or
+/// corrupt frame; a callback error aborts the scan and propagates.
+pub fn replay(
+    path: &Path,
+    mut visit: impl FnMut(u8, &[u8]) -> Result<()>,
+) -> Result<ReplaySummary> {
+    let mut summary = ReplaySummary::default();
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(summary),
+        Err(e) => return Err(e.into()),
+    };
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    let mut at = 0usize;
+    while at + 8 <= data.len() {
+        let len = u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(data[at + 4..at + 8].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_FRAME {
+            summary.torn = true;
+            return Ok(summary);
+        }
+        let (start, end) = (at + 8, at + 8 + len as usize);
+        if end > data.len() {
+            summary.torn = true; // short final frame: crash mid-append
+            return Ok(summary);
+        }
+        let body = &data[start..end];
+        if crc32(body) != crc {
+            summary.torn = true;
+            return Ok(summary);
+        }
+        visit(body[0], &body[1..])?;
+        summary.records += 1;
+        summary.bytes += 8 + len as u64;
+        at = end;
+    }
+    if at != data.len() {
+        summary.torn = true; // trailing partial header
+    }
+    Ok(summary)
+}
+
+/// IEEE CRC-32 over `bytes` (table-driven, no external dependency). Also
+/// used by snapshot footers in [`crate::backup`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("metacomm-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn collect(path: &Path) -> (Vec<(u8, Vec<u8>)>, ReplaySummary) {
+        let mut out = Vec::new();
+        let s = replay(path, |tag, payload| {
+            out.push((tag, payload.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        (out, s)
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.log");
+        let wal = Wal::open(&path, FsyncPolicy::Group).unwrap();
+        wal.append(1, b"first").unwrap();
+        wal.append(2, b"").unwrap();
+        wal.append(7, b"a longer record with some bytes in it")
+            .unwrap();
+        let (records, s) = collect(&path);
+        assert_eq!(s.records, 3);
+        assert!(!s.torn);
+        assert_eq!(records[0], (1, b"first".to_vec()));
+        assert_eq!(records[1], (2, Vec::new()));
+        assert_eq!(records[2].0, 7);
+        assert_eq!(wal.stats().appends.load(Ordering::Relaxed), 3);
+        assert!(wal.stats().fsyncs.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_prefix() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("wal.log");
+        {
+            let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            wal.append(1, b"one").unwrap();
+        }
+        {
+            let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+            wal.append(1, b"two").unwrap();
+        }
+        let (records, s) = collect(&path);
+        assert_eq!(s.records, 2);
+        assert!(!s.torn);
+        assert_eq!(records[1].1, b"two");
+    }
+
+    #[test]
+    fn truncated_tail_yields_committed_prefix() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.log");
+        let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        for i in 0..10u8 {
+            wal.append(i, &[i; 16]).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Every possible truncation point recovers a prefix, never errors.
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (records, s) = collect(&path);
+            assert!(records.len() <= 10);
+            assert_eq!(s.torn, cut % 25 != 0, "cut at {cut}");
+            for (i, (tag, payload)) in records.iter().enumerate() {
+                assert_eq!(*tag, i as u8);
+                assert_eq!(payload, &[i as u8; 16]);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_stops_replay_at_the_frame() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("wal.log");
+        let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        for i in 0..5u8 {
+            wal.append(i, &[i; 8]).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Flip one payload byte inside the third frame (frame = 8 + 9 bytes).
+        let mut bad = full;
+        bad[2 * 17 + 9] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        let (records, s) = collect(&path);
+        assert_eq!(records.len(), 2, "replay stops before the corrupt frame");
+        assert!(s.torn);
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_appends() {
+        let dir = tmpdir("group");
+        let path = dir.join("wal.log");
+        let wal = Wal::open(&path, FsyncPolicy::Group).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let w = wal.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u8 {
+                        w.append(t as u8, &[i; 32]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let appends = wal.stats().appends.load(Ordering::Relaxed);
+        let fsyncs = wal.stats().fsyncs.load(Ordering::Relaxed);
+        assert_eq!(appends, 400);
+        assert!(fsyncs <= appends, "fsyncs {fsyncs} must not exceed appends");
+        let (records, s) = collect(&path);
+        assert_eq!(records.len(), 400);
+        assert!(!s.torn);
+    }
+
+    #[test]
+    fn error_sink_fires_on_append_failure() {
+        let dir = tmpdir("sink");
+        let path = dir.join("wal.log");
+        let wal = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        wal.set_error_sink(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        wal.append(1, b"fine").unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        // Sabotage the descriptor: replace the open file with a directory
+        // is not portable; instead check the counter wiring directly.
+        wal.report_error("append", &std::io::Error::other("disk gone"));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(wal.stats().write_errors.load(Ordering::Relaxed), 1);
+    }
+}
