@@ -222,7 +222,19 @@ impl Durability {
     /// Failures degrade durability, not availability: they are counted and
     /// alerted by the WAL's sink, and the in-memory commit stands.
     fn append(&self, tag: u8, payload: &[u8]) {
-        let _ = self.wal().append_nowait(tag, payload);
+        let wal = self.wal();
+        let _ = wal.append_nowait(tag, payload);
+        // A checkpoint may have synced this segment and swapped in its
+        // successor between the clone above and the write — in which case
+        // the frame landed in the old segment *after* its final sync, and
+        // the client's commit_barrier would sync only the new one. Re-check
+        // after the write: if the segment changed, sync the one we wrote
+        // inline so acknowledged still implies durable. (If the re-check
+        // still sees our segment, the swap — and the checkpoint's sync —
+        // strictly follow our write, which they therefore cover.)
+        if self.policy != FsyncPolicy::Never && !Arc::ptr_eq(&wal, &self.wal()) {
+            let _ = wal.sync();
+        }
     }
 
     /// Block until everything appended so far is on stable storage (group
@@ -385,9 +397,10 @@ impl JournalSink for Durability {
         self.append(TAG_JOURNAL_OVERFLOW, &buf);
     }
 
-    fn cleared(&self, device: &str) {
+    fn cleared(&self, device: &str, below: u64) {
         let mut buf = Vec::new();
         put_str(&mut buf, device);
+        buf.extend_from_slice(&below.to_le_bytes());
         self.append(TAG_JOURNAL_CLEARED, &buf);
     }
 }
@@ -431,7 +444,12 @@ fn reduce_journal_event(
             j.overflowed = true;
         }
         TAG_JOURNAL_CLEARED => {
-            j.ops.clear();
+            // Only ops below the event's ticket high-water are resolved: a
+            // push racing an immediate relapse can land in the log ahead of
+            // this event, and its (higher) ticket must survive. Records
+            // without the mark clear everything, the pre-mark semantics.
+            let below = r.u64().unwrap_or(u64::MAX);
+            j.ops.retain(|(t, _, _)| *t >= below);
             j.overflowed = false;
         }
         TAG_JOURNAL_STATE => {
@@ -674,5 +692,40 @@ mod tests {
         reduce_journal_event(&mut journals, TAG_JOURNAL_OVERFLOW, &buf).unwrap();
         assert!(journals["pbx-west"].ops.is_empty());
         assert!(journals["pbx-west"].overflowed);
+    }
+
+    #[test]
+    fn cleared_resolves_only_ops_below_its_high_water() {
+        let mut journals = HashMap::new();
+        let push = |journals: &mut HashMap<String, RecoveredJournal>, ticket: u64| {
+            let mut buf = Vec::new();
+            put_str(&mut buf, "pbx-east");
+            buf.extend_from_slice(&ticket.to_le_bytes());
+            put_opt_str(&mut buf, None);
+            put_target_op(&mut buf, &sample_op());
+            reduce_journal_event(journals, TAG_JOURNAL_PUSH, &buf).unwrap();
+        };
+        push(&mut journals, 1);
+        push(&mut journals, 2);
+        // The device relapsed right after draining: op 3 was queued after
+        // the Up transition and its pushed event raced ahead of the
+        // drain's cleared event into the log.
+        push(&mut journals, 3);
+        let mut buf = Vec::new();
+        put_str(&mut buf, "pbx-east");
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        reduce_journal_event(&mut journals, TAG_JOURNAL_CLEARED, &buf).unwrap();
+        let tickets: Vec<u64> = journals["pbx-east"]
+            .ops
+            .iter()
+            .map(|(t, _, _)| *t)
+            .collect();
+        assert_eq!(tickets, vec![3], "racing post-clear push survives");
+
+        // A mark-less cleared record (pre-high-water format) clears all.
+        let mut buf = Vec::new();
+        put_str(&mut buf, "pbx-east");
+        reduce_journal_event(&mut journals, TAG_JOURNAL_CLEARED, &buf).unwrap();
+        assert!(journals["pbx-east"].ops.is_empty());
     }
 }

@@ -199,7 +199,12 @@ pub(crate) trait JournalSink: Send + Sync {
     /// The journal overflowed: queued ops abandoned pending full resync.
     fn overflowed(&self, device: &str);
     /// The backlog is fully resolved (drain or resynchronization done).
-    fn cleared(&self, device: &str);
+    /// `below` is the device's ticket high-water mark, captured under the
+    /// same lock that observed the resolution: recovery must only clear
+    /// ops whose ticket is below it. If the device relapses immediately, a
+    /// newly queued op's `pushed` event can race this one into the log —
+    /// its ticket is `>= below`, so the guard keeps it alive at replay.
+    fn cleared(&self, device: &str, below: u64);
 }
 
 #[derive(Debug)]
@@ -559,7 +564,7 @@ pub(crate) fn attempt_recovery(
         };
         ctx.stats.full_resyncs.fetch_add(1, Ordering::Relaxed);
         runtime.obs.resyncs.inc();
-        {
+        let below = {
             let mut g = runtime.inner.lock();
             g.journal.clear();
             g.overflowed = false;
@@ -568,8 +573,11 @@ pub(crate) fn attempt_recovery(
             g.last_error = None;
             g.draining = false;
             g.state = HealthState::Up;
-        }
-        runtime.with_sink(|s| s.cleared(&runtime.name));
+            // Tickets are allocated under this lock, so everything queued
+            // from here on is >= this mark and survives the cleared event.
+            runtime.next_ticket.load(Ordering::SeqCst)
+        };
+        runtime.with_sink(|s| s.cleared(&runtime.name, below));
         ctx.errorlog.log(
             ctx.gateway.inner().as_ref(),
             0,
@@ -586,23 +594,30 @@ pub(crate) fn attempt_recovery(
     // the drain (`should_journal` sees `draining`), so device-visible order
     // is preserved.
     let mut reapplied = 0usize;
-    loop {
+    let below = loop {
+        // Ok(op) to reapply, or Err(ticket high-water) once the journal is
+        // observed empty — both decided under the inner lock.
         let next = {
             let mut g = runtime.inner.lock();
             match g.journal.pop_front() {
-                Some(j) => Some(j),
+                Some(j) => Ok(j),
                 None => {
                     // Transition and flag-clear under the same lock as the
-                    // emptiness check: no op can slip in unjournaled.
+                    // emptiness check: no op can slip in unjournaled, and
+                    // anything queued after the Up transition gets a ticket
+                    // >= this mark, surviving the cleared event at replay.
                     g.draining = false;
                     g.consecutive_failures = 0;
                     g.last_error = None;
                     g.state = HealthState::Up;
-                    None
+                    Err(runtime.next_ticket.load(Ordering::SeqCst))
                 }
             }
         };
-        let Some(j) = next else { break };
+        let j = match next {
+            Ok(j) => j,
+            Err(below) => break below,
+        };
         // §5.4: reapplication is conditional — the op must tolerate already
         // (or never) applying.
         let mut op = j.op.clone();
@@ -668,8 +683,8 @@ pub(crate) fn attempt_recovery(
                 );
             }
         }
-    }
-    runtime.with_sink(|s| s.cleared(&runtime.name));
+    };
+    runtime.with_sink(|s| s.cleared(&runtime.name, below));
     ctx.stats
         .journal_drained
         .fetch_add(reapplied, Ordering::Relaxed);

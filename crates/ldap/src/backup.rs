@@ -94,7 +94,15 @@ fn write_snapshot_file(entries: &[Entry], seq: u64, path: &Path) -> Result<()> {
 /// only for legacy pre-WAL snapshots.
 fn read_snapshot_file(path: &Path, require_footer: bool) -> Result<(String, u64)> {
     let text = std::fs::read_to_string(path)?;
-    let footer_at = text.rfind(CRC_PREFIX);
+    // The footer is only ever the final line: anchor the search to a line
+    // start and reject interior matches, so a legacy footer-less snapshot
+    // whose LDIF data happens to contain the literal marker is not
+    // misparsed as checksummed (and then failed as corrupt).
+    let footer_at = text
+        .rfind(&format!("\n{CRC_PREFIX}"))
+        .map(|at| at + 1)
+        .or_else(|| text.starts_with(CRC_PREFIX).then_some(0))
+        .filter(|&at| !text[at..].trim_end().contains('\n'));
     let body = match footer_at {
         Some(at) => {
             // The footer must be the final line and must verify.
@@ -569,6 +577,26 @@ mod tests {
         figure2_tree(&dit).unwrap();
         let path = dir.join("dit.ldif");
         std::fs::write(&path, ldif::to_ldif(&dit.export())).unwrap();
+        let restored = Dit::new();
+        assert_eq!(restore_snapshot(&restored, &path).unwrap(), 9);
+    }
+
+    #[test]
+    fn legacy_snapshot_with_footer_lookalike_still_loads() {
+        let dir = tmpdir("snapdecoy");
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let path = dir.join("dit.ldif");
+        // A footer-less legacy snapshot whose text contains the footer
+        // marker — as a leading comment line and mid-line inside data —
+        // with real records after it. Neither occurrence is the final
+        // line, so neither is a footer: the file must load as legacy
+        // instead of being rejected as failing checksum verification.
+        let text = format!(
+            "# crc32: cafebabe\n# see # crc32: deadbeef for details\n{}",
+            ldif::to_ldif(&dit.export())
+        );
+        std::fs::write(&path, text).unwrap();
         let restored = Dit::new();
         assert_eq!(restore_snapshot(&restored, &path).unwrap(), 9);
     }

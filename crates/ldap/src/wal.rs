@@ -172,14 +172,28 @@ impl Wal {
         *self.on_error.lock() = Some(Box::new(f));
     }
 
+    /// Count a write failure and alert through the sink. Never called with
+    /// the file lock held: the sink may log through the directory, whose
+    /// synchronous commit observer appends to this same WAL on this same
+    /// thread. For the same reason a thread-local guard suppresses the
+    /// nested alert when that observer append fails too — the failure is
+    /// still counted, but the sink is not re-entered (which would recurse
+    /// until the disk came back, or deadlock on the sink lock).
     fn report_error(&self, what: &str, e: &std::io::Error) {
+        thread_local! {
+            static IN_SINK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+        }
         self.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+        if IN_SINK.with(|f| f.replace(true)) {
+            return;
+        }
         if let Some(sink) = self.on_error.lock().as_ref() {
             sink(&format!(
                 "wal {what} failed on {}: {e}",
                 self.path.display()
             ));
         }
+        IN_SINK.with(|f| f.set(false));
     }
 
     /// Append one record. When this returns `Ok` under [`FsyncPolicy::Always`]
@@ -208,21 +222,36 @@ impl Wal {
         frame.extend_from_slice(&crc32(&body).to_le_bytes());
         frame.extend_from_slice(&body);
 
-        let target = {
+        // Errors are reported only after the file lock is dropped: the
+        // error sink may append to this WAL from the same thread (see
+        // `report_error`), and the lock is not re-entrant.
+        let outcome: std::result::Result<u64, (&'static str, std::io::Error)> = {
             let mut g = self.file.lock();
-            if let Err(e) = g.f.write_all(&frame) {
-                self.report_error("append", &e);
+            match g.f.write_all(&frame) {
+                Err(e) => Err(("append", e)),
+                Ok(()) => {
+                    if self.policy == FsyncPolicy::Always {
+                        match g.f.sync_data() {
+                            Err(e) => Err(("fsync", e)),
+                            Ok(()) => {
+                                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                                g.written += frame.len() as u64;
+                                Ok(g.written)
+                            }
+                        }
+                    } else {
+                        g.written += frame.len() as u64;
+                        Ok(g.written)
+                    }
+                }
+            }
+        };
+        let target = match outcome {
+            Ok(target) => target,
+            Err((what, e)) => {
+                self.report_error(what, &e);
                 return Err(e.into());
             }
-            if self.policy == FsyncPolicy::Always {
-                if let Err(e) = g.f.sync_data() {
-                    self.report_error("fsync", &e);
-                    return Err(e.into());
-                }
-                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
-            }
-            g.written += frame.len() as u64;
-            g.written
         };
         self.stats.appends.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -534,5 +563,38 @@ mod tests {
         wal.report_error("append", &std::io::Error::other("disk gone"));
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         assert_eq!(wal.stats().write_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn error_sink_may_reenter_the_wal_without_deadlock_or_recursion() {
+        let dir = tmpdir("reenter");
+        let path = dir.join("wal.log");
+        let wal = Wal::open(&path, FsyncPolicy::Group).unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        let (h, w) = (hits.clone(), wal.clone());
+        wal.set_error_sink(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+            // The production sink logs through the directory, whose commit
+            // observer appends back into this same WAL on this same thread.
+            w.append(9, b"error log entry").unwrap();
+            // And if that nested append had failed, reporting it must not
+            // re-enter this sink (unbounded recursion on a dead disk).
+            w.report_error("append", &std::io::Error::other("still dead"));
+        });
+        wal.report_error("fsync", &std::io::Error::other("disk gone"));
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "sink ran once, no re-entry");
+        assert_eq!(
+            wal.stats().write_errors.load(Ordering::Relaxed),
+            2,
+            "both failures counted"
+        );
+        // The sink's directory write reached the log.
+        let (records, s) = collect(&path);
+        assert_eq!(records.len(), 1);
+        assert!(!s.torn);
+        // A later failure alerts again: the guard is per-invocation, not
+        // a one-shot latch.
+        wal.report_error("fsync", &std::io::Error::other("disk gone again"));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 }
