@@ -28,7 +28,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick|--full] [--exp e1..e15] [--out BENCH_metacomm.json]"
+                    "usage: experiments [--quick|--full] [--exp e1..e16] [--out BENCH_metacomm.json]"
                 );
                 return;
             }
@@ -47,7 +47,7 @@ fn main() {
         Some(id) => match run_one(&id, scale) {
             Some(r) => vec![r],
             None => {
-                eprintln!("no experiment `{id}` (e1..e15)");
+                eprintln!("no experiment `{id}` (e1..e16)");
                 std::process::exit(2);
             }
         },

@@ -1,0 +1,260 @@
+//! Long-running day-in-the-life soak rig: synthetic population + churn
+//! model + invariant oracle, runnable for minutes-to-hours against a
+//! multi-device fleet, optionally durable with a mid-soak crash/restart.
+//!
+//! ```text
+//! cargo run --release -p bench --bin soak_rig                    # 2-minute default soak
+//! cargo run --release -p bench --bin soak_rig -- --seed 7 \
+//!     --population 10000 --minutes 10 --check-every 2000
+//! cargo run --release -p bench --bin soak_rig -- --crash-at 1500 # durable, kill -9 mid-soak
+//! ```
+//!
+//! Exit status: 0 when every oracle check passes (and, with `--crash-at`,
+//! the restarted run converges), 1 on any invariant violation — each
+//! violation prints a `(seed, op index)` repro line.
+
+use bench::churn::{ChurnOp, ChurnScript, ChurnSpec, Executor};
+use bench::oracle::SoakOracle;
+use bench::population::{deploy, Population, PopulationSpec, SoakRig};
+use ldap::FsyncPolicy;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    seed: u64,
+    population: usize,
+    minutes: f64,
+    ops: usize,
+    check_every: usize,
+    crash_at: Option<usize>,
+    state_dir: Option<PathBuf>,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        seed: 1966,
+        population: 4_000,
+        minutes: 2.0,
+        ops: 100_000,
+        check_every: 1_000,
+        crash_at: None,
+        state_dir: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for `{}`", args[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => o.seed = value(&mut i).parse().expect("--seed u64"),
+            "--population" => o.population = value(&mut i).parse().expect("--population usize"),
+            "--minutes" => o.minutes = value(&mut i).parse().expect("--minutes f64"),
+            "--ops" => o.ops = value(&mut i).parse().expect("--ops usize"),
+            "--check-every" => o.check_every = value(&mut i).parse().expect("--check-every usize"),
+            "--crash-at" => o.crash_at = Some(value(&mut i).parse().expect("--crash-at usize")),
+            "--state-dir" => o.state_dir = Some(PathBuf::from(value(&mut i))),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: soak_rig [--seed N] [--population N] [--minutes F] [--ops N] \
+                     [--check-every N] [--crash-at OP] [--state-dir DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o.check_every = o.check_every.max(1);
+    o
+}
+
+fn build(pop: &Population, state: Option<&PathBuf>) -> SoakRig {
+    deploy(pop, |b| match state {
+        Some(dir) => b
+            .with_durability(dir.clone())
+            .with_fsync_policy(FsyncPolicy::Group),
+        None => b,
+    })
+}
+
+struct Progress {
+    t0: Instant,
+    deadline: Instant,
+    applied: usize,
+    violations: usize,
+}
+
+/// Drive `script.ops[range]`, checking the oracle every `check_every` ops.
+/// Stops early at the deadline (never mid-outage, so the final check runs
+/// against a healthy fleet) and returns the index actually reached.
+fn drive(
+    rig: &SoakRig,
+    exec: &mut Executor<'_>,
+    script: &ChurnScript,
+    range: std::ops::Range<usize>,
+    oracle: &mut SoakOracle,
+    o: &Opts,
+    p: &mut Progress,
+) -> usize {
+    let end = range.end;
+    for i in range {
+        if Instant::now() >= p.deadline && exec.outage_open.is_none() {
+            return i;
+        }
+        exec.apply(&script.ops[i]).expect("churn op");
+        p.applied += 1;
+        if (i + 1) % o.check_every == 0 || i + 1 == end {
+            let skip = exec.outage_open.map(|d| rig.device_names()[d].clone());
+            let found = oracle.check(rig, i, skip.as_deref());
+            for v in &found {
+                eprintln!("{v}");
+            }
+            p.violations += found.len();
+            println!(
+                "op {:>7}  {:>7.0} ops/s  checks {}  violations {}",
+                i + 1,
+                p.applied as f64 / p.t0.elapsed().as_secs_f64().max(1e-9),
+                oracle.checks,
+                p.violations,
+            );
+        }
+    }
+    end
+}
+
+fn main() {
+    let o = parse_opts();
+    let durable = o.crash_at.is_some() || o.state_dir.is_some();
+    let state = durable.then(|| {
+        o.state_dir.clone().unwrap_or_else(|| {
+            let d = std::env::temp_dir().join(format!("metacomm-soak-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        })
+    });
+
+    let pop = Population::generate(PopulationSpec::new(o.seed, o.population));
+    let initial = (o.population * 3 / 4).max(1);
+    let script = ChurnScript::generate(&pop, &ChurnSpec::new(o.seed, o.ops, initial));
+    println!(
+        "soak: seed {} · {} subscribers ({} stationed) · {} scripted ops · {} devices{}",
+        o.seed,
+        o.population,
+        pop.stationed().count(),
+        script.ops.len(),
+        pop.blocks.len() + 1,
+        if durable {
+            " · durable (group commit)"
+        } else {
+            ""
+        },
+    );
+
+    let mut rig = build(&pop, state.as_ref());
+    let mut oracle = SoakOracle::new(o.seed);
+    let mut p = Progress {
+        t0: Instant::now(),
+        deadline: Instant::now() + Duration::from_secs_f64(o.minutes * 60.0),
+        applied: 0,
+        violations: 0,
+    };
+    let crash_point = o.crash_at.unwrap_or(usize::MAX).min(script.ops.len());
+
+    let mut reached = {
+        let mut exec = Executor::new(&rig);
+        exec.run_initial(&script).expect("initial roster");
+        println!(
+            "loaded {} subscribers in {:.1}s",
+            initial,
+            p.t0.elapsed().as_secs_f64()
+        );
+        let reached = drive(
+            &rig,
+            &mut exec,
+            &script,
+            0..crash_point,
+            &mut oracle,
+            &o,
+            &mut p,
+        );
+        if let Some(d) = exec.outage_open {
+            exec.apply(&ChurnOp::Recover(d)).expect("close outage");
+        }
+        reached
+    };
+
+    let mut crashed = false;
+    if o.crash_at.is_some() && reached == crash_point && crash_point < script.ops.len() {
+        // kill -9: abandon the system without shutdown, restart from the
+        // WAL, resynchronize the (fresh, empty) device fleet from the
+        // recovered directory, tolerantly replay the day so far, continue.
+        crashed = true;
+        let dir = state.as_ref().expect("crash arm is durable");
+        println!("kill -9 at op {reached}; restarting from {}", dir.display());
+        rig.system.settle();
+        let old = rig;
+        std::mem::forget(old.system);
+        rig = build(&pop, state.as_ref());
+        let report = rig.system.recovery_report().expect("durable restart");
+        println!(
+            "recovered: {} snapshot entries, {} WAL records",
+            report.snapshot_entries, report.wal_records_applied
+        );
+        for name in rig.device_names() {
+            rig.system
+                .resynchronize_device_from_directory(&name)
+                .expect("post-restart resync");
+        }
+        oracle.after_restart();
+        let mut exec = Executor::tolerant(&rig);
+        exec.run_initial(&script).expect("replay roster");
+        for op in &script.ops[..reached] {
+            exec.apply(op).expect("replay pre-crash ops");
+        }
+        reached = drive(
+            &rig,
+            &mut exec,
+            &script,
+            reached..script.ops.len(),
+            &mut oracle,
+            &o,
+            &mut p,
+        );
+        if let Some(d) = exec.outage_open {
+            exec.apply(&ChurnOp::Recover(d)).expect("close outage");
+        }
+    }
+
+    let found = oracle.check(&rig, reached, None);
+    for v in &found {
+        eprintln!("{v}");
+    }
+    p.violations += found.len();
+    println!(
+        "done: {} ops in {:.1}s · {} oracle checks · {} violations{}",
+        p.applied,
+        p.t0.elapsed().as_secs_f64(),
+        oracle.checks,
+        p.violations,
+        if crashed {
+            " · survived a kill -9"
+        } else {
+            ""
+        },
+    );
+    rig.system.shutdown();
+    if let Some(dir) = state {
+        if o.state_dir.is_none() {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    std::process::exit(if p.violations == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,376 @@
+//! E16 — day-in-the-life soak: synthetic population + churn model +
+//! system-wide invariant oracle.
+//!
+//! Claim under test: under sustained realistic churn (hires, departures,
+//! moves, renames, bulk re-orgs, scheduled device outages) across a
+//! multi-device fleet, MetaComm holds every whole-system invariant —
+//! directory↔device consistency, drained journals, no leaked locks,
+//! replication fixpoint, monotone counters — and a mid-soak kill -9 +
+//! restart converges to the bit-identical fixpoint an uninterrupted run
+//! reaches.
+//!
+//! The machine-readable `"soak"` section carries the ops/sec trajectory,
+//! `cn=monitor`-sampled latency histograms, and the crash-arm verdict.
+
+use super::{Report, Scale};
+use crate::churn::{ChurnOp, ChurnScript, ChurnSpec, Executor};
+use crate::oracle::{fixpoint_digest, SoakOracle, Violation};
+use crate::population::{deploy, Population, PopulationSpec, SoakRig};
+use crate::timed;
+use ldap::{Directory, Dn, Entry, Filter, FsyncPolicy, Scope};
+use metacomm::MonitorDirectory;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SEED: u64 = 1966; // the year of the first Definity ancestor, why not
+
+struct Sizes {
+    population: usize,
+    initial: usize,
+    ops: usize,
+    check_every: usize,
+    crash_population: usize,
+    crash_initial: usize,
+    crash_ops: usize,
+}
+
+fn sizes(scale: Scale) -> Sizes {
+    match scale {
+        Scale::Quick => Sizes {
+            population: 600,
+            initial: 450,
+            ops: 700,
+            check_every: 200,
+            crash_population: 260,
+            crash_initial: 200,
+            crash_ops: 320,
+        },
+        Scale::Full => Sizes {
+            population: 12_000,
+            initial: 10_000,
+            ops: 8_000,
+            check_every: 2_000,
+            crash_population: 2_400,
+            crash_initial: 2_000,
+            crash_ops: 2_400,
+        },
+    }
+}
+
+/// Search the live `cn=monitor` subtree of `rig` (the same decorator the
+/// wire server fronts the gateway with — the histograms here are what an
+/// LDAP browser would see).
+fn monitor_entries(rig: &SoakRig) -> Vec<Entry> {
+    let monitor = MonitorDirectory::new(rig.system.directory(), rig.system.metrics().clone());
+    monitor
+        .search(
+            &Dn::parse("cn=monitor").expect("static dn"),
+            Scope::Sub,
+            &Filter::parse("(cn=*)").expect("static filter"),
+            &[],
+            0,
+        )
+        .expect("cn=monitor search")
+}
+
+/// The Update Manager's update-latency p95 as served under cn=monitor.
+fn monitor_um_p95(rig: &SoakRig) -> u64 {
+    monitor_entries(rig)
+        .iter()
+        .find(|e| e.first("cn") == Some("um"))
+        .and_then(|e| e.first("updateP95Ns"))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Every histogram published under cn=monitor, as a JSON object keyed
+/// `component.metric`.
+fn monitor_histograms_json(rig: &SoakRig) -> String {
+    let mut parts = Vec::new();
+    for e in monitor_entries(rig) {
+        let Some(comp) = e.first("cn") else { continue };
+        if comp == "monitor" {
+            continue;
+        }
+        let mut metrics: Vec<&str> = e
+            .attributes()
+            .filter_map(|a| a.name.as_str().strip_suffix("P50Ns"))
+            .collect();
+        metrics.sort_unstable();
+        for m in metrics {
+            let field = |suffix: &str| -> u64 {
+                e.first(&format!("{m}{suffix}"))
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .map(|v| v as u64)
+                    .unwrap_or(0)
+            };
+            parts.push(format!(
+                "\"{comp}.{m}\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                field("Count"),
+                field("MeanNs"),
+                field("P50Ns"),
+                field("P95Ns"),
+                field("P99Ns"),
+                field("MaxNs"),
+            ));
+        }
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Pick a crash point with no outage window open (restarting into a
+/// half-restored outage journal is a different experiment — E15 covers
+/// torn state; this arm isolates convergence).
+fn healthy_crash_index(script: &ChurnScript, want: usize) -> usize {
+    let mut open = false;
+    let mut best = 0;
+    for (i, op) in script.ops.iter().enumerate() {
+        match op {
+            ChurnOp::Outage(_) => open = true,
+            ChurnOp::Recover(_) => open = false,
+            _ => {}
+        }
+        if !open {
+            if i + 1 >= want {
+                return i + 1;
+            }
+            best = i + 1;
+        }
+    }
+    best
+}
+
+fn state_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metacomm-e16-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The main soak: load the initial roster, run the scripted day, check the
+/// oracle at intervals. Returns the pieces of the `"soak"` JSON section.
+#[allow(clippy::type_complexity)]
+fn soak(
+    s: &Sizes,
+    table: &mut String,
+) -> (
+    Population,
+    Vec<Violation>,
+    usize,
+    Vec<(usize, f64, u64)>,
+    String,
+    f64,
+    f64,
+) {
+    let pop = Population::generate(PopulationSpec::new(SEED, s.population));
+    let rig = deploy(&pop, |b| b);
+    let script = ChurnScript::generate(&pop, &ChurnSpec::new(SEED, s.ops, s.initial));
+    let mut exec = Executor::new(&rig);
+    let (load, load_t) = timed(|| exec.run_initial(&script));
+    load.expect("initial roster");
+    let load_rate = s.initial as f64 / load_t.as_secs_f64().max(1e-9);
+    writeln!(
+        table,
+        "load   {:>6} subscribers ({} stationed) across {} devices  {:>8}  {:>9.0} hires/s",
+        s.population,
+        pop.stationed().count(),
+        rig.device_names().len(),
+        crate::fmt_dur(load_t),
+        load_rate,
+    )
+    .unwrap();
+
+    let mut oracle = SoakOracle::new(SEED);
+    let mut violations = Vec::new();
+    let mut trajectory: Vec<(usize, f64, u64)> = Vec::new();
+    let churn_t0 = Instant::now();
+    let mut window_t0 = Instant::now();
+    let mut window_start = 0usize;
+    for (i, op) in script.ops.iter().enumerate() {
+        exec.apply(op).expect("churn op");
+        if (i + 1) % s.check_every == 0 || i + 1 == script.ops.len() {
+            let done = i + 1;
+            let rate = (done - window_start) as f64 / window_t0.elapsed().as_secs_f64().max(1e-9);
+            let skip = exec.outage_open.map(|d| rig.device_names()[d].clone());
+            violations.extend(oracle.check(&rig, i, skip.as_deref()));
+            trajectory.push((done, rate, monitor_um_p95(&rig)));
+            window_start = done;
+            window_t0 = Instant::now();
+        }
+    }
+    let churn_secs = churn_t0.elapsed().as_secs_f64();
+    let churn_rate = s.ops as f64 / churn_secs.max(1e-9);
+    writeln!(
+        table,
+        "churn  {:>6} ops  {:>8}  {:>9.0} ops/s  oracle checks {}  violations {}",
+        s.ops,
+        crate::fmt_dur(churn_t0.elapsed()),
+        churn_rate,
+        oracle.checks,
+        violations.len(),
+    )
+    .unwrap();
+    for v in &violations {
+        writeln!(table, "  !! {v}").unwrap();
+    }
+    let latency = monitor_histograms_json(&rig);
+    let checks = oracle.checks;
+    rig.system.shutdown();
+    (
+        pop, violations, checks, trajectory, latency, load_rate, churn_rate,
+    )
+}
+
+/// The crash arm: the same scripted day run twice on durable deployments —
+/// once uninterrupted, once killed (no shutdown) mid-day, restarted,
+/// devices resynchronized from the recovered directory, the day replayed
+/// tolerantly and finished. Both must land on the same fixpoint digest.
+fn crash_arm(s: &Sizes, table: &mut String) -> (bool, usize, usize, usize) {
+    let pop = Population::generate(PopulationSpec::new(SEED + 1, s.crash_population));
+    let script = ChurnScript::generate(
+        &pop,
+        &ChurnSpec::new(SEED + 1, s.crash_ops, s.crash_initial),
+    );
+    let crash_at = healthy_crash_index(&script, s.crash_ops / 2);
+
+    // Uninterrupted reference run.
+    let dir_a = state_dir("ref");
+    let rig_a = deploy(&pop, |b| {
+        b.with_durability(dir_a.clone())
+            .with_fsync_policy(FsyncPolicy::Group)
+    });
+    let mut exec_a = Executor::new(&rig_a);
+    exec_a.run_initial(&script).expect("reference roster");
+    for op in &script.ops {
+        exec_a.apply(op).expect("reference day");
+    }
+    rig_a.system.settle();
+    let digest_a = fixpoint_digest(&rig_a);
+    rig_a.system.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_a);
+
+    // Crashed run: same day, killed cold at `crash_at`.
+    let dir_b = state_dir("crash");
+    let rig_b = deploy(&pop, |b| {
+        b.with_durability(dir_b.clone())
+            .with_fsync_policy(FsyncPolicy::Group)
+    });
+    let mut exec_b = Executor::new(&rig_b);
+    exec_b.run_initial(&script).expect("crash-run roster");
+    for op in &script.ops[..crash_at] {
+        exec_b.apply(op).expect("pre-crash day");
+    }
+    rig_b.system.settle();
+    // kill -9: never shut down, never flushed beyond what group commit
+    // already acked. (`soak_rig --crash-at` does this with a real signal.)
+    std::mem::forget(rig_b.system);
+
+    let (rig_c, restart_t) = timed(|| {
+        deploy(&pop, |b| {
+            b.with_durability(dir_b.clone())
+                .with_fsync_policy(FsyncPolicy::Group)
+        })
+    });
+    // The directory recovered from snapshot+WAL; the device fleet is brand
+    // new and empty — resynchronize it from the recovered directory (§5.4).
+    for name in rig_c.device_names() {
+        rig_c
+            .system
+            .resynchronize_device_from_directory(&name)
+            .expect("post-restart resync");
+    }
+    let mut exec_c = Executor::tolerant(&rig_c);
+    exec_c.run_initial(&script).expect("replay roster");
+    for op in &script.ops[..crash_at] {
+        exec_c.apply(op).expect("replay pre-crash day");
+    }
+    for op in &script.ops[crash_at..] {
+        exec_c.apply(op).expect("finish the day");
+    }
+    rig_c.system.settle();
+    let mut oracle = SoakOracle::new(SEED + 1);
+    let post_violations = oracle.check(&rig_c, script.ops.len(), None);
+    let digest_b = fixpoint_digest(&rig_c);
+    let report = rig_c.system.recovery_report().expect("durable restart");
+    rig_c.system.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_b);
+
+    let matched = digest_a == digest_b;
+    writeln!(
+        table,
+        "crash  kill -9 at op {crash_at}/{}  restart {:>8}  wal {} records  fixpoint {}  violations {}",
+        s.crash_ops,
+        crate::fmt_dur(restart_t),
+        report.wal_records_applied,
+        if matched { "identical" } else { "DIVERGED" },
+        post_violations.len(),
+    )
+    .unwrap();
+    (
+        matched,
+        crash_at,
+        post_violations.len(),
+        report.wal_records_applied,
+    )
+}
+
+pub fn run(scale: Scale) -> Report {
+    let s = sizes(scale);
+    let mut table = String::new();
+    let (pop, violations, checks, trajectory, latency, load_rate, churn_rate) =
+        soak(&s, &mut table);
+    let (fixpoint_match, crash_at, post_violations, wal_records) = crash_arm(&s, &mut table);
+
+    let trajectory_json = trajectory
+        .iter()
+        .map(|(done, rate, p95)| {
+            format!("{{\"ops\":{done},\"ops_per_sec\":{rate:.0},\"um_update_p95_ns\":{p95}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"seed\":{SEED},\"population\":{},\"stationed\":{},\"devices\":{},\"initial\":{},\"ops\":{},\
+         \"load_per_sec\":{load_rate:.0},\"ops_per_sec\":{churn_rate:.0},\
+         \"invariant_checks\":{checks},\"violations\":{},\
+         \"trajectory\":[{trajectory_json}],\"latency\":{latency},\
+         \"crash\":{{\"crash_at\":{crash_at},\"wal_records_applied\":{wal_records},\
+         \"fixpoint_match\":{fixpoint_match},\"post_restart_violations\":{post_violations}}}}}",
+        s.population,
+        pop.stationed().count(),
+        pop.blocks.len() + 1,
+        s.initial,
+        s.ops,
+        violations.len(),
+    );
+
+    let mut observations = vec![
+        format!(
+            "{} ops of mixed churn over {} subscribers / {} devices: {} oracle checks, {} violations",
+            s.ops,
+            s.population,
+            pop.blocks.len() + 1,
+            checks,
+            violations.len()
+        ),
+        format!(
+            "kill -9 at op {crash_at} + restart + tolerant replay converges to {} fixpoint ({} WAL records replayed)",
+            if fixpoint_match { "the identical" } else { "a DIVERGENT" },
+            wal_records
+        ),
+        format!("sustained {churn_rate:.0} churn ops/s after a {load_rate:.0} hires/s bulk load"),
+    ];
+    for v in &violations {
+        observations.push(format!("VIOLATION: {v}"));
+    }
+
+    Report {
+        id: "E16",
+        title: "day-in-the-life soak (population, churn, invariant oracle)",
+        claim: "under sustained realistic churn with scheduled outages, every \
+                whole-system invariant holds, and a mid-soak crash converges \
+                to the uninterrupted run's fixpoint",
+        table,
+        observations,
+        extra: Some(("soak", json)),
+    }
+}

@@ -10,6 +10,7 @@ pub mod e12_outage;
 pub mod e13_throughput;
 pub mod e14_wire;
 pub mod e15_durability;
+pub mod e16_soak;
 pub mod e1_propagation;
 pub mod e2_convergence;
 pub mod e3_reapply;
@@ -76,10 +77,11 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e13_throughput::run(scale),
         e14_wire::run(scale),
         e15_durability::run(scale),
+        e16_soak::run(scale),
     ]
 }
 
-/// Run one experiment by id (`e1` … `e15`).
+/// Run one experiment by id (`e1` … `e16`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
     Some(match id {
         "e1" => e1_propagation::run(scale),
@@ -97,6 +99,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
         "e13" => e13_throughput::run(scale),
         "e14" => e14_wire::run(scale),
         "e15" => e15_durability::run(scale),
+        "e16" => e16_soak::run(scale),
         _ => return None,
     })
 }
@@ -265,7 +268,9 @@ mod tests {
         assert!(r.table.contains("stream     legacy"), "{}", r.table);
         assert!(r.table.contains("stream  streaming"), "{}", r.table);
         assert!(r.table.contains("pipe   w=1"), "{}", r.table);
-        assert!(r.table.contains("pipe   w=4"), "{}", r.table);
+        // The second pipeline arm is the adaptive default: a worker pool on
+        // multi-core hosts, inline decode on a 1-core host.
+        assert!(r.table.contains("pipe   auto"), "{}", r.table);
         assert!(r.table.contains("sync   full"), "{}", r.table);
         assert!(r.table.contains("sync   delta"), "{}", r.table);
         // …and the machine-readable section must carry the numbers CI
@@ -275,7 +280,29 @@ mod tests {
         assert_eq!(*key, "wire");
         assert!(json.contains("\"streaming_speedup\":"), "{json}");
         assert!(json.contains("\"pipeline_speedup\":"), "{json}");
+        assert!(json.contains("\"pipeline_mode\":"), "{json}");
         assert!(json.contains("\"delta_ratio\":"), "{json}");
+    }
+
+    #[test]
+    fn quick_e16_soak() {
+        let r = e16_soak::run(Scale::Quick);
+        assert_eq!(r.id, "E16");
+        assert!(r.table.contains("load"), "{}", r.table);
+        assert!(r.table.contains("churn"), "{}", r.table);
+        assert!(r.table.contains("fixpoint identical"), "{}", r.table);
+        assert!(
+            r.table.contains("violations 0"),
+            "oracle must be clean: {}",
+            r.table
+        );
+        let (key, json) = r.extra.as_ref().expect("soak section");
+        assert_eq!(*key, "soak");
+        assert!(json.contains("\"invariant_checks\":"), "{json}");
+        assert!(json.contains("\"violations\":0"), "{json}");
+        assert!(json.contains("\"fixpoint_match\":true"), "{json}");
+        assert!(json.contains("\"um.update\""), "{json}");
+        assert!(json.contains("\"trajectory\":["), "{json}");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! *shape* (few DDUs per entry per day, read-heavy LDAP traffic) is what
 //! the paper's consistency argument depends on, so those are the knobs.
 
+pub mod churn;
 pub mod experiments;
+pub mod oracle;
+pub mod population;
 pub mod workload;
 
 use metacomm::{MetaComm, MetaCommBuilder};

@@ -103,7 +103,8 @@ struct WireConfig {
 /// Builder for a [`Server`], exposing the wire performance knobs.
 #[derive(Clone, Copy)]
 pub struct ServerBuilder {
-    wire_workers: usize,
+    /// `None` = pick at start time from the host's parallelism.
+    wire_workers: Option<usize>,
     streaming: bool,
 }
 
@@ -115,22 +116,32 @@ impl Default for ServerBuilder {
 
 impl ServerBuilder {
     pub fn new() -> ServerBuilder {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(4);
         ServerBuilder {
-            wire_workers: workers,
+            wire_workers: None,
             streaming: true,
         }
     }
 
     /// Size of the per-connection decode-ahead worker pool. `1` disables
-    /// pipelining (requests are served strictly one at a time). Defaults to
-    /// `min(available_parallelism, 4)`.
+    /// pipelining (requests are served strictly one at a time, decoded
+    /// inline). When not set, the pool defaults to
+    /// `min(available_parallelism, 4)` — in particular, a single-core host
+    /// gets inline decode rather than a decode-ahead worker it would only
+    /// contend with.
     pub fn with_wire_workers(mut self, n: usize) -> ServerBuilder {
-        self.wire_workers = n.max(1);
+        self.wire_workers = Some(n.max(1));
         self
+    }
+
+    /// The worker count [`start`](ServerBuilder::start) will use: the
+    /// explicit `with_wire_workers` value, else the adaptive default.
+    pub fn resolved_wire_workers(&self) -> usize {
+        self.wire_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(4)
+        })
     }
 
     /// Stream search responses through one reusable encode buffer, flushed
@@ -145,7 +156,7 @@ impl ServerBuilder {
     /// Start serving `dir` on `addr` (use port 0 for an ephemeral port).
     pub fn start(self, dir: Arc<dyn Directory>, addr: &str) -> Result<Server> {
         let cfg = WireConfig {
-            workers: self.wire_workers,
+            workers: self.resolved_wire_workers(),
             streaming: self.streaming,
         };
         let listener = TcpListener::bind(addr)?;
@@ -215,6 +226,7 @@ impl ServerBuilder {
             accept_thread: Some(accept_thread),
             metrics,
             conns,
+            wire_workers: cfg.workers,
         })
     }
 }
@@ -233,6 +245,7 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     metrics: Arc<ServerMetrics>,
     conns: Arc<ConnRegistry>,
+    wire_workers: usize,
 }
 
 impl Server {
@@ -254,6 +267,12 @@ impl Server {
     /// Live per-operation wire metrics.
     pub fn metrics(&self) -> Arc<ServerMetrics> {
         self.metrics.clone()
+    }
+
+    /// The per-connection decode-ahead pool size this server runs with
+    /// (1 = inline decode, no pipelining).
+    pub fn wire_workers(&self) -> usize {
+        self.wire_workers
     }
 
     /// Stop accepting, force-close live connections, and join every

@@ -1,0 +1,136 @@
+//! Property tests of the soak engine's generators: the synthetic
+//! population and the churn script are pure functions of their specs
+//! (same seed ⇒ bit-identical output), extensions are unique within each
+//! dial-plan block, and the scripted day never references a subscriber
+//! after their departure (no use-after-departure).
+
+use bench::churn::{ChurnOp, ChurnScript, ChurnSpec};
+use bench::population::{Population, PopulationSpec, BLOCK_CAPACITY};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn spec_strategy() -> impl Strategy<Value = PopulationSpec> {
+    (
+        any::<u64>(),
+        1usize..600,
+        1usize..=9,
+        1usize..=6,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, subscribers, switches, sites, with_msgplat)| PopulationSpec {
+                seed,
+                subscribers,
+                switches,
+                sites,
+                with_msgplat,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same spec ⇒ bit-identical population (structural equality AND
+    /// digest), and the same `(population, churn spec)` pair ⇒ the
+    /// bit-identical scripted day. This is what makes `(seed, op index)`
+    /// a complete repro for any soak violation.
+    #[test]
+    fn generation_is_a_pure_function_of_the_spec(
+        spec in spec_strategy(),
+        ops in 0usize..300,
+        initial_ppm in 0u32..1_000_000,
+    ) {
+        let a = Population::generate(spec);
+        let b = Population::generate(spec);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.digest(), b.digest());
+
+        let initial = (spec.subscribers as u64 * initial_ppm as u64 / 1_000_000) as usize;
+        let cspec = ChurnSpec::new(spec.seed ^ 0x5eed, ops, initial);
+        let sa = ChurnScript::generate(&a, &cspec);
+        let sb = ChurnScript::generate(&b, &cspec);
+        prop_assert_eq!(&sa, &sb);
+        prop_assert_eq!(sa.digest(), sb.digest());
+    }
+
+    /// Extensions are 4 digits, carry their block's prefix, stay unique
+    /// within the block, and never exceed the block capacity; subscribers
+    /// beyond the dial plan are directory-only.
+    #[test]
+    fn extensions_are_unique_per_block(spec in spec_strategy()) {
+        let pop = Population::generate(spec);
+        let mut per_block: HashMap<&str, HashSet<&str>> = HashMap::new();
+        for s in pop.stationed() {
+            let ext = s.extension.as_deref().expect("stationed");
+            prop_assert_eq!(ext.len(), 4, "{}", ext);
+            let block = pop
+                .blocks
+                .iter()
+                .find(|b| ext.starts_with(&b.prefix))
+                .expect("every extension lives in a block");
+            prop_assert!(
+                per_block.entry(&block.prefix).or_default().insert(ext),
+                "duplicate extension {} in block {}",
+                ext,
+                block.prefix
+            );
+        }
+        for b in &pop.blocks {
+            let used = per_block.get(b.prefix.as_str()).map_or(0, HashSet::len);
+            prop_assert!(used <= b.capacity);
+        }
+        let capacity = spec.switches * BLOCK_CAPACITY;
+        prop_assert_eq!(pop.stationed().count(), spec.subscribers.min(capacity));
+        for s in pop.subscribers.iter().skip(capacity) {
+            prop_assert!(s.extension.is_none(), "id {} beyond the dial plan", s.id);
+        }
+    }
+
+    /// Walking the scripted day with a live-set: a subscriber is hired at
+    /// most once while absent, departs only while employed, and no op ever
+    /// references someone who already departed. Outage windows never
+    /// overlap and every scripted device index exists.
+    #[test]
+    fn the_script_never_uses_a_departed_subscriber(
+        spec in spec_strategy(),
+        ops in 1usize..300,
+        initial_ppm in 0u32..1_000_000,
+    ) {
+        let pop = Population::generate(spec);
+        let initial = (spec.subscribers as u64 * initial_ppm as u64 / 1_000_000) as usize;
+        let script = ChurnScript::generate(&pop, &ChurnSpec::new(spec.seed, ops, initial));
+        let n_devices = pop.blocks.len() + usize::from(spec.with_msgplat);
+        let mut live: HashSet<u32> = script.initial.iter().copied().collect();
+        let mut outage_open: Option<usize> = None;
+        for (i, op) in script.ops.iter().enumerate() {
+            match op {
+                ChurnOp::Hire(id) => {
+                    prop_assert!(live.insert(*id), "op {}: hire of employed {}", i, id);
+                }
+                ChurnOp::Depart(id) => {
+                    prop_assert!(live.remove(id), "op {}: departure of absent {}", i, id);
+                }
+                ChurnOp::Outage(d) => {
+                    prop_assert!(*d < n_devices, "op {}: unknown device {}", i, d);
+                    prop_assert_eq!(outage_open.replace(*d), None, "op {}: overlapping outage", i);
+                }
+                ChurnOp::Recover(d) => {
+                    prop_assert_eq!(outage_open.take(), Some(*d), "op {}: stray recover", i);
+                }
+                other => {
+                    for id in ChurnScript::referenced_ids(other) {
+                        prop_assert!(
+                            live.contains(&id),
+                            "op {}: {:?} references departed {}",
+                            i,
+                            other,
+                            id
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(outage_open, None, "the day ends mid-outage");
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration soak: a ~2k-subscriber scripted day against the full fleet
+//! with the system-wide invariant oracle checking at intervals, plus a
+//! kill-during-soak arm that snapshots the durable state directory while
+//! commits are in flight (the crash_rig racy-copy trick: the copy races
+//! the group-commit appender, so the tail may be torn) and proves the
+//! restarted, replayed day converges to the bit-identical fixpoint of an
+//! uninterrupted run.
+
+use bench::churn::{ChurnScript, ChurnSpec, Executor};
+use bench::oracle::{fixpoint_digest, SoakOracle};
+use bench::population::{deploy, Population, PopulationSpec};
+use ldap::wal::FsyncPolicy;
+use metacomm::ManualClock;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "metacomm-soakinv-{name}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// A ~2k-subscriber day on a virtual clock (injected outage latency and
+/// retry backoff advance a [`ManualClock`] instead of sleeping): load the
+/// roster, run the scripted day, and let the oracle quiesce + sweep every
+/// whole-system invariant at intervals. Zero violations expected.
+#[test]
+fn scripted_day_holds_every_invariant() {
+    const SEED: u64 = 20_260_807;
+    let pop = Population::generate(PopulationSpec::new(SEED, 2_000));
+    assert!(pop.stationed().count() >= 2_000, "fully stationed roster");
+    let rig = deploy(&pop, |b| b.with_clock(ManualClock::new()));
+    let script = ChurnScript::generate(&pop, &ChurnSpec::new(SEED, 400, 1_500));
+
+    let mut exec = Executor::new(&rig);
+    exec.run_initial(&script).expect("initial roster");
+    let mut oracle = SoakOracle::new(SEED);
+    let v = oracle.check(&rig, 0, None);
+    assert!(v.is_empty(), "fresh fleet violates: {v:?}");
+
+    for (i, op) in script.ops.iter().enumerate() {
+        exec.apply(op).expect("churn op");
+        if (i + 1) % 100 == 0 {
+            let skip = exec.outage_open.map(|d| rig.device_names()[d].clone());
+            let v = oracle.check(&rig, i, skip.as_deref());
+            assert!(v.is_empty(), "violations at op {i}: {v:?}");
+        }
+    }
+    assert!(exec.outage_open.is_none(), "the day ends healthy");
+    let v = oracle.check(&rig, script.ops.len(), None);
+    assert!(v.is_empty(), "end-of-day violations: {v:?}");
+    assert!(
+        oracle.checks >= 5,
+        "the oracle actually ran: {}",
+        oracle.checks
+    );
+    rig.system.shutdown();
+}
+
+/// Kill-during-soak: run the same scripted day twice. The reference run is
+/// uninterrupted. The victim run is durable (group commit); mid-day a
+/// copier thread snapshots the state directory out from under the live
+/// appender (a faithful crash image — the tail may be torn), the original
+/// process is abandoned, and a fresh deployment recovers from the image,
+/// resynchronizes its empty device fleet from the recovered directory, and
+/// tolerantly replays the whole day. Both runs must land on the identical
+/// whole-system fixpoint digest, with zero oracle violations.
+#[test]
+fn kill_during_soak_converges_to_the_uninterrupted_fixpoint() {
+    const SEED: u64 = 74;
+    let pop = Population::generate(PopulationSpec::new(SEED, 500));
+    let script = ChurnScript::generate(&pop, &ChurnSpec::new(SEED, 240, 400));
+
+    // Reference: the uninterrupted day.
+    let rig_a = deploy(&pop, |b| b);
+    let mut exec_a = Executor::new(&rig_a);
+    exec_a.run_initial(&script).expect("reference roster");
+    for op in &script.ops {
+        exec_a.apply(op).expect("reference day");
+    }
+    rig_a.system.settle();
+    let digest_a = fixpoint_digest(&rig_a);
+    rig_a.system.shutdown();
+
+    // Victim: durable, crash-imaged mid-day by a racing copier thread.
+    let dir = tmpdir("state");
+    let image = tmpdir("image");
+    let rig_b = deploy(&pop, |b| {
+        b.with_durability(dir.clone())
+            .with_fsync_policy(FsyncPolicy::Group)
+    });
+    let mut exec_b = Executor::new(&rig_b);
+    exec_b.run_initial(&script).expect("victim roster");
+    let half = script.ops.len() / 2;
+    for op in &script.ops[..half] {
+        exec_b.apply(op).expect("pre-image day");
+    }
+    std::thread::scope(|sc| {
+        let copier = sc.spawn(|| {
+            // Race the appender: no settle, no quiesce. Group commit means
+            // everything acknowledged before a byte is copied is already in
+            // that byte's file; a segment rotated away mid-copy is skipped.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            for f in std::fs::read_dir(&dir).expect("read state dir").flatten() {
+                if f.path().is_file() {
+                    let _ = std::fs::copy(f.path(), image.join(f.file_name()));
+                }
+            }
+        });
+        for op in &script.ops[half..] {
+            exec_b.apply(op).expect("in-flight day");
+        }
+        copier.join().expect("copier");
+    });
+    // The machine dies: no shutdown checkpoint ever lands in the image.
+    std::mem::forget(rig_b.system);
+
+    // Restart from the crash image with a brand-new (empty) fleet.
+    let rig_c = deploy(&pop, |b| {
+        b.with_durability(image.clone())
+            .with_fsync_policy(FsyncPolicy::Group)
+    });
+    let report = rig_c.system.recovery_report().expect("durable restart");
+    assert!(
+        report.snapshot_entries + report.wal_records_applied > 0,
+        "the crash image carried committed state"
+    );
+    for name in rig_c.device_names() {
+        rig_c
+            .system
+            .resynchronize_device_from_directory(&name)
+            .expect("post-restart resync");
+    }
+    let mut exec_c = Executor::tolerant(&rig_c);
+    exec_c.run_initial(&script).expect("replay roster");
+    for op in &script.ops {
+        exec_c.apply(op).expect("replay the day");
+    }
+    rig_c.system.settle();
+
+    let mut oracle = SoakOracle::new(SEED);
+    oracle.after_restart();
+    let v = oracle.check(&rig_c, script.ops.len(), None);
+    assert!(v.is_empty(), "post-restart violations: {v:?}");
+    assert_eq!(
+        fixpoint_digest(&rig_c),
+        digest_a,
+        "restarted day diverged from the uninterrupted fixpoint"
+    );
+    rig_c.system.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&image);
+}
