@@ -9,6 +9,11 @@
 use bench::experiments::{bench_json, run_all, run_one, Scale};
 
 fn main() {
+    // E14's connection-scaling arm re-execs this binary as an idle-socket
+    // holder so client and server halves split the per-process fd limit.
+    if bench::experiments::e14_wire::idle_helper_main() {
+        return;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut exp: Option<String> = None;

@@ -26,6 +26,7 @@ struct Opts {
     minutes: f64,
     ops: usize,
     check_every: usize,
+    sweep_sample: Option<usize>,
     crash_at: Option<usize>,
     state_dir: Option<PathBuf>,
 }
@@ -37,6 +38,7 @@ fn parse_opts() -> Opts {
         minutes: 2.0,
         ops: 100_000,
         check_every: 1_000,
+        sweep_sample: None,
         crash_at: None,
         state_dir: None,
     };
@@ -56,12 +58,15 @@ fn parse_opts() -> Opts {
             "--minutes" => o.minutes = value(&mut i).parse().expect("--minutes f64"),
             "--ops" => o.ops = value(&mut i).parse().expect("--ops usize"),
             "--check-every" => o.check_every = value(&mut i).parse().expect("--check-every usize"),
+            "--sweep-sample" => {
+                o.sweep_sample = Some(value(&mut i).parse().expect("--sweep-sample usize"))
+            }
             "--crash-at" => o.crash_at = Some(value(&mut i).parse().expect("--crash-at usize")),
             "--state-dir" => o.state_dir = Some(PathBuf::from(value(&mut i))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: soak_rig [--seed N] [--population N] [--minutes F] [--ops N] \
-                     [--check-every N] [--crash-at OP] [--state-dir DIR]"
+                     [--check-every N] [--sweep-sample K] [--crash-at OP] [--state-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -160,6 +165,9 @@ fn main() {
 
     let mut rig = build(&pop, state.as_ref());
     let mut oracle = SoakOracle::new(o.seed);
+    if let Some(k) = o.sweep_sample {
+        oracle = oracle.with_sweep_sample(k);
+    }
     let mut p = Progress {
         t0: Instant::now(),
         deadline: Instant::now() + Duration::from_secs_f64(o.minutes * 60.0),
@@ -250,6 +258,15 @@ fn main() {
             ""
         },
     );
+    if oracle.sweep_stats.sampled_sweeps > 0 {
+        println!(
+            "sweeps: {} full ({:.1} ms mean) · {} sampled ({:.1} ms mean)",
+            oracle.sweep_stats.full_sweeps,
+            oracle.sweep_stats.mean_full_ns() as f64 / 1e6,
+            oracle.sweep_stats.sampled_sweeps,
+            oracle.sweep_stats.mean_sampled_ns() as f64 / 1e6,
+        );
+    }
     rig.system.shutdown();
     if let Some(dir) = state {
         if o.state_dir.is_none() {

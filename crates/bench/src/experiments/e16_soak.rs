@@ -14,7 +14,7 @@
 
 use super::{Report, Scale};
 use crate::churn::{ChurnOp, ChurnScript, ChurnSpec, Executor};
-use crate::oracle::{fixpoint_digest, SoakOracle, Violation};
+use crate::oracle::{fixpoint_digest, SoakOracle, SweepStats, Violation};
 use crate::population::{deploy, Population, PopulationSpec, SoakRig};
 use crate::timed;
 use ldap::{Directory, Dn, Entry, Filter, FsyncPolicy, Scope};
@@ -30,6 +30,7 @@ struct Sizes {
     initial: usize,
     ops: usize,
     check_every: usize,
+    sweep_sample: usize,
     crash_population: usize,
     crash_initial: usize,
     crash_ops: usize,
@@ -41,7 +42,8 @@ fn sizes(scale: Scale) -> Sizes {
             population: 600,
             initial: 450,
             ops: 700,
-            check_every: 200,
+            check_every: 100,
+            sweep_sample: 32,
             crash_population: 260,
             crash_initial: 200,
             crash_ops: 320,
@@ -50,7 +52,8 @@ fn sizes(scale: Scale) -> Sizes {
             population: 12_000,
             initial: 10_000,
             ops: 8_000,
-            check_every: 2_000,
+            check_every: 500,
+            sweep_sample: 256,
             crash_population: 2_400,
             crash_initial: 2_000,
             crash_ops: 2_400,
@@ -161,6 +164,7 @@ fn soak(
     String,
     f64,
     f64,
+    SweepStats,
 ) {
     let pop = Population::generate(PopulationSpec::new(SEED, s.population));
     let rig = deploy(&pop, |b| b);
@@ -180,7 +184,7 @@ fn soak(
     )
     .unwrap();
 
-    let mut oracle = SoakOracle::new(SEED);
+    let mut oracle = SoakOracle::new(SEED).with_sweep_sample(s.sweep_sample);
     let mut violations = Vec::new();
     let mut trajectory: Vec<(usize, f64, u64)> = Vec::new();
     let churn_t0 = Instant::now();
@@ -213,11 +217,22 @@ fn soak(
     for v in &violations {
         writeln!(table, "  !! {v}").unwrap();
     }
+    let sweeps = oracle.sweep_stats.clone();
+    writeln!(
+        table,
+        "sweep  sample {}  full x{} {:>8} mean  sampled x{} {:>8} mean",
+        s.sweep_sample,
+        sweeps.full_sweeps,
+        crate::fmt_dur(std::time::Duration::from_nanos(sweeps.mean_full_ns())),
+        sweeps.sampled_sweeps,
+        crate::fmt_dur(std::time::Duration::from_nanos(sweeps.mean_sampled_ns())),
+    )
+    .unwrap();
     let latency = monitor_histograms_json(&rig);
     let checks = oracle.checks;
     rig.system.shutdown();
     (
-        pop, violations, checks, trajectory, latency, load_rate, churn_rate,
+        pop, violations, checks, trajectory, latency, load_rate, churn_rate, sweeps,
     )
 }
 
@@ -317,7 +332,7 @@ fn crash_arm(s: &Sizes, table: &mut String) -> (bool, usize, usize, usize) {
 pub fn run(scale: Scale) -> Report {
     let s = sizes(scale);
     let mut table = String::new();
-    let (pop, violations, checks, trajectory, latency, load_rate, churn_rate) =
+    let (pop, violations, checks, trajectory, latency, load_rate, churn_rate, sweeps) =
         soak(&s, &mut table);
     let (fixpoint_match, crash_at, post_violations, wal_records) = crash_arm(&s, &mut table);
 
@@ -332,6 +347,8 @@ pub fn run(scale: Scale) -> Report {
         "{{\"seed\":{SEED},\"population\":{},\"stationed\":{},\"devices\":{},\"initial\":{},\"ops\":{},\
          \"load_per_sec\":{load_rate:.0},\"ops_per_sec\":{churn_rate:.0},\
          \"invariant_checks\":{checks},\"violations\":{},\
+         \"sweep\":{{\"sample\":{},\"full_sweeps\":{},\"sampled_sweeps\":{},\
+         \"full_mean_ns\":{},\"sampled_mean_ns\":{}}},\
          \"trajectory\":[{trajectory_json}],\"latency\":{latency},\
          \"crash\":{{\"crash_at\":{crash_at},\"wal_records_applied\":{wal_records},\
          \"fixpoint_match\":{fixpoint_match},\"post_restart_violations\":{post_violations}}}}}",
@@ -341,6 +358,11 @@ pub fn run(scale: Scale) -> Report {
         s.initial,
         s.ops,
         violations.len(),
+        s.sweep_sample,
+        sweeps.full_sweeps,
+        sweeps.sampled_sweeps,
+        sweeps.mean_full_ns(),
+        sweeps.mean_sampled_ns(),
     );
 
     let mut observations = vec![
@@ -358,6 +380,12 @@ pub fn run(scale: Scale) -> Report {
             wal_records
         ),
         format!("sustained {churn_rate:.0} churn ops/s after a {load_rate:.0} hires/s bulk load"),
+        format!(
+            "sampled oracle sweeps ({} subscribers/check) mean {} vs {} for the periodic full sweep",
+            s.sweep_sample,
+            crate::fmt_dur(std::time::Duration::from_nanos(sweeps.mean_sampled_ns())),
+            crate::fmt_dur(std::time::Duration::from_nanos(sweeps.mean_full_ns())),
+        ),
     ];
     for v in &violations {
         observations.push(format!("VIOLATION: {v}"));

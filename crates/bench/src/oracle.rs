@@ -123,6 +123,33 @@ pub fn fixpoint_digest(rig: &SoakRig) -> u64 {
     crate::population::fnv1a(lines.join("\n").as_bytes())
 }
 
+/// Wall-clock accounting for the oracle's consistency sweeps, split by
+/// kind so the soak report can show what sampling buys.
+#[derive(Debug, Default, Clone)]
+pub struct SweepStats {
+    pub full_sweeps: usize,
+    pub sampled_sweeps: usize,
+    pub full_ns_total: u64,
+    pub sampled_ns_total: u64,
+    pub last_full_ns: u64,
+    pub last_sampled_ns: u64,
+}
+
+impl SweepStats {
+    pub fn mean_full_ns(&self) -> u64 {
+        self.full_ns_total / self.full_sweeps.max(1) as u64
+    }
+
+    pub fn mean_sampled_ns(&self) -> u64 {
+        self.sampled_ns_total / self.sampled_sweeps.max(1) as u64
+    }
+}
+
+/// In sampled mode, every this-many'th check (and the first) is still a
+/// full O(directory) sweep: it refreshes the sampling roster, catches
+/// orphaned device records, and runs the replication-fixpoint invariant.
+pub const FULL_SWEEP_EVERY: usize = 8;
+
 /// Stateful oracle: carries the delta-sync replica pair and the previous
 /// counter snapshot across checks.
 pub struct SoakOracle {
@@ -133,6 +160,16 @@ pub struct SoakOracle {
     /// Persistent peer converged only ever through delta anti-entropy.
     peer: Replica,
     prev_counters: HashMap<(String, String), u64>,
+    /// `Some(k)`: spot-check a rotating window of `k` subscribers per
+    /// check instead of sweeping the whole directory (see
+    /// [`FULL_SWEEP_EVERY`]). `None` = every check is a full sweep.
+    sweep_sample: Option<usize>,
+    /// Rotation cursor into `roster`.
+    cursor: usize,
+    /// Person DNs cached by the last full sweep — the frame the sampled
+    /// checks rotate through.
+    roster: Vec<String>,
+    pub sweep_stats: SweepStats,
     pub checks: usize,
 }
 
@@ -143,8 +180,24 @@ impl SoakOracle {
             mirror: Replica::new("soak-mirror"),
             peer: Replica::new("soak-peer"),
             prev_counters: HashMap::new(),
+            sweep_sample: None,
+            cursor: 0,
+            roster: Vec::new(),
+            sweep_stats: SweepStats::default(),
             checks: 0,
         }
+    }
+
+    /// Sample the consistency sweep: each check spot-checks a rotating
+    /// window of `k` subscribers (directory get + device get per
+    /// subscriber) instead of dumping every device against a full subtree
+    /// search, so per-check cost is O(k), not O(directory). Every
+    /// [`FULL_SWEEP_EVERY`]'th check stays full, which bounds how long an
+    /// orphaned device record can hide; a planted inconsistency on any
+    /// subscriber is still caught within one rotation of the roster.
+    pub fn with_sweep_sample(mut self, k: usize) -> SoakOracle {
+        self.sweep_sample = Some(k.max(1));
+        self
     }
 
     /// Forget the counter baseline. Call after a deliberate restart: a new
@@ -165,6 +218,7 @@ impl SoakOracle {
         skip_device: Option<&str>,
     ) -> Vec<Violation> {
         self.checks += 1;
+        let started = std::time::Instant::now();
         let mut out = Vec::new();
 
         // Quiesce: drain the UM pipeline, then hold a sync session so the
@@ -179,6 +233,44 @@ impl SoakOracle {
             out.push(self.violation(op_index, "no-leaked-locks", format!("{held} locks held")));
         }
 
+        // 2. Device health: cheap per-device gauges, checked every time.
+        for name in rig.device_names() {
+            if Some(name.as_str()) != skip_device {
+                self.check_device_health(rig, &name, op_index, &mut out);
+            }
+        }
+
+        let full = self.sweep_sample.is_none() || self.checks % FULL_SWEEP_EVERY == 1;
+        if full {
+            self.full_sweep(rig, &session, op_index, skip_device, &mut out);
+            self.sweep_stats.full_sweeps += 1;
+            self.sweep_stats.last_full_ns = started.elapsed().as_nanos() as u64;
+            self.sweep_stats.full_ns_total += self.sweep_stats.last_full_ns;
+        } else {
+            self.sampled_sweep(rig, &session, op_index, skip_device, &mut out);
+            self.sweep_stats.sampled_sweeps += 1;
+            self.sweep_stats.last_sampled_ns = started.elapsed().as_nanos() as u64;
+            self.sweep_stats.sampled_ns_total += self.sweep_stats.last_sampled_ns;
+        }
+
+        // 5. Monotone cn=monitor counters.
+        self.check_counters(rig, op_index, &mut out);
+
+        drop(session);
+        out
+    }
+
+    /// The O(directory) sweep: one subtree search, every device dumped and
+    /// compared in both directions, the replication fixpoint converged.
+    /// Also refreshes the roster the sampled checks rotate through.
+    fn full_sweep(
+        &mut self,
+        rig: &SoakRig,
+        session: &ltap::SyncSession,
+        op_index: usize,
+        skip_device: Option<&str>,
+        out: &mut Vec<Violation>,
+    ) {
         // Directory ground truth, one subtree sweep.
         let people = match session.search(
             rig.system.suffix(),
@@ -190,33 +282,139 @@ impl SoakOracle {
             Ok(entries) => entries,
             Err(e) => {
                 out.push(self.violation(op_index, "directory-sweep", e.to_string()));
-                return out;
+                return;
             }
         };
+        self.roster = people.iter().map(|e| e.dn().to_string()).collect();
 
-        // 2 + 3. Device health and two-way consistency per online device.
+        // 3. Two-way consistency per online device.
         for pbx in &rig.pbxes {
-            if Some(pbx.name()) == skip_device {
-                continue;
+            if Some(pbx.name()) != skip_device {
+                self.check_pbx(rig, pbx, &people, op_index, out);
             }
-            self.check_device_health(rig, pbx.name(), op_index, &mut out);
-            self.check_pbx(rig, pbx, &people, op_index, &mut out);
         }
         if let Some(mp) = &rig.mp {
             if Some(mp.name()) != skip_device {
-                self.check_device_health(rig, mp.name(), op_index, &mut out);
-                self.check_mp(mp, &people, op_index, &mut out);
+                self.check_mp(mp, &people, op_index, out);
             }
         }
 
         // 4. Replication fixpoint: delta-synced peer ≡ fresh full sync.
-        self.check_replication(&people, op_index, &mut out);
+        self.check_replication(&people, op_index, out);
+    }
 
-        // 5. Monotone cn=monitor counters.
-        self.check_counters(rig, op_index, &mut out);
+    /// The O(k) sweep: spot-check a rotating window of the last full
+    /// sweep's roster — directory get, then field-by-field comparison
+    /// against that subscriber's own device records. Orphaned device
+    /// records (device rows whose directory entry vanished) and the
+    /// replication fixpoint are left to the periodic full sweep.
+    fn sampled_sweep(
+        &mut self,
+        rig: &SoakRig,
+        session: &ltap::SyncSession,
+        op_index: usize,
+        skip_device: Option<&str>,
+        out: &mut Vec<Violation>,
+    ) {
+        if self.roster.is_empty() {
+            return;
+        }
+        let k = self.sweep_sample.unwrap_or(1).min(self.roster.len());
+        for i in 0..k {
+            let dn_str = &self.roster[(self.cursor + i) % self.roster.len()];
+            let dn = match dn_str.parse::<ldap::Dn>() {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let entry = match session.get(&dn) {
+                Ok(Some(e)) => e,
+                // Departed since the roster snapshot: a legitimate delete
+                // and an orphaned device row look the same from here, so
+                // leave it to the next full sweep.
+                Ok(None) => continue,
+                Err(e) => {
+                    out.push(self.violation(op_index, "directory-sweep", e.to_string()));
+                    continue;
+                }
+            };
+            self.check_one_subscriber(rig, &entry, op_index, skip_device, out);
+        }
+        self.cursor = (self.cursor + k) % self.roster.len();
+    }
 
-        drop(session);
-        out
+    /// Directory→device consistency for a single subscriber entry.
+    fn check_one_subscriber(
+        &self,
+        rig: &SoakRig,
+        entry: &Entry,
+        op_index: usize,
+        skip_device: Option<&str>,
+        out: &mut Vec<Violation>,
+    ) {
+        let cn = entry.first("cn").unwrap_or_default();
+        let name = device_name_form(cn);
+        if let Some(ext) = entry.first("definityExtension") {
+            if ext.len() == 4 {
+                let pbx = rig.switch_for(ext);
+                if Some(pbx.name()) != skip_device {
+                    let room = entry.first("roomNumber").unwrap_or_default();
+                    match pbx.get(ext) {
+                        None => out.push(self.violation(
+                            op_index,
+                            "directory-device-consistency",
+                            format!(
+                                "{}: directory stations {ext} but the device has no record",
+                                pbx.name()
+                            ),
+                        )),
+                        Some(rec) => {
+                            let dev_name = rec.get("Name").unwrap_or_default();
+                            let dev_room = rec.get("Room").unwrap_or_default();
+                            if dev_name != name || dev_room != room {
+                                out.push(self.violation(
+                                    op_index,
+                                    "directory-device-consistency",
+                                    format!(
+                                        "{}: station {ext} is ({dev_name:?}, {dev_room:?}), \
+                                         directory says ({name:?}, {room:?})",
+                                        pbx.name()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(mp), Some(mbx)) = (&rig.mp, entry.first("mpMailbox")) {
+            if Some(mp.name()) != skip_device {
+                let cos = entry.first("mpClassOfService").unwrap_or("standard");
+                match mp.get(mbx) {
+                    None => out.push(self.violation(
+                        op_index,
+                        "directory-device-consistency",
+                        format!("mp: directory lists mailbox {mbx} but the device has no record"),
+                    )),
+                    Some(rec) => {
+                        let dev_name = rec
+                            .get("Subscriber")
+                            .map(String::as_str)
+                            .unwrap_or_default();
+                        let dev_cos = rec.get("Cos").map(String::as_str).unwrap_or("standard");
+                        if dev_name != name || dev_cos != cos {
+                            out.push(self.violation(
+                                op_index,
+                                "directory-device-consistency",
+                                format!(
+                                    "mp: mailbox {mbx} is ({dev_name:?}, {dev_cos:?}), \
+                                     directory says ({name:?}, {cos:?})"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn violation(&self, op_index: usize, invariant: &'static str, detail: String) -> Violation {
@@ -474,6 +672,53 @@ mod tests {
         let v = oracle.check(&rig, script.ops.len(), None);
         assert!(v.is_empty(), "end-of-day violations: {v:?}");
         assert!(oracle.checks >= 3);
+        rig.system.shutdown();
+    }
+
+    /// Sampled sweeps still catch a planted inconsistency within one
+    /// rotation of the roster, and the sampled checks are cheaper than the
+    /// full ones they replace.
+    #[test]
+    fn sampled_sweep_catches_plant_within_one_rotation() {
+        let pop = Population::generate(PopulationSpec::new(9, 60));
+        let rig = deploy(&pop, |b| b);
+        let script = ChurnScript::generate(&pop, &ChurnSpec::new(9, 0, 40));
+        let mut exec = Executor::new(&rig);
+        exec.run_initial(&script).expect("populate");
+        let mut oracle = SoakOracle::new(9).with_sweep_sample(8);
+        // Check 1 is the roster-building full sweep.
+        let v = oracle.check(&rig, 0, None);
+        assert!(v.is_empty(), "clean deployment violates: {v:?}");
+        // Corrupt one station behind everyone's back.
+        let victim = pop.stationed().next().expect("stationed subscriber");
+        let ext = victim.extension.clone().unwrap();
+        let pbx = rig.switch_for(&ext);
+        let mut patch = pbx::Record::new();
+        patch.set("Room", "SHADOW-IT-9");
+        pbx.change(&ext, patch, pbx::Channel::Metacomm)
+            .expect("silent edit");
+        // Rotating 8-subscriber windows over a ~60-person roster must hit
+        // the victim within one rotation — and strictly before the next
+        // full sweep would (FULL_SWEEP_EVERY is spaced wider than the
+        // rotation here).
+        let rotation = oracle.roster.len().div_ceil(8);
+        assert!(rotation < FULL_SWEEP_EVERY, "plant must be caught sampled");
+        let mut caught_at = None;
+        for i in 0..rotation {
+            let v = oracle.check(&rig, i + 1, None);
+            if v.iter()
+                .any(|v| v.invariant == "directory-device-consistency")
+            {
+                caught_at = Some(i);
+                break;
+            }
+        }
+        assert!(
+            caught_at.is_some(),
+            "sampled sweeps missed the plant over a full rotation"
+        );
+        assert!(oracle.sweep_stats.sampled_sweeps >= 1);
+        assert_eq!(oracle.sweep_stats.full_sweeps, 1);
         rig.system.shutdown();
     }
 

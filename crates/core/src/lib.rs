@@ -98,6 +98,8 @@ pub struct MetaCommBuilder {
     indexed_attrs: Option<Vec<String>>,
     um_workers: Option<usize>,
     wire_workers: Option<usize>,
+    event_loop: bool,
+    idle_timeout: Option<std::time::Duration>,
 }
 
 impl MetaCommBuilder {
@@ -121,6 +123,8 @@ impl MetaCommBuilder {
             indexed_attrs: None,
             um_workers: None,
             wire_workers: None,
+            event_loop: true,
+            idle_timeout: None,
         }
     }
 
@@ -157,6 +161,24 @@ impl MetaCommBuilder {
     /// capped at 4.
     pub fn with_wire_workers(mut self, workers: usize) -> Self {
         self.wire_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Serve wire connections from the epoll readiness loop (one event
+    /// thread plus the shared decode pool) instead of a thread per
+    /// connection. On by default on Linux; `false` restores the
+    /// thread-per-connection engine as the E14 ablation arm. Ignored (always
+    /// threaded) on non-Linux hosts.
+    pub fn with_event_loop(mut self, on: bool) -> Self {
+        self.event_loop = on;
+        self
+    }
+
+    /// Drop wire connections that stay idle (no readable bytes) for
+    /// `timeout`, counting each eviction in `cn=monitor`'s `disconnectIdle`.
+    /// Off by default — idle clients are kept forever.
+    pub fn with_idle_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.idle_timeout = Some(timeout);
         self
     }
 
@@ -538,6 +560,8 @@ impl MetaCommBuilder {
             monitor: Mutex::new(Some(monitor)),
             registry,
             wire_workers: self.wire_workers,
+            event_loop: self.event_loop,
+            idle_timeout: self.idle_timeout,
         })
     }
 }
@@ -562,6 +586,8 @@ pub struct MetaComm {
     monitor: Mutex<Option<MonitorHandle>>,
     registry: Arc<Registry>,
     wire_workers: Option<usize>,
+    event_loop: bool,
+    idle_timeout: Option<std::time::Duration>,
 }
 
 impl MetaComm {
@@ -594,9 +620,12 @@ impl MetaComm {
     /// component.
     pub fn serve(&self, addr: &str) -> ldap::Result<ldap::server::Server> {
         let fronted = MonitorDirectory::new(self.gateway.clone(), self.registry.clone());
-        let mut builder = ldap::server::Server::builder();
+        let mut builder = ldap::server::Server::builder().with_event_loop(self.event_loop);
         if let Some(w) = self.wire_workers {
             builder = builder.with_wire_workers(w);
+        }
+        if let Some(t) = self.idle_timeout {
+            builder = builder.with_idle_timeout(t);
         }
         let server = builder.start(fronted, addr)?;
         obs::mirror_server_metrics(&self.registry, &server.metrics());

@@ -216,6 +216,7 @@ pub(crate) fn mirror_server_metrics(
     mirror!("connectionsOpen", connections_open);
     mirror!("connectionsTotal", connections_total);
     mirror!("disconnectNotices", disconnect_notices);
+    mirror!("disconnectIdle", disconnect_idle);
     for &code in TALLIED_RESULT_CODES {
         let m = metrics.clone();
         comp.gauge_callback(&format!("resultCode{code}"), move || {

@@ -31,6 +31,8 @@ pub mod dit;
 pub mod dn;
 pub mod entry;
 pub mod error;
+#[cfg(target_os = "linux")]
+pub mod event;
 pub mod filter;
 pub mod ldif;
 pub mod proto;

@@ -1,20 +1,27 @@
-//! Threaded LDAP server: serves the wire protocol over TCP against any
+//! LDAP server: serves the wire protocol over TCP against any
 //! [`Directory`] implementation.
 //!
 //! Because the server fronts a `Directory` (not the DIT concretely), the
 //! same code serves both a plain directory server and the LTAP *gateway*
 //! deployment — LTAP's interceptor implements `Directory` too.
 //!
-//! ## Hot path
+//! ## Wire engines
 //!
-//! Each connection reads through a buffered incremental [`FrameReader`]
-//! (one reusable scratch buffer, no per-frame allocation) and decodes ahead:
-//! requests are handed to a bounded per-connection worker pool
-//! ([`ServerBuilder::with_wire_workers`]) so multiple in-flight message IDs
-//! are served concurrently, while a turn-taking protocol writes responses
-//! in request order. Search results are streamed through one reusable
-//! encode buffer and flushed in bounded chunks — a 100k-entry search never
-//! materializes more than one chunk of encoded bytes.
+//! Two engines serve the same protocol, switched by
+//! [`ServerBuilder::with_event_loop`]:
+//!
+//! - **Event loop** (default on Linux, [`crate::event`]): one epoll
+//!   readiness thread owns every nonblocking connection; decoded requests
+//!   run on a shared CPU stage and responses flush back writev-batched.
+//!   Scales to 10k+ connections without a thread per client.
+//! - **Threaded** (the ablation arm, and the only engine off-Linux): one
+//!   thread per connection, with an optional per-connection decode-ahead
+//!   worker pool ([`ServerBuilder::with_wire_workers`]).
+//!
+//! Both engines read through a buffered incremental [`FrameReader`] (one
+//! reusable scratch buffer, no per-frame allocation), answer strictly in
+//! request order per connection (RFC 2251), and stream search results
+//! through one reusable encode buffer flushed in bounded chunks.
 
 use crate::directory::Directory;
 use crate::dn::Dn;
@@ -32,8 +39,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Flush the streaming search buffer whenever it grows past this.
-const FLUSH_CHUNK: usize = 32 * 1024;
+/// Flush the streaming search buffer whenever it grows past this (also the
+/// per-iovec cap in the event engine's writev batches).
+pub(crate) const FLUSH_CHUNK: usize = 32 * 1024;
 
 /// Per-operation wire metrics: request counts by operation, BER decode
 /// failures, entries streamed back, connection gauges, and a tally of every
@@ -59,6 +67,9 @@ pub struct ServerMetrics {
     pub connections_total: AtomicU64,
     /// Notices of Disconnection sent to misbehaving clients.
     pub disconnect_notices: AtomicU64,
+    /// Connections dropped by the idle-timeout reaper
+    /// ([`ServerBuilder::with_idle_timeout`]).
+    pub disconnect_idle: AtomicU64,
     /// result code → times sent (any operation).
     result_codes: Mutex<BTreeMap<u32, u64>>,
 }
@@ -93,11 +104,12 @@ impl ServerMetrics {
     }
 }
 
-/// Per-connection pipeline configuration.
+/// Per-connection pipeline configuration (threaded engine).
 #[derive(Clone, Copy)]
 struct WireConfig {
     workers: usize,
     streaming: bool,
+    idle_timeout: Option<std::time::Duration>,
 }
 
 /// Builder for a [`Server`], exposing the wire performance knobs.
@@ -106,6 +118,8 @@ pub struct ServerBuilder {
     /// `None` = pick at start time from the host's parallelism.
     wire_workers: Option<usize>,
     streaming: bool,
+    event_loop: bool,
+    idle_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServerBuilder {
@@ -119,6 +133,8 @@ impl ServerBuilder {
         ServerBuilder {
             wire_workers: None,
             streaming: true,
+            event_loop: true,
+            idle_timeout: None,
         }
     }
 
@@ -153,17 +169,101 @@ impl ServerBuilder {
         self
     }
 
+    /// Serve connections from the epoll readiness loop (default on Linux;
+    /// see [`crate::event`]). `false` restores the thread-per-connection
+    /// engine — kept as the E14 ablation arm. On non-Linux targets the
+    /// threaded engine always runs regardless of this knob.
+    pub fn with_event_loop(mut self, on: bool) -> ServerBuilder {
+        self.event_loop = on;
+        self
+    }
+
+    /// Drop connections with no socket activity for `timeout` (and count
+    /// them in the `disconnectIdle` gauge), so 10k-connection deployments
+    /// shed dead clients. Applies to both engines. Default: never.
+    pub fn with_idle_timeout(mut self, timeout: std::time::Duration) -> ServerBuilder {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Whether [`start`](ServerBuilder::start) will run the event engine
+    /// on this target.
+    pub fn resolved_event_loop(&self) -> bool {
+        self.event_loop && cfg!(target_os = "linux")
+    }
+
     /// Start serving `dir` on `addr` (use port 0 for an ephemeral port).
     pub fn start(self, dir: Arc<dyn Directory>, addr: &str) -> Result<Server> {
-        let cfg = WireConfig {
-            workers: self.resolved_wire_workers(),
-            streaming: self.streaming,
-        };
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
         let metrics = Arc::new(ServerMetrics::default());
+        #[cfg(target_os = "linux")]
+        if self.resolved_event_loop() {
+            return self.start_event(listener, local, dir, stop, metrics);
+        }
+        self.start_threaded(listener, local, dir, stop, metrics)
+    }
+
+    /// The epoll readiness engine: one loop thread owns every connection.
+    #[cfg(target_os = "linux")]
+    fn start_event(
+        self,
+        listener: TcpListener,
+        local: std::net::SocketAddr,
+        dir: Arc<dyn Directory>,
+        stop: Arc<AtomicBool>,
+        metrics: Arc<ServerMetrics>,
+    ) -> Result<Server> {
+        let wire_workers = self.resolved_wire_workers();
+        let waker = Arc::new(
+            crate::event::Waker::new()
+                .map_err(|e| LdapError::new(ResultCode::Unavailable, e.to_string()))?,
+        );
+        let epoll = crate::event::setup(&listener, &waker)
+            .map_err(|e| LdapError::new(ResultCode::Unavailable, e.to_string()))?;
+        let cfg = crate::event::EventConfig {
+            workers: wire_workers,
+            streaming: self.streaming,
+            idle_timeout: self.idle_timeout,
+        };
+        let m2 = metrics.clone();
+        let stop2 = stop.clone();
+        let waker2 = waker.clone();
+        let loop_thread = std::thread::Builder::new()
+            .name("ldap-event".into())
+            .spawn(move || {
+                crate::event::serve_event_loop(epoll, listener, dir, m2, cfg, stop2, waker2);
+            })
+            .map_err(|e| LdapError::new(ResultCode::Unavailable, e.to_string()))?;
+        Ok(Server {
+            addr: local,
+            stop,
+            engine: Some(Engine::Event {
+                thread: loop_thread,
+                waker,
+            }),
+            metrics,
+            wire_workers,
+            event_loop: true,
+        })
+    }
+
+    /// The thread-per-connection engine (the ablation arm).
+    fn start_threaded(
+        self,
+        listener: TcpListener,
+        local: std::net::SocketAddr,
+        dir: Arc<dyn Directory>,
+        stop: Arc<AtomicBool>,
+        metrics: Arc<ServerMetrics>,
+    ) -> Result<Server> {
+        let cfg = WireConfig {
+            workers: self.resolved_wire_workers(),
+            streaming: self.streaming,
+            idle_timeout: self.idle_timeout,
+        };
+        let stop2 = stop.clone();
         let m2 = metrics.clone();
         let conns: Arc<ConnRegistry> = Arc::new(Mutex::new(HashMap::new()));
         let conns2 = conns.clone();
@@ -223,10 +323,13 @@ impl ServerBuilder {
         Ok(Server {
             addr: local,
             stop,
-            accept_thread: Some(accept_thread),
+            engine: Some(Engine::Threaded {
+                accept_thread,
+                conns,
+            }),
             metrics,
-            conns,
             wire_workers: cfg.workers,
+            event_loop: false,
         })
     }
 }
@@ -238,14 +341,29 @@ struct ConnSlot {
     handle: JoinHandle<()>,
 }
 
+/// The running wire engine behind a [`Server`].
+enum Engine {
+    /// Thread-per-connection, joined through the connection registry.
+    Threaded {
+        accept_thread: JoinHandle<()>,
+        conns: Arc<ConnRegistry>,
+    },
+    /// One epoll loop thread owning every connection (Linux).
+    #[cfg(target_os = "linux")]
+    Event {
+        thread: JoinHandle<()>,
+        waker: Arc<crate::event::Waker>,
+    },
+}
+
 /// A running LDAP server. Shuts down when dropped.
 pub struct Server {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    engine: Option<Engine>,
     metrics: Arc<ServerMetrics>,
-    conns: Arc<ConnRegistry>,
     wire_workers: usize,
+    event_loop: bool,
 }
 
 impl Server {
@@ -269,32 +387,50 @@ impl Server {
         self.metrics.clone()
     }
 
-    /// The per-connection decode-ahead pool size this server runs with
-    /// (1 = inline decode, no pipelining).
+    /// The decode-ahead pool size this server runs with (1 = inline
+    /// decode, no pipelining). Per connection in the threaded engine,
+    /// shared across connections in the event engine.
     pub fn wire_workers(&self) -> usize {
         self.wire_workers
     }
 
-    /// Stop accepting, force-close live connections, and join every
-    /// connection thread.
+    /// Whether this server runs the epoll readiness engine.
+    pub fn event_loop(&self) -> bool {
+        self.event_loop
+    }
+
+    /// Stop accepting, force-close live connections, and join the wire
+    /// engine (every connection thread, or the loop and its workers). The
+    /// `connections_open` gauge reads zero afterwards.
     pub fn shutdown(&mut self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
-            // Unblock the accept loop.
-            let _ = TcpStream::connect(self.addr);
-            if let Some(t) = self.accept_thread.take() {
-                let _ = t.join();
-            }
-            // Drain the registry before joining so the lock is not held
-            // while connection threads wind down.
-            let drained: Vec<ConnSlot> = {
-                let mut reg = self.conns.lock();
-                reg.drain().map(|(_, slot)| slot).collect()
-            };
-            for slot in &drained {
-                let _ = slot.stream.shutdown(std::net::Shutdown::Both);
-            }
-            for slot in drained {
-                let _ = slot.handle.join();
+            match self.engine.take() {
+                Some(Engine::Threaded {
+                    accept_thread,
+                    conns,
+                }) => {
+                    // Unblock the accept loop.
+                    let _ = TcpStream::connect(self.addr);
+                    let _ = accept_thread.join();
+                    // Drain the registry before joining so the lock is not
+                    // held while connection threads wind down.
+                    let drained: Vec<ConnSlot> = {
+                        let mut reg = conns.lock();
+                        reg.drain().map(|(_, slot)| slot).collect()
+                    };
+                    for slot in &drained {
+                        let _ = slot.stream.shutdown(std::net::Shutdown::Both);
+                    }
+                    for slot in drained {
+                        let _ = slot.handle.join();
+                    }
+                }
+                #[cfg(target_os = "linux")]
+                Some(Engine::Event { thread, waker }) => {
+                    waker.wake();
+                    let _ = thread.join();
+                }
+                None => {}
             }
         }
     }
@@ -311,6 +447,8 @@ enum Inbound {
     Msg(LdapMessage),
     /// Undecodable bytes: framing violation or BER decode failure.
     Malformed(String),
+    /// The idle timeout elapsed with no readable bytes.
+    Idle,
     Closed,
 }
 
@@ -328,17 +466,31 @@ fn read_inbound(frames: &mut FrameReader<TcpStream>, metrics: &ServerMetrics) ->
             metrics.decode_failures.fetch_add(1, Ordering::Relaxed);
             Inbound::Malformed(e.to_string())
         }
+        // A blocking socket with a read timeout reports the expiry as
+        // WouldBlock (or TimedOut, platform-dependent).
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Inbound::Idle
+        }
         Err(_) => Inbound::Closed,
     }
+}
+
+/// The encoded RFC 2251 Notice of Disconnection, with its metrics
+/// recorded — shared by both wire engines.
+pub(crate) fn disconnect_notice_bytes(metrics: &ServerMetrics, detail: &str) -> Vec<u8> {
+    metrics.disconnect_notices.fetch_add(1, Ordering::Relaxed);
+    metrics.record_result(ResultCode::ProtocolError);
+    notice_of_disconnection(ResultCode::ProtocolError, detail).encode()
 }
 
 /// Tell the client why it is being dropped (RFC 2251 Notice of
 /// Disconnection) so malformed-request is distinguishable from a crash.
 fn send_disconnect_notice(mut w: impl Write, metrics: &ServerMetrics, detail: &str) {
-    metrics.disconnect_notices.fetch_add(1, Ordering::Relaxed);
-    metrics.record_result(ResultCode::ProtocolError);
-    let msg = notice_of_disconnection(ResultCode::ProtocolError, detail);
-    let _ = w.write_all(&msg.encode());
+    let msg = disconnect_notice_bytes(metrics, detail);
+    let _ = w.write_all(&msg);
     let _ = w.flush();
 }
 
@@ -352,6 +504,11 @@ fn serve_connection(
         Ok(s) => s,
         Err(_) => return,
     };
+    // The threaded engine enforces the idle timeout through the socket's
+    // read timeout: an expiry surfaces as `Inbound::Idle` in the reader.
+    if let Some(t) = cfg.idle_timeout {
+        let _ = read_half.set_read_timeout(Some(t));
+    }
     let mut frames = FrameReader::new(read_half);
     if cfg.workers <= 1 {
         serve_serial(&mut frames, &stream, &dir, metrics, cfg.streaming);
@@ -386,6 +543,10 @@ fn serve_serial(
             },
             Inbound::Malformed(detail) => {
                 send_disconnect_notice(stream, metrics, &detail);
+                return;
+            }
+            Inbound::Idle => {
+                metrics.disconnect_idle.fetch_add(1, Ordering::Relaxed);
                 return;
             }
             Inbound::Closed => return,
@@ -537,6 +698,10 @@ fn serve_pipelined(
                     pipe.push(Job::Disconnect { seq, detail });
                     break;
                 }
+                Inbound::Idle => {
+                    metrics.disconnect_idle.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 Inbound::Closed => break,
             }
         }
@@ -591,7 +756,7 @@ fn worker_loop(
 }
 
 /// A computed response, ready for its write turn.
-enum Prepared {
+pub(crate) enum Prepared {
     /// Streaming search: the whole response (entries + done) is already
     /// BER in the connection's reusable scratch buffer — encoded straight
     /// off borrowed store entries by [`Directory::search_visit`], no
@@ -618,7 +783,7 @@ fn result_of(r: Result<()>, metrics: &ServerMetrics) -> LdapResult {
 /// Streaming searches encode into `buf` right here (so the directory work
 /// AND the encoding overlap across pipeline workers); everything else is
 /// encoded later, under the connection's write turn.
-fn prepare_op(
+pub(crate) fn prepare_op(
     id: i64,
     op: ProtocolOp,
     dir: &Arc<dyn Directory>,
@@ -761,22 +926,13 @@ fn search_done(truncated: bool) -> ProtocolOp {
     })
 }
 
-/// Send one prepared response, reusing `buf` across calls. Pre-encoded
-/// (streaming) responses go out in [`FLUSH_CHUNK`]-sized writes so a huge
-/// result set never forces one giant syscall.
-fn write_response<W: Write>(
-    w: &mut W,
-    buf: &mut Vec<u8>,
-    id: i64,
-    prepared: Prepared,
-) -> std::io::Result<()> {
+/// Finish encoding a prepared response into `buf`. Streaming searches are
+/// already BER in `buf` (left untouched); everything else is encoded here.
+/// Both wire engines share this so their byte streams are bit-identical.
+pub(crate) fn render_response(buf: &mut Vec<u8>, id: i64, prepared: Prepared) {
     match prepared {
         Prepared::Encoded => {
-            // `buf` was filled by prepare_op; don't clear it first.
-            for chunk in buf.chunks(FLUSH_CHUNK) {
-                w.write_all(chunk)?;
-            }
-            return w.flush();
+            // `buf` was filled by prepare_op; don't clear it.
         }
         Prepared::Op(op) => {
             buf.clear();
@@ -808,7 +964,21 @@ fn write_response<W: Write>(
             }
         }
     }
-    w.write_all(buf)?;
+}
+
+/// Send one prepared response, reusing `buf` across calls. Responses go
+/// out in [`FLUSH_CHUNK`]-sized writes so a huge result set never forces
+/// one giant syscall.
+fn write_response<W: Write>(
+    w: &mut W,
+    buf: &mut Vec<u8>,
+    id: i64,
+    prepared: Prepared,
+) -> std::io::Result<()> {
+    render_response(buf, id, prepared);
+    for chunk in buf.chunks(FLUSH_CHUNK) {
+        w.write_all(chunk)?;
+    }
     w.flush()
 }
 
