@@ -33,7 +33,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick|--full] [--exp e1..e16] [--out BENCH_metacomm.json]"
+                    "usage: experiments [--quick|--full] [--exp e1..e17] [--out BENCH_metacomm.json]"
                 );
                 return;
             }
@@ -52,7 +52,7 @@ fn main() {
         Some(id) => match run_one(&id, scale) {
             Some(r) => vec![r],
             None => {
-                eprintln!("no experiment `{id}` (e1..e16)");
+                eprintln!("no experiment `{id}` (e1..e17)");
                 std::process::exit(2);
             }
         },

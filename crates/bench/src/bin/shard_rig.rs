@@ -1,0 +1,271 @@
+//! Shard-fleet rig: boots an N-shard fleet behind the [`ldap::ShardRouter`],
+//! loads a synthetic population through the front endpoint, runs a mixed
+//! search+modify workload, and proves the router's scatter/gather merge is
+//! identical (same entries, same result codes) to one unsharded server on
+//! the same population.
+//!
+//! ```text
+//! cargo run --release -p bench --bin shard_rig                       # 2 shards
+//! cargo run --release -p bench --bin shard_rig -- --shards 4 \
+//!     --population 2000 --ops 4000
+//! ```
+//!
+//! Exit status: 0 when the workload completes and every parity probe
+//! matches the unsharded reference, 1 on any divergence.
+
+use bench::population::{Population, PopulationSpec};
+use bench::shard_fleet::{subscriber_dn, subscriber_entry, ShardFleet, SHARD_BASE};
+use bench::timed;
+use ldap::client::TcpDirectory;
+use ldap::server::Server;
+use ldap::{Directory, Dit, Dn, Entry, Filter, Modification, Scope};
+use std::sync::atomic::Ordering;
+
+struct Opts {
+    seed: u64,
+    shards: usize,
+    population: usize,
+    ops: usize,
+    clients: usize,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        seed: 1717,
+        shards: 2,
+        population: 400,
+        ops: 800,
+        clients: 4,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for `{}`", args[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => o.seed = value(&mut i).parse().expect("--seed u64"),
+            "--shards" => o.shards = value(&mut i).parse().expect("--shards usize"),
+            "--population" => o.population = value(&mut i).parse().expect("--population usize"),
+            "--ops" => o.ops = value(&mut i).parse().expect("--ops usize"),
+            "--clients" => o.clients = value(&mut i).parse().expect("--clients usize"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: shard_rig [--seed N] [--shards N] [--population N] [--ops N] \
+                     [--clients N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    o.shards = o.shards.max(1);
+    o.clients = o.clients.max(1);
+    o
+}
+
+/// Sorted (dn, telephoneNumber) projection of a person search — the
+/// comparable image of a result set.
+fn image(entries: &[Entry]) -> Vec<(String, Option<String>)> {
+    let mut img: Vec<(String, Option<String>)> = entries
+        .iter()
+        .map(|e| {
+            (
+                e.dn().norm_key(),
+                e.first("telephoneNumber").map(str::to_string),
+            )
+        })
+        .collect();
+    img.sort();
+    img
+}
+
+fn main() {
+    let o = parse_opts();
+    println!(
+        "shard_rig: seed={} shards={} population={} ops={} clients={}",
+        o.seed, o.shards, o.population, o.ops, o.clients
+    );
+
+    let pop = Population::generate(PopulationSpec {
+        seed: o.seed,
+        subscribers: o.population,
+        switches: 1,
+        sites: 2,
+        with_msgplat: false,
+    });
+    let fleet = ShardFleet::boot(o.shards, &pop.orgs);
+
+    // Load + mixed workload through the front endpoint.
+    let (_, load_took) = timed(|| {
+        std::thread::scope(|s| {
+            for c in 0..o.clients {
+                let addr = fleet.front_addr();
+                let pop = &pop;
+                s.spawn(move || {
+                    let dir = TcpDirectory::connect(&addr).expect("client");
+                    for sub in pop.subscribers.iter().skip(c).step_by(o.clients) {
+                        dir.add(subscriber_entry(sub)).expect("load add");
+                    }
+                    dir.unbind();
+                });
+            }
+        });
+    });
+    println!(
+        "loaded {} subscribers in {:?} ({:.0} ops/s)",
+        pop.subscribers.len(),
+        load_took,
+        pop.subscribers.len() as f64 / load_took.as_secs_f64()
+    );
+
+    let base = Dn::parse(SHARD_BASE).expect("base");
+    let (_, mixed_took) = timed(|| {
+        std::thread::scope(|s| {
+            for c in 0..o.clients {
+                let addr = fleet.front_addr();
+                let pop = &pop;
+                let base = &base;
+                s.spawn(move || {
+                    let dir = TcpDirectory::connect(&addr).expect("client");
+                    for i in 0..o.ops / o.clients {
+                        let sub = &pop.subscribers[(i * o.clients + c) * 7 % pop.subscribers.len()];
+                        if i % 2 == 0 {
+                            let f = Filter::parse(&format!("(cn={})", sub.cn())).expect("filter");
+                            let hits = dir.search(base, Scope::Sub, &f, &[], 0).expect("search");
+                            assert_eq!(hits.len(), 1);
+                        } else {
+                            dir.modify(
+                                &subscriber_dn(sub),
+                                &[Modification::set("telephoneNumber", format!("8{i:03}"))],
+                            )
+                            .expect("modify");
+                        }
+                    }
+                    dir.unbind();
+                });
+            }
+        });
+    });
+    println!(
+        "mixed workload: {} ops in {:?} ({:.0} ops/s)",
+        o.ops / o.clients * o.clients,
+        mixed_took,
+        (o.ops / o.clients * o.clients) as f64 / mixed_took.as_secs_f64()
+    );
+
+    // Reference: one unsharded server, fed the exact same logical state
+    // (replay the final telephoneNumbers off the fleet, not the script, so
+    // the reference is independent of op interleaving).
+    let reference = Dit::new();
+    reference
+        .add(Entry::with_attrs(
+            base.clone(),
+            [("objectClass", "organization"), ("o", "MetaComm")],
+        ))
+        .expect("seed reference");
+    for org in &pop.orgs {
+        reference
+            .add(Entry::with_attrs(
+                Dn::parse(&format!("ou={org},{SHARD_BASE}")).expect("org dn"),
+                [("objectClass", "organizationalUnit"), ("ou", org.as_str())],
+            ))
+            .expect("reference org");
+    }
+    let router_client = fleet.client();
+    let person = Filter::parse("(objectClass=person)").expect("filter");
+    let fleet_people = router_client
+        .search(&base, Scope::Sub, &person, &[], 0)
+        .expect("fleet tree search");
+    for e in &fleet_people {
+        reference.add(e.clone()).expect("reference person");
+    }
+    let mut ref_server = Server::start(reference, "127.0.0.1:0").expect("reference server");
+    let ref_client = TcpDirectory::connect(&ref_server.addr().to_string()).expect("ref client");
+
+    let mut violations = 0usize;
+
+    // Parity probe 1: whole-tree person search, entry-for-entry.
+    let ref_people = ref_client
+        .search(&base, Scope::Sub, &person, &[], 0)
+        .expect("reference tree search");
+    if image(&fleet_people) != image(&ref_people) {
+        eprintln!(
+            "VIOLATION: whole-tree merge diverged (fleet {} vs reference {} entries)",
+            fleet_people.len(),
+            ref_people.len()
+        );
+        violations += 1;
+    }
+
+    // Parity probe 2: sizeLimit semantics across shards — partial entries
+    // + truncated flag (code 4 on the wire) must match the single server
+    // for limits below, at, and above the match count.
+    let n = ref_people.len();
+    for limit in [1, n.saturating_sub(1).max(1), n, n + 1] {
+        let (fe, ft) = router_client
+            .search_capped(&base, Scope::Sub, &person, &[], limit)
+            .expect("fleet capped");
+        let (re, rt) = ref_client
+            .search_capped(&base, Scope::Sub, &person, &[], limit)
+            .expect("reference capped");
+        if ft != rt || fe.len() != re.len() {
+            eprintln!(
+                "VIOLATION: sizeLimit={limit}: fleet ({}, truncated={ft}) vs reference \
+                 ({}, truncated={rt})",
+                fe.len(),
+                re.len()
+            );
+            violations += 1;
+        }
+    }
+
+    // Parity probe 3: error surfaces — a missing base must be
+    // noSuchObject through the router exactly as on one server.
+    let ghost = Dn::parse(&format!("ou=Ghost,{SHARD_BASE}")).expect("ghost dn");
+    let fc = router_client
+        .search(&ghost, Scope::Sub, &person, &[], 0)
+        .expect_err("fleet ghost")
+        .code;
+    let rc = ref_client
+        .search(&ghost, Scope::Sub, &person, &[], 0)
+        .expect_err("reference ghost")
+        .code;
+    if fc != rc {
+        eprintln!("VIOLATION: missing-base code: fleet {fc:?} vs reference {rc:?}");
+        violations += 1;
+    }
+
+    let m = fleet.router.metrics();
+    println!(
+        "router: {} ops routed, {} single-shard searches, {} fanouts ({} sub-queries), \
+         {} limit probes",
+        m.ops_total(),
+        m.searches_single.load(Ordering::Relaxed),
+        m.searches_fanout.load(Ordering::Relaxed),
+        m.fanout_subqueries.load(Ordering::Relaxed),
+        m.limit_probes.load(Ordering::Relaxed),
+    );
+
+    router_client.unbind();
+    ref_client.unbind();
+    ref_server.shutdown();
+    fleet.shutdown();
+
+    if violations > 0 {
+        eprintln!(
+            "shard_rig: {violations} parity violation(s) — seed {}",
+            o.seed
+        );
+        std::process::exit(1);
+    }
+    println!("shard_rig: parity clean across {} shards", o.shards);
+}

@@ -1,0 +1,257 @@
+//! E17 — Horizontal sharding: N-shard scaling curve through the router.
+//!
+//! Claim: partitioning the DIT by subtree across N wire-server processes
+//! scales mixed search+update throughput with N, while the router keeps
+//! whole-tree searches *identical* to an unsharded server (same entries,
+//! same result codes) at a bounded scatter/gather overhead.
+//!
+//! Rig: [`crate::shard_fleet::ShardFleet`] — per-org partition roots
+//! assigned round-robin over N shards, every shard its own `Server`
+//! process-equivalent, a front `Server` serving the [`ldap::ShardRouter`].
+//! The PR 7 population generator supplies the subscribers; the workload
+//! drives C client connections of bulk load then a mixed
+//! search/modify phase through the front endpoint, all over TCP.
+
+use super::{mean_us, p95_us, Report, Scale};
+use crate::population::{Population, PopulationSpec, Subscriber};
+use crate::shard_fleet::{subscriber_dn, subscriber_entry, ShardFleet, SHARD_BASE};
+use crate::timed;
+use ldap::{Directory, Dn, Filter, Modification, Scope};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+struct ShardSample {
+    shards: usize,
+    load_ops_per_sec: f64,
+    mixed_ops_per_sec: f64,
+    search_mean_us: f64,
+    search_p95_us: f64,
+    tree_search_ms: f64,
+    tree_entries: usize,
+    fanout_searches: u64,
+    fanout_subqueries: u64,
+    digest: u64,
+}
+
+impl ShardSample {
+    fn json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"load_ops_per_sec\":{:.0},\"mixed_ops_per_sec\":{:.0},\
+             \"search_mean_us\":{:.1},\"search_p95_us\":{:.1},\"tree_search_ms\":{:.2},\
+             \"tree_entries\":{},\"fanout_searches\":{},\"fanout_subqueries\":{}}}",
+            self.shards,
+            self.load_ops_per_sec,
+            self.mixed_ops_per_sec,
+            self.search_mean_us,
+            self.search_p95_us,
+            self.tree_search_ms,
+            self.tree_entries,
+            self.fanout_searches,
+            self.fanout_subqueries,
+        )
+    }
+}
+
+/// FNV-1a over the sorted entry DNs + result count — two runs returning
+/// the same entry set produce the same digest regardless of merge order.
+fn entry_digest(mut keys: Vec<String>) -> u64 {
+    keys.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for k in &keys {
+        for b in k.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_fleet(shards: usize, pop: &Population, mixed_ops: usize, clients: usize) -> ShardSample {
+    let fleet = ShardFleet::boot(shards, &pop.orgs);
+    let subs: Vec<&Subscriber> = pop.subscribers.iter().collect();
+
+    // Phase 1: bulk load through C parallel front connections.
+    let (_, load_took) = timed(|| {
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let addr = fleet.front_addr();
+                let subs = &subs;
+                s.spawn(move || {
+                    let dir = ldap::client::TcpDirectory::connect(&addr).expect("client");
+                    for sub in subs.iter().skip(c).step_by(clients) {
+                        dir.add(subscriber_entry(sub)).expect("load add");
+                    }
+                    dir.unbind();
+                });
+            }
+        });
+    });
+
+    // Phase 2: mixed workload — alternating whole-tree equality search
+    // (router fans it out; the filter hits one shard's entry) and a
+    // telephoneNumber modify routed to the owning shard.
+    let base = Dn::parse(SHARD_BASE).expect("base");
+    let (lat_all, mixed_took) = timed(|| {
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for c in 0..clients {
+                let addr = fleet.front_addr();
+                let subs = &subs;
+                let base = &base;
+                handles.push(s.spawn(move || {
+                    let dir = ldap::client::TcpDirectory::connect(&addr).expect("client");
+                    let mut lats: Vec<Duration> = Vec::new();
+                    let my_ops = mixed_ops / clients;
+                    for i in 0..my_ops {
+                        let sub = subs[(i * clients + c) * 7 % subs.len()];
+                        if i % 2 == 0 {
+                            let f = Filter::parse(&format!("(cn={})", sub.cn())).expect("filter");
+                            let t = Instant::now();
+                            let hits = dir.search(base, Scope::Sub, &f, &[], 0).expect("search");
+                            lats.push(t.elapsed());
+                            assert_eq!(hits.len(), 1, "equality search through router");
+                        } else {
+                            dir.modify(
+                                &subscriber_dn(sub),
+                                &[Modification::set("telephoneNumber", format!("9{i:03}"))],
+                            )
+                            .expect("modify");
+                        }
+                    }
+                    dir.unbind();
+                    lats
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("mixed client"))
+                .collect::<Vec<Duration>>()
+        })
+    });
+
+    // Phase 3: one whole-tree scatter/gather search — the cross-shard
+    // overhead probe and the parity digest.
+    let client = fleet.client();
+    let f = Filter::parse("(objectClass=person)").expect("filter");
+    let (people, tree_took) = timed(|| {
+        client
+            .search(&base, Scope::Sub, &f, &[], 0)
+            .expect("whole-tree search")
+    });
+    client.unbind();
+
+    let m = fleet.router.metrics();
+    let sample = ShardSample {
+        shards,
+        load_ops_per_sec: subs.len() as f64 / load_took.as_secs_f64(),
+        mixed_ops_per_sec: (mixed_ops / clients * clients) as f64 / mixed_took.as_secs_f64(),
+        search_mean_us: mean_us(&lat_all),
+        search_p95_us: p95_us(&lat_all),
+        tree_search_ms: tree_took.as_secs_f64() * 1e3,
+        tree_entries: people.len(),
+        fanout_searches: m.searches_fanout.load(Ordering::Relaxed),
+        fanout_subqueries: m.fanout_subqueries.load(Ordering::Relaxed),
+        digest: entry_digest(people.iter().map(|e| e.dn().norm_key()).collect()),
+    };
+    fleet.shutdown();
+    sample
+}
+
+pub fn run(scale: Scale) -> Report {
+    let (subscribers, mixed_ops, clients, counts): (usize, usize, usize, &[usize]) = match scale {
+        Scale::Quick => (240, 240, 4, &[1, 2]),
+        Scale::Full => (4000, 4000, 8, &[1, 2, 4, 8]),
+    };
+    let pop = Population::generate(PopulationSpec {
+        seed: 1717,
+        subscribers,
+        switches: 1,
+        sites: 2,
+        with_msgplat: false,
+    });
+
+    let samples: Vec<ShardSample> = counts
+        .iter()
+        .map(|&n| run_fleet(n, &pop, mixed_ops, clients))
+        .collect();
+
+    let mut table = String::from(
+        "arm          shards   load ops/s   mixed ops/s   search µs (mean/p95)   tree ms\n",
+    );
+    for s in &samples {
+        table.push_str(&format!(
+            "fleet        {:>6}   {:>10.0}   {:>11.0}   {:>9.1} / {:>9.1}   {:>7.2}\n",
+            s.shards,
+            s.load_ops_per_sec,
+            s.mixed_ops_per_sec,
+            s.search_mean_us,
+            s.search_p95_us,
+            s.tree_search_ms,
+        ));
+    }
+
+    let parity = samples
+        .windows(2)
+        .all(|w| w[0].digest == w[1].digest && w[0].tree_entries == w[1].tree_entries);
+    let base_mixed = samples[0].mixed_ops_per_sec;
+    let best = samples
+        .iter()
+        .max_by(|a, b| {
+            a.mixed_ops_per_sec
+                .partial_cmp(&b.mixed_ops_per_sec)
+                .expect("no NaN")
+        })
+        .expect("at least one sample");
+    let tree_overhead = if samples[0].tree_search_ms > 0.0 {
+        (samples.last().expect("sample").tree_search_ms - samples[0].tree_search_ms)
+            / samples[0].tree_search_ms
+    } else {
+        0.0
+    };
+
+    let mut observations = vec![
+        format!(
+            "mixed search+modify scales {:.2}x from 1 shard to the best fleet ({} shards)",
+            best.mixed_ops_per_sec / base_mixed,
+            best.shards
+        ),
+        format!(
+            "whole-tree scatter/gather returns {} entries with digest parity across every \
+             shard count: {}",
+            samples[0].tree_entries,
+            if parity { "identical" } else { "MISMATCH" }
+        ),
+        format!(
+            "cross-shard tree-search overhead at {} shards: {:+.0}% vs 1 shard",
+            samples.last().expect("sample").shards,
+            tree_overhead * 100.0
+        ),
+    ];
+    if !parity {
+        observations.push("PARITY VIOLATION: shard merge diverged from the 1-shard set".into());
+    }
+
+    let curve = samples
+        .iter()
+        .map(ShardSample::json)
+        .collect::<Vec<_>>()
+        .join(",");
+    let extra = format!(
+        "{{\"clients\":{clients},\"population\":{},\"parity\":{parity},\
+         \"mixed_scaling_best\":{:.2},\"curve\":[{curve}]}}",
+        pop.subscribers.len(),
+        best.mixed_ops_per_sec / base_mixed,
+    );
+
+    Report {
+        id: "E17",
+        title: "Horizontal sharding: N-shard scaling through the router",
+        claim: "partitioning the DIT across N wire servers scales mixed throughput while \
+                scatter/gather search stays identical to an unsharded server",
+        table,
+        observations,
+        extra: Some(("shard", extra)),
+    }
+}

@@ -11,6 +11,7 @@ pub mod e13_throughput;
 pub mod e14_wire;
 pub mod e15_durability;
 pub mod e16_soak;
+pub mod e17_shard;
 pub mod e1_propagation;
 pub mod e2_convergence;
 pub mod e3_reapply;
@@ -78,10 +79,11 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e14_wire::run(scale),
         e15_durability::run(scale),
         e16_soak::run(scale),
+        e17_shard::run(scale),
     ]
 }
 
-/// Run one experiment by id (`e1` … `e16`).
+/// Run one experiment by id (`e1` … `e17`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
     Some(match id {
         "e1" => e1_propagation::run(scale),
@@ -100,6 +102,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
         "e14" => e14_wire::run(scale),
         "e15" => e15_durability::run(scale),
         "e16" => e16_soak::run(scale),
+        "e17" => e17_shard::run(scale),
         _ => return None,
     })
 }
@@ -303,6 +306,25 @@ mod tests {
         assert!(json.contains("\"fixpoint_match\":true"), "{json}");
         assert!(json.contains("\"um.update\""), "{json}");
         assert!(json.contains("\"trajectory\":["), "{json}");
+    }
+
+    #[test]
+    fn quick_e17_shard() {
+        let r = e17_shard::run(Scale::Quick);
+        assert_eq!(r.id, "E17");
+        assert!(r.table.contains("shards"), "{}", r.table);
+        // The merge must be provably identical across shard counts.
+        assert!(
+            r.observations.iter().any(|o| o.contains("identical")),
+            "{:?}",
+            r.observations
+        );
+        let (key, json) = r.extra.as_ref().expect("shard section");
+        assert_eq!(*key, "shard");
+        assert!(json.contains("\"parity\":true"), "{json}");
+        assert!(json.contains("\"curve\":["), "{json}");
+        assert!(json.contains("\"mixed_ops_per_sec\":"), "{json}");
+        assert!(json.contains("\"tree_search_ms\":"), "{json}");
     }
 
     #[test]

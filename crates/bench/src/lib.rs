@@ -12,6 +12,7 @@ pub mod churn;
 pub mod experiments;
 pub mod oracle;
 pub mod population;
+pub mod shard_fleet;
 pub mod workload;
 
 use metacomm::{MetaComm, MetaCommBuilder};

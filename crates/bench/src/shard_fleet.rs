@@ -1,0 +1,170 @@
+//! Multi-process-style shard fleets for E17 and `shard_rig`: N wire
+//! servers each owning a DN subtree, fronted by a [`ShardRouter`] that is
+//! itself served over the wire — the client sees one LDAP endpoint.
+//!
+//! Layout: `o=MetaComm` spine on the default shard, one `ou=<org>`
+//! partition root per population org, assigned round-robin across the
+//! fleet. Every operation the workload performs goes through the front
+//! server → router → owning shard, all over TCP.
+
+use ldap::client::TcpDirectory;
+use ldap::server::Server;
+use ldap::{Directory, Dit, Dn, Entry, Rdn, ShardMap, ShardRouter};
+use std::sync::Arc;
+
+use crate::population::Subscriber;
+
+/// Root of the sharded DIT.
+pub const SHARD_BASE: &str = "o=MetaComm";
+
+/// A booted fleet: per-shard DITs and wire servers, the router, and the
+/// front server exposing the router as one endpoint.
+pub struct ShardFleet {
+    pub dits: Vec<Arc<Dit>>,
+    pub shard_servers: Vec<Server>,
+    pub router: Arc<ShardRouter>,
+    pub front: Server,
+}
+
+impl ShardFleet {
+    /// Boot `shards` wire servers with `orgs` partitioned round-robin,
+    /// seed the spine everywhere and the partition roots through the
+    /// router, and start the front server.
+    pub fn boot(shards: usize, orgs: &[String]) -> ShardFleet {
+        let base = Dn::parse(SHARD_BASE).expect("shard base");
+        let mut map = ShardMap::new(shards);
+        for (i, org) in orgs.iter().enumerate() {
+            map = map
+                .assign(base.child(Rdn::new("ou", org.clone())), i % shards)
+                .expect("assign org subtree");
+        }
+        let dits: Vec<Arc<Dit>> = (0..shards).map(|_| Dit::new()).collect();
+        for d in &dits {
+            // Every shard needs the naming spine so adds under its
+            // partition roots find their parents; only the default
+            // shard's copy is ever surfaced by the router.
+            d.add(Entry::with_attrs(
+                base.clone(),
+                [("objectClass", "organization"), ("o", "MetaComm")],
+            ))
+            .expect("seed spine");
+        }
+        let shard_servers: Vec<Server> = dits
+            .iter()
+            .map(|d| Server::start(d.clone(), "127.0.0.1:0").expect("start shard server"))
+            .collect();
+        let addrs: Vec<String> = shard_servers.iter().map(|s| s.addr().to_string()).collect();
+        let router = ShardRouter::connect(map, &addrs).expect("connect router");
+        for org in orgs {
+            router
+                .add(Entry::with_attrs(
+                    base.child(Rdn::new("ou", org.clone())),
+                    [("objectClass", "organizationalUnit"), ("ou", org.as_str())],
+                ))
+                .expect("create partition root");
+        }
+        let front = Server::start(router.clone(), "127.0.0.1:0").expect("start front server");
+        ShardFleet {
+            dits,
+            shard_servers,
+            router,
+            front,
+        }
+    }
+
+    /// Address of the single client-facing endpoint.
+    pub fn front_addr(&self) -> String {
+        self.front.addr().to_string()
+    }
+
+    /// A fresh client connection to the front server.
+    pub fn client(&self) -> TcpDirectory {
+        TcpDirectory::connect(&self.front_addr()).expect("connect front")
+    }
+
+    /// Orderly teardown: front first (its backends are the shard
+    /// connections), then the shard servers.
+    pub fn shutdown(mut self) {
+        self.front.shutdown();
+        for mut s in self.shard_servers.drain(..) {
+            s.shutdown();
+        }
+    }
+}
+
+/// The DN a subscriber lives at in the sharded layout.
+pub fn subscriber_dn(s: &Subscriber) -> Dn {
+    Dn::parse(&format!("cn={},ou={},{}", s.cn(), s.org, SHARD_BASE)).expect("subscriber dn")
+}
+
+/// The directory entry for a subscriber (person + optional station).
+pub fn subscriber_entry(s: &Subscriber) -> Entry {
+    let cn = s.cn();
+    let mut pairs: Vec<(&str, String)> = vec![
+        ("objectClass", "top".into()),
+        ("objectClass", "person".into()),
+        ("cn", cn),
+        ("sn", s.surname.clone()),
+        ("roomNumber", s.room.clone()),
+    ];
+    if let Some(ext) = &s.extension {
+        pairs.push(("telephoneNumber", ext.clone()));
+    }
+    Entry::with_attrs(subscriber_dn(s), pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{Population, PopulationSpec};
+    use ldap::{Filter, Scope};
+
+    #[test]
+    fn fleet_boots_loads_and_routes() {
+        let pop = Population::generate(PopulationSpec {
+            seed: 11,
+            subscribers: 60,
+            switches: 1,
+            sites: 2,
+            with_msgplat: false,
+        });
+        let fleet = ShardFleet::boot(2, &pop.orgs);
+        let client = fleet.client();
+        for s in &pop.subscribers {
+            client.add(subscriber_entry(s)).expect("add through front");
+        }
+        let people = client
+            .search(
+                &Dn::parse(SHARD_BASE).unwrap(),
+                Scope::Sub,
+                &Filter::parse("(objectClass=person)").unwrap(),
+                &[],
+                0,
+            )
+            .expect("whole-tree search");
+        assert_eq!(people.len(), pop.subscribers.len());
+        // The data really is partitioned: both shards hold a strict subset.
+        let counts: Vec<usize> = fleet
+            .dits
+            .iter()
+            .map(|d| {
+                d.search(
+                    &Dn::parse(SHARD_BASE).unwrap(),
+                    Scope::Sub,
+                    &Filter::parse("(objectClass=person)").unwrap(),
+                    &[],
+                    0,
+                )
+                .unwrap()
+                .len()
+            })
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), pop.subscribers.len());
+        assert!(
+            counts.iter().all(|&c| c < pop.subscribers.len()),
+            "{counts:?}"
+        );
+        client.unbind();
+        fleet.shutdown();
+    }
+}

@@ -100,6 +100,7 @@ pub struct MetaCommBuilder {
     wire_workers: Option<usize>,
     event_loop: bool,
     idle_timeout: Option<std::time::Duration>,
+    shard_metrics: Option<Arc<ldap::ShardMetrics>>,
 }
 
 impl MetaCommBuilder {
@@ -125,6 +126,7 @@ impl MetaCommBuilder {
             wire_workers: None,
             event_loop: true,
             idle_timeout: None,
+            shard_metrics: None,
         }
     }
 
@@ -179,6 +181,17 @@ impl MetaCommBuilder {
     /// Off by default — idle clients are kept forever.
     pub fn with_idle_timeout(mut self, timeout: std::time::Duration) -> Self {
         self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Export a shard router's fan-out counters
+    /// ([`ldap::ShardMetrics`]) under this deployment's `cn=monitor` as
+    /// the `shard` component — for a node that fronts a sharded fleet
+    /// with an [`ldap::ShardRouter`] while also serving its own region.
+    /// Standalone routers without a MetaComm engine register the same
+    /// gauges via [`obs::mirror_shard_metrics`].
+    pub fn with_shard_metrics(mut self, metrics: Arc<ldap::ShardMetrics>) -> Self {
+        self.shard_metrics = Some(metrics);
         self
     }
 
@@ -369,6 +382,9 @@ impl MetaCommBuilder {
             // the durability gauges appear under cn=monitor.
             dur.set_error_log(errorlog.clone(), dit.clone() as Arc<dyn Directory>);
             dur.register_metrics(&registry);
+        }
+        if let Some(sm) = &self.shard_metrics {
+            obs::mirror_shard_metrics(&registry, sm);
         }
 
         // Filters: protocol converter + mapper per repository. A filter

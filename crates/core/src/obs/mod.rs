@@ -184,6 +184,37 @@ pub(crate) fn mirror_gateway_stats(registry: &Registry, gateway: &Arc<ltap::Gate
     mirror!("readNsTotal", read_ns);
 }
 
+/// Register a shard router's fan-out counters as the `shard` component —
+/// visible under `cn=monitor` like every other component. A router
+/// deployment calls this itself (or sets
+/// [`crate::MetaCommBuilder::with_shard_metrics`]); single-node
+/// deployments have no `shard` component at all.
+pub fn mirror_shard_metrics(registry: &Registry, metrics: &Arc<ldap::ShardMetrics>) {
+    use std::sync::atomic::Ordering;
+    let comp = registry.component("shard");
+    macro_rules! mirror {
+        ($name:literal, $field:ident) => {
+            let m = metrics.clone();
+            comp.gauge_callback($name, move || m.$field.load(Ordering::Relaxed) as i64);
+        };
+    }
+    mirror!("searchesSingle", searches_single);
+    mirror!("searchesFanout", searches_fanout);
+    mirror!("fanoutSubqueries", fanout_subqueries);
+    mirror!("limitProbes", limit_probes);
+    mirror!("renamesRefused", renames_refused);
+    let shards = metrics.ops_routed.len();
+    comp.gauge_callback("shards", move || shards as i64);
+    let m = metrics.clone();
+    comp.gauge_callback("opsRouted", move || m.ops_total() as i64);
+    for i in 0..shards {
+        let m = metrics.clone();
+        comp.gauge_callback(&format!("opsRoutedShard{i}"), move || {
+            m.ops_routed[i].load(Ordering::Relaxed) as i64
+        });
+    }
+}
+
 /// Result codes tallied individually on the `server` component; anything
 /// else lands in `resultCodeOther`. Fixed so the `cn=monitor` entry shape
 /// is deterministic.
@@ -217,6 +248,7 @@ pub(crate) fn mirror_server_metrics(
     mirror!("connectionsTotal", connections_total);
     mirror!("disconnectNotices", disconnect_notices);
     mirror!("disconnectIdle", disconnect_idle);
+    mirror!("acceptPauses", accept_pauses);
     for &code in TALLIED_RESULT_CODES {
         let m = metrics.clone();
         comp.gauge_callback(&format!("resultCode{code}"), move || {

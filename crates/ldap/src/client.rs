@@ -235,6 +235,48 @@ impl Directory for TcpDirectory {
         }
     }
 
+    /// Streamed search: each `SearchResultEntry` frame is decoded and
+    /// visited as it arrives — nothing is collected, so a scatter/gather
+    /// caller (the shard router) relays arbitrarily large result streams
+    /// in O(one entry) memory.
+    fn search_visit(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        attrs: &[String],
+        size_limit: usize,
+        visit: &mut dyn FnMut(&Entry),
+    ) -> Result<(usize, bool)> {
+        let mut conn = self.conn.lock();
+        let id = conn.next_id;
+        conn.next_id += 1;
+        conn.send(&LdapMessage {
+            id,
+            op: Self::search_request(base, scope, filter, attrs, size_limit),
+        })?;
+        let mut count = 0usize;
+        loop {
+            match conn.recv(id)? {
+                ProtocolOp::SearchResultEntry { dn, attrs } => {
+                    let e = entry_from_wire(&dn, &attrs)?;
+                    visit(&e);
+                    count += 1;
+                }
+                ProtocolOp::SearchResultDone(r) => {
+                    return match r.code {
+                        ResultCode::SizeLimitExceeded => Ok((count, true)),
+                        _ => {
+                            r.into_result()?;
+                            Ok((count, false))
+                        }
+                    }
+                }
+                _ => return Err(LdapError::protocol("unexpected search response")),
+            }
+        }
+    }
+
     fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
         match self.call(ProtocolOp::CompareRequest {
             dn: dn.to_string(),

@@ -270,6 +270,11 @@ const MAX_INFLIGHT: usize = 32;
 const MAX_OUTBOUND: usize = 1 << 20;
 /// Max iovecs per writev call.
 const MAX_IOV: usize = 64;
+/// First accept-pause backoff after fd exhaustion (doubles per
+/// consecutive pause, capped at [`ACCEPT_BACKOFF_MAX`]).
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Ceiling for the accept-pause backoff.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
 /// One decoded request headed for the CPU stage.
 struct Job {
@@ -483,15 +488,17 @@ pub(crate) fn serve_event_loop(
         inline,
         idle_timeout: cfg.idle_timeout,
         last_sweep: Instant::now(),
+        accept_paused_until: None,
+        accept_backoff: ACCEPT_BACKOFF_MIN,
     };
 
     let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
-    let timeout_ms = lp
+    let idle_tick_ms = lp
         .idle_timeout
         .map(|t| (t.as_millis() as i64 / 4).clamp(10, 1000) as i32)
         .unwrap_or(-1);
     while !stop.load(Ordering::SeqCst) {
-        let n = match lp.epoll.wait(&mut events, timeout_ms) {
+        let n = match lp.epoll.wait(&mut events, lp.wait_timeout_ms(idle_tick_ms)) {
             Ok(n) => n,
             Err(_) => break,
         };
@@ -507,6 +514,7 @@ pub(crate) fn serve_event_loop(
             }
         }
         lp.pump_completions();
+        lp.maybe_resume_accept();
         lp.sweep_idle();
     }
 
@@ -533,6 +541,16 @@ struct Loop {
     inline: bool,
     idle_timeout: Option<Duration>,
     last_sweep: Instant,
+    /// Accepting is paused (listener deregistered from epoll) until this
+    /// deadline — set when `accept(2)` fails with fd exhaustion. With a
+    /// level-triggered listener, leaving the fd registered while the
+    /// backlog is non-empty would wake `epoll_wait` instantly forever: a
+    /// hot spin that starves every live connection. Parking the fd and
+    /// re-arming on a timer bounds the retry rate instead.
+    accept_paused_until: Option<Instant>,
+    /// Next pause duration; doubles per consecutive failed resume, resets
+    /// on any successful accept.
+    accept_backoff: Duration,
 }
 
 impl Loop {
@@ -540,10 +558,20 @@ impl Loop {
         loop {
             let (stream, _) = match self.listener.accept() {
                 Ok(s) => s,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
-                // EMFILE and friends: stop accepting this cycle rather
-                // than spinning; the backlog re-arms the listener event.
-                Err(_) => return,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    return;
+                }
+                // A handshake that died in the backlog; try the next one.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // EMFILE/ENFILE and friends: the process is out of fds, and
+                // the condition clears only when something else closes one.
+                // Park the listener and retry on a bounded backoff.
+                Err(_) => {
+                    self.pause_accept();
+                    return;
+                }
             };
             if stream.set_nonblocking(true).is_err() {
                 continue;
@@ -580,6 +608,63 @@ impl Loop {
                 },
             );
         }
+    }
+
+    /// Deregister the listener and schedule a re-arm. Pending handshakes
+    /// sit in the (4096-deep) accept backlog meanwhile; the kernel keeps
+    /// the listener readable, so re-adding the fd is all a resume takes.
+    fn pause_accept(&mut self) {
+        if self.accept_paused_until.is_some() {
+            return;
+        }
+        let _ = self.epoll.delete(self.listener.as_raw_fd());
+        self.accept_paused_until = Some(Instant::now() + self.accept_backoff);
+        self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+        self.metrics.accept_pauses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-register the listener once the pause deadline passes and try to
+    /// accept immediately. If fds are still exhausted, `accept_ready`
+    /// pauses again with the next (doubled) backoff.
+    fn maybe_resume_accept(&mut self) {
+        let Some(deadline) = self.accept_paused_until else {
+            return;
+        };
+        if Instant::now() < deadline {
+            return;
+        }
+        self.accept_paused_until = None;
+        if self
+            .epoll
+            .add(self.listener.as_raw_fd(), sys::EPOLLIN, TOK_LISTENER)
+            .is_err()
+        {
+            // Adding the listener itself needs a free slot in some kernels'
+            // accounting; treat it as still-exhausted and back off again.
+            self.accept_paused_until = Some(Instant::now() + self.accept_backoff);
+            self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            return;
+        }
+        self.accept_ready();
+    }
+
+    /// The `epoll_wait` timeout this iteration needs: the idle-sweep tick
+    /// and/or the accept re-arm deadline, whichever is sooner (−1 blocks
+    /// forever when neither applies).
+    fn wait_timeout_ms(&self, idle_tick_ms: i32) -> i32 {
+        let mut timeout = idle_tick_ms;
+        if let Some(deadline) = self.accept_paused_until {
+            let rearm = deadline
+                .saturating_duration_since(Instant::now())
+                .as_millis() as i32
+                + 1;
+            timeout = if timeout < 0 {
+                rearm
+            } else {
+                timeout.min(rearm)
+            };
+        }
+        timeout
     }
 
     fn handle_conn_event(&mut self, token: u64, events: u32) {
@@ -696,6 +781,15 @@ impl Loop {
     }
 
     /// Shed connections that have been idle past the configured timeout.
+    ///
+    /// "Idle" means *nothing is happening on either side*: a connection
+    /// with requests still in the CPU stage (`pending() > 0` — decode jobs
+    /// in flight or responses awaiting their request-order turn) or with
+    /// unflushed outbound bytes is mid-conversation, however long ago its
+    /// socket last signalled. `last_active` is only stamped by readiness
+    /// events and successful flush progress, so a slow reader draining a
+    /// multi-megabyte response — or a deep pipeline parked behind the
+    /// outbound cap — must not be evicted on the wall clock alone.
     fn sweep_idle(&mut self) {
         let Some(limit) = self.idle_timeout else {
             return;
@@ -708,7 +802,9 @@ impl Loop {
         let idle: Vec<u64> = self
             .conns
             .iter()
-            .filter(|(_, c)| c.last_active.elapsed() >= limit)
+            .filter(|(_, c)| {
+                c.last_active.elapsed() >= limit && c.pending() == 0 && c.outbound.is_empty()
+            })
             .map(|(t, _)| *t)
             .collect();
         for t in idle {

@@ -39,6 +39,7 @@ pub mod proto;
 pub mod repl;
 pub mod schema;
 pub mod server;
+pub mod shard;
 pub mod wal;
 
 pub use attr::{AttrName, Attribute};
@@ -49,4 +50,5 @@ pub use entry::{Entry, ModOp, Modification};
 pub use error::{LdapError, Result, ResultCode};
 pub use filter::Filter;
 pub use schema::{AttributeType, ClassKind, ObjectClass, Schema, SchemaRef, Syntax};
+pub use shard::{ShardMap, ShardMetrics, ShardRouter};
 pub use wal::{FsyncPolicy, Wal};

@@ -38,6 +38,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Flush the streaming search buffer whenever it grows past this (also the
 /// per-iovec cap in the event engine's writev batches).
@@ -70,6 +71,9 @@ pub struct ServerMetrics {
     /// Connections dropped by the idle-timeout reaper
     /// ([`ServerBuilder::with_idle_timeout`]).
     pub disconnect_idle: AtomicU64,
+    /// Times the accept path hit fd exhaustion (EMFILE/ENFILE) and backed
+    /// off before retrying — on either engine.
+    pub accept_pauses: AtomicU64,
     /// result code → times sent (any operation).
     result_codes: Mutex<BTreeMap<u32, u64>>,
 }
@@ -271,20 +275,24 @@ impl ServerBuilder {
             .name("ldap-accept".into())
             .spawn(move || {
                 let mut next_conn: u64 = 0;
+                let mut accept_backoff = Duration::from_millis(10);
                 for conn in listener.incoming() {
                     if stop2.load(Ordering::SeqCst) {
                         break;
                     }
                     match conn {
                         Ok(stream) => {
+                            accept_backoff = Duration::from_millis(10);
                             stream.set_nodelay(true).ok();
                             m2.connections_total.fetch_add(1, Ordering::Relaxed);
-                            // The registry keeps a second handle on the
-                            // socket so shutdown can force-close it.
-                            let registry_half = match stream.try_clone() {
-                                Ok(s) => s,
-                                Err(_) => continue,
-                            };
+                            // One fd per connection: the registry, reader,
+                            // and writers all share this handle, so the
+                            // accept(2) above is the only point that can
+                            // hit fd exhaustion — a connection, once
+                            // accepted, cannot be lost to an EMFILE on a
+                            // secondary try_clone.
+                            let stream = Arc::new(stream);
+                            let registry_half = stream.clone();
                             m2.connections_open.fetch_add(1, Ordering::Relaxed);
                             let dir = dir.clone();
                             let m = m2.clone();
@@ -315,7 +323,27 @@ impl ServerBuilder {
                                 }
                             }
                         }
-                        Err(_) => break,
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::ConnectionAborted
+                                    | std::io::ErrorKind::Interrupted
+                            ) =>
+                        {
+                            continue
+                        }
+                        // EMFILE/ENFILE and friends: accept(2) fails
+                        // instantly while fds are exhausted, so a plain
+                        // retry spins hot and a `break` abandons the
+                        // listener for the life of the server. Back off
+                        // (bounded) and retry; the stop flag is rechecked
+                        // every iteration so shutdown still works even if
+                        // fds never free up.
+                        Err(_) => {
+                            m2.accept_pauses.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(accept_backoff);
+                            accept_backoff = (accept_backoff * 2).min(Duration::from_secs(1));
+                        }
                     }
                 }
             })
@@ -337,7 +365,7 @@ impl ServerBuilder {
 type ConnRegistry = Mutex<HashMap<u64, ConnSlot>>;
 
 struct ConnSlot {
-    stream: TcpStream,
+    stream: Arc<TcpStream>,
     handle: JoinHandle<()>,
 }
 
@@ -452,7 +480,7 @@ enum Inbound {
     Closed,
 }
 
-fn read_inbound(frames: &mut FrameReader<TcpStream>, metrics: &ServerMetrics) -> Inbound {
+fn read_inbound<R: std::io::Read>(frames: &mut FrameReader<R>, metrics: &ServerMetrics) -> Inbound {
     match frames.next_frame() {
         Ok(Some(frame)) => match LdapMessage::decode(frame) {
             Ok(m) => Inbound::Msg(m),
@@ -495,21 +523,18 @@ fn send_disconnect_notice(mut w: impl Write, metrics: &ServerMetrics, detail: &s
 }
 
 fn serve_connection(
-    stream: TcpStream,
+    stream: Arc<TcpStream>,
     dir: Arc<dyn Directory>,
     metrics: &ServerMetrics,
     cfg: WireConfig,
 ) {
-    let read_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
     // The threaded engine enforces the idle timeout through the socket's
     // read timeout: an expiry surfaces as `Inbound::Idle` in the reader.
+    // (SO_RCVTIMEO lives on the socket, so any shared handle sees it.)
     if let Some(t) = cfg.idle_timeout {
-        let _ = read_half.set_read_timeout(Some(t));
+        let _ = stream.set_read_timeout(Some(t));
     }
-    let mut frames = FrameReader::new(read_half);
+    let mut frames = FrameReader::new(&*stream);
     if cfg.workers <= 1 {
         serve_serial(&mut frames, &stream, &dir, metrics, cfg.streaming);
     } else {
@@ -519,7 +544,7 @@ fn serve_connection(
 }
 
 fn serve_serial(
-    frames: &mut FrameReader<TcpStream>,
+    frames: &mut FrameReader<&TcpStream>,
     stream: &TcpStream,
     dir: &Arc<dyn Directory>,
     metrics: &ServerMetrics,
@@ -664,7 +689,7 @@ impl Pipeline {
 }
 
 fn serve_pipelined(
-    frames: &mut FrameReader<TcpStream>,
+    frames: &mut FrameReader<&TcpStream>,
     stream: &TcpStream,
     dir: &Arc<dyn Directory>,
     metrics: &ServerMetrics,

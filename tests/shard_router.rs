@@ -1,0 +1,199 @@
+//! Acceptance test for horizontal DN-subtree sharding: a cross-shard
+//! search through the [`ldap::ShardRouter`] must be *identical* — same
+//! entries, same attributes, same result codes — to the same search
+//! against a single unsharded server holding the same population. Both
+//! sides are driven over the wire (TCP front end), so the comparison
+//! covers the router's scatter/gather merge, the zero-clone streaming
+//! search protocol, and the sizeLimit semantics (partial entries + code 4)
+//! end to end.
+
+use bench::population::{Population, PopulationSpec};
+use bench::shard_fleet::{subscriber_dn, subscriber_entry, ShardFleet, SHARD_BASE};
+use ldap::client::TcpDirectory;
+use ldap::dit::Dit;
+use ldap::entry::Entry;
+use ldap::server::Server;
+use ldap::{Directory, Dn, Filter, Rdn, ResultCode, Scope};
+
+const SUBSCRIBERS: usize = 96;
+
+/// The comparable image of an entry: normalized DN plus every attribute,
+/// values sorted. Two directories returning equal images returned the
+/// same logical data.
+type Image = (String, Vec<(String, Vec<String>)>);
+
+fn image(e: &Entry) -> Image {
+    let mut attrs: Vec<(String, Vec<String>)> = e
+        .attributes()
+        .map(|a| {
+            let mut vs = a.values.clone();
+            vs.sort();
+            (a.name.to_string(), vs)
+        })
+        .collect();
+    attrs.sort();
+    (e.dn().norm_key(), attrs)
+}
+
+fn images(entries: &[Entry]) -> Vec<Image> {
+    let mut imgs: Vec<_> = entries.iter().map(image).collect();
+    imgs.sort();
+    imgs
+}
+
+/// Boot a 3-shard fleet and a single unsharded server over the same
+/// population; return wire clients for both fronts plus the live handles.
+fn rigs() -> (ShardFleet, TcpDirectory, Server, TcpDirectory, Population) {
+    let pop = Population::generate(PopulationSpec {
+        seed: 4242,
+        subscribers: SUBSCRIBERS,
+        switches: 1,
+        sites: 2,
+        with_msgplat: false,
+    });
+
+    let fleet = ShardFleet::boot(3, &pop.orgs);
+    let sharded = fleet.client();
+
+    let single = Dit::new();
+    let base = Dn::parse(SHARD_BASE).expect("base");
+    single
+        .add(Entry::with_attrs(
+            base.clone(),
+            [("objectClass", "organization"), ("o", "MetaComm")],
+        ))
+        .expect("seed single");
+    for org in &pop.orgs {
+        single
+            .add(Entry::with_attrs(
+                base.child(Rdn::new("ou", org.clone())),
+                [("objectClass", "organizationalUnit"), ("ou", org.as_str())],
+            ))
+            .expect("org on single");
+    }
+    let single_server = Server::start(single, "127.0.0.1:0").expect("single server");
+    let unsharded =
+        TcpDirectory::connect(&single_server.addr().to_string()).expect("unsharded client");
+
+    // Identical population through both wire fronts.
+    for sub in &pop.subscribers {
+        sharded.add(subscriber_entry(sub)).expect("sharded add");
+        unsharded.add(subscriber_entry(sub)).expect("unsharded add");
+    }
+    (fleet, sharded, single_server, unsharded, pop)
+}
+
+#[test]
+fn sharded_search_is_identical_to_unsharded() {
+    let (fleet, sharded, mut single_server, unsharded, pop) = rigs();
+    let base = Dn::parse(SHARD_BASE).expect("base");
+    let person = Filter::parse("(objectClass=person)").expect("filter");
+
+    // Whole-tree subtree search: the router fans out across all three
+    // shards; entry set (DNs *and* attributes) must match exactly.
+    let via_router = sharded
+        .search(&base, Scope::Sub, &person, &[], 0)
+        .expect("router tree search");
+    let via_single = unsharded
+        .search(&base, Scope::Sub, &person, &[], 0)
+        .expect("single tree search");
+    assert_eq!(via_router.len(), SUBSCRIBERS);
+    assert_eq!(
+        images(&via_router),
+        images(&via_single),
+        "scatter/gather merge must be entry-identical to one server"
+    );
+
+    // One-level search under the base: partition roots live on their
+    // owning shards, the spine on the default shard — the One-scope plan
+    // must reassemble the same child list.
+    let any = Filter::match_all();
+    let router_one = sharded
+        .search(&base, Scope::One, &any, &[], 0)
+        .expect("router one-level");
+    let single_one = unsharded
+        .search(&base, Scope::One, &any, &[], 0)
+        .expect("single one-level");
+    assert_eq!(images(&router_one), images(&single_one));
+
+    // Single-subtree search (no fan-out: one org lives on one shard).
+    let org_base = base.child(Rdn::new("ou", pop.orgs[0].clone()));
+    let router_org = sharded
+        .search(&org_base, Scope::Sub, &person, &[], 0)
+        .expect("router org search");
+    let single_org = unsharded
+        .search(&org_base, Scope::Sub, &person, &[], 0)
+        .expect("single org search");
+    assert!(!router_org.is_empty(), "org subtree has subscribers");
+    assert_eq!(images(&router_org), images(&single_org));
+
+    // Result codes for error surfaces: a missing base is noSuchObject
+    // through the router exactly as on one server.
+    let ghost = Dn::parse(&format!("ou=Ghost,{SHARD_BASE}")).expect("ghost");
+    let rc_router = sharded
+        .search(&ghost, Scope::Sub, &person, &[], 0)
+        .expect_err("router ghost")
+        .code;
+    let rc_single = unsharded
+        .search(&ghost, Scope::Sub, &person, &[], 0)
+        .expect_err("single ghost")
+        .code;
+    assert_eq!(rc_router, ResultCode::NoSuchObject);
+    assert_eq!(rc_router, rc_single);
+
+    sharded.unbind();
+    unsharded.unbind();
+    single_server.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn sharded_size_limit_matches_unsharded() {
+    let (fleet, sharded, mut single_server, unsharded, pop) = rigs();
+    let base = Dn::parse(SHARD_BASE).expect("base");
+    let person = Filter::parse("(objectClass=person)").expect("filter");
+    let n = SUBSCRIBERS;
+
+    // Below, at, and above the match count — and at the exact size of one
+    // shard's region (the boundary where the router must probe the
+    // remaining shards before deciding the truncated flag).
+    let org_base = base.child(Rdn::new("ou", pop.orgs[0].clone()));
+    let first_region = unsharded
+        .search(&org_base, Scope::Sub, &person, &[], 0)
+        .expect("region size")
+        .len();
+    for limit in [1, 7, first_region, n - 1, n, n + 1] {
+        let (re, rt) = sharded
+            .search_capped(&base, Scope::Sub, &person, &[], limit)
+            .expect("router capped");
+        let (se, st) = unsharded
+            .search_capped(&base, Scope::Sub, &person, &[], limit)
+            .expect("single capped");
+        assert_eq!(
+            rt, st,
+            "limit {limit}: truncated flag (code 4 on the wire) must match"
+        );
+        assert_eq!(
+            re.len(),
+            se.len(),
+            "limit {limit}: partial result count must match"
+        );
+        assert_eq!(rt, limit < n, "limit {limit}: code 4 iff matches exceed it");
+        // Partial sets are a router-chosen subset, but every returned
+        // entry must be a real population entry.
+        for e in &re {
+            let dn = e.dn().norm_key();
+            assert!(
+                pop.subscribers
+                    .iter()
+                    .any(|s| subscriber_dn(s).norm_key() == dn),
+                "limit {limit}: unknown entry {dn}"
+            );
+        }
+    }
+
+    sharded.unbind();
+    unsharded.unbind();
+    single_server.shutdown();
+    fleet.shutdown();
+}

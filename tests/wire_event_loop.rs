@@ -236,7 +236,36 @@ fn event_and_threaded_byte_streams_are_bit_identical() {
     let mut malformed = search_blob(5);
     malformed.extend_from_slice(&[0xff, 0xff, 0xff, 0xff]);
 
-    for (label, blob) in [("clean", &clean), ("malformed-tail", &malformed)] {
+    // sizeLimitExceeded partial results: all USERS persons match but the
+    // client caps at 3, so the server must stream exactly 3 entries and a
+    // code-4 done — the same 3, in the same encoding, on both engines.
+    let mut limited = Vec::new();
+    limited.extend_from_slice(
+        &LdapMessage {
+            id: 1,
+            op: ProtocolOp::SearchRequest {
+                base: "o=Test".into(),
+                scope: Scope::Sub,
+                size_limit: 3,
+                filter: Filter::parse("(objectClass=person)").unwrap(),
+                attrs: vec![],
+            },
+        }
+        .encode(),
+    );
+    limited.extend_from_slice(
+        &LdapMessage {
+            id: 2,
+            op: ProtocolOp::UnbindRequest,
+        }
+        .encode(),
+    );
+
+    for (label, blob) in [
+        ("clean", &clean),
+        ("malformed-tail", &malformed),
+        ("sizelimit-partial", &limited),
+    ] {
         let event = byte_stream(Server::builder().with_event_loop(true), blob);
         let threaded = byte_stream(Server::builder().with_event_loop(false), blob);
         assert!(
@@ -247,6 +276,22 @@ fn event_and_threaded_byte_streams_are_bit_identical() {
         );
         assert!(!event.is_empty(), "{label}: server said something");
     }
+
+    // The sizelimit stream is not just self-consistent across engines but
+    // correct: 3 partial entries then sizeLimitExceeded.
+    let stream = byte_stream(Server::builder().with_event_loop(true), &limited);
+    let mut frames = FrameReader::new(&stream[..]);
+    let mut entries = 0usize;
+    let mut done_code = None;
+    while let Some(frame) = frames.next_frame().expect("replay frames") {
+        match LdapMessage::decode(frame).expect("replay decode").op {
+            ProtocolOp::SearchResultEntry { .. } => entries += 1,
+            ProtocolOp::SearchResultDone(r) => done_code = Some(r.code),
+            other => panic!("unexpected op in sizelimit stream: {other:?}"),
+        }
+    }
+    assert_eq!(entries, 3, "exactly size_limit partial entries");
+    assert_eq!(done_code, Some(ResultCode::SizeLimitExceeded));
 }
 
 /// Abrupt client reset mid-frame: the client sends half a frame, then
@@ -401,6 +446,140 @@ fn idle_timeout_sheds_dead_clients() {
         drive_connection(&addr, 4);
         server.shutdown();
     }
+}
+
+/// Regression for the idle sweeper: a slow pipelined client — one that
+/// writes a deep batch of large searches and then stops reading for
+/// several idle-timeout windows — is *mid-conversation*, not idle. The
+/// server still holds its decode jobs and unflushed response bytes, so
+/// the sweeper must not evict it; every response must arrive intact once
+/// the client resumes reading. After the drain the connection really is
+/// idle and must be reaped through the normal path.
+#[test]
+fn slow_pipelined_client_is_not_reaped_while_responses_queued() {
+    // One entry with a 64 KiB attribute: BATCH searches return ~8 MiB,
+    // far more than the kernel socket buffers on either side can absorb,
+    // so responses are guaranteed to be queued server-side while the
+    // client sleeps.
+    const BATCH: usize = 128;
+    let dit = test_dit();
+    let big = "x".repeat(64 * 1024);
+    dit.add(Entry::with_attrs(
+        Dn::parse("cn=big,o=Test").unwrap(),
+        [
+            ("objectClass", "person"),
+            ("cn", "big"),
+            ("sn", "User"),
+            ("description", big.as_str()),
+        ],
+    ))
+    .unwrap();
+
+    let mut server = Server::builder()
+        .with_event_loop(true)
+        .with_idle_timeout(Duration::from_millis(150))
+        .start(dit, "127.0.0.1:0")
+        .expect("server");
+    let metrics = server.metrics();
+    let addr = server.addr().to_string();
+
+    // Pin SO_RCVBUF (which disables receive-buffer autotuning — tcp_rmem
+    // can otherwise balloon to tens of MB and absorb the whole batch) at a
+    // size still comfortably above the MSS, so the drain below runs at
+    // normal window-update speed rather than zero-window probe cadence.
+    let sock = connect(&addr);
+    set_rcvbuf(&sock, 128 * 1024);
+    let mut blob = Vec::new();
+    for i in 1..=BATCH {
+        blob.extend_from_slice(
+            &LdapMessage {
+                id: i as i64,
+                op: ProtocolOp::SearchRequest {
+                    base: "o=Test".into(),
+                    scope: Scope::Sub,
+                    size_limit: 0,
+                    filter: Filter::parse("(cn=big)").unwrap(),
+                    attrs: vec![],
+                },
+            }
+            .encode(),
+        );
+    }
+    (&sock).write_all(&blob).expect("pipelined batch");
+
+    // Sleep through four idle windows without reading a byte. The socket
+    // shows no readiness events server-side (its send buffer is jammed),
+    // so `last_active` goes stale — exactly the case the sweeper must
+    // excuse while work is pending.
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(
+        metrics.disconnect_idle.load(Ordering::Relaxed),
+        0,
+        "a connection with queued responses must not be counted idle"
+    );
+    assert_eq!(
+        metrics.connections_open.load(Ordering::Relaxed),
+        1,
+        "the slow client must still be attached"
+    );
+
+    // Resume reading: all BATCH responses arrive complete and in order.
+    let mut frames = FrameReader::new(sock.try_clone().expect("clone"));
+    for i in 1..=BATCH as i64 {
+        let frame = frames
+            .next_frame()
+            .expect("readable")
+            .expect("server must not have closed the slow client");
+        let msg = LdapMessage::decode(frame).expect("decode");
+        assert_eq!(msg.id, i, "responses in request order");
+        match msg.op {
+            ProtocolOp::SearchResultEntry { dn, .. } => assert_eq!(dn, "cn=big,o=Test"),
+            other => panic!("expected entry for {i}, got {other:?}"),
+        }
+        let done = frames.next_frame().expect("readable").expect("open");
+        let msg = LdapMessage::decode(done).expect("decode");
+        assert_eq!(msg.id, i);
+        match msg.op {
+            ProtocolOp::SearchResultDone(r) => assert_eq!(r.code, ResultCode::Success),
+            other => panic!("expected done for {i}, got {other:?}"),
+        }
+    }
+
+    // Fully drained and now genuinely idle: the normal reaping path
+    // applies again.
+    await_gauge(&metrics, 0, "drained slow client finally evicted");
+    assert_eq!(
+        metrics.disconnect_idle.load(Ordering::Relaxed),
+        1,
+        "eviction happened through the idle sweeper, not an error path"
+    );
+    server.shutdown();
+}
+
+/// Shrink SO_RCVBUF so the client advertises a small receive window.
+fn set_rcvbuf(sock: &TcpStream, bytes: i32) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let rc = unsafe {
+        setsockopt(
+            sock.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &bytes as *const i32 as *const std::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
 }
 
 /// Release-mode CI smoke (run with `--ignored`): the event loop sustains
