@@ -164,6 +164,12 @@ fn verify(dir: &Path) {
          recovery replayed {} wal records over a {}-entry snapshot in {} µs",
         report.wal_records_applied, report.snapshot_entries, report.replay_micros
     );
+    if let Some(kb) = bench::rss::peak_rss_kb() {
+        println!(
+            "crash_rig verify: peak rss {:.1} MB (VmHWM)",
+            kb as f64 / 1024.0
+        );
+    }
     system.shutdown();
     if failures > 0 {
         std::process::exit(1);

@@ -33,7 +33,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick|--full] [--exp e1..e17] [--out BENCH_metacomm.json]"
+                    "usage: experiments [--quick|--full] [--exp e1..e18] [--out BENCH_metacomm.json]"
                 );
                 return;
             }

@@ -267,6 +267,9 @@ fn main() {
             oracle.sweep_stats.mean_sampled_ns() as f64 / 1e6,
         );
     }
+    if let Some(kb) = bench::rss::peak_rss_kb() {
+        println!("peak rss: {:.1} MB (VmHWM)", kb as f64 / 1024.0);
+    }
     rig.system.shutdown();
     if let Some(dir) = state {
         if o.state_dir.is_none() {

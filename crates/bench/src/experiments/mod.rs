@@ -12,6 +12,7 @@ pub mod e14_wire;
 pub mod e15_durability;
 pub mod e16_soak;
 pub mod e17_shard;
+pub mod e18_scale;
 pub mod e1_propagation;
 pub mod e2_convergence;
 pub mod e3_reapply;
@@ -80,10 +81,11 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e15_durability::run(scale),
         e16_soak::run(scale),
         e17_shard::run(scale),
+        e18_scale::run(scale),
     ]
 }
 
-/// Run one experiment by id (`e1` … `e17`).
+/// Run one experiment by id (`e1` … `e18`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
     Some(match id {
         "e1" => e1_propagation::run(scale),
@@ -103,6 +105,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
         "e15" => e15_durability::run(scale),
         "e16" => e16_soak::run(scale),
         "e17" => e17_shard::run(scale),
+        "e18" => e18_scale::run(scale),
         _ => return None,
     })
 }
@@ -112,8 +115,10 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Report> {
 /// an instrumented deployment run (CI uploads this as `BENCH_metacomm.json`).
 pub fn bench_json(scale: Scale, reports: &[Report]) -> String {
     let mut out = String::from("{\"bench\":\"metacomm\"");
+    // `"scale"` (the E18 section) is taken by an experiment extra, so the
+    // run-size knob travels as `"run_scale"`.
     out.push_str(&format!(
-        ",\"scale\":{}",
+        ",\"run_scale\":{}",
         jstr(match scale {
             Scale::Quick => "quick",
             Scale::Full => "full",
@@ -143,6 +148,14 @@ pub fn bench_json(scale: Scale, reports: &[Report]) -> String {
             out.push_str(&format!(",\"{key}\":{json}"));
         }
     }
+    // Harness-process peak RSS (VmHWM, kB; null off Linux) so the artifact
+    // records how much memory the whole sweep needed, PR over PR.
+    out.push_str(&format!(
+        ",\"peak_rss_kb\":{}",
+        crate::rss::peak_rss_kb()
+            .map(|kb| kb.to_string())
+            .unwrap_or_else(|| "null".into())
+    ));
     out.push_str(",\"metrics\":");
     out.push_str(&metrics_workload_snapshot());
     out.push('}');
@@ -325,6 +338,22 @@ mod tests {
         assert!(json.contains("\"curve\":["), "{json}");
         assert!(json.contains("\"mixed_ops_per_sec\":"), "{json}");
         assert!(json.contains("\"tree_search_ms\":"), "{json}");
+    }
+
+    #[test]
+    fn quick_e18_scale() {
+        let r = e18_scale::run(Scale::Quick);
+        assert_eq!(r.id, "E18");
+        assert!(r.table.contains("load    compact"), "{}", r.table);
+        assert!(r.table.contains("restart  legacy"), "{}", r.table);
+        assert!(!r.table.contains("DIVERGED"), "{}", r.table);
+        let (key, json) = r.extra.as_ref().expect("scale section");
+        assert_eq!(*key, "scale");
+        assert!(json.contains("\"parity\":true"), "{json}");
+        assert!(json.contains("\"restart_speedup\":"), "{json}");
+        assert!(json.contains("\"rss_ratio\":"), "{json}");
+        assert!(json.contains("\"arm\":\"compact\""), "{json}");
+        assert!(json.contains("\"arm\":\"legacy\""), "{json}");
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub mod churn;
 pub mod experiments;
 pub mod oracle;
 pub mod population;
+pub mod rss;
+pub mod scale;
 pub mod shard_fleet;
 pub mod workload;
 

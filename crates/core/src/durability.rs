@@ -125,49 +125,61 @@ impl Durability {
 
         let legacy_snap = dir.join("directory.ldif");
         let legacy_journal = dir.join("changes.ldif");
-        if store.latest_generation() == 0 && (legacy_snap.exists() || legacy_journal.exists()) {
-            // Pre-WAL layout: LDIF snapshot + change journal. Load it once;
-            // the boot checkpoint writes generation 1 and the legacy files
-            // are never consulted again.
-            let (s, j) = backup::recover(dit, &legacy_snap, &legacy_journal)?;
-            report.legacy_migration = true;
-            report.snapshot_entries = s;
-            report.wal_records_applied = j;
-        } else {
-            let snap_seq = match store.restore_latest(dit)? {
-                Some((generation, seq, entries)) => {
-                    report.snapshot_generation = generation;
-                    report.snapshot_entries = entries;
-                    dit.set_seq(seq);
-                    seq
-                }
-                None => 0,
-            };
-            // Replay every segment in generation order: DIT records are
-            // collected (they carry their own commit sequence and are
-            // sorted globally), journal events reduce in scan order.
-            let mut dit_records: Vec<(u64, String)> = Vec::new();
-            for generation in store.wal_generations() {
-                let summary = wal::replay(&store.wal_path(generation), |tag, payload| {
-                    match tag {
-                        backup::TAG_DIT_CHANGE => {
-                            let (seq, text) = backup::decode_wal_payload(payload)?;
-                            dit_records.push((seq, text.to_string()));
-                        }
-                        _ => reduce_journal_event(&mut journals, tag, payload)
-                            .map_err(ldap_decode_error)?,
+        // One bulk-load window around the whole recovery (snapshot load AND
+        // WAL replay): on the compact backing, per-insert index and
+        // sibling-order maintenance is suspended and rebuilt once when the
+        // window closes — a single linear pass instead of a million
+        // incremental updates. Nestable, so the snapshot loader's own
+        // window composes; a no-op on the legacy backing.
+        dit.begin_bulk();
+        let recovery = (|| -> Result<()> {
+            if store.latest_generation() == 0 && (legacy_snap.exists() || legacy_journal.exists()) {
+                // Pre-WAL layout: LDIF snapshot + change journal. Load it once;
+                // the boot checkpoint writes generation 1 and the legacy files
+                // are never consulted again.
+                let (s, j) = backup::recover(dit, &legacy_snap, &legacy_journal)?;
+                report.legacy_migration = true;
+                report.snapshot_entries = s;
+                report.wal_records_applied = j;
+            } else {
+                let snap_seq = match store.restore_latest(dit)? {
+                    Some((generation, seq, entries)) => {
+                        report.snapshot_generation = generation;
+                        report.snapshot_entries = entries;
+                        dit.set_seq(seq);
+                        seq
                     }
-                    Ok(())
-                })?;
-                if summary.torn {
-                    report.torn_segments += 1;
+                    None => 0,
+                };
+                // Replay every segment in generation order: DIT records are
+                // collected (they carry their own commit sequence and are
+                // sorted globally), journal events reduce in scan order.
+                let mut dit_records: Vec<(u64, String)> = Vec::new();
+                for generation in store.wal_generations() {
+                    let summary = wal::replay(&store.wal_path(generation), |tag, payload| {
+                        match tag {
+                            backup::TAG_DIT_CHANGE => {
+                                let (seq, text) = backup::decode_wal_payload(payload)?;
+                                dit_records.push((seq, text.to_string()));
+                            }
+                            _ => reduce_journal_event(&mut journals, tag, payload)
+                                .map_err(ldap_decode_error)?,
+                        }
+                        Ok(())
+                    })?;
+                    if summary.torn {
+                        report.torn_segments += 1;
+                    }
                 }
+                let replay = backup::apply_wal_records(dit, dit_records, snap_seq)?;
+                report.wal_records_applied = replay.applied;
+                report.wal_records_skipped = replay.skipped;
+                report.wal_records_discarded = replay.discarded;
             }
-            let replay = backup::apply_wal_records(dit, dit_records, snap_seq)?;
-            report.wal_records_applied = replay.applied;
-            report.wal_records_skipped = replay.skipped;
-            report.wal_records_discarded = replay.discarded;
-        }
+            Ok(())
+        })();
+        dit.finish_bulk();
+        recovery?;
         report.journal_ops = journals.values().map(|j| j.ops.len()).sum();
         report.replay_micros = started.elapsed().as_micros() as u64;
 
@@ -297,8 +309,9 @@ impl Durability {
                 &encode_journal_state(name, overflowed, &ops),
             );
         }
-        let (entries, seq) = dit.export_with_seq();
-        self.store.write_snapshot(&entries, seq, generation)?;
+        // Streamed on the compact backing: the export never materializes
+        // (one entry of LDIF text in memory at a time).
+        self.store.write_snapshot_streamed(dit, generation)?;
         self.snapshots_written.fetch_add(1, Ordering::Relaxed);
         // Keep the newest two snapshots (torn-write fallback) and every
         // segment from the older one forward.

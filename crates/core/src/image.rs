@@ -19,7 +19,7 @@ pub fn entry_to_image(e: &Entry) -> Image {
         if is_structural(attr.name.norm()) {
             continue;
         }
-        img.set(attr.name.as_str().to_string(), attr.values.clone());
+        img.set(attr.name.as_str().to_string(), attr.values.to_vec());
     }
     img
 }

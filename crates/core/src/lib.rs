@@ -96,6 +96,7 @@ pub struct MetaCommBuilder {
     fault_plans: HashMap<String, FaultPlan>,
     clock: Option<Arc<dyn Clock>>,
     indexed_attrs: Option<Vec<String>>,
+    compact_store: bool,
     um_workers: Option<usize>,
     wire_workers: Option<usize>,
     event_loop: bool,
@@ -122,6 +123,7 @@ impl MetaCommBuilder {
             fault_plans: HashMap::new(),
             clock: None,
             indexed_attrs: None,
+            compact_store: true,
             um_workers: None,
             wire_workers: None,
             event_loop: true,
@@ -141,6 +143,18 @@ impl MetaCommBuilder {
         S: Into<String>,
     {
         self.indexed_attrs = Some(attrs.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Store directory entries in the compact interned representation: a
+    /// DN arena keyed by `u32` ids (entry map, sibling lists, and index
+    /// postings all hold ids instead of duplicated DN strings), interned
+    /// attribute names, and flattened attribute vectors. On by default —
+    /// this is what holds a million-entry DIT in a commodity footprint;
+    /// `false` restores the legacy string-keyed maps (the E18 ablation
+    /// arm). External behavior is bit-identical either way.
+    pub fn with_compact_store(mut self, on: bool) -> Self {
+        self.compact_store = on;
         self
     }
 
@@ -322,9 +336,13 @@ impl MetaCommBuilder {
         let dit = match &self.indexed_attrs {
             Some(attrs) => {
                 let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-                ldap::Dit::with_schema_indexed(schema, &refs)
+                ldap::Dit::with_schema_indexed_compact(schema, &refs, self.compact_store)
             }
-            None => ldap::Dit::with_schema_indexed(schema, ldap::dit::DEFAULT_INDEXED_ATTRS),
+            None => ldap::Dit::with_schema_indexed_compact(
+                schema,
+                ldap::dit::DEFAULT_INDEXED_ATTRS,
+                self.compact_store,
+            ),
         };
         // Durable deployments recover the previous state before anything
         // else touches the tree, then attach the WAL observer so every

@@ -29,9 +29,9 @@ use crate::dn::Dn;
 use crate::entry::Entry;
 use crate::error::{LdapError, Result, ResultCode};
 use crate::ldif;
-use crate::wal::{crc32, Wal};
+use crate::wal::{crc32, Crc32, Wal};
 use parking_lot::Mutex;
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -160,9 +160,307 @@ fn load_snapshot_text(dit: &Dit, text: &str, path: &Path) -> Result<usize> {
 /// Write a full LDIF snapshot of the DIT: checksummed, fsynced, and
 /// atomically renamed into place (a crash leaves either the old file or
 /// the new one, never a torn mix).
+///
+/// On the compact backing the export is streamed entry-by-entry under one
+/// read guard — a million-entry checkpoint never materializes the full
+/// `Vec<Entry>` or the full LDIF text. The legacy backing keeps the
+/// materializing path (the E18 ablation prices exactly that). Both paths
+/// produce byte-identical files.
 pub fn snapshot(dit: &Dit, path: &Path) -> Result<()> {
+    if dit.is_compact() {
+        return write_snapshot_stream(dit, path).map(|_seq| ());
+    }
     let (entries, seq) = dit.export_with_seq();
     write_snapshot_file(&entries, seq, path)
+}
+
+/// Streaming snapshot writer: header, entries, and checksum footer go
+/// through one bounded `BufWriter` with the CRC folded incrementally, so
+/// memory stays O(one entry) regardless of DIT size. Same tmp-file +
+/// fsync + rename + dir-fsync crash safety, same bytes, as
+/// [`write_snapshot_file`]. Returns the commit sequence the snapshot
+/// reflects.
+fn write_snapshot_stream(dit: &Dit, path: &Path) -> Result<u64> {
+    use std::fmt::Write as _;
+    struct W {
+        out: std::io::BufWriter<std::fs::File>,
+        crc: Crc32,
+        buf: String,
+    }
+    impl W {
+        fn emit_buf(&mut self) -> Result<()> {
+            self.crc.update(self.buf.as_bytes());
+            self.out.write_all(self.buf.as_bytes())?;
+            Ok(())
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    let file = std::fs::File::create(&tmp)?;
+    let w = std::cell::RefCell::new(W {
+        out: std::io::BufWriter::with_capacity(1 << 20, file),
+        crc: Crc32::new(),
+        buf: String::new(),
+    });
+    let seq_out = std::cell::Cell::new(0u64);
+    dit.export_stream(
+        &mut |seq| {
+            seq_out.set(seq);
+            let mut w = w.borrow_mut();
+            w.buf.clear();
+            writeln!(w.buf, "{SEQ_PREFIX}{seq}").expect("string write");
+            w.emit_buf()
+        },
+        &mut |e| {
+            let mut w = w.borrow_mut();
+            w.buf.clear();
+            ldif::write_entry(&mut w.buf, e);
+            w.buf.push('\n');
+            w.emit_buf()
+        },
+    )?;
+    let mut w = w.into_inner();
+    let footer = format!("{CRC_PREFIX}{:08x}\n", w.crc.finish());
+    w.out.write_all(footer.as_bytes())?;
+    let file = w.out.into_inner().map_err(|e| e.into_error())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            sync_dir(parent)?;
+        }
+    }
+    Ok(seq_out.get())
+}
+
+/// Single-pass snapshot scanner: reads lines through a bounded buffer,
+/// folds every byte into the running CRC, and yields whole LDIF blocks at
+/// blank-line boundaries. The checksum footer is only ever the *final*
+/// line, but that is unknowable mid-stream, so a `# crc32: ` line is held
+/// back tentatively: if more content follows it was an interior comment
+/// (fold it in and keep going); if EOF follows it is the footer and must
+/// verify against everything before it.
+struct SnapshotScanner<R: BufRead> {
+    r: R,
+    crc: Crc32,
+    line: String,
+    pending_footer: Option<String>,
+    block: String,
+    /// Commit sequence from the `# seq: ` header, once seen.
+    seq: Option<u64>,
+    path: PathBuf,
+}
+
+impl<R: BufRead> SnapshotScanner<R> {
+    fn new(r: R, path: &Path) -> SnapshotScanner<R> {
+        SnapshotScanner {
+            r,
+            crc: Crc32::new(),
+            line: String::new(),
+            pending_footer: None,
+            block: String::new(),
+            seq: None,
+            path: path.to_path_buf(),
+        }
+    }
+
+    /// The next LDIF block, or `None` at (checksum-verified) EOF.
+    fn next_block(&mut self) -> Result<Option<String>> {
+        loop {
+            self.line.clear();
+            if self.r.read_line(&mut self.line)? == 0 {
+                let footer = self
+                    .pending_footer
+                    .take()
+                    .ok_or_else(|| snapshot_error(&self.path, "missing checksum footer"))?;
+                let want =
+                    u32::from_str_radix(footer.trim_end().trim_start_matches(CRC_PREFIX), 16)
+                        .map_err(|_| snapshot_error(&self.path, "unparseable checksum footer"))?;
+                let got = self.crc.finish();
+                if got != want {
+                    return Err(snapshot_error(
+                        &self.path,
+                        &format!("checksum mismatch (stored {want:08x}, computed {got:08x})"),
+                    ));
+                }
+                if self.block.is_empty() {
+                    return Ok(None);
+                }
+                return Ok(Some(std::mem::take(&mut self.block)));
+            }
+            if let Some(f) = self.pending_footer.take() {
+                // Not the final line after all: an interior comment.
+                self.crc.update(f.as_bytes());
+                self.block.push_str(&f);
+            }
+            if self.line.starts_with(CRC_PREFIX) {
+                self.pending_footer = Some(self.line.clone());
+                continue;
+            }
+            self.crc.update(self.line.as_bytes());
+            if self.seq.is_none() {
+                if let Some(s) = self.line.strip_prefix(SEQ_PREFIX) {
+                    self.seq = s.trim().parse().ok();
+                }
+            }
+            if self.line.trim().is_empty() {
+                if !self.block.is_empty() {
+                    return Ok(Some(std::mem::take(&mut self.block)));
+                }
+                continue;
+            }
+            self.block.push_str(&self.line);
+        }
+    }
+}
+
+/// Parse one scanner block into content entries (comments drop out in the
+/// LDIF parser; change records are a corrupt snapshot).
+fn parse_block_entries(block: &str, path: &Path) -> Result<Vec<Entry>> {
+    ldif::parse_content(block).map_err(|e| snapshot_error(path, &format!("bad content block: {e}")))
+}
+
+/// How many blocks a parse batch carries through the worker channel.
+const PARSE_BATCH_BLOCKS: usize = 512;
+
+/// Streaming snapshot load into an empty compact-backing DIT: a bounded
+/// single pass over the file (no whole-file `String`, no all-records
+/// `Vec`), with block parsing fanned across `available_parallelism - 1`
+/// workers when the machine has them (inline otherwise), ordered
+/// reassembly, and insertion in bulk-load mode via [`Dit::bulk_add`] —
+/// `trusted` because the CRC footer covers every byte, so the entries were
+/// schema-validated when this system first wrote them. A checksum failure
+/// surfaces as `Err` *after* a partial load; the caller falls back a
+/// generation and clears the DIT, exactly as with the materializing
+/// reader. Returns `(entries loaded, snapshot commit seq)`.
+fn load_snapshot_stream(dit: &Dit, path: &Path) -> Result<(usize, u64)> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).min(8))
+        .unwrap_or(0);
+    let file = std::fs::File::open(path)?;
+    let mut scanner = SnapshotScanner::new(std::io::BufReader::with_capacity(1 << 20, file), path);
+    dit.begin_bulk();
+    let res = if workers == 0 {
+        load_blocks_inline(dit, path, &mut scanner)
+    } else {
+        load_blocks_parallel(dit, path, scanner, workers)
+    };
+    dit.finish_bulk();
+    res
+}
+
+fn load_blocks_inline<R: BufRead>(
+    dit: &Dit,
+    path: &Path,
+    scanner: &mut SnapshotScanner<R>,
+) -> Result<(usize, u64)> {
+    let mut n = 0;
+    while let Some(block) = scanner.next_block()? {
+        for e in parse_block_entries(&block, path)? {
+            dit.bulk_add(e, true)?;
+            n += 1;
+        }
+    }
+    Ok((n, scanner.seq.unwrap_or(0)))
+}
+
+fn load_blocks_parallel<R: BufRead + Send>(
+    dit: &Dit,
+    path: &Path,
+    mut scanner: SnapshotScanner<R>,
+    workers: usize,
+) -> Result<(usize, u64)> {
+    use std::sync::mpsc::sync_channel;
+    type Batch = (usize, Vec<String>);
+    type Parsed = (usize, Result<Vec<Entry>>);
+    std::thread::scope(|sc| {
+        let (batch_tx, batch_rx) = sync_channel::<Batch>(workers * 2);
+        let (parsed_tx, parsed_rx) = sync_channel::<Parsed>(workers * 2);
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        for _ in 0..workers {
+            let batch_rx = batch_rx.clone();
+            let parsed_tx = parsed_tx.clone();
+            sc.spawn(move || loop {
+                let msg = batch_rx.lock().recv();
+                let Ok((idx, blocks)) = msg else { break };
+                let parsed = blocks.iter().try_fold(Vec::new(), |mut acc, b| {
+                    let mut es = parse_block_entries(b, path)?;
+                    // Flatten + intern in the worker, in parallel, so the
+                    // single-threaded inserter has less to do.
+                    for e in &mut es {
+                        e.compact_for_store();
+                    }
+                    acc.append(&mut es);
+                    Ok(acc)
+                });
+                if parsed_tx.send((idx, parsed)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(parsed_tx);
+        // Reader: scan + CRC on its own thread; returns the verify outcome
+        // and the header seq.
+        let reader = sc.spawn(move || -> (Result<()>, Option<u64>) {
+            let mut idx = 0;
+            let mut batch: Vec<String> = Vec::with_capacity(PARSE_BATCH_BLOCKS);
+            loop {
+                match scanner.next_block() {
+                    Ok(Some(b)) => {
+                        batch.push(b);
+                        if batch.len() == PARSE_BATCH_BLOCKS {
+                            if batch_tx.send((idx, std::mem::take(&mut batch))).is_err() {
+                                return (Ok(()), scanner.seq);
+                            }
+                            idx += 1;
+                        }
+                    }
+                    Ok(None) => {
+                        if !batch.is_empty() {
+                            let _ = batch_tx.send((idx, batch));
+                        }
+                        return (Ok(()), scanner.seq);
+                    }
+                    Err(e) => return (Err(e), scanner.seq),
+                }
+            }
+        });
+        // Inserter (this thread): reassemble batches in file order —
+        // parents must land before their children — and bulk-insert.
+        let mut pending: std::collections::BTreeMap<usize, Result<Vec<Entry>>> =
+            std::collections::BTreeMap::new();
+        let mut next = 0usize;
+        let mut n = 0usize;
+        let mut failure: Option<LdapError> = None;
+        'recv: for (idx, res) in parsed_rx.iter() {
+            pending.insert(idx, res);
+            while let Some(res) = pending.remove(&next) {
+                next += 1;
+                match res {
+                    Ok(entries) => {
+                        for e in entries {
+                            if let Err(err) = dit.bulk_add(e, true) {
+                                failure = Some(err);
+                                break 'recv;
+                            }
+                            n += 1;
+                        }
+                    }
+                    Err(err) => {
+                        failure = Some(err);
+                        break 'recv;
+                    }
+                }
+            }
+        }
+        drop(parsed_rx); // bail-out path: unblock workers, then the reader
+        let (read_res, seq) = reader.join().expect("snapshot reader thread");
+        if let Some(err) = failure {
+            return Err(err);
+        }
+        read_res?;
+        Ok((n, seq.unwrap_or(0)))
+    })
 }
 
 /// Load a snapshot into an empty DIT, verifying the checksum footer when
@@ -490,16 +788,39 @@ impl SnapshotStore {
         write_snapshot_file(entries, seq, &self.snapshot_path(generation))
     }
 
+    /// Write the snapshot for `generation` straight off the DIT,
+    /// streaming on the compact backing (no full export materialized);
+    /// returns the commit sequence the snapshot reflects.
+    pub fn write_snapshot_streamed(&self, dit: &Dit, generation: u64) -> Result<u64> {
+        let path = self.snapshot_path(generation);
+        if dit.is_compact() {
+            return write_snapshot_stream(dit, &path);
+        }
+        let (entries, seq) = dit.export_with_seq();
+        write_snapshot_file(&entries, seq, &path)?;
+        Ok(seq)
+    }
+
     /// Restore the newest snapshot that verifies into an empty DIT.
     /// Returns `(generation, snapshot seq, entries loaded)`; a snapshot
     /// with a torn or corrupt footer is skipped in favor of the previous
     /// generation (and the DIT is cleared of any partial load).
+    ///
+    /// Compact-backing DITs load through the streaming single-pass reader
+    /// (parallel block parsing, bulk-mode insertion); the legacy backing
+    /// keeps the materializing read-everything-then-add path as the E18
+    /// ablation baseline. Either way a corrupt generation leaves the DIT
+    /// cleared and the previous generation is tried.
     pub fn restore_latest(&self, dit: &Dit) -> Result<Option<(u64, u64, usize)>> {
         for generation in self.snapshot_generations().into_iter().rev() {
             let path = self.snapshot_path(generation);
-            match read_snapshot_file(&path, true)
-                .and_then(|(text, seq)| Ok((load_snapshot_text(dit, &text, &path)?, seq)))
-            {
+            let loaded = if dit.is_compact() {
+                load_snapshot_stream(dit, &path)
+            } else {
+                read_snapshot_file(&path, true)
+                    .and_then(|(text, seq)| Ok((load_snapshot_text(dit, &text, &path)?, seq)))
+            };
+            match loaded {
                 Ok((n, seq)) => return Ok(Some((generation, seq, n))),
                 Err(_) => dit.clear(),
             }
@@ -822,6 +1143,96 @@ mod tests {
                 .first("roomNumber"),
             Some("1")
         );
+    }
+
+    #[test]
+    fn streamed_and_materialized_snapshot_files_are_byte_identical() {
+        let dir = tmpdir("streambytes");
+        let dit = Dit::new(); // compact backing
+        figure2_tree(&dit).unwrap();
+        // Force a value that needs base64 so both encoders hit that path.
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        dit.modify(&john, &[Modification::set("description", " spaced ")])
+            .unwrap();
+        let streamed = dir.join("streamed.ldif");
+        let materialized = dir.join("materialized.ldif");
+        let seq = write_snapshot_stream(&dit, &streamed).unwrap();
+        let (entries, seq2) = dit.export_with_seq();
+        write_snapshot_file(&entries, seq2, &materialized).unwrap();
+        assert_eq!(seq, seq2);
+        assert_eq!(
+            std::fs::read(&streamed).unwrap(),
+            std::fs::read(&materialized).unwrap(),
+            "the streaming writer must produce the exact legacy bytes"
+        );
+    }
+
+    #[test]
+    fn streaming_restore_matches_legacy_restore() {
+        let dir = tmpdir("streamparity");
+        let src = Dit::new();
+        figure2_tree(&src).unwrap();
+        let store = SnapshotStore::new(&dir);
+        let (entries, seq) = src.export_with_seq();
+        store.write_snapshot(&entries, seq, 1).unwrap();
+
+        let compact = Dit::new();
+        let legacy = Dit::with_schema_indexed_compact(
+            Arc::new(crate::schema::Schema::permissive()),
+            crate::dit::DEFAULT_INDEXED_ATTRS,
+            false,
+        );
+        let a = store.restore_latest(&compact).unwrap().unwrap();
+        let b = store.restore_latest(&legacy).unwrap().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(compact.export(), legacy.export());
+        assert_eq!(
+            ldif::to_ldif(&compact.export()),
+            ldif::to_ldif(&src.export())
+        );
+    }
+
+    #[test]
+    fn streaming_restore_detects_corruption_and_clears() {
+        let dir = tmpdir("streamcrc");
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let store = SnapshotStore::new(&dir);
+        let seq = store.write_snapshot_streamed(&dit, 1).unwrap();
+        assert_eq!(seq, 9);
+        // Corrupt one body byte: the only generation fails, recovery finds
+        // nothing, and the partially loaded DIT is cleared.
+        let path = store.snapshot_path(1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = Dit::new();
+        assert!(store.restore_latest(&restored).unwrap().is_none());
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn streaming_restore_handles_interior_footer_lookalike() {
+        // An entry value that base64-decodes is not at risk, but a raw
+        // comment line matching the footer prefix mid-file must be treated
+        // as content, not a footer. Hand-build such a snapshot with a
+        // correct CRC over everything before the real footer.
+        let dir = tmpdir("streamdecoy");
+        let dit = Dit::new();
+        figure2_tree(&dit).unwrap();
+        let (entries, seq) = dit.export_with_seq();
+        let mut text = format!("{SEQ_PREFIX}{seq}\n");
+        text.push_str("# crc32: deadbeef\n"); // interior lookalike comment
+        text.push_str(&ldif::to_ldif(&entries));
+        let crc = crc32(text.as_bytes());
+        text.push_str(&format!("{CRC_PREFIX}{crc:08x}\n"));
+        let store = SnapshotStore::new(&dir);
+        std::fs::write(store.snapshot_path(1), &text).unwrap();
+        let restored = Dit::new();
+        let (generation, got_seq, n) = store.restore_latest(&restored).unwrap().unwrap();
+        assert_eq!((generation, got_seq, n), (1, 9, 9));
+        assert_eq!(restored.export(), dit.export());
     }
 
     #[test]

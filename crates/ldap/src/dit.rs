@@ -17,6 +17,26 @@
 //! the full filter over each candidate — results are bit-identical to the
 //! scan path, in the same (BFS, parents-first) order, including size-limit
 //! behavior. See [`DEFAULT_INDEXED_ATTRS`] and [`Dit::with_schema_indexed`].
+//!
+//! ## Storage representations
+//!
+//! Two interchangeable backings sit behind every operation (DESIGN.md §16):
+//!
+//! - **Compact** (the default): a DN arena maps each normalized DN to a
+//!   `u32` [`DnId`]; entries, sibling lists, and index postings all hold
+//!   ids instead of duplicated key `String`s, entries use the flattened
+//!   interned attribute representation, and a bulk-load mode
+//!   ([`Dit::begin_bulk`]) defers index and sibling-order maintenance to
+//!   one build pass — this is what makes million-entry cold starts fit in
+//!   memory and time budgets.
+//! - **Legacy** (`with_compact_store(false)` on the builder): the original
+//!   string-keyed maps, kept as the ablation baseline until parity is
+//!   proven (tests/prop_compact_store.rs pins search-stream, LDIF, and
+//!   restart-digest identity).
+//!
+//! Every search path produces bit-identical streams on both backings: the
+//! compact arm's sibling lists are sorted by full normalized key, which is
+//! exactly the order the legacy `BTreeSet`s iterate in.
 
 use crate::attr::norm_value;
 use crate::dn::{Dn, Rdn};
@@ -25,7 +45,7 @@ use crate::error::{LdapError, Result, ResultCode};
 use crate::filter::Filter;
 use crate::schema::{Schema, SchemaRef};
 use parking_lot::RwLock;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -89,25 +109,84 @@ type Observer = Box<dyn Fn(&ChangeRecord) + Send + Sync>;
 /// `lastUpdater` origin attribute).
 pub const DEFAULT_INDEXED_ATTRS: &[&str] = &["objectClass", "cn", "telephoneNumber", "lastUpdater"];
 
-/// Per-attribute equality index: for each indexed attribute, a map from
-/// normalized value to the normalized DN keys of every entry carrying it.
-/// Lives inside [`Store`] so maintenance shares the update ops' write lock.
-struct AttrIndex {
-    /// norm attr name → norm value → posting list of norm entry keys.
-    postings: HashMap<String, HashMap<String, BTreeSet<String>>>,
-}
+/// Arena id of an entry in the compact store: a `u32` that stands in for
+/// the normalized DN key everywhere the legacy representation stores a
+/// `String` — entry map, sibling lists, index postings.
+type DnId = u32;
 
-/// What the filter planner decided for one search.
-enum Plan<'a> {
+/// What the filter planner decided for one search, generic over the
+/// posting-set type (`BTreeSet<String>` on the legacy arm, `HashSet<DnId>`
+/// on the compact arm).
+enum PlanOf<T> {
     /// Serve from this posting list (smallest among the filter's indexed
     /// equality conjuncts); every candidate is re-verified with the full
     /// filter.
-    Candidates(&'a BTreeSet<String>),
+    Candidates(T),
     /// An indexed equality conjunct matches no entry at all: the result is
     /// provably empty, no traversal needed.
     Empty,
     /// No indexed equality conjunct applies: fall back to the scan.
     Scan,
+}
+
+/// Walk the filter for indexed equality conjuncts and pick the smallest
+/// posting list. Applicability rules (DESIGN.md §10): a top-level equality
+/// on an indexed attribute, or an `&` whose conjuncts (nested `&`s
+/// flatten) include one — anything else scans. A missing posting for an
+/// indexed conjunct proves the result empty.
+fn plan_postings<'a, S>(
+    postings: &'a HashMap<String, HashMap<String, S>>,
+    filter: &Filter,
+    size_of: fn(&S) -> usize,
+) -> PlanOf<&'a S> {
+    if postings.is_empty() {
+        return PlanOf::Scan;
+    }
+    let mut conjuncts: Vec<(&str, &str)> = Vec::new();
+    match filter {
+        Filter::Equality(..) | Filter::And(_) => collect_eq(filter, &mut conjuncts),
+        _ => return PlanOf::Scan,
+    }
+    let mut best: Option<&'a S> = None;
+    for (attr, value) in conjuncts {
+        let Some(m) = postings.get(&attr.to_ascii_lowercase()) else {
+            continue;
+        };
+        match m.get(&norm_value(value)) {
+            None => return PlanOf::Empty,
+            Some(set) => {
+                if best.is_none_or(|b| size_of(set) < size_of(b)) {
+                    best = Some(set);
+                }
+            }
+        }
+    }
+    match best {
+        Some(set) => PlanOf::Candidates(set),
+        None => PlanOf::Scan,
+    }
+}
+
+/// Equality conjuncts of a filter: the filter itself, or — through nested
+/// `&`s, which are conjunctive — every equality child.
+fn collect_eq<'f>(f: &'f Filter, out: &mut Vec<(&'f str, &'f str)>) {
+    match f {
+        Filter::Equality(a, v) => out.push((a, v)),
+        Filter::And(fs) => {
+            for c in fs {
+                collect_eq(c, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Per-attribute equality index of the legacy backing: normalized value →
+/// the normalized DN keys of every entry carrying it. Lives inside the
+/// store so maintenance shares the update ops' write lock.
+struct AttrIndex {
+    /// norm attr name → norm value → posting list of norm entry keys.
+    postings: HashMap<String, HashMap<String, BTreeSet<String>>>,
 }
 
 impl AttrIndex {
@@ -155,74 +234,633 @@ impl AttrIndex {
         }
     }
 
-    /// Walk the filter for indexed equality conjuncts and pick the smallest
-    /// posting list. Applicability rules (DESIGN.md §10): a top-level
-    /// equality on an indexed attribute, or an `&` whose conjuncts (nested
-    /// `&`s flatten) include one — anything else scans. A missing posting
-    /// for an indexed conjunct proves the result empty.
-    fn plan(&self, filter: &Filter) -> Plan<'_> {
+    fn plan(&self, filter: &Filter) -> PlanOf<&BTreeSet<String>> {
+        plan_postings(&self.postings, filter, BTreeSet::len)
+    }
+}
+
+/// Equality index of the compact backing: postings hold 4-byte [`DnId`]s
+/// in `HashSet`s instead of DN `String`s in `BTreeSet`s. Candidate order
+/// is recovered at query time by sorting survivors by arena key — a few
+/// comparisons on what is typically a small candidate set, in exchange
+/// for posting lists an order of magnitude smaller.
+struct IdIndex {
+    postings: HashMap<String, HashMap<String, HashSet<DnId>>>,
+}
+
+impl IdIndex {
+    fn new(attrs: &[String]) -> IdIndex {
+        let mut postings = HashMap::new();
+        for a in attrs {
+            postings.insert(a.to_ascii_lowercase(), HashMap::new());
+        }
+        IdIndex { postings }
+    }
+
+    fn enabled(&self) -> bool {
+        !self.postings.is_empty()
+    }
+
+    fn insert_entry(&mut self, id: DnId, e: &Entry) {
         if !self.enabled() {
-            return Plan::Scan;
+            return;
         }
-        let mut conjuncts: Vec<(&str, &str)> = Vec::new();
-        match filter {
-            Filter::Equality(..) | Filter::And(_) => collect_eq(filter, &mut conjuncts),
-            _ => return Plan::Scan,
+        for attr in e.attributes() {
+            if let Some(m) = self.postings.get_mut(attr.name.norm()) {
+                for v in &attr.values {
+                    m.entry(norm_value(v)).or_default().insert(id);
+                }
+            }
         }
-        let mut best: Option<&BTreeSet<String>> = None;
-        for (attr, value) in conjuncts {
-            let Some(m) = self.postings.get(&attr.to_ascii_lowercase()) else {
-                continue;
-            };
-            match m.get(&norm_value(value)) {
-                None => return Plan::Empty,
-                Some(set) => {
-                    if best.is_none_or(|b| set.len() < b.len()) {
-                        best = Some(set);
+    }
+
+    fn remove_entry(&mut self, id: DnId, e: &Entry) {
+        if !self.enabled() {
+            return;
+        }
+        for attr in e.attributes() {
+            if let Some(m) = self.postings.get_mut(attr.name.norm()) {
+                for v in &attr.values {
+                    let nv = norm_value(v);
+                    if let Some(set) = m.get_mut(&nv) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            m.remove(&nv);
+                        }
                     }
                 }
             }
         }
-        match best {
-            Some(set) => Plan::Candidates(set),
-            None => Plan::Scan,
-        }
+    }
+
+    fn plan(&self, filter: &Filter) -> PlanOf<&HashSet<DnId>> {
+        plan_postings(&self.postings, filter, HashSet::len)
     }
 }
 
-/// Equality conjuncts of a filter: the filter itself, or — through nested
-/// `&`s, which are conjunctive — every equality child.
-fn collect_eq<'f>(f: &'f Filter, out: &mut Vec<(&'f str, &'f str)>) {
-    match f {
-        Filter::Equality(a, v) => out.push((a, v)),
-        Filter::And(fs) => {
-            for c in fs {
-                collect_eq(c, out);
-            }
-        }
-        _ => {}
-    }
-}
-
-struct Store {
+/// The original string-keyed representation, kept as the E18 ablation
+/// baseline (`with_compact_store(false)`).
+struct LegacyStore {
     /// norm DN key → entry
     entries: HashMap<String, Entry>,
     /// norm parent key → norm child keys ("" is the DIT root)
     children: HashMap<String, BTreeSet<String>>,
     index: AttrIndex,
+}
+
+impl LegacyStore {
+    fn new(indexed_attrs: &[String]) -> LegacyStore {
+        let mut children = HashMap::new();
+        children.insert(String::new(), BTreeSet::new());
+        LegacyStore {
+            entries: HashMap::new(),
+            children,
+            index: AttrIndex::new(indexed_attrs),
+        }
+    }
+
+    fn search_one(
+        &self,
+        base_key: &str,
+        filter: &Filter,
+        push: &mut dyn FnMut(&Entry) -> Result<()>,
+    ) -> Result<()> {
+        match self.index.plan(filter) {
+            PlanOf::Empty => {}
+            PlanOf::Candidates(keys) => {
+                if let Some(kids) = self.children.get(base_key) {
+                    // Both sets iterate in norm-key order; siblings share a
+                    // suffix, so this is exactly the scan order.
+                    for k in keys {
+                        if kids.contains(k) {
+                            push(&self.entries[k])?;
+                        }
+                    }
+                }
+            }
+            PlanOf::Scan => {
+                if let Some(kids) = self.children.get(base_key) {
+                    for k in kids {
+                        push(&self.entries[k])?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn search_sub(
+        &self,
+        base: &Dn,
+        base_key: &str,
+        filter: &Filter,
+        push: &mut dyn FnMut(&Entry) -> Result<()>,
+    ) -> Result<()> {
+        match self.index.plan(filter) {
+            PlanOf::Empty => {}
+            PlanOf::Candidates(keys) => {
+                // Restrict candidates to the subtree, then emit in BFS
+                // order: by depth, then by the chain of ancestor keys
+                // (BTreeSet sibling order at every level) — the exact
+                // order the scan's queue produces.
+                let mut cands: Vec<(usize, Vec<String>, &String)> = keys
+                    .iter()
+                    .filter_map(|k| {
+                        let e = self.entries.get(k)?;
+                        if !base.is_root() && !e.dn().is_within(base) {
+                            return None;
+                        }
+                        let chain = ancestor_chain(e.dn());
+                        Some((chain.len(), chain, k))
+                    })
+                    .collect();
+                cands.sort();
+                for (_, _, k) in &cands {
+                    push(&self.entries[*k])?;
+                }
+            }
+            PlanOf::Scan => {
+                visit_subtree(self, base_key, &mut |k| {
+                    if k.is_empty() {
+                        return Ok(()); // virtual root
+                    }
+                    push(&self.entries[k])
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One arena slot of the compact backing: the entry, its interned full
+/// normalized key (shared with the id map), and the tree links as ids.
+struct CompactNode {
+    key: Arc<str>,
+    entry: Entry,
+    /// `None` means the parent is the virtual DIT root.
+    parent: Option<DnId>,
+    /// Sorted by the children's full normalized keys — identical iteration
+    /// order to the legacy `BTreeSet<String>` (siblings share their
+    /// suffix). Unsorted while a bulk load is active.
+    children: Vec<DnId>,
+}
+
+/// The compact backing: DN arena + id-keyed tree and index.
+struct CompactStore {
+    /// norm DN key → arena id. Keys are the same `Arc<str>`s the nodes
+    /// hold, so each DN string exists exactly once in the process.
+    ids: HashMap<Arc<str>, DnId>,
+    slots: Vec<Option<CompactNode>>,
+    /// Freed ids, reused by later inserts.
+    free: Vec<DnId>,
+    /// Children of the virtual root, sorted like [`CompactNode::children`].
+    root_children: Vec<DnId>,
+    index: IdIndex,
+    /// Bulk-load nesting depth (see [`Dit::begin_bulk`]): while non-zero,
+    /// sibling lists append unsorted and the index is not maintained —
+    /// `finish_bulk_build` restores both invariants in one pass.
+    bulk: u32,
+}
+
+impl CompactStore {
+    fn new(indexed_attrs: &[String]) -> CompactStore {
+        CompactStore {
+            ids: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            root_children: Vec::new(),
+            index: IdIndex::new(indexed_attrs),
+            bulk: 0,
+        }
+    }
+
+    fn node(&self, id: DnId) -> &CompactNode {
+        self.slots[id as usize].as_ref().expect("live id")
+    }
+
+    fn node_mut(&mut self, id: DnId) -> &mut CompactNode {
+        self.slots[id as usize].as_mut().expect("live id")
+    }
+
+    fn id_of(&self, key: &str) -> Option<DnId> {
+        self.ids.get(key).copied()
+    }
+
+    fn get_entry(&self, key: &str) -> Option<&Entry> {
+        self.id_of(key).map(|id| &self.node(id).entry)
+    }
+
+    fn children_of(&self, parent: Option<DnId>) -> &[DnId] {
+        match parent {
+            Some(p) => &self.node(p).children,
+            None => &self.root_children,
+        }
+    }
+
+    /// Is `id` a strict descendant of `ancestor`?
+    fn is_under(&self, mut id: DnId, ancestor: DnId) -> bool {
+        while let Some(p) = self.node(id).parent {
+            if p == ancestor {
+                return true;
+            }
+            id = p;
+        }
+        false
+    }
+
+    fn alloc(&mut self, node: CompactNode) -> DnId {
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(node);
+                id
+            }
+            None => {
+                let id = DnId::try_from(self.slots.len()).expect("DnId space exhausted");
+                self.slots.push(Some(node));
+                id
+            }
+        }
+    }
+
+    /// Splice `id` into its parent's sibling list at the key-sorted
+    /// position (append unsorted during bulk loads).
+    fn link_child(&mut self, parent: Option<DnId>, id: DnId) {
+        if self.bulk > 0 {
+            match parent {
+                Some(p) => self.node_mut(p).children.push(id),
+                None => self.root_children.push(id),
+            }
+            return;
+        }
+        let key = self.node(id).key.clone();
+        let pos = {
+            let sibs = self.children_of(parent);
+            sibs.binary_search_by(|&c| self.node(c).key.as_ref().cmp(key.as_ref()))
+                .unwrap_err()
+        };
+        match parent {
+            Some(p) => self.node_mut(p).children.insert(pos, id),
+            None => self.root_children.insert(pos, id),
+        }
+    }
+
+    fn unlink_child(&mut self, parent: Option<DnId>, id: DnId) {
+        let pos = {
+            let sibs = self.children_of(parent);
+            if self.bulk > 0 {
+                sibs.iter().position(|&c| c == id)
+            } else {
+                let key = &self.node(id).key;
+                sibs.binary_search_by(|&c| self.node(c).key.as_ref().cmp(key.as_ref()))
+                    .ok()
+            }
+        }
+        .expect("child is linked under its parent");
+        match parent {
+            Some(p) => {
+                self.node_mut(p).children.remove(pos);
+            }
+            None => {
+                self.root_children.remove(pos);
+            }
+        }
+    }
+
+    /// Insert an entry whose parent existence and key uniqueness the
+    /// caller has already checked.
+    fn insert_entry(&mut self, key: &str, parent_key: &str, entry: Entry) {
+        let parent = if parent_key.is_empty() {
+            None
+        } else {
+            Some(self.id_of(parent_key).expect("parent checked"))
+        };
+        let akey: Arc<str> = Arc::from(key);
+        let id = self.alloc(CompactNode {
+            key: akey.clone(),
+            entry,
+            parent,
+            children: Vec::new(),
+        });
+        self.ids.insert(akey, id);
+        if self.bulk == 0 {
+            let CompactStore { slots, index, .. } = self;
+            let node = slots[id as usize].as_ref().expect("just allocated");
+            index.insert_entry(id, &node.entry);
+        }
+        self.link_child(parent, id);
+    }
+
+    /// Remove a childless entry the caller has already checked exists.
+    fn remove_leaf(&mut self, key: &str) -> Entry {
+        let id = self.ids.remove(key).expect("entry checked");
+        let parent = self.node(id).parent;
+        self.unlink_child(parent, id);
+        let node = self.slots[id as usize].take().expect("live id");
+        if self.bulk == 0 {
+            self.index.remove_entry(id, &node.entry);
+        }
+        self.free.push(id);
+        node.entry
+    }
+
+    /// Swap in a modified image of an existing entry.
+    fn replace_entry(&mut self, key: &str, mut entry: Entry) {
+        entry.compact_for_store();
+        let id = self.id_of(key).expect("entry checked");
+        let CompactStore {
+            slots, index, bulk, ..
+        } = self;
+        let node = slots[id as usize].as_mut().expect("live id");
+        if *bulk == 0 {
+            index.remove_entry(id, &node.entry);
+        }
+        node.entry = entry;
+        if *bulk == 0 {
+            index.insert_entry(id, &node.entry);
+        }
+    }
+
+    /// Rename/move the subtree rooted at `old_key`: remove it leaves-first,
+    /// rewrite each DN against `new_dn`, and reinsert parents-first. `head`
+    /// is the already-updated image of the renamed entry itself.
+    fn rename_subtree(&mut self, old_key: &str, dn: &Dn, new_dn: &Dn, head: Entry) {
+        let root_id = self.id_of(old_key).expect("entry checked");
+        let mut order = vec![root_id];
+        let mut i = 0;
+        while i < order.len() {
+            let kids = self.node(order[i]).children.clone();
+            order.extend(kids);
+            i += 1;
+        }
+        let mut moved: Vec<Entry> = Vec::with_capacity(order.len());
+        for &id in order.iter().rev() {
+            let key = self.node(id).key.clone();
+            moved.push(self.remove_leaf(&key));
+        }
+        moved.reverse(); // parents-first again, aligned with `order`
+        let old_depth = dn.depth();
+        for (i, e) in moved.into_iter().enumerate() {
+            let e = if i == 0 {
+                head.clone()
+            } else {
+                let mut e = e;
+                let rdns = e.dn().rdns().to_vec();
+                let keep = rdns.len() - old_depth;
+                let mut new_rdns = rdns[..keep].to_vec();
+                new_rdns.extend(new_dn.rdns().iter().cloned());
+                e.set_dn(Dn::from_rdns(new_rdns));
+                e
+            };
+            let key = e.dn().norm_key();
+            let parent_key = e.dn().parent().map(|p| p.norm_key()).unwrap_or_default();
+            self.insert_entry(&key, &parent_key, e);
+        }
+    }
+
+    /// Restore the sorted-sibling and index invariants after a bulk load:
+    /// sort every sibling list by arena key and rebuild the postings in
+    /// one pass over the live slots. This replaces ~n per-insert index
+    /// updates (each allocating a normalized value `String` and touching a
+    /// set) with one linear build — the core of the fast cold start.
+    fn finish_bulk_build(&mut self) {
+        let mut rc = std::mem::take(&mut self.root_children);
+        rc.sort_by(|&a, &b| self.node(a).key.cmp(&self.node(b).key));
+        self.root_children = rc;
+        for i in 0..self.slots.len() {
+            let Some(slot) = self.slots[i].as_mut() else {
+                continue;
+            };
+            let mut kids = std::mem::take(&mut slot.children);
+            kids.sort_by(|&a, &b| self.node(a).key.cmp(&self.node(b).key));
+            self.node_mut(i as DnId).children = kids;
+        }
+        for m in self.index.postings.values_mut() {
+            m.clear();
+        }
+        if self.index.enabled() {
+            let CompactStore { slots, index, .. } = self;
+            for (i, slot) in slots.iter().enumerate() {
+                if let Some(n) = slot {
+                    index.insert_entry(i as DnId, &n.entry);
+                }
+            }
+        }
+    }
+
+    /// Plan wrapper: while a bulk load is active the index is stale, so
+    /// every search scans.
+    fn plan(&self, filter: &Filter) -> PlanOf<&HashSet<DnId>> {
+        if self.bulk > 0 {
+            return PlanOf::Scan;
+        }
+        self.index.plan(filter)
+    }
+
+    fn search_one(
+        &self,
+        base_key: &str,
+        filter: &Filter,
+        push: &mut dyn FnMut(&Entry) -> Result<()>,
+    ) -> Result<()> {
+        let base = if base_key.is_empty() {
+            None
+        } else {
+            Some(self.id_of(base_key).expect("base checked"))
+        };
+        match self.plan(filter) {
+            PlanOf::Empty => {}
+            PlanOf::Candidates(set) => {
+                // Candidate-major: an O(1) parent check per candidate, then
+                // sort survivors by arena key — siblings share their key
+                // suffix, so this is exactly the sibling-list (scan) order.
+                let mut hits: Vec<DnId> = set
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.node(id).parent == base)
+                    .collect();
+                hits.sort_by(|&a, &b| self.node(a).key.cmp(&self.node(b).key));
+                for id in hits {
+                    push(&self.node(id).entry)?;
+                }
+            }
+            PlanOf::Scan => {
+                for &id in self.children_of(base) {
+                    push(&self.node(id).entry)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn search_sub(
+        &self,
+        base: &Dn,
+        base_key: &str,
+        filter: &Filter,
+        push: &mut dyn FnMut(&Entry) -> Result<()>,
+    ) -> Result<()> {
+        let base_id = if base.is_root() {
+            None
+        } else {
+            Some(self.id_of(base_key).expect("base checked"))
+        };
+        match self.plan(filter) {
+            PlanOf::Empty => {}
+            PlanOf::Candidates(set) => {
+                // Same (depth, ancestor-key-chain) sort as the legacy arm:
+                // it reproduces the BFS queue's emission order exactly.
+                let mut cands: Vec<(usize, Vec<String>, DnId)> = set
+                    .iter()
+                    .copied()
+                    .filter_map(|id| {
+                        if let Some(b) = base_id {
+                            if id != b && !self.is_under(id, b) {
+                                return None;
+                            }
+                        }
+                        let chain = ancestor_chain(self.node(id).entry.dn());
+                        Some((chain.len(), chain, id))
+                    })
+                    .collect();
+                cands.sort();
+                for (_, _, id) in &cands {
+                    push(&self.node(*id).entry)?;
+                }
+            }
+            PlanOf::Scan => {
+                let mut queue: VecDeque<DnId> = match base_id {
+                    Some(id) => std::iter::once(id).collect(),
+                    None => self.root_children.iter().copied().collect(),
+                };
+                while let Some(id) = queue.pop_front() {
+                    let n = self.node(id);
+                    queue.extend(&n.children);
+                    push(&n.entry)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every entry, parents before children (BFS over sibling lists).
+    fn for_each_parents_first(&self, f: &mut dyn FnMut(&Entry) -> Result<()>) -> Result<()> {
+        let mut queue: VecDeque<DnId> = self.root_children.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            let n = self.node(id);
+            queue.extend(&n.children);
+            f(&n.entry)?;
+        }
+        Ok(())
+    }
+}
+
+/// Which backing a store runs on; see the module docs.
+enum Backing {
+    Legacy(LegacyStore),
+    Compact(CompactStore),
+}
+
+impl Backing {
+    fn len(&self) -> usize {
+        match self {
+            Backing::Legacy(s) => s.entries.len(),
+            Backing::Compact(s) => s.ids.len(),
+        }
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        match self {
+            Backing::Legacy(s) => s.entries.contains_key(key),
+            Backing::Compact(s) => s.ids.contains_key(key),
+        }
+    }
+
+    fn get_entry(&self, key: &str) -> Option<&Entry> {
+        match self {
+            Backing::Legacy(s) => s.entries.get(key),
+            Backing::Compact(s) => s.get_entry(key),
+        }
+    }
+
+    fn has_children(&self, key: &str) -> bool {
+        match self {
+            Backing::Legacy(s) => s.children.get(key).is_some_and(|c| !c.is_empty()),
+            Backing::Compact(s) => s
+                .id_of(key)
+                .is_some_and(|id| !s.node(id).children.is_empty()),
+        }
+    }
+
+    /// Would this search be answered from the index (`true`) or by a scan
+    /// (`false`)? Used only for the served/scanned counters; the search
+    /// methods re-plan internally (planning is a couple of map lookups).
+    fn plan_serves(&self, filter: &Filter) -> bool {
+        match self {
+            Backing::Legacy(s) => !matches!(s.index.plan(filter), PlanOf::Scan),
+            Backing::Compact(s) => !matches!(s.plan(filter), PlanOf::Scan),
+        }
+    }
+
+    fn search_one(
+        &self,
+        base_key: &str,
+        filter: &Filter,
+        push: &mut dyn FnMut(&Entry) -> Result<()>,
+    ) -> Result<()> {
+        match self {
+            Backing::Legacy(s) => s.search_one(base_key, filter, push),
+            Backing::Compact(s) => s.search_one(base_key, filter, push),
+        }
+    }
+
+    fn search_sub(
+        &self,
+        base: &Dn,
+        base_key: &str,
+        filter: &Filter,
+        push: &mut dyn FnMut(&Entry) -> Result<()>,
+    ) -> Result<()> {
+        match self {
+            Backing::Legacy(s) => s.search_sub(base, base_key, filter, push),
+            Backing::Compact(s) => s.search_sub(base, base_key, filter, push),
+        }
+    }
+
+    fn for_each_parents_first(&self, f: &mut dyn FnMut(&Entry) -> Result<()>) -> Result<()> {
+        match self {
+            Backing::Legacy(s) => visit_subtree(s, "", &mut |k| {
+                if k.is_empty() {
+                    return Ok(());
+                }
+                f(&s.entries[k])
+            }),
+            Backing::Compact(s) => s.for_each_parents_first(f),
+        }
+    }
+
+    fn indexed_attrs(&self) -> Vec<String> {
+        let mut attrs: Vec<String> = match self {
+            Backing::Legacy(s) => s.index.postings.keys().cloned().collect(),
+            Backing::Compact(s) => s.index.postings.keys().cloned().collect(),
+        };
+        attrs.sort();
+        attrs
+    }
+}
+
+struct Store {
+    backing: Backing,
     seq: u64,
 }
 
 impl Store {
-    fn new(indexed_attrs: &[String]) -> Store {
-        let mut children = HashMap::new();
-        children.insert(String::new(), BTreeSet::new());
-        Store {
-            entries: HashMap::new(),
-            children,
-            index: AttrIndex::new(indexed_attrs),
-            seq: 0,
-        }
+    fn new(indexed_attrs: &[String], compact: bool) -> Store {
+        let backing = if compact {
+            Backing::Compact(CompactStore::new(indexed_attrs))
+        } else {
+            Backing::Legacy(LegacyStore::new(indexed_attrs))
+        };
+        Store { backing, seq: 0 }
     }
 }
 
@@ -232,6 +870,8 @@ pub struct Dit {
     store: RwLock<Store>,
     schema: SchemaRef,
     observers: RwLock<Vec<Observer>>,
+    /// Which backing `store` runs on (fixed at construction).
+    compact: bool,
     /// One/Sub searches answered from the equality index (incl. provably
     /// empty results).
     index_served: AtomicU64,
@@ -253,13 +893,26 @@ impl Dit {
 
     /// DIT with an explicit equality-index attribute set. An empty slice
     /// disables indexing entirely (every search scans — the ablation
-    /// baseline for benchmarks).
+    /// baseline for benchmarks). Uses the compact store.
     pub fn with_schema_indexed(schema: SchemaRef, indexed_attrs: &[&str]) -> Arc<Dit> {
+        Dit::with_schema_indexed_compact(schema, indexed_attrs, true)
+    }
+
+    /// Like [`Dit::with_schema_indexed`] but selecting the storage
+    /// representation: `compact = false` keeps the legacy string-keyed
+    /// maps — the E18 ablation arm (`with_compact_store(false)` on the
+    /// system builder).
+    pub fn with_schema_indexed_compact(
+        schema: SchemaRef,
+        indexed_attrs: &[&str],
+        compact: bool,
+    ) -> Arc<Dit> {
         let attrs: Vec<String> = indexed_attrs.iter().map(|s| s.to_string()).collect();
         Arc::new(Dit {
-            store: RwLock::new(Store::new(&attrs)),
+            store: RwLock::new(Store::new(&attrs, compact)),
             schema,
             observers: RwLock::new(Vec::new()),
+            compact,
             index_served: AtomicU64::new(0),
             index_scanned: AtomicU64::new(0),
         })
@@ -269,12 +922,14 @@ impl Dit {
         &self.schema
     }
 
+    /// `true` when this DIT runs on the compact interned representation.
+    pub fn is_compact(&self) -> bool {
+        self.compact
+    }
+
     /// The attributes carrying an equality index, normalized and sorted.
     pub fn indexed_attrs(&self) -> Vec<String> {
-        let s = self.store.read();
-        let mut attrs: Vec<String> = s.index.postings.keys().cloned().collect();
-        attrs.sort();
-        attrs
+        self.store.read().backing.indexed_attrs()
     }
 
     /// `(served, scanned)`: One/Sub searches answered from the equality
@@ -300,7 +955,7 @@ impl Dit {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.store.read().entries.len()
+        self.store.read().backing.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -323,49 +978,101 @@ impl Dit {
 
     /// Fetch a copy of one entry.
     pub fn get(&self, dn: &Dn) -> Option<Entry> {
-        self.store.read().entries.get(&dn.norm_key()).cloned()
+        self.store.read().backing.get_entry(&dn.norm_key()).cloned()
     }
 
     pub fn exists(&self, dn: &Dn) -> bool {
-        self.store.read().entries.contains_key(&dn.norm_key())
+        self.store.read().backing.contains(&dn.norm_key())
+    }
+
+    /// Enter bulk-load mode (nestable). On the compact backing, inserts
+    /// stop maintaining the equality index and sibling sort order;
+    /// [`Dit::finish_bulk`] restores both with one build pass — recovery
+    /// loads a million-entry snapshot without a million incremental index
+    /// updates. While active, searches fall back to (unordered) scans.
+    /// A no-op on the legacy backing, whose per-insert maintenance is
+    /// exactly what the E18 ablation prices.
+    pub fn begin_bulk(&self) {
+        if let Backing::Compact(cs) = &mut self.store.write().backing {
+            cs.bulk += 1;
+        }
+    }
+
+    /// Leave bulk-load mode; the outermost call sorts sibling lists and
+    /// rebuilds the equality index.
+    pub fn finish_bulk(&self) {
+        if let Backing::Compact(cs) = &mut self.store.write().backing {
+            cs.bulk = cs.bulk.saturating_sub(1);
+            if cs.bulk == 0 {
+                cs.finish_bulk_build();
+            }
+        }
     }
 
     /// Add an entry. The parent must exist unless the entry is a suffix
     /// (depth-1) entry.
     pub fn add(&self, entry: Entry) -> Result<()> {
+        self.add_inner(entry, true, true)
+    }
+
+    /// Bulk-load insert used by snapshot recovery: same structural checks
+    /// as [`Dit::add`], but no [`ChangeRecord`] is built or emitted
+    /// (recovery attaches observers only after the load), and schema
+    /// validation is skipped when `trusted` — the source is this system's
+    /// own CRC-verified snapshot, whose entries were validated when first
+    /// written.
+    pub fn bulk_add(&self, entry: Entry, trusted: bool) -> Result<()> {
+        self.add_inner(entry, !trusted, false)
+    }
+
+    fn add_inner(&self, mut entry: Entry, validate: bool, emit: bool) -> Result<()> {
         if entry.dn().is_root() {
             return Err(LdapError::unwilling("cannot add the root DSE"));
         }
-        self.schema.validate_entry(&entry)?;
+        if validate {
+            self.schema.validate_entry(&entry)?;
+        }
+        if self.compact {
+            // Flatten + intern outside the write lock.
+            entry.compact_for_store();
+        }
         let key = entry.dn().norm_key();
         let parent = entry.dn().parent().expect("non-root");
         let parent_key = parent.norm_key();
         let mut guard = self.store.write();
         let s = &mut *guard;
-        if s.entries.contains_key(&key) {
+        if s.backing.contains(&key) {
             return Err(LdapError::already_exists(entry.dn()));
         }
-        if !parent.is_root() && !s.entries.contains_key(&parent_key) {
+        if !parent.is_root() && !s.backing.contains(&parent_key) {
             return Err(LdapError::new(
                 ResultCode::NoSuchObject,
                 format!("parent of `{}` does not exist", entry.dn()),
             ));
         }
-        s.children
-            .entry(parent_key)
-            .or_default()
-            .insert(key.clone());
-        s.children.entry(key.clone()).or_default();
-        s.index.insert_entry(&key, &entry);
-        s.entries.insert(key, entry.clone());
+        let recorded = if emit { Some(entry.clone()) } else { None };
+        match &mut s.backing {
+            Backing::Legacy(ls) => {
+                ls.children
+                    .entry(parent_key)
+                    .or_default()
+                    .insert(key.clone());
+                ls.children.entry(key.clone()).or_default();
+                ls.index.insert_entry(&key, &entry);
+                ls.entries.insert(key, entry);
+            }
+            Backing::Compact(cs) => cs.insert_entry(&key, &parent_key, entry),
+        }
         s.seq += 1;
-        let rec = ChangeRecord {
+        let rec = recorded.map(|e| ChangeRecord {
             seq: s.seq,
-            dn: entry.dn().clone(),
-            op: ChangeOp::Add(entry),
-        };
+            dn: e.dn().clone(),
+            op: ChangeOp::Add(e),
+        });
         drop(guard);
-        self.emit(rec);
+        if let Some(rec) = rec {
+            self.emit(rec);
+        }
         Ok(())
     }
 
@@ -374,21 +1081,28 @@ impl Dit {
         let key = dn.norm_key();
         let mut guard = self.store.write();
         let s = &mut *guard;
-        if !s.entries.contains_key(&key) {
+        if !s.backing.contains(&key) {
             return Err(LdapError::no_such_object(dn));
         }
-        if s.children.get(&key).is_some_and(|c| !c.is_empty()) {
+        if s.backing.has_children(&key) {
             return Err(LdapError::new(
                 ResultCode::NotAllowedOnNonLeaf,
                 format!("`{dn}` has children"),
             ));
         }
-        let removed = s.entries.remove(&key).expect("checked");
-        s.index.remove_entry(&key, &removed);
-        s.children.remove(&key);
-        let parent_key = dn.parent().map(|p| p.norm_key()).unwrap_or_default();
-        if let Some(siblings) = s.children.get_mut(&parent_key) {
-            siblings.remove(&key);
+        match &mut s.backing {
+            Backing::Legacy(ls) => {
+                let removed = ls.entries.remove(&key).expect("checked");
+                ls.index.remove_entry(&key, &removed);
+                ls.children.remove(&key);
+                let parent_key = dn.parent().map(|p| p.norm_key()).unwrap_or_default();
+                if let Some(siblings) = ls.children.get_mut(&parent_key) {
+                    siblings.remove(&key);
+                }
+            }
+            Backing::Compact(cs) => {
+                cs.remove_leaf(&key);
+            }
         }
         s.seq += 1;
         let rec = ChangeRecord {
@@ -407,11 +1121,11 @@ impl Dit {
         let key = dn.norm_key();
         let mut guard = self.store.write();
         let s = &mut *guard;
-        let entry = s
-            .entries
-            .get(&key)
-            .ok_or_else(|| LdapError::no_such_object(dn))?;
-        let mut updated = entry.clone();
+        let mut updated = s
+            .backing
+            .get_entry(&key)
+            .ok_or_else(|| LdapError::no_such_object(dn))?
+            .clone();
         updated.apply_modifications(mods)?;
         // Naming invariant even under a permissive schema.
         if let Some(rdn) = dn.rdn() {
@@ -429,9 +1143,15 @@ impl Dit {
             }
         }
         self.schema.validate_entry(&updated)?;
-        s.index.remove_entry(&key, entry);
-        s.index.insert_entry(&key, &updated);
-        s.entries.insert(key, updated);
+        match &mut s.backing {
+            Backing::Legacy(ls) => {
+                let old = ls.entries.get(&key).expect("checked");
+                ls.index.remove_entry(&key, old);
+                ls.index.insert_entry(&key, &updated);
+                ls.entries.insert(key, updated);
+            }
+            Backing::Compact(cs) => cs.replace_entry(&key, updated),
+        }
         s.seq += 1;
         let rec = ChangeRecord {
             seq: s.seq,
@@ -465,11 +1185,11 @@ impl Dit {
         let new_key = new_dn.norm_key();
         let mut guard = self.store.write();
         let s = &mut *guard;
-        if !s.entries.contains_key(&old_key) {
+        if !s.backing.contains(&old_key) {
             return Err(LdapError::no_such_object(dn));
         }
         if let Some(sup) = new_superior {
-            if !sup.is_root() && !s.entries.contains_key(&sup.norm_key()) {
+            if !sup.is_root() && !s.backing.contains(&sup.norm_key()) {
                 return Err(LdapError::no_such_object(sup));
             }
             // Refuse to move an entry under its own subtree.
@@ -479,11 +1199,11 @@ impl Dit {
                 )));
             }
         }
-        if new_key != old_key && s.entries.contains_key(&new_key) {
+        if new_key != old_key && s.backing.contains(&new_key) {
             return Err(LdapError::already_exists(&new_dn));
         }
         // Update the renamed entry's attributes.
-        let mut entry = s.entries.get(&old_key).cloned().expect("checked");
+        let mut entry = s.backing.get_entry(&old_key).cloned().expect("checked");
         if delete_old {
             if let Some(old_rdn) = dn.rdn() {
                 for ava in old_rdn.avas() {
@@ -499,44 +1219,50 @@ impl Dit {
         entry.set_dn(new_dn.clone());
         self.schema.validate_entry(&entry)?;
 
-        // Re-key the whole subtree (indexes follow: every moved entry is
-        // unindexed under its old key and reindexed under the new one).
-        let descendants = collect_subtree(s, &old_key);
-        let old_depth = dn.depth();
-        for desc_key in &descendants {
-            let old_entry = s.entries.remove(desc_key).expect("subtree member");
-            s.index.remove_entry(desc_key, &old_entry);
-            let children = s.children.remove(desc_key).unwrap_or_default();
-            let e = if *desc_key == old_key {
-                entry.clone()
-            } else {
-                let mut e = old_entry;
-                let rdns = e.dn().rdns();
-                let keep = rdns.len() - old_depth;
-                let mut new_rdns = rdns[..keep].to_vec();
-                new_rdns.extend(new_dn.rdns().iter().cloned());
-                e.set_dn(Dn::from_rdns(new_rdns));
-                e
-            };
-            let rewritten_children: BTreeSet<String> = children
-                .iter()
-                .map(|c| rewrite_key(c, &old_key, &new_key))
-                .collect();
-            let new_desc_key = e.dn().norm_key();
-            s.index.insert_entry(&new_desc_key, &e);
-            s.children.insert(new_desc_key.clone(), rewritten_children);
-            s.entries.insert(new_desc_key, e);
+        match &mut s.backing {
+            Backing::Legacy(ls) => {
+                // Re-key the whole subtree (indexes follow: every moved
+                // entry is unindexed under its old key and reindexed under
+                // the new one).
+                let descendants = collect_subtree(ls, &old_key);
+                let old_depth = dn.depth();
+                for desc_key in &descendants {
+                    let old_entry = ls.entries.remove(desc_key).expect("subtree member");
+                    ls.index.remove_entry(desc_key, &old_entry);
+                    let children = ls.children.remove(desc_key).unwrap_or_default();
+                    let e = if *desc_key == old_key {
+                        entry.clone()
+                    } else {
+                        let mut e = old_entry;
+                        let rdns = e.dn().rdns();
+                        let keep = rdns.len() - old_depth;
+                        let mut new_rdns = rdns[..keep].to_vec();
+                        new_rdns.extend(new_dn.rdns().iter().cloned());
+                        e.set_dn(Dn::from_rdns(new_rdns));
+                        e
+                    };
+                    let rewritten_children: BTreeSet<String> = children
+                        .iter()
+                        .map(|c| rewrite_key(c, &old_key, &new_key))
+                        .collect();
+                    let new_desc_key = e.dn().norm_key();
+                    ls.index.insert_entry(&new_desc_key, &e);
+                    ls.children.insert(new_desc_key.clone(), rewritten_children);
+                    ls.entries.insert(new_desc_key, e);
+                }
+                // Fix parent links.
+                let old_parent_key = dn.parent().map(|p| p.norm_key()).unwrap_or_default();
+                if let Some(siblings) = ls.children.get_mut(&old_parent_key) {
+                    siblings.remove(&old_key);
+                }
+                let new_parent_key = new_dn.parent().map(|p| p.norm_key()).unwrap_or_default();
+                ls.children
+                    .entry(new_parent_key)
+                    .or_default()
+                    .insert(new_key);
+            }
+            Backing::Compact(cs) => cs.rename_subtree(&old_key, dn, &new_dn, entry),
         }
-        // Fix parent links.
-        let old_parent_key = dn.parent().map(|p| p.norm_key()).unwrap_or_default();
-        if let Some(siblings) = s.children.get_mut(&old_parent_key) {
-            siblings.remove(&old_key);
-        }
-        let new_parent_key = new_dn.parent().map(|p| p.norm_key()).unwrap_or_default();
-        s.children
-            .entry(new_parent_key)
-            .or_default()
-            .insert(new_key);
         s.seq += 1;
         let rec = ChangeRecord {
             seq: s.seq,
@@ -556,8 +1282,8 @@ impl Dit {
     pub fn compare(&self, dn: &Dn, attr: &str, value: &str) -> Result<bool> {
         let s = self.store.read();
         let entry = s
-            .entries
-            .get(&dn.norm_key())
+            .backing
+            .get_entry(&dn.norm_key())
             .ok_or_else(|| LdapError::no_such_object(dn))?;
         Ok(entry.has_value(attr, value))
     }
@@ -644,7 +1370,7 @@ impl Dit {
         let guard = self.store.read();
         let s = &*guard;
         let base_key = base.norm_key();
-        if !base.is_root() && !s.entries.contains_key(&base_key) {
+        if !base.is_root() && !s.backing.contains(&base_key) {
             return Err(LdapError::no_such_object(base));
         }
         let mut count = 0usize;
@@ -668,71 +1394,26 @@ impl Dit {
         let walked = (|| -> Result<()> {
             match scope {
                 Scope::Base => {
-                    if let Some(e) = s.entries.get(&base_key) {
+                    if let Some(e) = s.backing.get_entry(&base_key) {
                         push(e)?;
                     }
                 }
-                Scope::One => match s.index.plan(filter) {
-                    Plan::Empty => {
+                Scope::One => {
+                    if s.backing.plan_serves(filter) {
                         self.index_served.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Plan::Candidates(keys) => {
-                        self.index_served.fetch_add(1, Ordering::Relaxed);
-                        if let Some(kids) = s.children.get(&base_key) {
-                            // Both sets iterate in norm-key order; siblings
-                            // share a suffix, so this is exactly the scan order.
-                            for k in keys {
-                                if kids.contains(k) {
-                                    push(&s.entries[k])?;
-                                }
-                            }
-                        }
-                    }
-                    Plan::Scan => {
+                    } else {
                         self.index_scanned.fetch_add(1, Ordering::Relaxed);
-                        if let Some(kids) = s.children.get(&base_key) {
-                            for k in kids {
-                                push(&s.entries[k])?;
-                            }
-                        }
                     }
-                },
-                Scope::Sub => match s.index.plan(filter) {
-                    Plan::Empty => {
+                    s.backing.search_one(&base_key, filter, &mut push)?;
+                }
+                Scope::Sub => {
+                    if s.backing.plan_serves(filter) {
                         self.index_served.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Plan::Candidates(keys) => {
-                        self.index_served.fetch_add(1, Ordering::Relaxed);
-                        // Restrict candidates to the subtree, then emit in BFS
-                        // order: by depth, then by the chain of ancestor keys
-                        // (BTreeSet sibling order at every level) — the exact
-                        // order the scan's queue produces.
-                        let mut cands: Vec<(usize, Vec<String>, &String)> = keys
-                            .iter()
-                            .filter_map(|k| {
-                                let e = s.entries.get(k)?;
-                                if !base.is_root() && !e.dn().is_within(base) {
-                                    return None;
-                                }
-                                let chain = ancestor_chain(e.dn());
-                                Some((chain.len(), chain, k))
-                            })
-                            .collect();
-                        cands.sort();
-                        for (_, _, k) in &cands {
-                            push(&s.entries[*k])?;
-                        }
-                    }
-                    Plan::Scan => {
+                    } else {
                         self.index_scanned.fetch_add(1, Ordering::Relaxed);
-                        visit_subtree(s, &base_key, &mut |k| {
-                            if k.is_empty() {
-                                return Ok(()); // virtual root
-                            }
-                            push(&s.entries[k])
-                        })?;
                     }
-                },
+                    s.backing.search_sub(base, &base_key, filter, &mut push)?;
+                }
             }
             Ok(())
         })();
@@ -755,24 +1436,53 @@ impl Dit {
         let guard = self.store.read();
         let s = &*guard;
         let mut out = Vec::new();
-        visit_subtree(s, "", &mut |k| {
-            if !k.is_empty() {
-                out.push(s.entries[k].clone());
-            }
-            Ok(())
-        })
-        .expect("infallible visitor");
+        s.backing
+            .for_each_parents_first(&mut |e| {
+                out.push(e.clone());
+                Ok(())
+            })
+            .expect("infallible visitor");
         (out, s.seq)
+    }
+
+    /// Stream a consistent export under one read guard without
+    /// materializing a `Vec<Entry>`: `header` runs once with the commit
+    /// sequence the cut reflects, then `each` with every entry, parents
+    /// before children. The streaming snapshot writer sits on this — a
+    /// million-entry checkpoint never holds more than one entry's text in
+    /// memory at a time.
+    pub fn export_stream(
+        &self,
+        header: &mut dyn FnMut(u64) -> Result<()>,
+        each: &mut dyn FnMut(&Entry) -> Result<()>,
+    ) -> Result<()> {
+        let guard = self.store.read();
+        let s = &*guard;
+        header(s.seq)?;
+        s.backing.for_each_parents_first(each)
     }
 
     /// Remove everything (used by resynchronization).
     pub fn clear(&self) {
         let mut s = self.store.write();
-        s.entries.clear();
-        s.children.clear();
-        s.children.insert(String::new(), BTreeSet::new());
-        for postings in s.index.postings.values_mut() {
-            postings.clear();
+        match &mut s.backing {
+            Backing::Legacy(ls) => {
+                ls.entries.clear();
+                ls.children.clear();
+                ls.children.insert(String::new(), BTreeSet::new());
+                for postings in ls.index.postings.values_mut() {
+                    postings.clear();
+                }
+            }
+            Backing::Compact(cs) => {
+                cs.ids.clear();
+                cs.slots.clear();
+                cs.free.clear();
+                cs.root_children.clear();
+                for postings in cs.index.postings.values_mut() {
+                    postings.clear();
+                }
+            }
         }
     }
 }
@@ -781,7 +1491,7 @@ impl Dit {
 /// borrowing keys from the store — O(depth) queue of `&str`, no per-entry
 /// `String` allocation.
 fn visit_subtree<'a>(
-    s: &'a Store,
+    s: &'a LegacyStore,
     root_key: &'a str,
     visit: &mut dyn FnMut(&'a str) -> Result<()>,
 ) -> Result<()> {
@@ -800,7 +1510,7 @@ fn visit_subtree<'a>(
 
 /// Owned-key BFS — only for `modify_rdn`, which mutates the maps while
 /// walking the collected keys.
-fn collect_subtree(s: &Store, root_key: &str) -> Vec<String> {
+fn collect_subtree(s: &LegacyStore, root_key: &str) -> Vec<String> {
     let mut out = Vec::new();
     visit_subtree(s, root_key, &mut |k| {
         out.push(k.to_string());
@@ -813,7 +1523,7 @@ fn collect_subtree(s: &Store, root_key: &str) -> Vec<String> {
 /// Full norm keys of `dn`'s ancestors, topmost (depth 1) first, ending with
 /// `dn`'s own key. Comparing `(len, chain)` tuples reproduces the scan's
 /// BFS emission order: depth level by level, and within a level the
-/// `BTreeSet` sibling order at the first diverging ancestor.
+/// sibling order at the first diverging ancestor.
 fn ancestor_chain(dn: &Dn) -> Vec<String> {
     let rdns = dn.rdns();
     let mut out = Vec::with_capacity(rdns.len());
@@ -905,6 +1615,17 @@ mod tests {
     /// Same tree, indexing disabled — the scan reference.
     fn scan_tree() -> Arc<Dit> {
         let dit = Dit::with_schema_indexed(Arc::new(Schema::permissive()), &[]);
+        figure2_tree(&dit).unwrap();
+        dit
+    }
+
+    /// Same tree on the legacy string-keyed backing.
+    fn legacy_tree() -> Arc<Dit> {
+        let dit = Dit::with_schema_indexed_compact(
+            Arc::new(Schema::permissive()),
+            DEFAULT_INDEXED_ATTRS,
+            false,
+        );
         figure2_tree(&dit).unwrap();
         dit
     }
@@ -1372,5 +2093,110 @@ mod tests {
         )
         .unwrap();
         assert_eq!(dit.index_stats().1, before.1 + 1);
+    }
+
+    // ---- compact vs legacy backing --------------------------------------
+
+    /// Run identical search batteries on both backings and require
+    /// entry-for-entry, in-order identity (the prop test extends this with
+    /// randomized workloads).
+    fn assert_arms_agree(compact: &Dit, legacy: &Dit) {
+        for (base, scope) in [
+            ("", Scope::Sub),
+            ("o=Lucent", Scope::Sub),
+            ("o=Lucent", Scope::One),
+            ("o=Lucent", Scope::Base),
+            ("o=Marketing,o=Lucent", Scope::Sub),
+            ("o=Marketing,o=Lucent", Scope::One),
+        ] {
+            for filter in [
+                "(objectClass=*)",
+                "(objectClass=person)",
+                "(cn=John Doe)",
+                "(&(objectClass=person)(cn=J*))",
+                "(|(cn=John Doe)(cn=Pat Smith))",
+                "(cn=nobody)",
+            ] {
+                let base = if base.is_empty() {
+                    Dn::root()
+                } else {
+                    Dn::parse(base).unwrap()
+                };
+                if !base.is_root() && !compact.exists(&base) {
+                    continue;
+                }
+                let f = Filter::parse(filter).unwrap();
+                let a = compact.search(&base, scope, &f, &[], 0).unwrap();
+                let b = legacy.search(&base, scope, &f, &[], 0).unwrap();
+                assert_eq!(a, b, "arm divergence on {filter} at {base} ({scope:?})");
+            }
+        }
+        assert_eq!(compact.export(), legacy.export());
+    }
+
+    #[test]
+    fn compact_arm_matches_legacy_arm() {
+        let compact = tree();
+        let legacy = legacy_tree();
+        assert!(compact.is_compact());
+        assert!(!legacy.is_compact());
+        assert_arms_agree(&compact, &legacy);
+
+        // Same mutations on both arms, identity preserved throughout.
+        let john = Dn::parse("cn=John Doe,o=Marketing,o=Lucent").unwrap();
+        let marketing = Dn::parse("o=Marketing,o=Lucent").unwrap();
+        let rd = Dn::parse("o=R&D,o=Lucent").unwrap();
+        for d in [&compact, &legacy] {
+            d.modify(&john, &[Modification::set("telephoneNumber", "9123")])
+                .unwrap();
+            d.modify_rdn(&john, &Rdn::new("cn", "Jack Doe"), true, None)
+                .unwrap();
+            d.modify_rdn(&marketing, &Rdn::new("o", "Marketing"), false, Some(&rd))
+                .unwrap();
+            d.delete(&Dn::parse("cn=Pat Smith,o=Marketing,o=R&D,o=Lucent").unwrap())
+                .unwrap();
+        }
+        assert_arms_agree(&compact, &legacy);
+        assert_eq!(compact.seq(), legacy.seq());
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let bulk = Dit::new();
+        bulk.begin_bulk();
+        figure2_tree(&bulk).unwrap();
+        // Deletes and renames during bulk keep the tree coherent.
+        bulk.delete(&Dn::parse("cn=Tim Dickens,o=Accounting,o=Lucent").unwrap())
+            .unwrap();
+        bulk.finish_bulk();
+        let incr = Dit::new();
+        figure2_tree(&incr).unwrap();
+        incr.delete(&Dn::parse("cn=Tim Dickens,o=Accounting,o=Lucent").unwrap())
+            .unwrap();
+        assert_eq!(bulk.export(), incr.export());
+        // Index rebuilt by finish_bulk: planner serves and results agree.
+        let before = bulk.index_stats();
+        let f = Filter::eq("cn", "John Doe");
+        let a = bulk.search(&Dn::root(), Scope::Sub, &f, &[], 0).unwrap();
+        let b = incr.search(&Dn::root(), Scope::Sub, &f, &[], 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(bulk.index_stats().0, before.0 + 1, "index serves post-bulk");
+    }
+
+    #[test]
+    fn bulk_add_skips_observers_but_counts_seq() {
+        let dit = Dit::new();
+        let seen = Arc::new(parking_lot::Mutex::new(0usize));
+        let seen2 = seen.clone();
+        dit.observe(move |_| *seen2.lock() += 1);
+        dit.begin_bulk();
+        let mut e = Entry::new(Dn::parse("o=Lucent").unwrap());
+        e.add_value("objectClass", "organization");
+        e.add_value("o", "Lucent");
+        dit.bulk_add(e, true).unwrap();
+        dit.finish_bulk();
+        assert_eq!(*seen.lock(), 0);
+        assert_eq!(dit.seq(), 1);
+        assert_eq!(dit.len(), 1);
     }
 }

@@ -1,27 +1,138 @@
 //! Directory entries and the modification operations that act on them.
 
-use crate::attr::{norm_value, value_eq_ci, AttrName, Attribute};
+use crate::attr::{norm_value, value_eq_ci, AttrName, Attribute, Values};
 use crate::dn::Dn;
 use crate::error::{LdapError, Result, ResultCode};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Attribute storage. Entries are built as a `BTreeMap` (`Tree`) — cheap
+/// inserts while a record is assembled from LDIF or wire pairs — and the
+/// compact store flattens them to a name-sorted `Vec` (`Flat`) at rest:
+/// a handful of attributes cost one allocation instead of a B-tree node
+/// apiece, and lookups are a binary search over at most a dozen names.
+/// Both variants iterate in normalized-name order, so every observable
+/// behavior (search streams, LDIF export, diffing) is identical.
+#[derive(Debug, Clone)]
+enum Attrs {
+    Tree(BTreeMap<AttrName, Attribute>),
+    Flat(Vec<Attribute>),
+}
+
+impl Attrs {
+    /// Lookup by lowercased name.
+    fn get(&self, norm: &str) -> Option<&Attribute> {
+        match self {
+            Attrs::Tree(m) => m.get(norm),
+            Attrs::Flat(v) => v
+                .binary_search_by(|a| a.name.norm().cmp(norm))
+                .ok()
+                .map(|i| &v[i]),
+        }
+    }
+
+    fn get_mut(&mut self, norm: &str) -> Option<&mut Attribute> {
+        match self {
+            Attrs::Tree(m) => m.get_mut(norm),
+            Attrs::Flat(v) => match v.binary_search_by(|a| a.name.norm().cmp(norm)) {
+                Ok(i) => Some(&mut v[i]),
+                Err(_) => None,
+            },
+        }
+    }
+
+    /// Insert or replace by the attribute's own name.
+    fn insert(&mut self, attr: Attribute) {
+        match self {
+            Attrs::Tree(m) => {
+                m.insert(attr.name.clone(), attr);
+            }
+            Attrs::Flat(v) => match v.binary_search_by(|a| a.name.norm().cmp(attr.name.norm())) {
+                Ok(i) => v[i] = attr,
+                Err(i) => v.insert(i, attr),
+            },
+        }
+    }
+
+    fn remove(&mut self, norm: &str) -> Option<Attribute> {
+        match self {
+            Attrs::Tree(m) => m.remove(norm),
+            Attrs::Flat(v) => v
+                .binary_search_by(|a| a.name.norm().cmp(norm))
+                .ok()
+                .map(|i| v.remove(i)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Attrs::Tree(m) => m.len(),
+            Attrs::Flat(v) => v.len(),
+        }
+    }
+
+    fn iter(&self) -> AttrsIter<'_> {
+        match self {
+            Attrs::Tree(m) => AttrsIter::Tree(m.values()),
+            Attrs::Flat(v) => AttrsIter::Flat(v.iter()),
+        }
+    }
+
+    /// Empty storage in the same representation as `self`.
+    fn same_shape_empty(&self) -> Attrs {
+        match self {
+            Attrs::Tree(_) => Attrs::Tree(BTreeMap::new()),
+            Attrs::Flat(_) => Attrs::Flat(Vec::new()),
+        }
+    }
+}
+
+/// Normalized-name-order iterator over either representation.
+enum AttrsIter<'a> {
+    Tree(std::collections::btree_map::Values<'a, AttrName, Attribute>),
+    Flat(std::slice::Iter<'a, Attribute>),
+}
+
+impl<'a> Iterator for AttrsIter<'a> {
+    type Item = &'a Attribute;
+    fn next(&mut self) -> Option<&'a Attribute> {
+        match self {
+            AttrsIter::Tree(it) => it.next(),
+            AttrsIter::Flat(it) => it.next(),
+        }
+    }
+}
 
 /// A directory entry: a DN plus a set of multi-valued attributes.
 ///
 /// The `objectClass` attribute is stored like any other but has dedicated
 /// accessors because schema checking and MetaComm's auxiliary-class design
 /// both hinge on it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Entry {
     dn: Dn,
-    attrs: BTreeMap<AttrName, Attribute>,
+    attrs: Attrs,
 }
+
+/// Equality is by DN and attribute sequence, independent of whether either
+/// side uses the tree or flattened representation.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dn == other.dn
+            && self.attrs.len() == other.attrs.len()
+            && self
+                .attributes()
+                .zip(other.attributes())
+                .all(|(a, b)| a == b)
+    }
+}
+impl Eq for Entry {}
 
 impl Entry {
     pub fn new(dn: Dn) -> Entry {
         Entry {
             dn,
-            attrs: BTreeMap::new(),
+            attrs: Attrs::Tree(BTreeMap::new()),
         }
     }
 
@@ -47,9 +158,28 @@ impl Entry {
         self.dn = dn;
     }
 
+    /// Flatten to the compact at-rest representation and intern attribute
+    /// names. The compact store calls this on every entry it takes
+    /// ownership of; all later mutations stay in the flat representation.
+    pub fn compact_for_store(&mut self) {
+        if let Attrs::Tree(m) = &mut self.attrs {
+            let m = std::mem::take(m);
+            self.attrs = Attrs::Flat(m.into_values().collect());
+        }
+        if let Attrs::Flat(v) = &mut self.attrs {
+            v.shrink_to_fit();
+            for a in v {
+                a.name.intern();
+                if let Values::Many(vs) = &mut a.values {
+                    vs.shrink_to_fit();
+                }
+            }
+        }
+    }
+
     /// All attributes in normalized-name order.
     pub fn attributes(&self) -> impl Iterator<Item = &Attribute> {
-        self.attrs.values()
+        self.attrs.iter()
     }
 
     pub fn attr_count(&self) -> usize {
@@ -88,8 +218,7 @@ impl Entry {
         match self.attrs.get_mut(name.norm()) {
             Some(attr) => attr.add_value(value),
             None => {
-                self.attrs
-                    .insert(name.clone(), Attribute::new(name, vec![value.into()]));
+                self.attrs.insert(Attribute::single(name, value));
                 true
             }
         }
@@ -101,8 +230,7 @@ impl Entry {
         if values.is_empty() {
             self.attrs.remove(name.norm());
         } else {
-            self.attrs
-                .insert(name.clone(), Attribute::new(name, values));
+            self.attrs.insert(Attribute::new(name, values));
         }
     }
 
@@ -141,10 +269,13 @@ impl Entry {
         if names.is_empty() {
             return self.clone();
         }
-        let mut out = Entry::new(self.dn.clone());
+        let mut out = Entry {
+            dn: self.dn.clone(),
+            attrs: self.attrs.same_shape_empty(),
+        };
         for n in names {
             if let Some(attr) = self.get(n) {
-                out.attrs.insert(attr.name.clone(), attr.clone());
+                out.attrs.insert(attr.clone());
             }
         }
         out
@@ -220,7 +351,7 @@ impl Entry {
             if !same_value_set(old, &attr.values) {
                 mods.push(Modification::replace(
                     attr.name.as_str(),
-                    attr.values.clone(),
+                    attr.values.to_vec(),
                 ));
             }
         }
@@ -233,9 +364,20 @@ impl Entry {
     }
 }
 
+/// Set equality under `caseIgnoreMatch`. This runs once per attribute per
+/// whole-record device report, so the common no-change case must not
+/// allocate: byte-equal value lists short-circuit, single values compare
+/// through [`value_eq_ci`], and only genuinely differing multi-value bags
+/// pay for normalize-and-sort.
 fn same_value_set(a: &[String], b: &[String]) -> bool {
     if a.len() != b.len() {
         return false;
+    }
+    if a.iter().zip(b).all(|(x, y)| x == y) {
+        return true;
+    }
+    if a.len() == 1 {
+        return value_eq_ci(&a[0], &b[0]);
     }
     let mut na: Vec<String> = a.iter().map(|v| norm_value(v)).collect();
     let mut nb: Vec<String> = b.iter().map(|v| norm_value(v)).collect();
@@ -337,6 +479,35 @@ mod tests {
         assert!(e.has_object_class("PERSON"));
         assert!(e.has_value("sn", "doe"));
         assert!(!e.has_attr("mail"));
+    }
+
+    #[test]
+    fn flat_and_tree_behave_identically() {
+        let tree = person();
+        let mut flat = person();
+        flat.compact_for_store();
+        assert_eq!(tree, flat);
+        assert_eq!(flat.first("CN"), Some("John Doe"));
+        assert_eq!(flat.values("objectclass").len(), 2);
+        let names_t: Vec<&str> = tree.attributes().map(|a| a.name.norm()).collect();
+        let names_f: Vec<&str> = flat.attributes().map(|a| a.name.norm()).collect();
+        assert_eq!(names_t, names_f);
+
+        // Mutations on the flat form keep sorted order and equality.
+        let mut t2 = tree.clone();
+        let mut f2 = flat.clone();
+        for e in [&mut t2, &mut f2] {
+            e.add_value("mail", "jd@lucent.com");
+            e.put("ou", vec!["x".into(), "y".into()]);
+            e.remove_attr("sn");
+            e.remove_value("objectClass", "top");
+        }
+        assert_eq!(t2, f2);
+        let names: Vec<&str> = f2.attributes().map(|a| a.name.norm()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(t2.project(&["ou".into()]), f2.project(&["ou".into()]));
     }
 
     #[test]

@@ -797,7 +797,7 @@ pub fn entry_to_wire(e: &Entry) -> (String, Vec<(String, Vec<String>)>) {
     (
         e.dn().to_string(),
         e.attributes()
-            .map(|a| (a.name.as_str().to_string(), a.values.clone()))
+            .map(|a| (a.name.as_str().to_string(), a.values.to_vec()))
             .collect(),
     )
 }

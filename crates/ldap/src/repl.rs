@@ -317,7 +317,7 @@ impl Replica {
         }
         let mut out = Entry::new(e.dn.clone());
         for (attr, _) in e.attrs.values() {
-            out.put(attr.name.clone(), attr.values.clone());
+            out.put(attr.name.clone(), attr.values.to_vec());
         }
         Some(out)
     }
@@ -472,7 +472,7 @@ impl Replica {
                     .attrs
                     .iter()
                     .map(|(n, (a, _))| {
-                        let mut vals = a.values.clone();
+                        let mut vals = a.values.to_vec();
                         vals.sort();
                         (n.clone(), vals)
                     })

@@ -379,11 +379,42 @@ pub fn replay(
     Ok(summary)
 }
 
-/// IEEE CRC-32 over `bytes` (table-driven, no external dependency). Also
-/// used by snapshot footers in [`crate::backup`].
-pub fn crc32(bytes: &[u8]) -> u32 {
+/// Incremental IEEE CRC-32 (table-driven, no external dependency): feed
+/// chunks with [`Crc32::update`] and read the digest with
+/// [`Crc32::finish`]. The streaming snapshot writer/reader in
+/// [`crate::backup`] checksums files it never holds in memory at once.
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        let table = crc_table();
+        let mut c = self.state;
+        for &b in bytes {
+            c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn crc_table() -> &'static [u32; 256] {
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
+    TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         let mut i = 0;
         while i < 256 {
@@ -401,12 +432,15 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             i += 1;
         }
         t
-    });
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
+    })
+}
+
+/// IEEE CRC-32 over `bytes` in one call. Also used by snapshot footers in
+/// [`crate::backup`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
 }
 
 #[cfg(test)]

@@ -1,0 +1,230 @@
+//! Property-based parity of the two DIT storage arms: after ANY sequence
+//! of add/delete/modify/modifyRDN operations, the compact interned store
+//! and the legacy string store are observationally identical — same
+//! per-op outcomes, same `search_visit` streams (content *and* order, for
+//! every scope and for indexed and scanning filters), same LDIF export,
+//! byte-identical snapshot files, and the same tree again after a
+//! snapshot → restore cold start. The compact store is a representation
+//! change, not a behavior change (E18's correctness leg).
+
+use ldap::dit::{Dit, Scope};
+use ldap::dn::{Dn, Rdn};
+use ldap::entry::{Entry, Modification};
+use ldap::filter::Filter;
+use ldap::ldif::to_ldif;
+use ldap::schema::Schema;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { parent: usize, name: usize },
+    Delete { node: usize },
+    Modify { node: usize, value: String },
+    Rename { node: usize, new_name: usize },
+    Move { node: usize, under: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8usize, 0..12usize).prop_map(|(parent, name)| Op::Add { parent, name }),
+        (0..8usize).prop_map(|node| Op::Delete { node }),
+        (0..8usize, "[a-z]{1,6}").prop_map(|(node, value)| Op::Modify { node, value }),
+        (0..8usize, 0..12usize).prop_map(|(node, new_name)| Op::Rename { node, new_name }),
+        (0..8usize, 0..8usize).prop_map(|(node, under)| Op::Move { node, under }),
+    ]
+}
+
+fn arm(compact: bool) -> Arc<Dit> {
+    let dit = Dit::with_schema_indexed_compact(
+        Arc::new(Schema::permissive()),
+        &["cn", "description"],
+        compact,
+    );
+    let mut suffix = Entry::new(Dn::parse("o=Root").unwrap());
+    suffix.add_value("objectClass", "organization");
+    suffix.add_value("o", "Root");
+    ldap::Dit::add(&dit, suffix).unwrap();
+    dit
+}
+
+fn person(dn: Dn, cn: &str) -> Entry {
+    Entry::with_attrs(dn, [("objectClass", "person"), ("cn", cn), ("sn", "p")])
+}
+
+/// Render a `search_visit` stream as comparable lines — DN plus every
+/// attribute in iteration order, so both content and emission order are
+/// pinned.
+fn stream(dit: &Dit, base: &Dn, scope: Scope, filter: &Filter) -> Vec<String> {
+    if !dit.exists(base) {
+        // The op sequence may delete the search base (even the suffix, as
+        // a leaf); both arms must then agree it is gone.
+        return vec!["<no base>".into()];
+    }
+    let mut out = Vec::new();
+    dit.search_visit(base, scope, filter, &[], 0, &mut |e: &Entry| {
+        let mut line = e.dn().to_string();
+        for a in e.attributes() {
+            line.push('\u{1}');
+            line.push_str(a.name.as_str());
+            for v in a.values.as_slice() {
+                line.push('\u{2}');
+                line.push_str(v);
+            }
+        }
+        out.push(line);
+    })
+    .unwrap();
+    out
+}
+
+/// Every observable surface the two arms must agree on.
+fn assert_arms_agree(compact: &Dit, legacy: &Dit, context: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(compact.len(), legacy.len(), "len {}", context);
+    let base = Dn::parse("o=Root").unwrap();
+    let filters = [
+        Filter::match_all(),
+        Filter::Equality("cn".into(), "n3".into()), // indexed path
+        Filter::Equality("sn".into(), "p".into()),  // scanning path
+        Filter::Present("description".into()),
+    ];
+    for f in &filters {
+        prop_assert_eq!(
+            stream(compact, &base, Scope::Sub, f),
+            stream(legacy, &base, Scope::Sub, f),
+            "sub stream {} {:?}",
+            context,
+            f
+        );
+    }
+    // One-level streams from every live node (includes emission order of
+    // siblings, which the compact arm keeps sorted by normalized key).
+    for e in legacy.export() {
+        prop_assert_eq!(
+            stream(compact, e.dn(), Scope::One, &Filter::match_all()),
+            stream(legacy, e.dn(), Scope::One, &Filter::match_all()),
+            "one stream at {} {}",
+            e.dn(),
+            context
+        );
+        prop_assert_eq!(
+            stream(compact, e.dn(), Scope::Base, &Filter::match_all()),
+            stream(legacy, e.dn(), Scope::Base, &Filter::match_all()),
+            "base stream at {} {}",
+            e.dn(),
+            context
+        );
+    }
+    prop_assert_eq!(
+        to_ldif(&compact.export()),
+        to_ldif(&legacy.export()),
+        "ldif export {}",
+        context
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drive both arms through the same random op sequence; they must
+    /// agree on every op outcome and every observable surface, and both
+    /// must survive a snapshot → cold-start round trip byte-identically.
+    #[test]
+    fn compact_and_legacy_arms_are_observationally_identical(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let compact = arm(true);
+        let legacy = arm(false);
+
+        for op in &ops {
+            let nodes: Vec<Dn> = legacy.export().iter().map(|e| e.dn().clone()).collect();
+            if nodes.is_empty() {
+                let mut suffix = Entry::new(Dn::parse("o=Root").unwrap());
+                suffix.add_value("objectClass", "organization");
+                suffix.add_value("o", "Root");
+                ldap::Dit::add(&compact, suffix.clone()).unwrap();
+                ldap::Dit::add(&legacy, suffix).unwrap();
+                continue;
+            }
+            let (ok_c, ok_l) = match op {
+                Op::Add { parent, name } => {
+                    let dn = nodes[parent % nodes.len()].child(Rdn::new("cn", format!("n{name}")));
+                    (
+                        ldap::Dit::add(&compact, person(dn.clone(), &format!("n{name}"))).is_ok(),
+                        ldap::Dit::add(&legacy, person(dn, &format!("n{name}"))).is_ok(),
+                    )
+                }
+                Op::Delete { node } => {
+                    let dn = &nodes[node % nodes.len()];
+                    (
+                        ldap::Dit::delete(&compact, dn).is_ok(),
+                        ldap::Dit::delete(&legacy, dn).is_ok(),
+                    )
+                }
+                Op::Modify { node, value } => {
+                    let dn = &nodes[node % nodes.len()];
+                    let mods = [
+                        Modification::set("description", value.clone()),
+                        Modification::add("description", vec![format!("{value}-2")]),
+                    ];
+                    (
+                        ldap::Dit::modify(&compact, dn, &mods).is_ok(),
+                        ldap::Dit::modify(&legacy, dn, &mods).is_ok(),
+                    )
+                }
+                Op::Rename { node, new_name } => {
+                    let dn = &nodes[node % nodes.len()];
+                    let rdn = Rdn::new("cn", format!("n{new_name}"));
+                    (
+                        ldap::Dit::modify_rdn(&compact, dn, &rdn, true, None).is_ok(),
+                        ldap::Dit::modify_rdn(&legacy, dn, &rdn, true, None).is_ok(),
+                    )
+                }
+                Op::Move { node, under } => {
+                    let dn = nodes[node % nodes.len()].clone();
+                    let target = nodes[under % nodes.len()].clone();
+                    match dn.rdn() {
+                        Some(rdn) => (
+                            ldap::Dit::modify_rdn(&compact, &dn, rdn, false, Some(&target)).is_ok(),
+                            ldap::Dit::modify_rdn(&legacy, &dn, rdn, false, Some(&target)).is_ok(),
+                        ),
+                        None => continue,
+                    }
+                }
+            };
+            prop_assert_eq!(ok_c, ok_l, "op outcome diverged on {:?}", op);
+        }
+
+        assert_arms_agree(&compact, &legacy, "after ops")?;
+
+        // Snapshot both arms: the streamed (compact) and materialized
+        // (legacy) writers must produce byte-identical files…
+        let dir = std::env::temp_dir().join(format!("metacomm-prop-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_c = dir.join("compact.ldif");
+        let snap_l = dir.join("legacy.ldif");
+        prop_assert_eq!(compact.seq(), legacy.seq(), "commit counters diverged");
+        ldap::backup::snapshot(&compact, &snap_c).unwrap();
+        ldap::backup::snapshot(&legacy, &snap_l).unwrap();
+        let bytes_c = std::fs::read(&snap_c).unwrap();
+        let bytes_l = std::fs::read(&snap_l).unwrap();
+        prop_assert_eq!(bytes_c, bytes_l, "snapshot files diverged");
+
+        // …and a cold start from the snapshot must reproduce the tree on
+        // both arms (streaming loader on compact, materializing on legacy).
+        let cold_c = Dit::with_schema_indexed_compact(
+            Arc::new(Schema::permissive()), &["cn", "description"], true);
+        let cold_l = Dit::with_schema_indexed_compact(
+            Arc::new(Schema::permissive()), &["cn", "description"], false);
+        ldap::backup::restore_snapshot(&cold_c, &snap_c).unwrap();
+        ldap::backup::restore_snapshot(&cold_l, &snap_l).unwrap();
+        assert_arms_agree(&cold_c, &cold_l, "after cold start")?;
+        prop_assert_eq!(
+            to_ldif(&compact.export()),
+            to_ldif(&cold_c.export()),
+            "compact cold start changed the tree"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

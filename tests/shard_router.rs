@@ -26,7 +26,7 @@ fn image(e: &Entry) -> Image {
     let mut attrs: Vec<(String, Vec<String>)> = e
         .attributes()
         .map(|a| {
-            let mut vs = a.values.clone();
+            let mut vs = a.values.to_vec();
             vs.sort();
             (a.name.to_string(), vs)
         })
